@@ -1,0 +1,1 @@
+"""Figure-reproduction and ablation benchmarks (pytest-benchmark)."""

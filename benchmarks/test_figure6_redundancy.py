@@ -1,0 +1,55 @@
+"""Figure 6: operation redundancy (discarded/executed) vs issue model.
+
+Paper claims checked here:
+
+* ordering is roughly the inverse of Figure 3 -- the higher-performing
+  machines throw away more operations;
+* dynamic window 256 with enlarged blocks discards a large fraction of
+  executed nodes (the paper: nearly one of four);
+* window 1 discards essentially nothing (no room to speculate);
+* perfect prediction eliminates wrong-path work, leaving only the
+  enlarged blocks' fault discards.
+"""
+
+from repro.harness.figures import figure3_data, figure6_data, render_series_table
+
+from .conftest import run_once, write_table
+
+
+def test_figure6(benchmark, runner):
+    data = run_once(benchmark, lambda: figure6_data(runner))
+
+    table = render_series_table(
+        "Figure 6: mean redundancy (discarded / executed) vs issue model "
+        "(memory A)",
+        [str(m) for m in data["_issue_models"]],
+        data,
+        value_format="{:7.4f}",
+    )
+    write_table("figure6.txt", table)
+
+    wide = {label: series[-1] for label, series in data.items()
+            if not label.startswith("_")}
+
+    # Window 1 cannot speculate across blocks.
+    assert wide["dyn1/single"] < 0.01
+
+    # The top-performing configuration pays the highest redundancy;
+    # paper: "nearly one out of every four nodes executed".
+    assert 0.08 < wide["dyn256/enlarged"] < 0.45
+
+    # Higher window -> more redundancy, single blocks.
+    assert wide["dyn256/single"] >= wide["dyn4/single"] >= wide["dyn1/single"]
+
+    # Inverse correlation with Figure 3 (rank correlation < 0 over the
+    # realistic dynamic lines).
+    perf = figure3_data(runner)  # served from the result cache
+    labels = [l for l in wide if not l.endswith("perfect")]
+    perf_rank = sorted(labels, key=lambda l: perf[l][-1])
+    red_rank = sorted(labels, key=lambda l: wide[l])
+    # Spearman-style check: the most redundant is among the fastest.
+    most_redundant = red_rank[-1]
+    assert perf_rank.index(most_redundant) >= len(labels) - 3
+
+    # Perfect prediction discards less than realistic prediction.
+    assert wide["dyn256/perfect"] <= wide["dyn256/enlarged"]

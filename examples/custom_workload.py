@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Bring-your-own workload: run a new program through the whole pipeline.
+
+Implements a `wc`-like word-count utility in Mini-C (a sixth UNIX
+benchmark the paper could have used), then walks it through every stage
+a built-in benchmark gets: compile -> profile -> enlarge -> trace ->
+simulate across all ten scheduling disciplines.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import compile_source, prepare_workload, run_program, simulate
+from repro.machine import MachineConfig
+from repro.machine.config import scheduling_disciplines
+
+WC_SOURCE = """
+char _ibuf[4096];
+int _ipos;
+int _ilen;
+
+int nextc() {
+    if (_ipos >= _ilen) {
+        _ilen = read(0, _ibuf, 4096);
+        _ipos = 0;
+        if (_ilen <= 0) return -1;
+    }
+    return _ibuf[_ipos++];
+}
+
+void print_int(int n) {
+    char digits[12];
+    int i = 0;
+    if (n == 0) { putc(1, 48); return; }
+    while (n > 0) { digits[i++] = 48 + n % 10; n /= 10; }
+    while (i > 0) putc(1, digits[--i]);
+}
+
+int main() {
+    int lines = 0;
+    int words = 0;
+    int chars = 0;
+    int in_word = 0;
+    int c = nextc();
+    while (c >= 0) {
+        chars++;
+        if (c == 10) lines++;
+        if (c == 32 || c == 10 || c == 9) {
+            in_word = 0;
+        } else if (!in_word) {
+            in_word = 1;
+            words++;
+        }
+        c = nextc();
+    }
+    print_int(lines); putc(1, 32);
+    print_int(words); putc(1, 32);
+    print_int(chars); putc(1, 10);
+    return 0;
+}
+"""
+
+
+def make_text(seed: int, paragraphs: int) -> bytes:
+    """Deterministic pseudo-text (avoid identical train/eval data)."""
+    words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"]
+    state = seed
+    output = []
+    for _ in range(paragraphs * 40):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        output.append(words[state % len(words)])
+        if state % 9 == 0:
+            output.append("\n")
+    return (" ".join(output) + "\n").encode()
+
+
+def main() -> None:
+    program = compile_source(WC_SOURCE)
+    train = {0: make_text(1, 12)}
+    eval_inputs = {0: make_text(2, 12)}
+
+    # Sanity: run functionally and show the program's own output.
+    result = run_program(program, inputs=eval_inputs)
+    print(f"wc output: {result.output.decode().strip()}")
+
+    workload = prepare_workload("wc", program, train, eval_inputs)
+    print(f"trace: {workload.single_trace.retired_nodes} retired nodes, "
+          f"{len(workload.single_trace)} dynamic blocks\n")
+
+    print(f"{'discipline':20s} {'nodes/cycle':>12s} {'redundancy':>11s} "
+          f"{'br.accuracy':>12s}")
+    print("-" * 58)
+    for discipline, window, mode in scheduling_disciplines():
+        config = MachineConfig(
+            discipline=discipline,
+            issue_model=8,
+            memory="A",
+            branch_mode=mode,
+            window_blocks=window,
+        )
+        sim = simulate(workload, config)
+        print(f"{config.discipline_key():20s} "
+              f"{sim.retired_per_cycle:>12.3f} {sim.redundancy:>11.3f} "
+              f"{sim.branch_accuracy:>12.3f}")
+
+    print("\nEvery stage a built-in benchmark gets -- profiling, basic")
+    print("block enlargement, trace-driven timing -- works unchanged for")
+    print("user-supplied Mini-C programs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Basic block enlargement study.
+
+Shows the software half of the paper working on one benchmark:
+
+* the enlargement plan (which traces of blocks were merged, unrolling),
+* before/after block-size statistics,
+* fault behaviour at three planner aggressiveness settings, and
+* the resulting performance on a wide dynamic machine.
+
+Run:  python examples/enlargement_study.py [benchmark]
+"""
+
+import sys
+from collections import Counter
+
+from repro.enlarge import EnlargeConfig, apply_plan, plan_enlargement
+from repro.interp import run_program
+from repro.machine import BranchMode, Discipline, MachineConfig
+from repro.machine.simulator import prepare_workload
+from repro.profiles import build_profile
+from repro.workloads import WORKLOADS
+
+
+def block_size_stats(trace, program):
+    sizes = {b.label: b.datapath_size for b in program}
+    histogram = Counter(sizes[trace.labels[i]] for i in trace.block_ids)
+    total = sum(histogram.values())
+    mean = sum(s * c for s, c in histogram.items()) / total
+    small = sum(c for s, c in histogram.items() if s <= 4) / total
+    return mean, small
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    workload = WORKLOADS[name]
+    program = workload.compile()
+    train = workload.make_inputs("train")
+    eval_inputs = workload.make_inputs("eval")
+
+    print(f"profiling {name} on the training input...")
+    profile = build_profile(run_program(program, inputs=train).trace)
+
+    plan = plan_enlargement(program, profile)
+    print(f"\nenlargement plan: {len(plan.sequences)} enlarged blocks")
+    for sequence in plan.sequences[:8]:
+        unrolled = len(sequence) - len(set(sequence))
+        note = f"  (loop unrolled x{unrolled + 1})" if unrolled else ""
+        print("  " + " -> ".join(sequence) + note)
+    if len(plan.sequences) > 8:
+        print(f"  ... and {len(plan.sequences) - 8} more")
+
+    base_run = run_program(program, inputs=eval_inputs)
+    mean_before, small_before = block_size_stats(base_run.trace, program)
+
+    print(f"\n{'config':14s} {'mean blk':>9s} {'<=4 nodes':>10s} "
+          f"{'fault rate':>11s} {'IPC (dyn4)':>11s}")
+    print("-" * 60)
+    print(f"{'single':14s} {mean_before:>9.2f} {small_before:>10.1%} "
+          f"{'-':>11s}", end="")
+
+    machine = MachineConfig(
+        discipline=Discipline.DYNAMIC, issue_model=8, memory="A",
+        branch_mode=BranchMode.SINGLE, window_blocks=4,
+    )
+    prepared_default = prepare_workload(name, program, train, eval_inputs)
+    from repro.machine import simulate
+
+    print(f" {simulate(prepared_default, machine).retired_per_cycle:>11.3f}")
+
+    settings = {
+        "conservative": EnlargeConfig(min_arc_ratio=0.92, min_cum_ratio=0.75),
+        "default": EnlargeConfig(),
+        "aggressive": EnlargeConfig(min_arc_ratio=0.55, min_cum_ratio=0.10),
+    }
+    enlarged_machine = MachineConfig(
+        discipline=Discipline.DYNAMIC, issue_model=8, memory="A",
+        branch_mode=BranchMode.ENLARGED, window_blocks=4,
+    )
+    for label, enlarge_config in settings.items():
+        prepared_wl = prepare_workload(
+            name, program, train, eval_inputs, enlarge_config=enlarge_config
+        )
+        trace = prepared_wl.enlarged_trace
+        mean_after, small_after = block_size_stats(trace, prepared_wl.enlarged)
+        faults = sum(1 for f in trace.fault_indices if f >= 0)
+        ipc = simulate(prepared_wl, enlarged_machine).retired_per_cycle
+        print(f"{label:14s} {mean_after:>9.2f} {small_after:>10.1%} "
+              f"{faults / len(trace):>11.2%} {ipc:>11.3f}")
+
+    print("\nThe paper's claim: enlargement flattens the block-size")
+    print("distribution, and there is an optimal aggressiveness -- too")
+    print("strict wastes issue bandwidth, too loose pays in faults.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Memory-hierarchy study (the paper's Figure 4 axis, in depth).
+
+Sweeps one benchmark over the seven memory configurations and shows the
+statistics behind the paper's latency-tolerance argument: cache hit
+rates, write-buffer hits, and how little a fully pipelined memory system
+costs even at 3-cycle latency.
+
+Run:  python examples/memory_study.py [benchmark]
+"""
+
+import sys
+
+from repro.machine import (
+    BranchMode,
+    Discipline,
+    FIGURE4_MEMORY_ORDER,
+    MEMORY_CONFIGS,
+    MachineConfig,
+    simulate,
+)
+from repro.workloads import WORKLOADS, prepared
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    workload = prepared(WORKLOADS[name])
+
+    header = (f"{'memory':>8s} {'description':>18s} {'IPC':>7s} "
+              f"{'cache hit':>10s} {'wb hits':>8s} {'vs A':>7s}")
+    print(f"benchmark: {name} (dyn window 4, enlarged, issue model 8)\n")
+    print(header)
+    print("-" * len(header))
+
+    baseline = None
+    for letter in FIGURE4_MEMORY_ORDER:
+        config = MachineConfig(
+            discipline=Discipline.DYNAMIC,
+            issue_model=8,
+            memory=letter,
+            branch_mode=BranchMode.ENLARGED,
+            window_blocks=4,
+        )
+        result = simulate(workload, config)
+        if baseline is None:
+            baseline = result.retired_per_cycle
+        description = str(MEMORY_CONFIGS[letter])
+        print(f"{letter:>8s} {description:>18s} "
+              f"{result.retired_per_cycle:>7.3f} "
+              f"{result.cache_hit_rate:>10.4f} "
+              f"{result.write_buffer_hits:>8d} "
+              f"{result.retired_per_cycle / baseline:>7.1%}")
+
+    print()
+    print("Paper, section 3.2: because the memory system is fully")
+    print("pipelined, even tripling the latency (A -> C) costs only a")
+    print("modest fraction; machines that perform well are exactly the")
+    print("ones that tolerate slow memory (more parallelism in flight).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a Mini-C program and simulate it on two machines.
+
+Demonstrates the three layers of the library:
+
+1. the Mini-C front end (the translating loader's language side),
+2. the functional interpreter (architectural reference + trace),
+3. the timing simulators (static vs dynamic scheduling).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BranchMode,
+    Discipline,
+    MachineConfig,
+    compile_source,
+    prepare_workload,
+    run_program,
+    simulate,
+)
+
+SOURCE = """
+int histogram[26];
+
+int main() {
+    int c = getc(0);
+    while (c >= 0) {
+        if (c >= 97 && c <= 122) histogram[c - 97]++;
+        c = getc(0);
+    }
+    /* print letters more frequent than 'e' is rare: count > 2 */
+    int i;
+    for (i = 0; i < 26; i++) {
+        if (histogram[i] > 2) putc(1, 97 + i);
+    }
+    putc(1, 10);
+    return 0;
+}
+"""
+
+TEXT = b"the quick brown fox jumps over the lazy dog again and again\n"
+
+
+def main() -> None:
+    # --- 1. compile ----------------------------------------------------
+    program = compile_source(SOURCE)
+    alu, mem = program.static_node_counts()
+    print(f"compiled: {len(program)} basic blocks, "
+          f"{alu} ALU + {mem} memory nodes (ratio {alu / mem:.2f})")
+
+    # --- 2. run functionally --------------------------------------------
+    result = run_program(program, inputs={0: TEXT})
+    print(f"program output: {result.output.decode().strip()!r}")
+    print(f"retired nodes:  {result.trace.retired_nodes}")
+
+    # --- 3. simulate on two machines -------------------------------------
+    workload = prepare_workload("quickstart", program, {0: TEXT}, {0: TEXT})
+
+    static = MachineConfig(
+        discipline=Discipline.STATIC,
+        issue_model=8,
+        memory="A",
+        branch_mode=BranchMode.SINGLE,
+    )
+    dynamic = MachineConfig(
+        discipline=Discipline.DYNAMIC,
+        issue_model=8,
+        memory="A",
+        branch_mode=BranchMode.ENLARGED,
+        window_blocks=4,
+    )
+
+    for config in (static, dynamic):
+        sim = simulate(workload, config)
+        print(f"{config.discipline_key():18s} "
+              f"{sim.cycles:6d} cycles   "
+              f"{sim.retired_per_cycle:5.2f} nodes/cycle   "
+              f"redundancy {sim.redundancy:.3f}")
+
+    speedup = (
+        simulate(workload, static).cycles / simulate(workload, dynamic).cycles
+    )
+    print(f"dynamic+enlarged speedup over static: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

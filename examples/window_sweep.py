@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Instruction-window study: how much ILP does each window size expose?
+
+Reproduces the spirit of the paper's scheduling-discipline axis at a
+finer grain: sweeps the window from 1 to 256 basic blocks on one
+benchmark and prints retired nodes/cycle for single and enlarged blocks,
+plus the perfect-prediction bound.
+
+Run:  python examples/window_sweep.py [benchmark]
+"""
+
+import sys
+
+from repro.machine import BranchMode, Discipline, MachineConfig, simulate
+from repro.workloads import WORKLOADS, prepared
+
+WINDOWS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def config(window: int, mode: BranchMode) -> MachineConfig:
+    return MachineConfig(
+        discipline=Discipline.DYNAMIC,
+        issue_model=8,
+        memory="A",
+        branch_mode=mode,
+        window_blocks=window,
+    )
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "grep"
+    if name not in WORKLOADS:
+        raise SystemExit(f"unknown benchmark {name!r}; pick from "
+                         f"{sorted(WORKLOADS)}")
+    print(f"preparing {name} (compile, profile, enlarge, trace)...")
+    workload = prepared(WORKLOADS[name])
+
+    header = f"{'window':>8s} {'single':>8s} {'enlarged':>9s} {'perfect':>8s}"
+    print(header)
+    print("-" * len(header))
+    for window in WINDOWS:
+        single = simulate(workload, config(window, BranchMode.SINGLE))
+        enlarged = simulate(workload, config(window, BranchMode.ENLARGED))
+        perfect = simulate(workload, config(window, BranchMode.PERFECT))
+        print(f"{window:>8d} {single.retired_per_cycle:>8.3f} "
+              f"{enlarged.retired_per_cycle:>9.3f} "
+              f"{perfect.retired_per_cycle:>8.3f}")
+
+    print()
+    print("Expected shape (paper, section 3.2): window 1 exposes almost")
+    print("nothing beyond static scheduling; most of the benefit arrives")
+    print("by window 4; the gap to the perfect line is the headroom the")
+    print("paper attributes to better branch prediction.")
+
+
+if __name__ == "__main__":
+    main()

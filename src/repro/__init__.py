@@ -1,0 +1,54 @@
+"""repro: a reproduction of Melvin & Patt (ISCA 1991).
+
+"Exploiting Fine-Grained Parallelism Through a Combination of Hardware
+and Software Techniques" — dynamic scheduling, speculative execution and
+basic block enlargement, evaluated over a 560-point machine configuration
+space on five UNIX-utility benchmarks.
+
+Quickstart::
+
+    from repro import compile_source, run_program
+    from repro.machine import prepare_workload, simulate, MachineConfig
+    from repro.machine import Discipline, BranchMode
+
+    program = compile_source(MINI_C_SOURCE)
+    workload = prepare_workload("demo", program, {0: train}, {0: data})
+    config = MachineConfig(
+        discipline=Discipline.DYNAMIC, issue_model=8, memory="A",
+        branch_mode=BranchMode.ENLARGED, window_blocks=4,
+    )
+    result = simulate(workload, config)
+    print(result.retired_per_cycle)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced figures.
+"""
+
+from .lang.frontend import compile_source
+from .interp.interpreter import run_program
+from .machine.config import (
+    BranchMode,
+    Discipline,
+    MachineConfig,
+    full_configuration_space,
+)
+from .machine.simulator import PreparedWorkload, prepare_workload, simulate
+from .program.program import Program
+from .stats.results import SimResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchMode",
+    "Discipline",
+    "MachineConfig",
+    "PreparedWorkload",
+    "Program",
+    "SimResult",
+    "compile_source",
+    "full_configuration_space",
+    "prepare_workload",
+    "run_program",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,282 @@
+"""Command-line interface: ``repro-sim``.
+
+Subcommands:
+
+* ``run``     -- simulate one benchmark on one machine configuration
+* ``figure``  -- print the data for one of the paper's figures (2-6)
+* ``report``  -- write the full EXPERIMENTS.md (runs missing simulations)
+* ``dump``    -- print a benchmark's translated assembly (or DOT CFG)
+* ``compile`` -- compile and run a user Mini-C source file
+* ``sweep``   -- run the paper's full 560-point space (resumable)
+* ``list``    -- list benchmarks and configuration axes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .harness.figures import (
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    render_series_table,
+    static_ratio_data,
+)
+from .harness.report import generate_report
+from .harness.runner import SweepRunner
+from .machine.config import (
+    BranchMode,
+    Discipline,
+    ISSUE_MODELS,
+    MEMORY_CONFIGS,
+    MachineConfig,
+    WINDOW_SIZES,
+)
+from .program.printer import format_program
+from .workloads import WORKLOADS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Melvin & Patt (ISCA 1991) reproduction simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one configuration point")
+    run.add_argument("--benchmark", required=True, choices=sorted(WORKLOADS))
+    run.add_argument("--discipline", choices=("static", "dynamic"),
+                     default="dynamic")
+    run.add_argument("--window", type=int, default=4,
+                     help="window size in basic blocks (dynamic only)")
+    run.add_argument("--issue", type=int, default=8,
+                     choices=sorted(ISSUE_MODELS))
+    run.add_argument("--memory", default="A", choices=sorted(MEMORY_CONFIGS))
+    run.add_argument("--branch", default="single",
+                     choices=[mode.value for mode in BranchMode])
+    run.add_argument("--no-static-hints", action="store_true")
+    run.add_argument("--scale", type=int, default=None)
+
+    figure = sub.add_parser("figure", help="print one figure's data")
+    figure.add_argument("number", type=int, choices=(2, 3, 4, 5, 6))
+    figure.add_argument("--scale", type=int, default=None)
+
+    report = sub.add_parser("report", help="write EXPERIMENTS.md")
+    report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    report.add_argument("--scale", type=int, default=None)
+
+    dump = sub.add_parser("dump", help="print translated assembly")
+    dump.add_argument("--benchmark", required=True, choices=sorted(WORKLOADS))
+    dump.add_argument("--enlarged", action="store_true")
+    dump.add_argument("--dot", action="store_true",
+                      help="emit a Graphviz CFG instead of assembly")
+    dump.add_argument("--scale", type=int, default=None)
+
+    compile_cmd = sub.add_parser(
+        "compile", help="compile and run a Mini-C source file"
+    )
+    compile_cmd.add_argument("source", help="path to a Mini-C file")
+    compile_cmd.add_argument("--stdin", default=None,
+                             help="file whose bytes become fd 0")
+    compile_cmd.add_argument("--dump-asm", action="store_true",
+                             help="print translated assembly instead of running")
+    compile_cmd.add_argument("--no-optimize", action="store_true")
+    compile_cmd.add_argument("--simulate", metavar="DISCIPLINE",
+                             choices=("static", "dynamic"), default=None,
+                             help="also run a timing simulation")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the paper's full 560-point configuration space "
+             "(resumable; results land in the on-disk cache)",
+    )
+    sweep.add_argument("--benchmarks", default=None,
+                       help="comma-separated subset (default: all five)")
+    sweep.add_argument("--scale", type=int, default=None)
+    sweep.add_argument("--limit", type=int, default=None,
+                       help="stop after N uncached points (for budgeting)")
+
+    sub.add_parser("list", help="list benchmarks and configuration axes")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = MachineConfig(
+        discipline=Discipline(args.discipline),
+        issue_model=args.issue,
+        memory=args.memory,
+        branch_mode=BranchMode(args.branch),
+        window_blocks=args.window if args.discipline == "dynamic" else 1,
+        static_hints=not args.no_static_hints,
+    )
+    runner = SweepRunner(scale=args.scale, verbose=True)
+    result = runner.run_point(args.benchmark, config)
+    print(result.summary())
+    print(f"  retired nodes : {result.retired_nodes}")
+    print(f"  executed nodes: {result.executed_nodes}")
+    print(f"  cycles        : {result.cycles}")
+    print(f"  faults        : {result.faults}")
+    print(f"  cache hit rate: {result.cache_hit_rate:.4f}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = SweepRunner(scale=args.scale)
+    number = args.number
+    if number == 2:
+        data = figure2_data(runner)
+        table = render_series_table(
+            "Figure 2: fraction of executed blocks per size bucket",
+            data["buckets"],
+            {"single": data["single"], "enlarged": data["enlarged"]},
+        )
+    elif number == 3:
+        data = figure3_data(runner)
+        table = render_series_table(
+            "Figure 3: retired nodes/cycle vs issue model (memory A)",
+            [str(m) for m in data["_issue_models"]], data,
+        )
+    elif number == 4:
+        data = figure4_data(runner)
+        table = render_series_table(
+            "Figure 4: retired nodes/cycle vs memory config (issue 8)",
+            data["_memories"], data,
+        )
+    elif number == 5:
+        data = figure5_data(runner)
+        table = render_series_table(
+            "Figure 5: per-benchmark IPC on dyn4/enlarged composites",
+            data["_composites"], data,
+        )
+    else:
+        data = figure6_data(runner)
+        table = render_series_table(
+            "Figure 6: redundancy vs issue model (memory A)",
+            [str(m) for m in data["_issue_models"]], data,
+        )
+    print(table)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    runner = SweepRunner(scale=args.scale)
+    text = generate_report(runner)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    from .program.dot import program_to_dot
+
+    runner = SweepRunner(scale=args.scale)
+    workload = runner.workload(args.benchmark)
+    program = workload.enlarged if args.enlarged else workload.single
+    if args.dot:
+        print(program_to_dot(program, title=args.benchmark))
+    else:
+        print(format_program(program))
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .interp.interpreter import run_program
+    from .lang.frontend import compile_source
+    from .machine.simulator import prepare_workload, simulate
+
+    with open(args.source, encoding="utf-8") as handle:
+        source = handle.read()
+    program = compile_source(source, optimize=not args.no_optimize)
+    if args.dump_asm:
+        print(format_program(program))
+        return 0
+    stdin = b""
+    if args.stdin:
+        with open(args.stdin, "rb") as handle:
+            stdin = handle.read()
+    result = run_program(program, inputs={0: stdin})
+    sys.stdout.write(result.output.decode("latin-1"))
+    print(f"[exit {result.exit_code}; "
+          f"{result.trace.retired_nodes} nodes retired]", file=sys.stderr)
+    if args.simulate:
+        workload = prepare_workload(
+            "cli", program, {0: stdin}, {0: stdin}
+        )
+        config = MachineConfig(
+            discipline=Discipline(args.simulate),
+            issue_model=8,
+            memory="A",
+            branch_mode=BranchMode.ENLARGED,
+            window_blocks=4,
+        )
+        sim = simulate(workload, config)
+        print(sim.summary(), file=sys.stderr)
+    return result.exit_code
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .machine.config import full_configuration_space
+
+    benchmarks = (
+        [name.strip() for name in args.benchmarks.split(",")]
+        if args.benchmarks else None
+    )
+    runner = SweepRunner(benchmarks=benchmarks, scale=args.scale)
+    configs = list(full_configuration_space())
+    total = len(configs) * len(runner.benchmarks)
+    done = 0
+    fresh = 0
+    for config in configs:
+        for name in runner.benchmarks:
+            cached = (
+                runner.cache.get(name, config, runner.scale)
+                if runner.cache else None
+            )
+            if cached is None:
+                if args.limit is not None and fresh >= args.limit:
+                    print(f"limit reached: {done}/{total} points in cache")
+                    return 0
+                fresh += 1
+            result = runner.run_point(name, config)
+            done += 1
+            if done % 50 == 0 or done == total:
+                print(f"[{done}/{total}] {result.summary()}", file=sys.stderr)
+    print(f"sweep complete: {total} points ({fresh} newly simulated)")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("benchmarks:", ", ".join(sorted(WORKLOADS)))
+    print("issue models:")
+    for index, model in ISSUE_MODELS.items():
+        print(f"  {index}: {model}")
+    print("memory configs:")
+    for letter, memory in MEMORY_CONFIGS.items():
+        print(f"  {letter}: {memory}")
+    print(f"window sizes: {WINDOW_SIZES}")
+    print("branch modes:", ", ".join(mode.value for mode in BranchMode))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "report": _cmd_report,
+        "dump": _cmd_dump,
+        "compile": _cmd_compile,
+        "sweep": _cmd_sweep,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

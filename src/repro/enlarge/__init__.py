@@ -1,0 +1,17 @@
+"""Basic block enlargement: plan, build, verify."""
+
+from .builder import EnlargementError, apply_plan, enlarge_program
+from .fill_unit import FillUnitConfig, fill_unit_enlarge, plan_from_trace
+from .plan import EnlargeConfig, EnlargementPlan, plan_enlargement
+
+__all__ = [
+    "EnlargeConfig",
+    "FillUnitConfig",
+    "fill_unit_enlarge",
+    "plan_from_trace",
+    "EnlargementError",
+    "EnlargementPlan",
+    "apply_plan",
+    "enlarge_program",
+    "plan_enlargement",
+]

@@ -1,0 +1,133 @@
+"""Enlarged-program construction.
+
+Given an :class:`~repro.enlarge.plan.EnlargementPlan`, build the enlarged
+program:
+
+* each planned sequence becomes one enlarged block: bodies concatenated,
+  interior conditional branches converted to **assert** nodes and interior
+  jumps dropped;
+* every assert's fault target is the *original* label of the sequence's
+  first block -- a signalling assert discards the whole enlarged block
+  (hardware rolls back to block entry), so recovery re-executes the
+  original single-block path, which then takes the correct directions
+  (the paper's Figure 1: AB faults to a block that re-executes A);
+* all other control transfers (branches, jumps, call targets and links)
+  are redirected to the canonical enlarged instance of their target label,
+  matching the paper's "branches to enlarged basic blocks always execute
+  the initial enlarged basic block first";
+* the merged blocks are re-optimised as a unit, which is where the
+  "artificial flow dependencies" between adjacent blocks disappear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa import node as nd
+from ..isa.node import Node
+from ..isa.ops import NodeKind
+from ..opt.liveness import compute_liveness
+from ..opt.localopt import optimize_block
+from ..opt.simplify_cfg import remove_unreachable
+from ..program.block import BasicBlock
+from ..program.program import Program
+from .plan import EnlargementPlan
+
+
+class EnlargementError(Exception):
+    """A plan that cannot be applied to the given program."""
+
+
+def _build_enlarged_block(program: Program, sequence: List[str],
+                          label: str) -> BasicBlock:
+    """Concatenate a sequence of blocks into one enlarged block."""
+    fault_target = sequence[0]
+    body: List[Node] = []
+    for position, member in enumerate(sequence):
+        block = program.block(member)
+        is_last = position == len(sequence) - 1
+        body.extend(block.body)
+        if is_last:
+            return BasicBlock(label, body, block.terminator, tuple(sequence))
+        term = block.terminator
+        next_label = sequence[position + 1]
+        if term.kind is NodeKind.JUMP:
+            if term.target != next_label:
+                raise EnlargementError(
+                    f"sequence {sequence} does not follow jump in {member!r}"
+                )
+            continue
+        if term.kind is not NodeKind.BRANCH:
+            raise EnlargementError(
+                f"cannot merge across {term.kind} terminator in {member!r}"
+            )
+        if next_label == term.target:
+            expected = True
+        elif next_label == term.alt_target:
+            expected = False
+        else:
+            raise EnlargementError(
+                f"sequence {sequence} does not follow branch in {member!r}"
+            )
+        body.append(nd.assert_node(term.src1.index, expected, fault_target))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _retarget_block(block: BasicBlock, mapping: Dict[str, str]) -> BasicBlock:
+    """Redirect non-fault control transfers through ``mapping``.
+
+    Assert fault targets must keep pointing at original blocks (recovery
+    re-executes the original path), so asserts are left untouched.
+    """
+    body = [
+        node if node.kind is NodeKind.ASSERT else node.retarget(mapping)
+        for node in block.body
+    ]
+    terminator = block.terminator.retarget(mapping)
+    return BasicBlock(block.label, body, terminator, block.origin)
+
+
+def apply_plan(program: Program, plan: EnlargementPlan,
+               reoptimize: bool = True) -> Program:
+    """Apply an enlargement plan, returning the enlarged program.
+
+    The result contains the enlarged blocks plus every original block
+    (originals serve as fault-recovery paths; unreachable ones are
+    removed).  Functional behaviour is preserved -- this is checked by
+    property tests that compare program output before and after.
+    """
+    enlarged: List[BasicBlock] = []
+    for sequence in plan.sequences:
+        label = plan.entry_map[sequence[0]]
+        enlarged.append(_build_enlarged_block(program, sequence, label))
+
+    mapping = dict(plan.entry_map)
+    mapping.pop(program.entry, None)  # the entry label must stay the entry
+
+    all_blocks = [
+        _retarget_block(block, mapping)
+        for block in list(program) + enlarged
+    ]
+    result = Program(
+        all_blocks,
+        program.entry,
+        data=program.data,
+        data_size=program.data_size,
+        symbols=program.symbols,
+    )
+    if reoptimize:
+        liveness = compute_liveness(result)
+        replacements = {}
+        for block in result:
+            optimized = optimize_block(block, liveness.live_out[block.label])
+            replacements[block.label] = optimized
+        result = result.replace_blocks(replacements)
+    return remove_unreachable(result)
+
+
+def enlarge_program(program: Program, profile, config=None) -> Program:
+    """Plan and apply enlargement in one call."""
+    from .plan import EnlargeConfig, plan_enlargement
+
+    plan = plan_enlargement(program, profile, config or EnlargeConfig())
+    return apply_plan(program, plan)

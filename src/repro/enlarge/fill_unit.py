@@ -1,0 +1,140 @@
+"""A hardware fill unit: run-time basic block enlargement.
+
+The paper builds enlarged blocks offline from profile data, but notes the
+alternative of "possibly a hardware unit" creating larger blocks, and its
+[MeSP88] reference ("Hardware Support for Large Atomic Units in
+Dynamically Scheduled Machines") describes exactly that: a *fill unit*
+that snoops the retiring instruction stream and assembles hot block
+sequences into large atomic units at run time.
+
+This module models that mechanism at trace level: the dynamic block
+stream is segmented greedily into candidate units (a segment ends at a
+call/return/syscall boundary or at the capacity limits, just like a fill
+buffer), hot segments are counted in a bounded table (the unit's cache),
+and the hottest become an :class:`~repro.enlarge.plan.EnlargementPlan`
+that the ordinary builder materialises.  The resulting program is what
+the hardware's block cache would contain after warm-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..interp.trace import Trace
+from ..isa.ops import NodeKind
+from ..program.program import Program
+from .builder import apply_plan
+from .plan import EnlargementPlan
+
+
+@dataclass(frozen=True)
+class FillUnitConfig:
+    """Capacity and hotness parameters of the modelled fill unit.
+
+    Attributes:
+        max_blocks: fill-buffer capacity in basic blocks.
+        max_nodes: fill-buffer capacity in datapath nodes.
+        min_occurrences: a segment must recur this often to be kept
+            (the block cache only holds units that earn their space).
+        table_size: number of distinct segments the unit can track while
+            observing the stream (bounded, like real hardware).
+        max_instances: cap on copies of one original block across all
+            units, mirroring the offline planner's limit.
+    """
+
+    max_blocks: int = 8
+    max_nodes: int = 96
+    min_occurrences: int = 8
+    table_size: int = 4096
+    max_instances: int = 16
+
+
+def _segment_stream(program: Program, trace: Trace,
+                    config: FillUnitConfig) -> Dict[Tuple[str, ...], int]:
+    """Greedily segment the dynamic stream; count segment occurrences.
+
+    A segment grows while the current block ends in a two-way branch or
+    jump (merging across calls/returns/syscalls is not possible for an
+    atomic unit) and the capacity limits allow; the table is bounded, and
+    once full only already-tracked segments are counted.
+    """
+    sizes = {}
+    extendable = {}
+    for label in trace.labels:
+        block = program.blocks.get(label)
+        if block is None:  # label from a different program variant
+            sizes[label] = 0
+            extendable[label] = False
+            continue
+        sizes[label] = block.datapath_size
+        extendable[label] = block.terminator.kind in (
+            NodeKind.BRANCH, NodeKind.JUMP
+        )
+
+    counts: Dict[Tuple[str, ...], int] = {}
+    labels = trace.labels
+    block_ids = trace.block_ids
+    position = 0
+    length = len(block_ids)
+    while position < length:
+        segment: List[str] = []
+        node_total = 0
+        while position < length and len(segment) < config.max_blocks:
+            label = labels[block_ids[position]]
+            if node_total + sizes[label] > config.max_nodes and segment:
+                break
+            segment.append(label)
+            node_total += sizes[label]
+            position += 1
+            if not extendable[label]:
+                break
+        key = tuple(segment)
+        if len(key) >= 2:
+            if key in counts:
+                counts[key] += 1
+            elif len(counts) < config.table_size:
+                counts[key] = 1
+    return counts
+
+
+def plan_from_trace(program: Program, trace: Trace,
+                    config: FillUnitConfig = FillUnitConfig(),
+                    ) -> EnlargementPlan:
+    """Build an enlargement plan from observed execution, not a profile."""
+    counts = _segment_stream(program, trace, config)
+    plan = EnlargementPlan()
+    instances: Dict[str, int] = {}
+
+    # Hottest segments first, weighted by the work they capture.
+    candidates = sorted(
+        counts.items(), key=lambda item: -item[1] * len(item[0])
+    )
+    for segment, count in candidates:
+        if count < config.min_occurrences:
+            continue
+        seed = segment[0]
+        if seed in plan.entry_map:
+            continue
+        # Count per-segment repeats (unrolled loops) against the cap too.
+        within: Dict[str, int] = {}
+        for label in segment:
+            within[label] = within.get(label, 0) + 1
+        if any(
+            instances.get(label, 0) + repeat > config.max_instances
+            for label, repeat in within.items()
+        ):
+            continue
+        label = f"F${seed}${len(plan.sequences)}"
+        plan.sequences.append(list(segment))
+        plan.entry_map[seed] = label
+        for member in segment:
+            instances[member] = instances.get(member, 0) + 1
+    return plan
+
+
+def fill_unit_enlarge(program: Program, trace: Trace,
+                      config: FillUnitConfig = FillUnitConfig()) -> Program:
+    """One-call run-time enlargement: observe ``trace``, build the program."""
+    plan = plan_from_trace(program, trace, config)
+    return apply_plan(program, plan)

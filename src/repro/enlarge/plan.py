@@ -1,0 +1,164 @@
+"""Enlargement planning: choosing which blocks to combine.
+
+Implements the paper's procedure: branch arcs from the profiling run are
+sorted by use; starting from the most heavily used blocks, traces of
+blocks are grown along the dominant arc until either the arc weight or the
+taken/not-taken ratio falls below a threshold.  Loops are unrolled by
+letting a trace revisit its own members, and at most ``max_instances``
+copies of any original block are created across all enlarged blocks
+(the paper's limit is 16 instances per original PC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.ops import NodeKind
+from ..profiles.profile import BranchProfile
+from ..program.program import Program
+
+
+@dataclass(frozen=True)
+class EnlargeConfig:
+    """Thresholds controlling trace growth.
+
+    Attributes:
+        min_arc_weight: stop when the dominant outgoing arc was traversed
+            fewer times than this in the profiling run.
+        min_arc_ratio: stop when the dominant arc carries less than this
+            fraction of the block's outgoing traversals.
+        max_blocks: maximum original blocks combined into one enlarged
+            block (bounds recursion depth / unroll factor).
+        max_nodes: maximum datapath nodes in an enlarged block.
+        max_instances: maximum copies of one original block across all
+            enlarged blocks (the paper uses 16).
+        min_seed_count: do not seed a trace at a block executed fewer
+            times than this.
+        min_cum_ratio: stop when the *product* of arc ratios along the
+            trace falls below this -- the probability that the whole
+            enlarged block retires.  The paper notes that enlargement
+            efficiency "falls off" as blocks grow because every embedded
+            fault node has a signalling probability; this cut is the
+            "more complex test to determine where enlarged basic blocks
+            should be broken" it suggests.
+    """
+
+    min_arc_weight: int = 8
+    min_arc_ratio: float = 0.75
+    max_blocks: int = 16
+    max_nodes: int = 128
+    max_instances: int = 16
+    min_seed_count: int = 16
+    min_cum_ratio: float = 0.45
+
+
+@dataclass
+class EnlargementPlan:
+    """The sequences of original labels to merge, plus the entry map."""
+
+    #: each entry is the ordered labels of one enlarged block
+    sequences: List[List[str]] = field(default_factory=list)
+    #: original entry label -> enlarged block label (canonical instance)
+    entry_map: Dict[str, str] = field(default_factory=dict)
+
+    def instance_counts(self) -> Dict[str, int]:
+        """How many copies of each original label the plan creates."""
+        counts: Dict[str, int] = {}
+        for sequence in self.sequences:
+            for label in sequence:
+                counts[label] = counts.get(label, 0) + 1
+        return counts
+
+
+def _dominant_successor(
+    program: Program,
+    profile: BranchProfile,
+    label: str,
+) -> Optional[Tuple[str, int, float]]:
+    """The dominant control arc out of ``label``.
+
+    Returns ``(successor, weight, ratio)`` or None when the block cannot
+    be merged across (calls, returns, syscalls, or unexecuted branches).
+    """
+    block = program.block(label)
+    term = block.terminator
+    if term.kind is NodeKind.JUMP:
+        weight = profile.arc_counts.get((label, term.target), 0)
+        return (term.target, weight, 1.0)
+    if term.kind is not NodeKind.BRANCH:
+        return None
+    taken_weight = profile.arc_counts.get((label, term.target), 0)
+    fall_weight = profile.arc_counts.get((label, term.alt_target), 0)
+    total = taken_weight + fall_weight
+    if total == 0:
+        return None
+    if taken_weight >= fall_weight:
+        return (term.target, taken_weight, taken_weight / total)
+    return (term.alt_target, fall_weight, fall_weight / total)
+
+
+def plan_enlargement(
+    program: Program,
+    profile: BranchProfile,
+    config: EnlargeConfig = EnlargeConfig(),
+) -> EnlargementPlan:
+    """Grow enlargement traces for ``program`` from profile data."""
+    plan = EnlargementPlan()
+    instances: Dict[str, int] = {}
+
+    def instances_of(label: str) -> int:
+        return instances.get(label, 0)
+
+    # Seeds in descending execution count, the paper's "most heavily used
+    # first" order.
+    seeds = sorted(
+        profile.block_counts.items(), key=lambda item: -item[1]
+    )
+
+    for seed, count in seeds:
+        if count < config.min_seed_count:
+            break
+        if seed in plan.entry_map:
+            continue  # already the entry of an enlarged block
+        if seed not in program:
+            continue
+        if instances_of(seed) >= config.max_instances:
+            continue
+
+        sequence = [seed]
+        # Claim the seed's instance up front so growth that revisits the
+        # seed (loop unrolling) counts it against the cap correctly.
+        instances[seed] = instances_of(seed) + 1
+        node_total = program.block(seed).datapath_size
+        current = seed
+        cum_ratio = 1.0
+        while len(sequence) < config.max_blocks:
+            step = _dominant_successor(program, profile, current)
+            if step is None:
+                break
+            successor, weight, ratio = step
+            if weight < config.min_arc_weight or ratio < config.min_arc_ratio:
+                break
+            if cum_ratio * ratio < config.min_cum_ratio:
+                break
+            if successor not in program:
+                break
+            if instances_of(successor) >= config.max_instances:
+                break
+            successor_block = program.block(successor)
+            if node_total + successor_block.datapath_size > config.max_nodes:
+                break
+            sequence.append(successor)
+            instances[successor] = instances_of(successor) + 1
+            node_total += successor_block.datapath_size
+            cum_ratio *= ratio
+            current = successor
+
+        if len(sequence) < 2:
+            instances[seed] = instances_of(seed) - 1  # release the claim
+            continue
+        enlarged_label = f"E${seed}${len(plan.sequences)}"
+        plan.sequences.append(sequence)
+        plan.entry_map[seed] = enlarged_label
+    return plan

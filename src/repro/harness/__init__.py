@@ -1,0 +1,36 @@
+"""Experiment harness: sweeps, caching, figure data, reporting."""
+
+from .cache import ResultCache
+from .figures import (
+    FIGURE5_COMPOSITES,
+    discipline_lines,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    render_series_table,
+    static_ratio_data,
+)
+from .plot import ascii_chart
+from .report import generate_report
+from .runner import SweepRunner, default_benchmarks, default_scale, geometric_mean
+
+__all__ = [
+    "FIGURE5_COMPOSITES",
+    "ResultCache",
+    "SweepRunner",
+    "default_benchmarks",
+    "default_scale",
+    "discipline_lines",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "figure5_data",
+    "figure6_data",
+    "ascii_chart",
+    "generate_report",
+    "geometric_mean",
+    "render_series_table",
+    "static_ratio_data",
+]

@@ -1,0 +1,109 @@
+"""On-disk cache of simulation results.
+
+A full reproduction is 2800 timing runs (560 configurations x 5
+benchmarks); caching lets the figure harnesses accumulate results across
+invocations and lets a re-run of a bench skip everything it has already
+measured.  Results are stored as one JSON object per (benchmark, config,
+scale) key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from ..machine.config import BranchMode, Discipline, MachineConfig
+from ..stats.results import SimResult
+
+#: Bump when simulator behaviour changes enough to invalidate old results.
+CACHE_VERSION = 6
+
+_RESULT_FIELDS = (
+    "cycles",
+    "retired_nodes",
+    "discarded_nodes",
+    "dynamic_blocks",
+    "mispredicts",
+    "branch_lookups",
+    "faults",
+    "loads",
+    "stores",
+    "cache_accesses",
+    "cache_misses",
+    "write_buffer_hits",
+    "work_nodes",
+)
+
+
+def result_key(benchmark: str, config: MachineConfig, scale: int) -> str:
+    """Stable cache key for one simulation point."""
+    return (
+        f"v{CACHE_VERSION}|{benchmark}|{scale}|{config.discipline.value}"
+        f"|w{config.window_blocks}|i{config.issue_model}|m{config.memory}"
+        f"|{config.branch_mode.value}|h{int(config.static_hints)}"
+        f"|p{config.predictor}"
+    )
+
+
+class ResultCache:
+    """JSON-file-backed result store."""
+
+    def __init__(self, path: Optional[str] = None):
+        if path is None:
+            root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+            path = os.path.join(root, "results.json")
+        self.path = path
+        self._data: Dict[str, dict] = {}
+        self._loaded = False
+        self._dirty = 0
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                self._data = json.load(handle)
+        except (OSError, ValueError):
+            self._data = {}
+
+    def get(self, benchmark: str, config: MachineConfig,
+            scale: int) -> Optional[SimResult]:
+        """Fetch a cached result, rebuilding the SimResult object."""
+        self._load()
+        raw = self._data.get(result_key(benchmark, config, scale))
+        if raw is None:
+            return None
+        return SimResult(
+            benchmark=benchmark,
+            config=config,
+            **{field: raw[field] for field in _RESULT_FIELDS},
+        )
+
+    def put(self, result: SimResult, scale: int) -> None:
+        """Store a result and flush to disk."""
+        self._load()
+        key = result_key(result.benchmark, result.config, scale)
+        self._data[key] = {
+            field: getattr(result, field) for field in _RESULT_FIELDS
+        }
+        self._dirty += 1
+        self.flush()
+
+    def flush(self) -> None:
+        if not self._dirty:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(self._data, handle)
+        os.replace(tmp_path, self.path)
+        self._dirty = 0
+
+    def __len__(self) -> int:
+        self._load()
+        return len(self._data)

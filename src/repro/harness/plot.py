@@ -1,0 +1,65 @@
+"""ASCII line charts for figure data.
+
+The paper presents Figures 3-6 as line graphs; these renderers produce a
+terminal-friendly equivalent so EXPERIMENTS.md can show shape at a
+glance, not just tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Characters used to mark each series, in legend order.
+_MARKS = "ox*+#%@&$~"
+
+
+def ascii_chart(series: Dict[str, List[float]], columns: Sequence[str],
+                height: int = 16, title: str = "") -> str:
+    """Render series as a scatter/line chart in plain text.
+
+    Args:
+        series: label -> y values (one per column); labels starting with
+            ``_`` are skipped.
+        columns: x-axis labels.
+        height: chart height in rows.
+        title: optional heading line.
+    """
+    visible = {k: v for k, v in series.items() if not k.startswith("_")}
+    if not visible:
+        return title
+    all_values = [v for values in visible.values() for v in values]
+    top = max(all_values)
+    bottom = min(0.0, min(all_values))
+    span = (top - bottom) or 1.0
+
+    width = len(columns)
+    col_width = max(max(len(str(c)) for c in columns) + 1, 6)
+    grid = [[" "] * (width * col_width) for _ in range(height)]
+
+    marks = {}
+    for index, (label, values) in enumerate(visible.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        marks[label] = mark
+        for x, value in enumerate(values):
+            row = height - 1 - int((value - bottom) / span * (height - 1))
+            col = x * col_width + col_width // 2
+            if grid[row][col] == " ":
+                grid[row][col] = mark
+            else:
+                grid[row][col] = "+"  # overlapping series
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        value = top - (top - bottom) * row_index / (height - 1)
+        lines.append(f"{value:7.2f} |" + "".join(row))
+    axis = " " * 8 + "+" + "-" * (width * col_width)
+    lines.append(axis)
+    labels_row = " " * 9
+    for column in columns:
+        labels_row += str(column).center(col_width)
+    lines.append(labels_row)
+    legend = "  ".join(f"{marks[label]}={label}" for label in visible)
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

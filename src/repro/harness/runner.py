@@ -1,0 +1,106 @@
+"""Sweep runner: simulate many (benchmark, configuration) points.
+
+Prepared workloads (compile + profile + enlarge + functional traces) are
+cached in-process; timing results are cached on disk so interrupted or
+repeated sweeps resume where they left off.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..machine.config import MachineConfig
+from ..machine.simulator import PreparedWorkload, simulate
+from ..stats.results import SimResult
+from ..workloads import WORKLOADS, prepared
+from .cache import ResultCache
+
+#: Benchmarks used when the caller does not choose, overridable via the
+#: REPRO_BENCH_WORKLOADS environment variable (comma-separated names).
+def default_benchmarks() -> List[str]:
+    """Benchmark selection for harness runs (env-overridable)."""
+    raw = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if raw:
+        names = [name.strip() for name in raw.split(",") if name.strip()]
+        unknown = [name for name in names if name not in WORKLOADS]
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {unknown}")
+        return names
+    return list(WORKLOADS)
+
+
+def default_scale() -> int:
+    """Input scale for harness runs (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+class SweepRunner:
+    """Runs timing simulations over a set of benchmarks, with caching."""
+
+    def __init__(self, benchmarks: Optional[Sequence[str]] = None,
+                 scale: Optional[int] = None, use_cache: bool = True,
+                 verbose: bool = False):
+        self.benchmarks = list(benchmarks) if benchmarks else default_benchmarks()
+        unknown = [name for name in self.benchmarks if name not in WORKLOADS]
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {unknown}")
+        self.scale = default_scale() if scale is None else scale
+        self.cache = ResultCache() if use_cache else None
+        self.verbose = verbose
+
+    # ------------------------------------------------------------------
+    def workload(self, name: str) -> PreparedWorkload:
+        """The prepared (traced) workload for one benchmark."""
+        return prepared(WORKLOADS[name], scale=self.scale)
+
+    def run_point(self, benchmark: str, config: MachineConfig) -> SimResult:
+        """One simulation, served from cache when available."""
+        if self.cache is not None:
+            hit = self.cache.get(benchmark, config, self.scale)
+            if hit is not None:
+                return hit
+        result = simulate(self.workload(benchmark), config)
+        if self.cache is not None:
+            self.cache.put(result, self.scale)
+        if self.verbose:
+            print(result.summary(), file=sys.stderr)
+        return result
+
+    def run_configs(self, configs: Iterable[MachineConfig],
+                    benchmarks: Optional[Sequence[str]] = None,
+                    ) -> List[SimResult]:
+        """Cartesian sweep of configs x benchmarks."""
+        names = list(benchmarks) if benchmarks else self.benchmarks
+        results = []
+        for config in configs:
+            for name in names:
+                results.append(self.run_point(name, config))
+        return results
+
+    # ------------------------------------------------------------------
+    def mean_ipc(self, config: MachineConfig,
+                 benchmarks: Optional[Sequence[str]] = None) -> float:
+        """Geometric-mean retired-nodes-per-cycle across benchmarks."""
+        names = list(benchmarks) if benchmarks else self.benchmarks
+        values = [self.run_point(name, config).retired_per_cycle for name in names]
+        return geometric_mean(values)
+
+    def mean_redundancy(self, config: MachineConfig,
+                        benchmarks: Optional[Sequence[str]] = None) -> float:
+        """Arithmetic-mean redundancy across benchmarks."""
+        names = list(benchmarks) if benchmarks else self.benchmarks
+        values = [self.run_point(name, config).redundancy for name in names]
+        return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, tolerating zeros by flooring at a tiny epsilon."""
+    if not values:
+        return 0.0
+    total = 0.0
+    for value in values:
+        total += math.log(max(value, 1e-12))
+    return math.exp(total / len(values))

@@ -1,0 +1,29 @@
+"""Functional interpreter: architectural reference model and trace source."""
+
+from .interpreter import (
+    InterpResult,
+    Interpreter,
+    InterpreterError,
+    NodeBudgetExceeded,
+    run_program,
+)
+from .memory import MemoryFault, SimMemory
+from .syscalls import EOF, SyscallError, SyscallHost
+from .trace import NOT_TAKEN, OTHER, TAKEN, Trace
+
+__all__ = [
+    "EOF",
+    "InterpResult",
+    "Interpreter",
+    "InterpreterError",
+    "MemoryFault",
+    "NodeBudgetExceeded",
+    "NOT_TAKEN",
+    "OTHER",
+    "SimMemory",
+    "SyscallError",
+    "SyscallHost",
+    "TAKEN",
+    "Trace",
+    "run_program",
+]

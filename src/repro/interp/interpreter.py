@@ -1,0 +1,512 @@
+"""Functional interpreter: block-atomic execution with fault semantics.
+
+This is the architectural reference model.  Each basic block executes
+atomically: stores are buffered and registers snapshotted at block entry;
+a signalling assert node discards the whole block (buffer dropped,
+registers restored) and transfers control to its fault target, after
+*speculatively* finishing the block's remaining nodes so that the trace
+contains an address for every memory node the hardware would have had in
+flight (see :mod:`repro.interp.trace`).
+
+For speed, blocks are precompiled to tuples with small-integer opcodes;
+the dispatch loop below is the single hot path of the functional pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.ops import AluOp, MemWidth, NodeKind, SyscallOp
+from ..program.block import BasicBlock
+from ..program.program import GLOBAL_BASE, Program
+from ..lang.codegen import STACK_TOP
+from .memory import SimMemory
+from .syscalls import SyscallHost
+from .trace import NOT_TAKEN, OTHER, TAKEN, Trace
+
+# Precompiled opcodes.
+_OP_ALU = 0
+_OP_LOAD = 1
+_OP_STORE = 2
+_OP_ASSERT = 3
+
+# ALU sub-opcodes, ordered roughly by dynamic frequency.
+_ALU_CODES = {
+    AluOp.ADD: 0,
+    AluOp.MOV: 1,
+    AluOp.SUB: 2,
+    AluOp.SEQ: 3,
+    AluOp.SNE: 4,
+    AluOp.SLT: 5,
+    AluOp.SLE: 6,
+    AluOp.SGT: 7,
+    AluOp.SGE: 8,
+    AluOp.AND: 9,
+    AluOp.OR: 10,
+    AluOp.XOR: 11,
+    AluOp.SHL: 12,
+    AluOp.SHR: 13,
+    AluOp.SHRU: 14,
+    AluOp.MUL: 15,
+    AluOp.DIV: 16,
+    AluOp.MOD: 17,
+    AluOp.NOT: 18,
+    AluOp.NEG: 19,
+}
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+class InterpreterError(Exception):
+    """Raised when the simulated program misbehaves (traps)."""
+
+
+class NodeBudgetExceeded(InterpreterError):
+    """The program ran past the configured node budget."""
+
+
+class _CompiledBlock:
+    """A basic block precompiled for the dispatch loop."""
+
+    __slots__ = ("label", "body", "term_kind", "term", "mem_count",
+                 "datapath_size", "block")
+
+    def __init__(self, block: BasicBlock):
+        self.label = block.label
+        self.block = block
+        self.body: List[tuple] = []
+        for index, node in enumerate(block.body):
+            self.body.append(_compile_node(node, index))
+        self.term_kind = block.terminator.kind
+        self.term = _compile_terminator(block.terminator)
+        self.mem_count = sum(1 for n in block.body if n.is_memory)
+        self.datapath_size = block.datapath_size
+
+
+def _operand_pair(operand) -> Tuple[int, int]:
+    """Encode an operand as (is_imm, value-or-register)."""
+    from ..isa.node import Imm
+
+    if operand is None:
+        return (0, 0)
+    if isinstance(operand, Imm):
+        return (1, operand.value)
+    return (0, operand.index)
+
+
+def _compile_node(node, index: int) -> tuple:
+    kind = node.kind
+    if kind is NodeKind.ALU:
+        s1i, s1v = _operand_pair(node.src1)
+        s2i, s2v = _operand_pair(node.src2)
+        return (_OP_ALU, _ALU_CODES[node.op], node.dest, s1i, s1v, s2i, s2v)
+    if kind is NodeKind.LOAD:
+        return (_OP_LOAD, node.dest, node.base, node.offset,
+                node.width is MemWidth.WORD)
+    if kind is NodeKind.STORE:
+        s1i, s1v = _operand_pair(node.src1)
+        return (_OP_STORE, s1i, s1v, node.base, node.offset,
+                node.width is MemWidth.WORD)
+    if kind is NodeKind.ASSERT:
+        return (_OP_ASSERT, node.src1.index, 1 if node.expect_taken else 0,
+                node.target, index)
+    raise InterpreterError(f"cannot compile node kind {kind}")
+
+
+def _compile_terminator(node) -> tuple:
+    kind = node.kind
+    if kind is NodeKind.BRANCH:
+        return (node.src1.index, node.target, node.alt_target)
+    if kind is NodeKind.JUMP:
+        return (node.target,)
+    if kind is NodeKind.CALL:
+        return (node.target, node.alt_target)
+    if kind is NodeKind.RET:
+        return ()
+    if kind is NodeKind.SYSCALL:
+        return (node.op, node.args, node.dest, node.target)
+    raise InterpreterError(f"cannot compile terminator kind {kind}")
+
+
+class InterpResult:
+    """Outcome of a functional run."""
+
+    def __init__(self, exit_code: int, host: SyscallHost, trace: Optional[Trace],
+                 executed_nodes: int, executed_blocks: int):
+        self.exit_code = exit_code
+        self.host = host
+        self.trace = trace
+        self.executed_nodes = executed_nodes
+        self.executed_blocks = executed_blocks
+
+    @property
+    def output(self) -> bytes:
+        """Bytes the program wrote to fd 1."""
+        return self.host.output_bytes(1)
+
+
+class Interpreter:
+    """Executes a translated program against a syscall host."""
+
+    def __init__(self, program: Program, host: SyscallHost,
+                 memory_size: int = STACK_TOP,
+                 max_nodes: int = 200_000_000):
+        self.program = program
+        self.host = host
+        self.memory = SimMemory(memory_size, program.data)
+        self.max_nodes = max_nodes
+        self._compiled: Dict[str, _CompiledBlock] = {
+            label: _CompiledBlock(block) for label, block in program.blocks.items()
+        }
+        # Heap break for SBRK: just past the data segment, 16-byte aligned.
+        self._brk = (GLOBAL_BASE + program.data_size + 15) & ~15
+        self._stack_guard = memory_size - 0x8000
+
+    # ------------------------------------------------------------------
+    def run(self, record_trace: bool = True) -> InterpResult:
+        """Run to EXIT; returns the result (with a trace if requested)."""
+        program = self.program
+        regs = [0] * 64
+        mem = self.memory._bytes  # hot path: direct backing-store access
+        mem_size = self.memory.size
+        trace = Trace() if record_trace else None
+        host = self.host
+
+        label = program.entry
+        call_stack: List[str] = []
+        executed_nodes = 0
+        executed_blocks = 0
+        budget = self.max_nodes
+        compiled = self._compiled
+
+        while True:
+            cblock = compiled[label]
+            executed_blocks += 1
+            executed_nodes += cblock.datapath_size
+            if executed_nodes > budget:
+                raise NodeBudgetExceeded(
+                    f"exceeded {budget} nodes at block {label!r}"
+                )
+
+            snapshot = regs[:]
+            buffer: Dict[int, int] = {}  # byte address -> byte value
+            fault_index = -1
+            fault_target: Optional[str] = None
+            addresses: List[int] = [] if trace is not None else None
+
+            for t in cblock.body:
+                op = t[0]
+                if op == _OP_ALU:
+                    code = t[1]
+                    a = t[4] if t[3] else regs[t[4]]
+                    if code == 1:  # MOV
+                        regs[t[2]] = a
+                        continue
+                    b = t[6] if t[5] else regs[t[6]]
+                    if code == 0:
+                        v = a + b
+                    elif code == 2:
+                        v = a - b
+                    elif code == 3:
+                        regs[t[2]] = 1 if a == b else 0
+                        continue
+                    elif code == 4:
+                        regs[t[2]] = 1 if a != b else 0
+                        continue
+                    elif code == 5:
+                        regs[t[2]] = 1 if a < b else 0
+                        continue
+                    elif code == 6:
+                        regs[t[2]] = 1 if a <= b else 0
+                        continue
+                    elif code == 7:
+                        regs[t[2]] = 1 if a > b else 0
+                        continue
+                    elif code == 8:
+                        regs[t[2]] = 1 if a >= b else 0
+                        continue
+                    elif code == 9:
+                        v = a & b
+                    elif code == 10:
+                        v = a | b
+                    elif code == 11:
+                        v = a ^ b
+                    elif code == 12:
+                        v = a << (b & 31)
+                    elif code == 13:
+                        v = a >> (b & 31)
+                    elif code == 14:
+                        v = (a & _MASK) >> (b & 31)
+                    elif code == 15:
+                        v = a * b
+                    elif code == 16:
+                        if b == 0:
+                            raise InterpreterError(
+                                f"division by zero in block {label!r}"
+                            )
+                        v = abs(a) // abs(b)
+                        if (a < 0) != (b < 0):
+                            v = -v
+                    elif code == 17:
+                        if b == 0:
+                            raise InterpreterError(
+                                f"modulo by zero in block {label!r}"
+                            )
+                        v = abs(a) % abs(b)
+                        if a < 0:
+                            v = -v
+                    elif code == 18:
+                        v = ~a
+                    else:  # 19 NEG
+                        v = -a
+                    v &= _MASK
+                    if v & _SIGN:
+                        v -= 0x100000000
+                    regs[t[2]] = v
+                elif op == _OP_LOAD:
+                    address = regs[t[2]] + t[3]
+                    if addresses is not None:
+                        addresses.append(address)
+                    if address < GLOBAL_BASE or address + 4 > mem_size:
+                        raise InterpreterError(
+                            f"load from unmapped {address:#x} in {label!r}"
+                        )
+                    if t[4]:  # word
+                        if buffer:
+                            b0 = buffer.get(address)
+                            b1 = buffer.get(address + 1)
+                            b2 = buffer.get(address + 2)
+                            b3 = buffer.get(address + 3)
+                            v = (
+                                (mem[address] if b0 is None else b0)
+                                | (mem[address + 1] if b1 is None else b1) << 8
+                                | (mem[address + 2] if b2 is None else b2) << 16
+                                | (mem[address + 3] if b3 is None else b3) << 24
+                            )
+                        else:
+                            v = int.from_bytes(mem[address:address + 4], "little")
+                        if v & _SIGN:
+                            v -= 0x100000000
+                        regs[t[1]] = v
+                    else:
+                        cached = buffer.get(address) if buffer else None
+                        regs[t[1]] = mem[address] if cached is None else cached
+                elif op == _OP_STORE:
+                    address = regs[t[3]] + t[4]
+                    if addresses is not None:
+                        addresses.append(address)
+                    if address < GLOBAL_BASE or address + 4 > mem_size:
+                        raise InterpreterError(
+                            f"store to unmapped {address:#x} in {label!r}"
+                        )
+                    value = t[2] if t[1] else regs[t[2]]
+                    if t[5]:  # word
+                        value &= _MASK
+                        buffer[address] = value & 0xFF
+                        buffer[address + 1] = (value >> 8) & 0xFF
+                        buffer[address + 2] = (value >> 16) & 0xFF
+                        buffer[address + 3] = (value >> 24) & 0xFF
+                    else:
+                        buffer[address] = value & 0xFF
+                else:  # _OP_ASSERT
+                    truth = 1 if regs[t[1]] != 0 else 0
+                    if truth != t[2]:
+                        fault_index = t[4]
+                        fault_target = t[3]
+                        break
+
+            if fault_index >= 0:
+                # Speculatively finish the block so every memory node has a
+                # recorded address, then discard all architectural effects.
+                if addresses is not None:
+                    self._speculative_finish(
+                        cblock, fault_index, regs, buffer, addresses
+                    )
+                regs[:] = snapshot
+                if trace is not None:
+                    trace.block_ids.append(trace.intern(label))
+                    trace.outcomes.append(OTHER)
+                    trace.fault_indices.append(fault_index)
+                    trace.addresses.extend(addresses)
+                    trace.discarded_nodes += cblock.datapath_size
+                label = fault_target
+                continue
+
+            # Commit the store buffer.
+            for address, byte in buffer.items():
+                mem[address] = byte
+
+            # Terminator.
+            term = cblock.term
+            kind = cblock.term_kind
+            outcome = OTHER
+            if kind is NodeKind.BRANCH:
+                if regs[term[0]] != 0:
+                    next_label = term[1]
+                    outcome = TAKEN
+                else:
+                    next_label = term[2]
+                    outcome = NOT_TAKEN
+            elif kind is NodeKind.JUMP:
+                next_label = term[0]
+            elif kind is NodeKind.CALL:
+                call_stack.append(term[1])
+                next_label = term[0]
+            elif kind is NodeKind.RET:
+                if not call_stack:
+                    raise InterpreterError(f"RET with empty call stack in {label!r}")
+                next_label = call_stack.pop()
+            else:  # SYSCALL
+                sys_op, args, dest, next_label = term
+                if sys_op is SyscallOp.EXIT:
+                    if trace is not None:
+                        trace.block_ids.append(trace.intern(label))
+                        trace.outcomes.append(OTHER)
+                        trace.fault_indices.append(-1)
+                        trace.addresses.extend(addresses)
+                        trace.retired_nodes += cblock.datapath_size
+                        trace.exit_code = regs[args[0]] if args else 0
+                    exit_code = regs[args[0]] if args else 0
+                    self.host.exit_code = exit_code
+                    return InterpResult(
+                        exit_code, host, trace, executed_nodes, executed_blocks
+                    )
+                if sys_op is SyscallOp.GETC:
+                    regs[dest] = host.getc(regs[args[0]])
+                elif sys_op is SyscallOp.PUTC:
+                    host.putc(regs[args[0]], regs[args[1]])
+                elif sys_op is SyscallOp.SBRK:
+                    regs[dest] = self._sbrk(regs[args[0]])
+                elif sys_op is SyscallOp.READ:
+                    buf_addr = regs[args[1]]
+                    chunk = host.read_block(regs[args[0]], regs[args[2]])
+                    if chunk:
+                        if buf_addr < GLOBAL_BASE or buf_addr + len(chunk) > mem_size:
+                            raise InterpreterError(
+                                f"read into unmapped buffer {buf_addr:#x}"
+                            )
+                        mem[buf_addr:buf_addr + len(chunk)] = chunk
+                    regs[dest] = len(chunk)
+                elif sys_op is SyscallOp.WRITE:
+                    buf_addr = regs[args[1]]
+                    length = regs[args[2]]
+                    if length < 0 or buf_addr < GLOBAL_BASE or buf_addr + length > mem_size:
+                        raise InterpreterError(
+                            f"write from unmapped buffer {buf_addr:#x}"
+                        )
+                    regs[dest] = host.write_block(
+                        regs[args[0]], bytes(mem[buf_addr:buf_addr + length])
+                    )
+
+            if trace is not None:
+                trace.block_ids.append(trace.intern(label))
+                trace.outcomes.append(outcome)
+                trace.fault_indices.append(-1)
+                trace.addresses.extend(addresses)
+                trace.retired_nodes += cblock.datapath_size
+            label = next_label
+
+    # ------------------------------------------------------------------
+    def _sbrk(self, size: int) -> int:
+        """Grow the heap; returns the old break."""
+        if size < 0:
+            raise InterpreterError(f"sbrk with negative size {size}")
+        old = self._brk
+        new = (old + size + 3) & ~3
+        if new >= self._stack_guard:
+            raise InterpreterError("heap collided with the stack guard")
+        self._brk = new
+        return old
+
+    def _speculative_finish(self, cblock: _CompiledBlock, fault_index: int,
+                            regs: List[int], buffer: Dict[int, int],
+                            addresses: List[int]) -> None:
+        """Execute the post-fault tail of a block for address recording.
+
+        Values may be garbage (they are discarded); faults inside the tail
+        are swallowed, out-of-range addresses recorded as-is, and loads of
+        unmapped memory produce zero.
+        """
+        mem = self.memory._bytes
+        mem_size = self.memory.size
+        for t in cblock.body[fault_index + 1:]:
+            op = t[0]
+            try:
+                if op == _OP_ALU:
+                    code = t[1]
+                    a = t[4] if t[3] else regs[t[4]]
+                    if code == 1:
+                        regs[t[2]] = a
+                        continue
+                    b = t[6] if t[5] else regs[t[6]]
+                    if code in (16, 17) and b == 0:
+                        regs[t[2]] = 0
+                        continue
+                    value = _SLOW_ALU[code](a, b)
+                    regs[t[2]] = value
+                elif op == _OP_LOAD:
+                    address = (regs[t[2]] + t[3]) & _MASK
+                    addresses.append(address)
+                    if GLOBAL_BASE <= address and address + 4 <= mem_size:
+                        if t[4]:
+                            v = int.from_bytes(mem[address:address + 4], "little")
+                            if v & _SIGN:
+                                v -= 0x100000000
+                            regs[t[1]] = v
+                        else:
+                            regs[t[1]] = mem[address]
+                    else:
+                        regs[t[1]] = 0
+                elif op == _OP_STORE:
+                    address = (regs[t[3]] + t[4]) & _MASK
+                    addresses.append(address)
+                    # Speculative stores never reach memory or the buffer.
+                else:
+                    pass  # nested assert on the discarded path: ignore
+            except Exception:  # noqa: BLE001 - wrong-path garbage is fine
+                if op == _OP_LOAD or op == _OP_STORE:
+                    addresses.append(GLOBAL_BASE)
+
+
+def _wrap(v: int) -> int:
+    v &= _MASK
+    return v - 0x100000000 if v & _SIGN else v
+
+
+_SLOW_ALU = {
+    0: lambda a, b: _wrap(a + b),
+    2: lambda a, b: _wrap(a - b),
+    3: lambda a, b: 1 if a == b else 0,
+    4: lambda a, b: 1 if a != b else 0,
+    5: lambda a, b: 1 if a < b else 0,
+    6: lambda a, b: 1 if a <= b else 0,
+    7: lambda a, b: 1 if a > b else 0,
+    8: lambda a, b: 1 if a >= b else 0,
+    9: lambda a, b: _wrap(a & b),
+    10: lambda a, b: _wrap(a | b),
+    11: lambda a, b: _wrap(a ^ b),
+    12: lambda a, b: _wrap(a << (b & 31)),
+    13: lambda a, b: _wrap(a >> (b & 31)),
+    14: lambda a, b: _wrap((a & _MASK) >> (b & 31)),
+    15: lambda a, b: _wrap(a * b),
+    16: lambda a, b: 0,
+    17: lambda a, b: 0,
+    18: lambda a, b: _wrap(~a),
+    19: lambda a, b: _wrap(-a),
+}
+
+
+def run_program(program: Program, inputs=None, record_trace: bool = True,
+                max_nodes: int = 200_000_000) -> InterpResult:
+    """Convenience: run ``program`` with the given input streams.
+
+    Args:
+        program: translated program to execute.
+        inputs: mapping fd -> bytes for input streams (fd 0 is stdin).
+        record_trace: capture a :class:`Trace` for the timing simulator.
+        max_nodes: abort threshold for runaway programs.
+    """
+    host = SyscallHost(inputs=inputs)
+    interpreter = Interpreter(program, host, max_nodes=max_nodes)
+    return interpreter.run(record_trace=record_trace)

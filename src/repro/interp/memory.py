@@ -1,0 +1,77 @@
+"""Flat byte-addressable simulated memory.
+
+Layout (see :mod:`repro.program.program` and :mod:`repro.lang.codegen`):
+
+* ``[0, 0x1000)`` -- unmapped guard page (null dereferences fail loudly);
+* ``[GLOBAL_BASE, GLOBAL_BASE + data_size)`` -- globals and strings;
+* heap -- grows upward from the end of the globals via SBRK;
+* stack -- grows downward from ``STACK_TOP``.
+"""
+
+from __future__ import annotations
+
+from ..program.program import GLOBAL_BASE
+
+
+class MemoryFault(Exception):
+    """An access outside mapped simulated memory."""
+
+    def __init__(self, address: int, what: str):
+        super().__init__(f"{what} at unmapped address {address:#x}")
+        self.address = address
+
+
+class SimMemory:
+    """Byte-addressable memory with word/byte accessors (little endian)."""
+
+    __slots__ = ("size", "_bytes")
+
+    def __init__(self, size: int, data: bytes = b""):
+        self.size = size
+        self._bytes = bytearray(size)
+        if data:
+            if GLOBAL_BASE + len(data) > size:
+                raise ValueError("data segment does not fit in memory")
+            self._bytes[GLOBAL_BASE:GLOBAL_BASE + len(data)] = data
+
+    def _check(self, address: int, width: int, what: str) -> None:
+        if address < GLOBAL_BASE or address + width > self.size:
+            raise MemoryFault(address, what)
+
+    # ------------------------------------------------------------------
+    def load_word(self, address: int) -> int:
+        """Load a signed 32-bit word."""
+        self._check(address, 4, "word load")
+        raw = int.from_bytes(self._bytes[address:address + 4], "little")
+        return raw - 0x100000000 if raw & 0x80000000 else raw
+
+    def load_byte(self, address: int) -> int:
+        """Load an unsigned byte (char is unsigned in Mini-C)."""
+        self._check(address, 1, "byte load")
+        return self._bytes[address]
+
+    def store_word(self, address: int, value: int) -> None:
+        """Store the low 32 bits of ``value``."""
+        self._check(address, 4, "word store")
+        self._bytes[address:address + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def store_byte(self, address: int, value: int) -> None:
+        """Store the low 8 bits of ``value``."""
+        self._check(address, 1, "byte store")
+        self._bytes[address] = value & 0xFF
+
+    # ------------------------------------------------------------------
+    def read_block(self, address: int, length: int) -> bytes:
+        """Bulk read for tests and debugging."""
+        self._check(address, length, "block read")
+        return bytes(self._bytes[address:address + length])
+
+    def read_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
+        """Read a NUL-terminated string for tests and debugging."""
+        out = bytearray()
+        for i in range(limit):
+            byte = self.load_byte(address + i)
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)

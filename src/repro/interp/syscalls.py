@@ -1,0 +1,79 @@
+"""Host-serviced system calls.
+
+The paper's simulator passes embedded system calls to the operating
+system it runs on and excludes them from the collected statistics; this
+module is our equivalent host environment: byte-stream file descriptors
+backed by Python ``bytes`` for input and ``bytearray`` for output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+EOF = -1
+
+
+class SyscallError(Exception):
+    """A system call with bad arguments (unknown fd, etc.)."""
+
+
+class SyscallHost:
+    """File-descriptor table for the simulated program.
+
+    Input descriptors are read-only byte streams; output descriptors
+    accumulate written bytes.  A descriptor number can be either an input
+    or an output, not both.  By convention workloads read fd 0 (and fd 3+
+    for auxiliary inputs such as ``diff``'s second file) and write fd 1.
+    """
+
+    def __init__(self, inputs: Optional[Mapping[int, bytes]] = None,
+                 output_fds: tuple = (1, 2)):
+        self._inputs: Dict[int, bytes] = dict(inputs or {})
+        self._cursors: Dict[int, int] = {fd: 0 for fd in self._inputs}
+        self.outputs: Dict[int, bytearray] = {fd: bytearray() for fd in output_fds}
+        for fd in self.outputs:
+            if fd in self._inputs:
+                raise SyscallError(f"fd {fd} is both input and output")
+        #: filled in when the program exits
+        self.exit_code: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def getc(self, fd: int) -> int:
+        """Read one byte from ``fd``; EOF (-1) when exhausted."""
+        if fd not in self._inputs:
+            raise SyscallError(f"getc on unknown input fd {fd}")
+        cursor = self._cursors[fd]
+        stream = self._inputs[fd]
+        if cursor >= len(stream):
+            return EOF
+        self._cursors[fd] = cursor + 1
+        return stream[cursor]
+
+    def putc(self, fd: int, value: int) -> None:
+        """Append one byte to output ``fd``."""
+        if fd not in self.outputs:
+            raise SyscallError(f"putc on unknown output fd {fd}")
+        self.outputs[fd].append(value & 0xFF)
+
+    def read_block(self, fd: int, max_bytes: int) -> bytes:
+        """Read up to ``max_bytes`` from ``fd`` (cf. read(2))."""
+        if fd not in self._inputs:
+            raise SyscallError(f"read on unknown input fd {fd}")
+        if max_bytes < 0:
+            raise SyscallError(f"read with negative count {max_bytes}")
+        cursor = self._cursors[fd]
+        stream = self._inputs[fd]
+        chunk = stream[cursor:cursor + max_bytes]
+        self._cursors[fd] = cursor + len(chunk)
+        return chunk
+
+    def write_block(self, fd: int, data: bytes) -> int:
+        """Append ``data`` to output ``fd`` (cf. write(2))."""
+        if fd not in self.outputs:
+            raise SyscallError(f"write on unknown output fd {fd}")
+        self.outputs[fd].extend(data)
+        return len(data)
+
+    def output_bytes(self, fd: int = 1) -> bytes:
+        """The bytes written to an output descriptor so far."""
+        return bytes(self.outputs[fd])

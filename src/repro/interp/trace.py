@@ -1,0 +1,72 @@
+"""Dynamic execution traces.
+
+A trace records, per dynamic basic block instance:
+
+* which block ran (as an index into an interned label table),
+* its control outcome (taken / not-taken / other),
+* whether an embedded assert signalled (and which one), and
+* the address of every memory node in the block, in node order.
+
+Because a faulted block's remaining memory nodes are executed
+*speculatively* by the interpreter (matching what issued hardware would
+have in flight), the number of recorded addresses for a block instance
+always equals the block's static memory-node count, which lets the timing
+simulator replay a trace with a single cursor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Control outcomes per dynamic block.
+NOT_TAKEN = 0
+TAKEN = 1
+OTHER = 2  # jump, call, ret, syscall terminator, or a faulted block
+
+
+class Trace:
+    """A recorded dynamic execution of a translated program."""
+
+    __slots__ = (
+        "labels",
+        "label_index",
+        "block_ids",
+        "outcomes",
+        "fault_indices",
+        "addresses",
+        "exit_code",
+        "retired_nodes",
+        "discarded_nodes",
+    )
+
+    def __init__(self) -> None:
+        self.labels: List[str] = []
+        self.label_index: Dict[str, int] = {}
+        self.block_ids: List[int] = []
+        self.outcomes: List[int] = []
+        #: -1 when no assert signalled, else the body index of the assert
+        self.fault_indices: List[int] = []
+        self.addresses: List[int] = []
+        self.exit_code: int = 0
+        #: datapath nodes architecturally retired (excludes faulted blocks)
+        self.retired_nodes: int = 0
+        #: datapath nodes discarded by faulting blocks (functional view)
+        self.discarded_nodes: int = 0
+
+    # ------------------------------------------------------------------
+    def intern(self, label: str) -> int:
+        """Intern a block label, returning its stable index."""
+        index = self.label_index.get(label)
+        if index is None:
+            index = len(self.labels)
+            self.label_index[label] = index
+            self.labels.append(label)
+        return index
+
+    def __len__(self) -> int:
+        """Number of dynamic block instances recorded."""
+        return len(self.block_ids)
+
+    def label_of(self, position: int) -> str:
+        """Label of the ``position``-th dynamic block."""
+        return self.labels[self.block_ids[position]]

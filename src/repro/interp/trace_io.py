@@ -1,0 +1,101 @@
+"""Binary serialisation for execution traces.
+
+Traces are the expensive artefact of the functional pass (hundreds of
+thousands of dynamic blocks); persisting them lets every later process
+replay timing simulations without re-interpreting the program.  The
+format is a small header plus ``array`` dumps:
+
+.. code-block:: text
+
+    magic  b"RTRC"            4 bytes
+    version u32               format revision
+    exit_code i32
+    retired u64, discarded u64
+    n_labels u32, then each label as u16 length + utf-8 bytes
+    n_blocks u32, then block_ids as u32[n]
+    outcomes as u8[n]
+    fault_indices as i32[n]
+    n_addresses u32, then addresses as u64[n]
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import BinaryIO
+
+from .trace import Trace
+
+_MAGIC = b"RTRC"
+_VERSION = 1
+
+
+class TraceFormatError(Exception):
+    """Raised for unreadable or mismatched trace files."""
+
+
+def save_trace(trace: Trace, stream: BinaryIO) -> None:
+    """Write ``trace`` to a binary stream."""
+    stream.write(_MAGIC)
+    stream.write(struct.pack("<IiQQ", _VERSION, trace.exit_code,
+                             trace.retired_nodes, trace.discarded_nodes))
+    stream.write(struct.pack("<I", len(trace.labels)))
+    for label in trace.labels:
+        encoded = label.encode("utf-8")
+        stream.write(struct.pack("<H", len(encoded)))
+        stream.write(encoded)
+    stream.write(struct.pack("<I", len(trace.block_ids)))
+    array("I", trace.block_ids).tofile(stream)
+    array("B", trace.outcomes).tofile(stream)
+    array("i", trace.fault_indices).tofile(stream)
+    stream.write(struct.pack("<I", len(trace.addresses)))
+    array("Q", trace.addresses).tofile(stream)
+
+
+def load_trace(stream: BinaryIO) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    if stream.read(4) != _MAGIC:
+        raise TraceFormatError("not a trace file (bad magic)")
+    version, exit_code, retired, discarded = struct.unpack(
+        "<IiQQ", stream.read(struct.calcsize("<IiQQ"))
+    )
+    if version != _VERSION:
+        raise TraceFormatError(f"unsupported trace version {version}")
+    trace = Trace()
+    trace.exit_code = exit_code
+    trace.retired_nodes = retired
+    trace.discarded_nodes = discarded
+
+    (n_labels,) = struct.unpack("<I", stream.read(4))
+    for _ in range(n_labels):
+        (length,) = struct.unpack("<H", stream.read(2))
+        trace.intern(stream.read(length).decode("utf-8"))
+
+    (n_blocks,) = struct.unpack("<I", stream.read(4))
+    block_ids = array("I")
+    block_ids.fromfile(stream, n_blocks)
+    outcomes = array("B")
+    outcomes.fromfile(stream, n_blocks)
+    faults = array("i")
+    faults.fromfile(stream, n_blocks)
+    (n_addresses,) = struct.unpack("<I", stream.read(4))
+    addresses = array("Q")
+    addresses.fromfile(stream, n_addresses)
+
+    trace.block_ids = list(block_ids)
+    trace.outcomes = list(outcomes)
+    trace.fault_indices = list(faults)
+    trace.addresses = list(addresses)
+    return trace
+
+
+def save_trace_file(trace: Trace, path: str) -> None:
+    """Write a trace to ``path``."""
+    with open(path, "wb") as handle:
+        save_trace(trace, handle)
+
+
+def load_trace_file(path: str) -> Trace:
+    """Read a trace from ``path``."""
+    with open(path, "rb") as handle:
+        return load_trace(handle)

@@ -1,0 +1,55 @@
+"""Node ISA: operations, operands and node construction."""
+
+from .intmath import wrap32
+from .node import (
+    Imm,
+    Node,
+    Operand,
+    Reg,
+    alu,
+    assert_node,
+    branch,
+    call,
+    jump,
+    load,
+    mov,
+    movi,
+    ret,
+    store,
+    syscall,
+)
+from .ops import (
+    AluOp,
+    IssueClass,
+    MemWidth,
+    NodeKind,
+    SyscallOp,
+    issue_class_of,
+)
+from . import registers
+
+__all__ = [
+    "AluOp",
+    "Imm",
+    "IssueClass",
+    "MemWidth",
+    "Node",
+    "NodeKind",
+    "Operand",
+    "Reg",
+    "SyscallOp",
+    "alu",
+    "assert_node",
+    "branch",
+    "call",
+    "issue_class_of",
+    "jump",
+    "load",
+    "mov",
+    "movi",
+    "registers",
+    "ret",
+    "store",
+    "syscall",
+    "wrap32",
+]

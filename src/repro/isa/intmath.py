@@ -1,0 +1,61 @@
+"""32-bit two's-complement integer semantics.
+
+Every register and word-sized memory cell in the simulated machine holds a
+32-bit two's-complement value.  Python integers are unbounded, so all ALU
+results are normalised through :func:`wrap32`.
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFFFFFF
+SIGN_BIT = 0x80000000
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+
+
+def wrap32(value: int) -> int:
+    """Wrap an unbounded integer into signed 32-bit range."""
+    value &= MASK32
+    if value & SIGN_BIT:
+        value -= 1 << 32
+    return value
+
+
+def to_unsigned32(value: int) -> int:
+    """Reinterpret a signed 32-bit value as unsigned."""
+    return value & MASK32
+
+
+def sdiv32(a: int, b: int) -> int:
+    """Truncating signed division (C semantics), wrapped to 32 bits."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in simulated program")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap32(q)
+
+
+def smod32(a: int, b: int) -> int:
+    """Remainder with the sign of the dividend (C semantics)."""
+    if b == 0:
+        raise ZeroDivisionError("modulo by zero in simulated program")
+    r = abs(a) % abs(b)
+    if a < 0:
+        r = -r
+    return wrap32(r)
+
+
+def shl32(a: int, b: int) -> int:
+    """Left shift; shift counts are taken modulo 32."""
+    return wrap32(a << (b & 31))
+
+
+def sar32(a: int, b: int) -> int:
+    """Arithmetic (sign-propagating) right shift."""
+    return wrap32(a >> (b & 31))
+
+
+def shr32(a: int, b: int) -> int:
+    """Logical (zero-filling) right shift."""
+    return wrap32(to_unsigned32(a) >> (b & 31))

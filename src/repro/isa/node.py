@@ -1,0 +1,292 @@
+"""The node: the unit of work in the simulated machine.
+
+A *node* is a single micro-operation, the granularity at which the paper's
+machines issue, schedule, execute and retire work.  Nodes are immutable
+once built; program transformations (optimisation, enlargement) construct
+new nodes rather than mutating existing ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from .ops import (
+    AluOp,
+    IssueClass,
+    MemWidth,
+    NodeKind,
+    SyscallOp,
+    TERMINATOR_KINDS,
+    UNARY_ALU_OPS,
+    issue_class_of,
+)
+from .registers import NUM_REGS, reg_name
+
+
+class Reg:
+    """A register operand."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        if not 0 <= index < NUM_REGS:
+            raise ValueError(f"register index out of range: {index}")
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Reg) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("reg", self.index))
+
+    def __repr__(self) -> str:
+        return reg_name(self.index)
+
+
+class Imm:
+    """An immediate (constant) operand, a signed 32-bit value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not -(1 << 31) <= value < (1 << 31):
+            raise ValueError(f"immediate out of 32-bit range: {value}")
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Imm) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("imm", self.value))
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+Operand = Union[Reg, Imm]
+
+
+class Node:
+    """A single micro-operation.
+
+    Only the fields relevant to the node's kind are populated; the factory
+    functions at module scope are the intended construction interface and
+    enforce the per-kind invariants.
+    """
+
+    __slots__ = (
+        "kind",
+        "op",
+        "dest",
+        "src1",
+        "src2",
+        "base",
+        "offset",
+        "width",
+        "target",
+        "alt_target",
+        "expect_taken",
+        "args",
+    )
+
+    def __init__(
+        self,
+        kind: NodeKind,
+        *,
+        op: Union[AluOp, SyscallOp, None] = None,
+        dest: Optional[int] = None,
+        src1: Optional[Operand] = None,
+        src2: Optional[Operand] = None,
+        base: Optional[int] = None,
+        offset: int = 0,
+        width: Optional[MemWidth] = None,
+        target: Optional[str] = None,
+        alt_target: Optional[str] = None,
+        expect_taken: Optional[bool] = None,
+        args: Tuple[int, ...] = (),
+    ):
+        self.kind = kind
+        self.op = op
+        self.dest = dest
+        self.src1 = src1
+        self.src2 = src2
+        self.base = base
+        self.offset = offset
+        self.width = width
+        self.target = target
+        self.alt_target = alt_target
+        self.expect_taken = expect_taken
+        self.args = args
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def issue_class(self) -> IssueClass:
+        """Slot class this node occupies in a multi-node word."""
+        return issue_class_of(self.kind)
+
+    @property
+    def is_terminator(self) -> bool:
+        """True if this node ends a basic block."""
+        return self.kind in TERMINATOR_KINDS
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.kind is NodeKind.LOAD or self.kind is NodeKind.STORE
+
+    # ------------------------------------------------------------------
+    # Dataflow queries
+    # ------------------------------------------------------------------
+    def source_regs(self) -> Tuple[int, ...]:
+        """Registers read by this node, in operand order."""
+        regs = []
+        if isinstance(self.src1, Reg):
+            regs.append(self.src1.index)
+        if isinstance(self.src2, Reg):
+            regs.append(self.src2.index)
+        if self.base is not None:
+            regs.append(self.base)
+        regs.extend(self.args)
+        return tuple(regs)
+
+    def dest_reg(self) -> Optional[int]:
+        """Register written by this node, or None."""
+        return self.dest
+
+    def retarget(self, mapping: dict) -> "Node":
+        """Return a copy with branch targets rewritten through ``mapping``.
+
+        Labels absent from ``mapping`` are left unchanged.  Used by basic
+        block enlargement to redirect control transfers to the canonical
+        enlarged entry for each original label.
+        """
+        new_target = mapping.get(self.target, self.target)
+        new_alt = mapping.get(self.alt_target, self.alt_target)
+        if new_target == self.target and new_alt == self.alt_target:
+            return self
+        return Node(
+            self.kind,
+            op=self.op,
+            dest=self.dest,
+            src1=self.src1,
+            src2=self.src2,
+            base=self.base,
+            offset=self.offset,
+            width=self.width,
+            target=new_target,
+            alt_target=new_alt,
+            expect_taken=self.expect_taken,
+            args=self.args,
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from ..program.printer import format_node
+
+        return f"<Node {format_node(self)}>"
+
+
+# ----------------------------------------------------------------------
+# Factory functions
+# ----------------------------------------------------------------------
+def alu(op: AluOp, dest: int, src1: Operand, src2: Optional[Operand] = None) -> Node:
+    """Build an ALU node ``dest = op(src1, src2)``."""
+    if op in UNARY_ALU_OPS:
+        if src2 is not None:
+            raise ValueError(f"{op.name} takes a single source operand")
+    elif src2 is None:
+        raise ValueError(f"{op.name} requires two source operands")
+    return Node(NodeKind.ALU, op=op, dest=dest, src1=src1, src2=src2)
+
+
+def movi(dest: int, value: int) -> Node:
+    """Load an immediate constant into a register."""
+    return alu(AluOp.MOV, dest, Imm(value))
+
+
+def mov(dest: int, src: int) -> Node:
+    """Register-to-register copy."""
+    return alu(AluOp.MOV, dest, Reg(src))
+
+
+def load(dest: int, base: int, offset: int = 0, width: MemWidth = MemWidth.WORD) -> Node:
+    """Build a load node ``dest = mem[base + offset]``."""
+    return Node(NodeKind.LOAD, dest=dest, base=base, offset=offset, width=width)
+
+
+def store(src: Operand, base: int, offset: int = 0, width: MemWidth = MemWidth.WORD) -> Node:
+    """Build a store node ``mem[base + offset] = src``."""
+    return Node(NodeKind.STORE, src1=src, base=base, offset=offset, width=width)
+
+
+def branch(
+    cond: int,
+    taken: str,
+    not_taken: str,
+    expect_taken: Optional[bool] = None,
+) -> Node:
+    """Two-way conditional branch: taken iff register ``cond`` is nonzero.
+
+    ``expect_taken`` carries an optional static prediction hint computed
+    from profile data; it is consumed by the branch predictor on a BTB
+    miss when static hints are enabled.
+    """
+    return Node(
+        NodeKind.BRANCH,
+        src1=Reg(cond),
+        target=taken,
+        alt_target=not_taken,
+        expect_taken=expect_taken,
+    )
+
+
+def jump(target: str) -> Node:
+    """Unconditional jump terminator."""
+    return Node(NodeKind.JUMP, target=target)
+
+
+def call(target: str, link: str) -> Node:
+    """Call terminator: transfer to ``target``, return to block ``link``."""
+    return Node(NodeKind.CALL, target=target, alt_target=link)
+
+
+def ret() -> Node:
+    """Return terminator: transfer to the most recent call's link block."""
+    return Node(NodeKind.RET)
+
+
+def assert_node(cond: int, expected: bool, fault_target: str) -> Node:
+    """Embedded branch test inside an enlarged basic block.
+
+    Executes silently when register ``cond``'s truth value equals
+    ``expected``; otherwise it *signals*, discarding the containing block
+    and transferring control to ``fault_target``.
+    """
+    return Node(
+        NodeKind.ASSERT,
+        src1=Reg(cond),
+        expect_taken=expected,
+        target=fault_target,
+    )
+
+
+def syscall(
+    op: SyscallOp,
+    next_label: Optional[str],
+    args: Sequence[int] = (),
+    dest: Optional[int] = None,
+) -> Node:
+    """System-call terminator; execution continues at ``next_label``.
+
+    ``next_label`` is None only for EXIT (which never continues).
+    """
+    if op is SyscallOp.EXIT:
+        if next_label is not None:
+            raise ValueError("EXIT has no continuation block")
+    elif next_label is None:
+        raise ValueError(f"{op.name} requires a continuation label")
+    return Node(
+        NodeKind.SYSCALL, op=op, dest=dest, target=next_label, args=tuple(args)
+    )

@@ -1,0 +1,124 @@
+"""Operation and node-kind enumerations for the node ISA.
+
+The paper's intermediate form consists of *nodes* (micro-operations) of two
+datapath classes -- ALU nodes and memory nodes -- plus control nodes
+(branches, asserts) and syscall boundaries.  The issue models in the paper
+constrain how many nodes of each class can be issued per cycle, so every
+node must classify itself via :meth:`NodeKind.issue_class`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NodeKind(enum.Enum):
+    """Top-level classification of a node."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"  # conditional two-way branch terminator
+    JUMP = "jump"  # unconditional jump terminator
+    CALL = "call"  # call terminator (link = fall-through block)
+    RET = "ret"  # return terminator
+    ASSERT = "assert"  # embedded branch test inside an enlarged block
+    SYSCALL = "syscall"  # system-call terminator (excluded from statistics)
+
+
+class IssueClass(enum.Enum):
+    """Datapath slot class a node consumes in a multi-node word."""
+
+    ALU = "alu"
+    MEM = "mem"
+    NONE = "none"  # consumes no datapath slot (syscall boundary)
+
+
+#: Node kinds that terminate a basic block.
+TERMINATOR_KINDS = frozenset(
+    {
+        NodeKind.BRANCH,
+        NodeKind.JUMP,
+        NodeKind.CALL,
+        NodeKind.RET,
+        NodeKind.SYSCALL,
+    }
+)
+
+#: Node kinds that access data memory.
+MEMORY_KINDS = frozenset({NodeKind.LOAD, NodeKind.STORE})
+
+
+def issue_class_of(kind: NodeKind) -> IssueClass:
+    """Map a node kind to the issue-slot class it consumes.
+
+    Branches, asserts and ALU operations all occupy ALU slots (the paper's
+    instruction words contain only memory and ALU node slots); loads and
+    stores occupy memory slots.
+    """
+    if kind in MEMORY_KINDS:
+        return IssueClass.MEM
+    if kind is NodeKind.SYSCALL:
+        return IssueClass.NONE
+    return IssueClass.ALU
+
+
+class AluOp(enum.Enum):
+    """Arithmetic/logic operations available to ALU nodes.
+
+    All operations are defined on 32-bit two's-complement integers with
+    wrap-around semantics (see :mod:`repro.isa.intmath`).
+    """
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"  # truncating signed division; div by zero faults
+    MOD = "mod"  # remainder with sign of dividend
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"  # arithmetic shift right
+    SHRU = "shru"  # logical shift right
+    NOT = "not"  # unary bitwise complement (src2 ignored)
+    NEG = "neg"  # unary negate (src2 ignored)
+    MOV = "mov"  # copy src1 (src2 ignored); src1 may be an immediate
+    SLT = "slt"  # set dest to 1 if src1 < src2 (signed) else 0
+    SLE = "sle"
+    SEQ = "seq"
+    SNE = "sne"
+    SGT = "sgt"
+    SGE = "sge"
+
+
+#: ALU ops whose second source operand is ignored.
+UNARY_ALU_OPS = frozenset({AluOp.NOT, AluOp.NEG, AluOp.MOV})
+
+#: Comparison ops (produce 0/1).
+COMPARE_ALU_OPS = frozenset(
+    {AluOp.SLT, AluOp.SLE, AluOp.SEQ, AluOp.SNE, AluOp.SGT, AluOp.SGE}
+)
+
+
+class MemWidth(enum.Enum):
+    """Access width for loads and stores."""
+
+    BYTE = 1
+    WORD = 4
+
+
+class SyscallOp(enum.Enum):
+    """System calls provided by the host environment.
+
+    The paper's simulator hands embedded system calls to the host OS and
+    excludes them from the collected statistics; ours are serviced by
+    :mod:`repro.interp.syscalls` and likewise excluded.
+    """
+
+    EXIT = "exit"  # arg0 = exit status
+    GETC = "getc"  # arg0 = fd; returns next byte or -1 at EOF
+    PUTC = "putc"  # arg0 = fd, arg1 = byte value
+    SBRK = "sbrk"  # arg0 = size in bytes; returns old break address
+    READ = "read"  # arg0 = fd, arg1 = buffer, arg2 = max; returns count
+    WRITE = "write"  # arg0 = fd, arg1 = buffer, arg2 = len; returns count

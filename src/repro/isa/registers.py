@@ -1,0 +1,52 @@
+"""Register-file layout and software conventions.
+
+The abstract machine has 64 general-purpose 32-bit registers.  The
+conventions below are *software* conventions used by the Mini-C code
+generator; the hardware treats all registers uniformly (dynamic machines
+rename them away entirely).
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 64
+
+#: Return value / first scratch register.
+RV = 0
+#: Argument registers (up to six register arguments).
+ARG_REGS = (1, 2, 3, 4, 5, 6)
+#: Expression-evaluation scratch registers.
+SCRATCH_FIRST = 8
+SCRATCH_LAST = 27
+#: Registers available for allocating unaddressed scalar locals.
+LOCAL_FIRST = 28
+LOCAL_LAST = 59
+#: Assembler temporary (address computation).
+AT = 60
+#: Frame pointer.
+FP = 61
+#: Stack pointer.
+SP = 62
+#: Global-segment base pointer.
+GP = 63
+
+
+def reg_name(index: int) -> str:
+    """Human-readable register name used by the assembly printer."""
+    special = {AT: "at", FP: "fp", SP: "sp", GP: "gp"}
+    if index in special:
+        return special[index]
+    return f"r{index}"
+
+
+_NAME_TO_REG = {reg_name(i): i for i in range(NUM_REGS)}
+# Numeric aliases for the special registers are also accepted.
+for _i in (AT, FP, SP, GP):
+    _NAME_TO_REG[f"r{_i}"] = _i
+
+
+def parse_reg(name: str) -> int:
+    """Inverse of :func:`reg_name`; raises ``ValueError`` on bad names."""
+    try:
+        return _NAME_TO_REG[name]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None

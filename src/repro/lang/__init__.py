@@ -1,0 +1,30 @@
+"""Mini-C front end: the translating loader's language side.
+
+The paper's ``tld`` decompiles VAX object code into the node intermediate
+form; our substitute compiles a small C dialect into the same form (see
+DESIGN.md for why this preserves the relevant program character).
+"""
+
+from .ast_nodes import TranslationUnit
+from .codegen import STACK_TOP, generate
+from .ctypes import CType
+from .errors import CompileError, LexError, ParseError, SemanticError
+from .frontend import compile_source
+from .lexer import tokenize
+from .parser import parse_source
+from .sema import analyze
+
+__all__ = [
+    "CType",
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "STACK_TOP",
+    "SemanticError",
+    "TranslationUnit",
+    "analyze",
+    "compile_source",
+    "generate",
+    "parse_source",
+    "tokenize",
+]

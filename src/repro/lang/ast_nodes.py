@@ -1,0 +1,349 @@
+"""Abstract syntax tree for Mini-C.
+
+Nodes are plain classes with ``__slots__``; the semantic analyser
+annotates expressions with a ``ctype`` attribute in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ctypes import CType
+
+
+class AstNode:
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr(AstNode):
+    __slots__ = ("ctype",)
+
+    def __init__(self, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.ctype: Optional[CType] = None
+
+
+class IntLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.value = value
+
+
+class StringLiteral(Expr):
+    __slots__ = ("value", "symbol")
+
+    def __init__(self, value: str, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.value = value
+        self.symbol: Optional[str] = None  # assigned by sema
+
+
+class Identifier(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.name = name
+        self.symbol = None  # resolved by sema to a Symbol
+
+
+class Unary(Expr):
+    """Prefix unary: ``-``, ``~``, ``!``, ``*``, ``&``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Expr):
+    """``target op= value``; ``op`` is ``"="`` or a compound like ``"+="``."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op: str, target: Expr, value: Expr, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Conditional(Expr):
+    """The ternary operator ``cond ? then_value : else_value``."""
+
+    __slots__ = ("cond", "then_value", "else_value")
+
+    def __init__(self, cond: Expr, then_value: Expr, else_value: Expr,
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.cond = cond
+        self.then_value = then_value
+        self.else_value = else_value
+
+
+class IncDec(Expr):
+    """``++``/``--`` in prefix or postfix position."""
+
+    __slots__ = ("op", "target", "is_prefix")
+
+    def __init__(self, op: str, target: Expr, is_prefix: bool, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.op = op
+        self.target = target
+        self.is_prefix = is_prefix
+
+
+class Member(Expr):
+    """Member access: ``object.name`` or ``pointer->name``."""
+
+    __slots__ = ("object", "name", "is_arrow")
+
+    def __init__(self, object_: Expr, name: str, is_arrow: bool,
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.object = object_
+        self.name = name
+        self.is_arrow = is_arrow
+
+
+class Index(Expr):
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: Expr, index: Expr, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.array = array
+        self.index = index
+
+
+class Call(Expr):
+    __slots__ = ("name", "args", "func")
+
+    def __init__(self, name: str, args: List[Expr], line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.name = name
+        self.args = args
+        self.func = None  # resolved by sema to a FunctionDecl
+
+
+class SizeOf(Expr):
+    __slots__ = ("target_type",)
+
+    def __init__(self, target_type: CType, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.target_type = target_type
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Stmt(AstNode):
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.expr = expr
+
+
+class VarDecl(Stmt):
+    """Declaration of one variable (local or global)."""
+
+    __slots__ = ("name", "ctype", "init", "symbol")
+
+    def __init__(
+        self,
+        name: str,
+        ctype: CType,
+        init,  # Expr, list of Expr (array), or None
+        line: int = 0,
+        column: int = 0,
+    ):
+        super().__init__(line, column)
+        self.name = name
+        self.ctype = ctype
+        self.init = init
+        self.symbol = None  # assigned by sema
+
+
+class Block(Stmt):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: List[Stmt], line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.statements = statements
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(
+        self,
+        cond: Expr,
+        then_body: Stmt,
+        else_body: Optional[Stmt],
+        line: int = 0,
+        column: int = 0,
+    ):
+        super().__init__(line, column)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        cond: Optional[Expr],
+        step: Optional[Expr],
+        body: Stmt,
+        line: int = 0,
+        column: int = 0,
+    ):
+        super().__init__(line, column)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class SwitchCase(AstNode):
+    """One ``case`` arm: a constant value (None for ``default``) and its
+    statements (which may fall through to the next arm)."""
+
+    __slots__ = ("value", "body")
+
+    def __init__(self, value: Optional[int], body: List["Stmt"],
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.value = value
+        self.body = body
+
+
+class Switch(Stmt):
+    __slots__ = ("subject", "cases")
+
+    def __init__(self, subject: Expr, cases: List[SwitchCase],
+                 line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.subject = subject
+        self.cases = cases
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.value = value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+class Param(AstNode):
+    __slots__ = ("name", "ctype", "symbol")
+
+    def __init__(self, name: str, ctype: CType, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.name = name
+        self.ctype = ctype
+        self.symbol = None
+
+
+class FunctionDecl(AstNode):
+    __slots__ = ("name", "return_type", "params", "body")
+
+    def __init__(
+        self,
+        name: str,
+        return_type: CType,
+        params: List[Param],
+        body: Optional[Block],
+        line: int = 0,
+        column: int = 0,
+    ):
+        super().__init__(line, column)
+        self.name = name
+        self.return_type = return_type
+        self.params = params
+        self.body = body
+
+
+class StructDecl(AstNode):
+    """A top-level ``struct Tag { ... };`` declaration (layout resolved
+    at parse time; kept in the AST for tooling and tests)."""
+
+    __slots__ = ("tag", "layout")
+
+    def __init__(self, tag: str, layout, line: int = 0, column: int = 0):
+        super().__init__(line, column)
+        self.tag = tag
+        self.layout = layout
+
+
+class TranslationUnit(AstNode):
+    __slots__ = ("globals", "functions", "structs")
+
+    def __init__(
+        self,
+        globals_: List[VarDecl],
+        functions: List[FunctionDecl],
+        structs: Optional[List[StructDecl]] = None,
+    ):
+        super().__init__()
+        self.globals = globals_
+        self.functions = functions
+        self.structs = structs or []

@@ -1,0 +1,1056 @@
+"""Code generation: annotated Mini-C AST to node-IR :class:`Program`.
+
+Conventions (see :mod:`repro.isa.registers`):
+
+* arguments in r1..r6, return value in r0;
+* scratch registers r8..r27 are caller-saved, managed as a free list and
+  spilled to dedicated frame slots around calls;
+* local registers r28..r59 hold unaddressed scalar locals and are
+  callee-saved;
+* ``gp`` holds the global-segment base, ``sp`` the stack pointer; there is
+  no frame pointer (``sp`` is fixed after the prologue).
+
+Calls use the CALL/RET terminators' hardware link stack, so no return
+address register exists.  ``char`` is unsigned; loads of it zero-extend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..isa import node as nd
+from ..isa.node import Imm, Node, Operand, Reg
+from ..isa.ops import AluOp, MemWidth, SyscallOp
+from ..isa.registers import (
+    ARG_REGS,
+    GP,
+    LOCAL_FIRST,
+    LOCAL_LAST,
+    RV,
+    SCRATCH_FIRST,
+    SCRATCH_LAST,
+    SP,
+)
+from ..isa.intmath import wrap32
+from ..isa import intmath
+from ..program.block import BasicBlock
+from ..program.program import GLOBAL_BASE, Program
+from . import ast_nodes as ast
+from .ctypes import CType
+from .sema import SemaResult
+from .symbols import Symbol
+
+#: Top of the simulated stack; also the size of simulated memory.
+STACK_TOP = 0x200000
+
+_NUM_SCRATCH = SCRATCH_LAST - SCRATCH_FIRST + 1
+_SPILL_AREA = 0
+_SPILL_SIZE = 4 * _NUM_SCRATCH
+_SAVE_AREA = _SPILL_AREA + _SPILL_SIZE
+_SAVE_SIZE = 4 * (LOCAL_LAST - LOCAL_FIRST + 1)
+_LOCALS_AREA = _SAVE_AREA + _SAVE_SIZE
+
+_BIN_ALU = {
+    "+": AluOp.ADD,
+    "-": AluOp.SUB,
+    "*": AluOp.MUL,
+    "/": AluOp.DIV,
+    "%": AluOp.MOD,
+    "&": AluOp.AND,
+    "|": AluOp.OR,
+    "^": AluOp.XOR,
+    "<<": AluOp.SHL,
+    ">>": AluOp.SHR,
+}
+_CMP_ALU = {
+    "<": AluOp.SLT,
+    "<=": AluOp.SLE,
+    "==": AluOp.SEQ,
+    "!=": AluOp.SNE,
+    ">": AluOp.SGT,
+    ">=": AluOp.SGE,
+}
+_COMMUTATIVE = frozenset(
+    {AluOp.ADD, AluOp.MUL, AluOp.AND, AluOp.OR, AluOp.XOR, AluOp.SEQ, AluOp.SNE}
+)
+_SWAPPED_CMP = {
+    AluOp.SLT: AluOp.SGT,
+    AluOp.SLE: AluOp.SGE,
+    AluOp.SGT: AluOp.SLT,
+    AluOp.SGE: AluOp.SLE,
+}
+_POW2_SHIFT = {2: 1, 4: 2, 8: 3}
+
+
+class CodegenError(Exception):
+    """Internal code-generation failure (indicates a compiler bug)."""
+
+
+class Value:
+    """An expression result: an immediate or a value in a register.
+
+    ``is_scratch`` marks values occupying a scratch register that the
+    holder must release; register-variable reads are *borrowed* (not
+    scratch) and must not be written through.
+    """
+
+    __slots__ = ("imm", "reg", "is_scratch")
+
+    def __init__(self, *, imm: Optional[int] = None, reg: Optional[int] = None,
+                 is_scratch: bool = False):
+        self.imm = imm
+        self.reg = reg
+        self.is_scratch = is_scratch
+
+    @property
+    def is_imm(self) -> bool:
+        return self.imm is not None
+
+    def operand(self) -> Operand:
+        """This value as a node operand (register or immediate)."""
+        if self.is_imm:
+            return Imm(self.imm)
+        return Reg(self.reg)
+
+
+class LValue:
+    """A storage location an assignment can write to."""
+
+    __slots__ = ("kind", "reg", "base", "offset", "width", "ctype", "scratch")
+
+    def __init__(self, kind: str, ctype: CType, *, reg: Optional[int] = None,
+                 base: Optional[int] = None, offset: int = 0,
+                 scratch: Optional[int] = None):
+        self.kind = kind  # "reg" or "mem"
+        self.ctype = ctype
+        self.reg = reg
+        self.base = base
+        self.offset = offset
+        self.width = MemWidth.BYTE if ctype.is_char else MemWidth.WORD
+        #: scratch register holding the address base, to release after use
+        self.scratch = scratch
+
+
+class GlobalLayout:
+    """Addresses of globals and interned strings in the data segment."""
+
+    def __init__(self, sema: SemaResult):
+        self.offsets: Dict[str, int] = {}  # name -> offset from GLOBAL_BASE
+        data = bytearray()
+
+        def _align(alignment: int) -> None:
+            while len(data) % alignment:
+                data.append(0)
+
+        # Globals first, in declaration order.
+        for symbol in sema.global_scope.symbols.values():
+            _align(symbol.ctype.align())
+            self.offsets[symbol.name] = len(data)
+            data.extend(b"\x00" * symbol.ctype.size())
+        # Interned strings after the globals.
+        for label, blob in sema.strings.items():
+            self.offsets[label] = len(data)
+            data.extend(blob)
+        _align(4)
+
+        # Fill initialisers (needs string offsets, hence a second pass).
+        for name, init in sema.global_inits.items():
+            symbol = sema.global_scope.symbols[name]
+            offset = self.offsets[name]
+            if isinstance(init, tuple) and init[0] == "string_ref":
+                address = GLOBAL_BASE + self.offsets[init[1]]
+                data[offset:offset + 4] = (address & 0xFFFFFFFF).to_bytes(4, "little")
+            elif isinstance(init, bytes):
+                data[offset:offset + len(init)] = init
+            elif isinstance(init, list):
+                esize = symbol.ctype.element.size()
+                for i, value in enumerate(init):
+                    raw = wrap32(value) & 0xFFFFFFFF
+                    data[offset + i * esize:offset + (i + 1) * esize] = (
+                        raw.to_bytes(4, "little")[:esize]
+                    )
+            else:
+                raw = wrap32(int(init)) & 0xFFFFFFFF
+                size = symbol.ctype.size()
+                data[offset:offset + size] = raw.to_bytes(4, "little")[:size]
+
+        self.data = bytes(data)
+        self.size = len(data)
+
+    def offset_of(self, name: str) -> int:
+        return self.offsets[name]
+
+
+class FunctionCodegen:
+    """Generates the blocks of a single function."""
+
+    def __init__(self, func: ast.FunctionDecl, sema: SemaResult,
+                 layout: GlobalLayout):
+        self.func = func
+        self.sema = sema
+        self.layout = layout
+        self.blocks: List[BasicBlock] = []
+        self.nodes: List[Node] = []
+        self.current_label: Optional[str] = None
+        self._label_counter = 0
+        self._free_scratch = list(range(SCRATCH_LAST, SCRATCH_FIRST - 1, -1))
+        self._live_scratch: set = set()
+        self._break_labels: List[str] = []
+        self._continue_labels: List[str] = []
+
+        # Assign homes to locals/params up front (sema collected them all).
+        self.reg_home: Dict[Symbol, int] = {}
+        self.stack_home: Dict[Symbol, int] = {}
+        next_reg = LOCAL_FIRST
+        locals_offset = _LOCALS_AREA
+        for symbol in sema.function_locals.get(func.name, []):
+            if symbol.ctype.is_scalar and not symbol.addr_taken and next_reg <= LOCAL_LAST:
+                self.reg_home[symbol] = next_reg
+                next_reg += 1
+            else:
+                align = symbol.ctype.align()
+                locals_offset = (locals_offset + align - 1) // align * align
+                self.stack_home[symbol] = locals_offset
+                locals_offset += symbol.ctype.size()
+        self.frame_size = (locals_offset + 3) // 4 * 4
+        self.entry_label = f"f_{func.name}"
+        self.epilogue_label = self._new_label("epi")
+
+    # ------------------------------------------------------------------
+    # Block plumbing
+    # ------------------------------------------------------------------
+    def _new_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f"f_{self.func.name}${hint}{self._label_counter}"
+
+    def _start(self, label: str) -> None:
+        if self.current_label is not None:
+            raise CodegenError("starting a block while one is open")
+        self.current_label = label
+        self.nodes = []
+
+    def _emit(self, node: Node) -> None:
+        if self.current_label is None:
+            # Unreachable code (after return/break); emit into a dead block
+            # so the structure stays valid; opt removes it later.
+            self._start(self._new_label("dead"))
+        self.nodes.append(node)
+
+    def _close(self, terminator: Node) -> None:
+        if self.current_label is None:
+            self._start(self._new_label("dead"))
+        self.blocks.append(BasicBlock(self.current_label, self.nodes, terminator))
+        self.current_label = None
+        self.nodes = []
+
+    def _goto(self, label: str) -> None:
+        """Close the open block (if any) with a jump to ``label``."""
+        if self.current_label is not None:
+            self._close(nd.jump(label))
+
+    # ------------------------------------------------------------------
+    # Scratch register allocation (free list)
+    # ------------------------------------------------------------------
+    def _alloc_scratch(self) -> int:
+        if not self._free_scratch:
+            raise CodegenError(
+                f"expression too deep in {self.func.name}(): out of scratch registers"
+            )
+        reg = self._free_scratch.pop()
+        self._live_scratch.add(reg)
+        return reg
+
+    def _release_reg(self, reg: Optional[int]) -> None:
+        if reg is None:
+            return
+        if reg not in self._live_scratch:
+            raise CodegenError(f"double release of scratch r{reg}")
+        self._live_scratch.discard(reg)
+        self._free_scratch.append(reg)
+
+    def _release(self, value: Union[Value, LValue, None]) -> None:
+        if value is None:
+            return
+        if isinstance(value, Value):
+            if value.is_scratch:
+                self._release_reg(value.reg)
+        elif isinstance(value, LValue):
+            self._release_reg(value.scratch)
+
+    def _materialize(self, value: Value) -> Value:
+        """Force a value into a register (immediates get a scratch movi)."""
+        if not value.is_imm:
+            return value
+        reg = self._alloc_scratch()
+        self._emit(nd.movi(reg, value.imm))
+        return Value(reg=reg, is_scratch=True)
+
+    def _result_reg(self, *reusable: Value) -> int:
+        """Pick a destination: reuse the first scratch operand, else allocate.
+
+        The reused operand's register is *kept allocated* and becomes the
+        result; any other scratch operands remain the caller's to release.
+        """
+        for value in reusable:
+            if value is not None and not value.is_imm and value.is_scratch:
+                return value.reg
+        return self._alloc_scratch()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self) -> List[BasicBlock]:
+        """Generate and return all blocks of the function."""
+        self._start(self.entry_label)
+        if self.frame_size:
+            self._emit(nd.alu(AluOp.SUB, SP, Reg(SP), Imm(self.frame_size)))
+        for reg in sorted(self.reg_home.values()):
+            slot = _SAVE_AREA + 4 * (reg - LOCAL_FIRST)
+            self._emit(nd.store(Reg(reg), SP, slot))
+        for index, param in enumerate(self.func.params):
+            arg_reg = ARG_REGS[index]
+            symbol = param.symbol
+            if symbol in self.reg_home:
+                if symbol.ctype.is_char:
+                    self._emit(nd.alu(AluOp.AND, self.reg_home[symbol],
+                                      Reg(arg_reg), Imm(255)))
+                else:
+                    self._emit(nd.mov(self.reg_home[symbol], arg_reg))
+            else:
+                width = MemWidth.BYTE if symbol.ctype.is_char else MemWidth.WORD
+                self._emit(nd.store(Reg(arg_reg), SP, self.stack_home[symbol], width))
+
+        self._gen_block(self.func.body)
+        self._goto(self.epilogue_label)
+
+        self._start(self.epilogue_label)
+        for reg in sorted(self.reg_home.values()):
+            slot = _SAVE_AREA + 4 * (reg - LOCAL_FIRST)
+            self._emit(nd.load(reg, SP, slot))
+        if self.frame_size:
+            self._emit(nd.alu(AluOp.ADD, SP, Reg(SP), Imm(self.frame_size)))
+        self._close(nd.ret())
+        return self.blocks
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _gen_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self._gen_statement(stmt)
+
+    def _gen_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._gen_local_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._release(self._gen_expr_for_effect(stmt.expr))
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._gen_switch(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._goto(self._break_labels[-1])
+        elif isinstance(stmt, ast.Continue):
+            self._goto(self._continue_labels[-1])
+        else:  # pragma: no cover
+            raise CodegenError(f"unhandled statement {type(stmt).__name__}")
+
+    def _gen_local_decl(self, decl: ast.VarDecl) -> None:
+        if decl.init is None:
+            return
+        value = self._gen_expr(decl.init)
+        self._store_to_symbol(decl.symbol, value)
+        self._release(value)
+
+    def _store_to_symbol(self, symbol: Symbol, value: Value) -> None:
+        if symbol in self.reg_home:
+            home = self.reg_home[symbol]
+            if symbol.ctype.is_char:
+                # Register-allocated chars must truncate on write, just as
+                # a byte store would.
+                self._emit(nd.alu(AluOp.AND, home, value.operand(), Imm(255))
+                           if not value.is_imm
+                           else nd.movi(home, value.imm & 0xFF))
+            else:
+                self._emit(nd.alu(AluOp.MOV, home, value.operand()))
+        else:
+            width = MemWidth.BYTE if symbol.ctype.is_char else MemWidth.WORD
+            self._emit(nd.store(value.operand(), SP, self.stack_home[symbol], width))
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        then_label = self._new_label("then")
+        else_label = self._new_label("else") if stmt.else_body else None
+        join_label = self._new_label("join")
+        self._gen_cond(stmt.cond, then_label, else_label or join_label)
+
+        self._start(then_label)
+        self._gen_statement(stmt.then_body)
+        self._goto(join_label)
+
+        if stmt.else_body is not None:
+            self._start(else_label)
+            self._gen_statement(stmt.else_body)
+            self._goto(join_label)
+
+        self._start(join_label)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        head = self._new_label("whead")
+        body = self._new_label("wbody")
+        exit_ = self._new_label("wexit")
+        self._goto(head)
+        self._start(head)
+        self._gen_cond(stmt.cond, body, exit_)
+        self._break_labels.append(exit_)
+        self._continue_labels.append(head)
+        self._start(body)
+        self._gen_statement(stmt.body)
+        self._goto(head)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self._start(exit_)
+
+    def _gen_do_while(self, stmt: ast.DoWhile) -> None:
+        body = self._new_label("dbody")
+        cond = self._new_label("dcond")
+        exit_ = self._new_label("dexit")
+        self._goto(body)
+        self._start(body)
+        self._break_labels.append(exit_)
+        self._continue_labels.append(cond)
+        self._gen_statement(stmt.body)
+        self._goto(cond)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self._start(cond)
+        self._gen_cond(stmt.cond, body, exit_)
+        self._start(exit_)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        head = self._new_label("fhead")
+        body = self._new_label("fbody")
+        step = self._new_label("fstep")
+        exit_ = self._new_label("fexit")
+        if stmt.init is not None:
+            self._gen_statement(stmt.init)
+        self._goto(head)
+        self._start(head)
+        if stmt.cond is not None:
+            self._gen_cond(stmt.cond, body, exit_)
+        else:
+            self._goto(body)
+        self._break_labels.append(exit_)
+        self._continue_labels.append(step)
+        self._start(body)
+        self._gen_statement(stmt.body)
+        self._goto(step)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self._start(step)
+        if stmt.step is not None:
+            self._release(self._gen_expr_for_effect(stmt.step))
+        self._goto(head)
+        self._start(exit_)
+
+    def _gen_switch(self, stmt: ast.Switch) -> None:
+        """Lower a switch to a compare-and-branch dispatch chain.
+
+        Case bodies fall through in declaration order (C semantics);
+        ``break`` transfers to the exit label.
+        """
+        subject = self._materialize(self._gen_expr(stmt.subject))
+        exit_label = self._new_label("swend")
+        body_labels = [self._new_label("swcase") for _ in stmt.cases]
+        default_label = exit_label
+        for case, label in zip(stmt.cases, body_labels):
+            if case.value is None:
+                default_label = label
+
+        # Dispatch chain: one compare block per non-default case.
+        for case, label in zip(stmt.cases, body_labels):
+            if case.value is None:
+                continue
+            test = self._alloc_scratch()
+            self._emit(nd.alu(AluOp.SEQ, test, Reg(subject.reg),
+                              Imm(case.value)))
+            self._release_reg(test)
+            next_check = self._new_label("swnext")
+            self._close(nd.branch(test, label, next_check))
+            self._start(next_check)
+        self._release(subject)
+        self._goto(default_label)
+
+        # Bodies in declaration order; each falls through to the next.
+        self._break_labels.append(exit_label)
+        for index, (case, label) in enumerate(zip(stmt.cases, body_labels)):
+            self._start(label)
+            for inner in case.body:
+                self._gen_statement(inner)
+            next_label = (
+                body_labels[index + 1] if index + 1 < len(body_labels)
+                else exit_label
+            )
+            self._goto(next_label)
+        self._break_labels.pop()
+        self._start(exit_label)
+
+    def _gen_return(self, stmt: ast.Return) -> None:
+        if stmt.value is not None:
+            value = self._gen_expr(stmt.value)
+            self._emit(nd.alu(AluOp.MOV, RV, value.operand()))
+            self._release(value)
+        self._goto(self.epilogue_label)
+
+    # ------------------------------------------------------------------
+    # Conditions (short-circuit lowering)
+    # ------------------------------------------------------------------
+    def _gen_cond(self, expr: ast.Expr, true_label: str, false_label: str) -> None:
+        """Lower ``expr`` as a branch to ``true_label``/``false_label``."""
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            mid = self._new_label("and")
+            self._gen_cond(expr.left, mid, false_label)
+            self._start(mid)
+            self._gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            mid = self._new_label("or")
+            self._gen_cond(expr.left, true_label, mid)
+            self._start(mid)
+            self._gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._gen_cond(expr.operand, false_label, true_label)
+            return
+        value = self._materialize(self._gen_expr(expr))
+        self._release(value)
+        self._close(nd.branch(value.reg, true_label, false_label))
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _gen_expr_for_effect(self, expr: ast.Expr) -> Optional[Value]:
+        """Evaluate for side effects; result may be discarded."""
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr, need_value=False)
+        if isinstance(expr, ast.IncDec):
+            return self._gen_incdec(expr, need_value=False)
+        if isinstance(expr, ast.Call) and expr.func.return_type.is_void:
+            return self._gen_call(expr, need_value=False)
+        return self._gen_expr(expr)
+
+    def _gen_expr(self, expr: ast.Expr) -> Value:
+        """Evaluate ``expr``; returns a :class:`Value`."""
+        if isinstance(expr, ast.IntLiteral):
+            return Value(imm=wrap32(expr.value))
+        if isinstance(expr, ast.SizeOf):
+            return Value(imm=expr.target_type.size())
+        if isinstance(expr, ast.StringLiteral):
+            return self._gen_global_address(expr.symbol)
+        if isinstance(expr, ast.Identifier):
+            return self._gen_identifier(expr)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._gen_conditional(expr)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr, need_value=True)
+        if isinstance(expr, ast.IncDec):
+            return self._gen_incdec(expr, need_value=True)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            lvalue = self._gen_lvalue(expr)
+            return self._load_lvalue(lvalue)
+        if isinstance(expr, ast.Call):
+            result = self._gen_call(expr, need_value=True)
+            if result is None:
+                raise CodegenError(f"void call {expr.name}() used as a value")
+            return result
+        raise CodegenError(f"unhandled expression {type(expr).__name__}")
+
+    def _gen_global_address(self, name: str) -> Value:
+        offset = self.layout.offset_of(name)
+        reg = self._alloc_scratch()
+        self._emit(nd.alu(AluOp.ADD, reg, Reg(GP), Imm(offset)))
+        return Value(reg=reg, is_scratch=True)
+
+    def _gen_identifier(self, expr: ast.Identifier) -> Value:
+        symbol = expr.symbol
+        if symbol.ctype.is_array:
+            # Arrays decay to their address.
+            if symbol.kind == "global":
+                return self._gen_global_address(symbol.name)
+            reg = self._alloc_scratch()
+            self._emit(nd.alu(AluOp.ADD, reg, Reg(SP), Imm(self.stack_home[symbol])))
+            return Value(reg=reg, is_scratch=True)
+        if symbol in self.reg_home:
+            return Value(reg=self.reg_home[symbol], is_scratch=False)
+        width = MemWidth.BYTE if symbol.ctype.is_char else MemWidth.WORD
+        reg = self._alloc_scratch()
+        if symbol.kind == "global":
+            self._emit(nd.load(reg, GP, self.layout.offset_of(symbol.name), width))
+        else:
+            self._emit(nd.load(reg, SP, self.stack_home[symbol], width))
+        return Value(reg=reg, is_scratch=True)
+
+    # -- lvalues --------------------------------------------------------
+    def _gen_lvalue(self, expr: ast.Expr) -> LValue:
+        if isinstance(expr, ast.Identifier):
+            symbol = expr.symbol
+            ctype = symbol.ctype
+            if symbol in self.reg_home:
+                return LValue("reg", ctype, reg=self.reg_home[symbol])
+            if symbol.kind == "global":
+                return LValue(
+                    "mem", ctype, base=GP, offset=self.layout.offset_of(symbol.name)
+                )
+            return LValue("mem", ctype, base=SP, offset=self.stack_home[symbol])
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            pointer = self._materialize(self._gen_expr(expr.operand))
+            scratch = pointer.reg if pointer.is_scratch else None
+            return LValue("mem", expr.ctype, base=pointer.reg, scratch=scratch)
+        if isinstance(expr, ast.Index):
+            return self._gen_index_lvalue(expr)
+        if isinstance(expr, ast.Member):
+            return self._gen_member_lvalue(expr)
+        raise CodegenError("not an lvalue")  # sema should have caught this
+
+    def _gen_member_lvalue(self, expr: ast.Member) -> LValue:
+        """Address a struct member: a constant offset from the object."""
+        if expr.is_arrow:
+            layout = expr.object.ctype.decay().pointee.struct
+            offset, member_type = layout.member(expr.name)
+            pointer = self._materialize(self._gen_expr(expr.object))
+            scratch = pointer.reg if pointer.is_scratch else None
+            return LValue("mem", member_type, base=pointer.reg,
+                          offset=offset, scratch=scratch)
+        layout = expr.object.ctype.struct
+        offset, member_type = layout.member(expr.name)
+        base = self._gen_lvalue(expr.object)
+        if base.kind != "mem":
+            raise CodegenError("struct value not in memory")  # unreachable
+        return LValue("mem", member_type, base=base.base,
+                      offset=base.offset + offset, scratch=base.scratch)
+
+    def _gen_index_lvalue(self, expr: ast.Index) -> LValue:
+        base_type = expr.array.ctype
+        element = base_type.element if base_type.is_array else base_type.pointee
+        esize = element.size()
+        base_value = self._gen_expr(expr.array)
+        index_value = self._gen_expr(expr.index)
+
+        if index_value.is_imm:
+            offset = wrap32(index_value.imm * esize)
+            base_m = self._materialize(base_value)
+            scratch = base_m.reg if base_m.is_scratch else None
+            return LValue("mem", element, base=base_m.reg, offset=offset,
+                          scratch=scratch)
+
+        scaled = self._scale_index(index_value, esize)
+        base_m = self._materialize(base_value)
+        dest = self._result_reg(scaled, base_m)
+        self._emit(nd.alu(AluOp.ADD, dest, Reg(base_m.reg), Reg(scaled.reg)))
+        # Release whichever scratch operands did not become the result.
+        for value in (scaled, base_m):
+            if value.is_scratch and value.reg != dest:
+                self._release(value)
+        return LValue("mem", element, base=dest, scratch=dest)
+
+    def _scale_index(self, index: Value, esize: int) -> Value:
+        """Multiply an index value by the element size."""
+        if esize == 1:
+            return self._materialize(index)
+        if index.is_imm:
+            return self._materialize(Value(imm=wrap32(index.imm * esize)))
+        dest = self._result_reg(index)
+        shift = _POW2_SHIFT.get(esize)
+        if shift is not None:
+            self._emit(nd.alu(AluOp.SHL, dest, Reg(index.reg), Imm(shift)))
+        else:
+            self._emit(nd.alu(AluOp.MUL, dest, Reg(index.reg), Imm(esize)))
+        return Value(reg=dest, is_scratch=True)
+
+    def _load_lvalue(self, lvalue: LValue) -> Value:
+        if lvalue.kind == "reg":
+            return Value(reg=lvalue.reg, is_scratch=False)
+        if lvalue.scratch is not None:
+            # Reuse the address register for the loaded value.
+            self._emit(nd.load(lvalue.scratch, lvalue.base, lvalue.offset,
+                               lvalue.width))
+            return Value(reg=lvalue.scratch, is_scratch=True)
+        reg = self._alloc_scratch()
+        self._emit(nd.load(reg, lvalue.base, lvalue.offset, lvalue.width))
+        return Value(reg=reg, is_scratch=True)
+
+    def _store_lvalue(self, lvalue: LValue, value: Value) -> None:
+        if lvalue.kind == "reg":
+            if lvalue.ctype.is_char:
+                if value.is_imm:
+                    self._emit(nd.movi(lvalue.reg, value.imm & 0xFF))
+                else:
+                    self._emit(nd.alu(AluOp.AND, lvalue.reg, value.operand(),
+                                      Imm(255)))
+            else:
+                self._emit(nd.alu(AluOp.MOV, lvalue.reg, value.operand()))
+        else:
+            self._emit(nd.store(value.operand(), lvalue.base, lvalue.offset,
+                                lvalue.width))
+
+    # -- operators ------------------------------------------------------
+    def _gen_unary(self, expr: ast.Unary) -> Value:
+        op = expr.op
+        if op == "-":
+            operand = self._gen_expr(expr.operand)
+            if operand.is_imm:
+                return Value(imm=wrap32(-operand.imm))
+            return self._unary_alu(AluOp.NEG, operand)
+        if op == "~":
+            operand = self._gen_expr(expr.operand)
+            if operand.is_imm:
+                return Value(imm=wrap32(~operand.imm))
+            return self._unary_alu(AluOp.NOT, operand)
+        if op == "!":
+            operand = self._gen_expr(expr.operand)
+            if operand.is_imm:
+                return Value(imm=int(operand.imm == 0))
+            dest = self._result_reg(operand)
+            self._emit(nd.alu(AluOp.SEQ, dest, Reg(operand.reg), Imm(0)))
+            return Value(reg=dest, is_scratch=True)
+        if op == "*":
+            return self._load_lvalue(self._gen_lvalue(expr))
+        if op == "&":
+            return self._gen_address_of(expr.operand)
+        raise CodegenError(f"unhandled unary {op!r}")
+
+    def _unary_alu(self, alu_op: AluOp, operand: Value) -> Value:
+        operand = self._materialize(operand)
+        dest = self._result_reg(operand)
+        self._emit(nd.alu(alu_op, dest, Reg(operand.reg)))
+        return Value(reg=dest, is_scratch=True)
+
+    def _gen_address_of(self, expr: ast.Expr) -> Value:
+        lvalue = self._gen_lvalue(expr)
+        if lvalue.kind == "reg":
+            raise CodegenError("address of register variable")  # sema prevents
+        if lvalue.scratch is not None:
+            if lvalue.offset:
+                self._emit(nd.alu(AluOp.ADD, lvalue.scratch, Reg(lvalue.base),
+                                  Imm(lvalue.offset)))
+            return Value(reg=lvalue.scratch, is_scratch=True)
+        reg = self._alloc_scratch()
+        self._emit(nd.alu(AluOp.ADD, reg, Reg(lvalue.base), Imm(lvalue.offset)))
+        return Value(reg=reg, is_scratch=True)
+
+    def _gen_binary(self, expr: ast.Binary) -> Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._gen_logical_value(expr)
+        if op in _CMP_ALU:
+            left = self._gen_expr(expr.left)
+            right = self._gen_expr(expr.right)
+            return self._combine(_CMP_ALU[op], left, right)
+        left_type = expr.left.ctype.decay()
+        right_type = expr.right.ctype.decay()
+        if op == "+" and (left_type.is_pointer or right_type.is_pointer):
+            return self._gen_pointer_add(expr, subtract=False)
+        if op == "-" and left_type.is_pointer:
+            if right_type.is_pointer:
+                return self._gen_pointer_diff(expr)
+            return self._gen_pointer_add(expr, subtract=True)
+        left = self._gen_expr(expr.left)
+        right = self._gen_expr(expr.right)
+        return self._combine(_BIN_ALU[op], left, right)
+
+    @staticmethod
+    def _fold_binary(alu_op: AluOp, a: int, b: int) -> Optional[int]:
+        """Constant-fold two immediates; None if the op can't fold."""
+        table = {
+            AluOp.ADD: lambda: wrap32(a + b),
+            AluOp.SUB: lambda: wrap32(a - b),
+            AluOp.MUL: lambda: wrap32(a * b),
+            AluOp.AND: lambda: wrap32(a & b),
+            AluOp.OR: lambda: wrap32(a | b),
+            AluOp.XOR: lambda: wrap32(a ^ b),
+            AluOp.SHL: lambda: intmath.shl32(a, b),
+            AluOp.SHR: lambda: intmath.sar32(a, b),
+            AluOp.SHRU: lambda: intmath.shr32(a, b),
+            AluOp.SLT: lambda: int(a < b),
+            AluOp.SLE: lambda: int(a <= b),
+            AluOp.SEQ: lambda: int(a == b),
+            AluOp.SNE: lambda: int(a != b),
+            AluOp.SGT: lambda: int(a > b),
+            AluOp.SGE: lambda: int(a >= b),
+        }
+        if alu_op is AluOp.DIV:
+            return intmath.sdiv32(a, b) if b != 0 else None
+        if alu_op is AluOp.MOD:
+            return intmath.smod32(a, b) if b != 0 else None
+        fold = table.get(alu_op)
+        return fold() if fold else None
+
+    def _combine(self, alu_op: AluOp, left: Value, right: Value) -> Value:
+        """Emit ``alu_op(left, right)`` with immediate folding and reuse."""
+        if left.is_imm and right.is_imm:
+            folded = self._fold_binary(alu_op, left.imm, right.imm)
+            if folded is not None:
+                return Value(imm=folded)
+        if left.is_imm:
+            swapped = alu_op if alu_op in _COMMUTATIVE else _SWAPPED_CMP.get(alu_op)
+            if swapped is not None:
+                right_m = self._materialize(right)
+                dest = self._result_reg(right_m)
+                self._emit(nd.alu(swapped, dest, Reg(right_m.reg), Imm(left.imm)))
+                return Value(reg=dest, is_scratch=True)
+            left = self._materialize(left)
+        if right.is_imm:
+            left_m = self._materialize(left)
+            dest = self._result_reg(left_m)
+            self._emit(nd.alu(alu_op, dest, Reg(left_m.reg), Imm(right.imm)))
+            return Value(reg=dest, is_scratch=True)
+        dest = self._result_reg(left, right)
+        self._emit(nd.alu(alu_op, dest, Reg(left.reg), Reg(right.reg)))
+        for value in (left, right):
+            if value.is_scratch and value.reg != dest:
+                self._release(value)
+        return Value(reg=dest, is_scratch=True)
+
+    def _gen_pointer_add(self, expr: ast.Binary, subtract: bool) -> Value:
+        left_type = expr.left.ctype.decay()
+        if left_type.is_pointer:
+            pointee = left_type.pointee
+            pointer = self._gen_expr(expr.left)
+            index = self._gen_expr(expr.right)
+        else:
+            pointee = expr.right.ctype.decay().pointee
+            index = self._gen_expr(expr.left)
+            pointer = self._gen_expr(expr.right)
+        esize = pointee.size()
+        if esize != 1:
+            if index.is_imm:
+                index = Value(imm=wrap32(index.imm * esize))
+            else:
+                index = self._scale_index(index, esize)
+        alu_op = AluOp.SUB if subtract else AluOp.ADD
+        return self._combine(alu_op, pointer, index)
+
+    def _gen_pointer_diff(self, expr: ast.Binary) -> Value:
+        esize = expr.left.ctype.decay().pointee.size()
+        left = self._gen_expr(expr.left)
+        right = self._gen_expr(expr.right)
+        diff = self._combine(AluOp.SUB, left, right)
+        if esize == 1:
+            return diff
+        diff_m = self._materialize(diff)
+        dest = self._result_reg(diff_m)
+        shift = _POW2_SHIFT.get(esize)
+        if shift is not None:
+            self._emit(nd.alu(AluOp.SHR, dest, Reg(diff_m.reg), Imm(shift)))
+        else:
+            self._emit(nd.alu(AluOp.DIV, dest, Reg(diff_m.reg), Imm(esize)))
+        return Value(reg=dest, is_scratch=True)
+
+    def _gen_logical_value(self, expr: ast.Binary) -> Value:
+        """Materialise ``a && b`` / ``a || b`` as a 0/1 value."""
+        result = self._alloc_scratch()
+        true_label = self._new_label("ltrue")
+        false_label = self._new_label("lfalse")
+        join_label = self._new_label("ljoin")
+        self._gen_cond(expr, true_label, false_label)
+        self._start(true_label)
+        self._emit(nd.movi(result, 1))
+        self._goto(join_label)
+        self._start(false_label)
+        self._emit(nd.movi(result, 0))
+        self._goto(join_label)
+        self._start(join_label)
+        return Value(reg=result, is_scratch=True)
+
+    def _gen_conditional(self, expr: ast.Conditional) -> Value:
+        """Lower ``cond ? a : b`` with branches into a result register."""
+        result = self._alloc_scratch()
+        then_label = self._new_label("cthen")
+        else_label = self._new_label("celse")
+        join_label = self._new_label("cjoin")
+        self._gen_cond(expr.cond, then_label, else_label)
+        self._start(then_label)
+        value = self._gen_expr(expr.then_value)
+        self._emit(nd.alu(AluOp.MOV, result, value.operand()))
+        self._release(value)
+        self._goto(join_label)
+        self._start(else_label)
+        value = self._gen_expr(expr.else_value)
+        self._emit(nd.alu(AluOp.MOV, result, value.operand()))
+        self._release(value)
+        self._goto(join_label)
+        self._start(join_label)
+        return Value(reg=result, is_scratch=True)
+
+    # -- assignment and inc/dec ------------------------------------------
+    def _gen_assign(self, expr: ast.Assign, need_value: bool) -> Optional[Value]:
+        if expr.op == "=":
+            value = self._gen_expr(expr.value)
+            lvalue = self._gen_lvalue(expr.target)
+            self._store_lvalue(lvalue, value)
+            self._release(lvalue)
+            if need_value:
+                return value
+            self._release(value)
+            return None
+        # Compound assignment: evaluate the target address once.
+        base_op = expr.op[:-1]
+        lvalue = self._gen_lvalue(expr.target)
+        value = self._gen_expr(expr.value)
+        if expr.target.ctype.is_pointer and base_op in ("+", "-"):
+            esize = expr.target.ctype.pointee.size()
+            if esize != 1:
+                if value.is_imm:
+                    value = Value(imm=wrap32(value.imm * esize))
+                else:
+                    value = self._scale_index(value, esize)
+        current = self._load_lvalue_keep(lvalue)
+        result = self._combine(_BIN_ALU[base_op], current, value)
+        result_m = self._materialize(result)
+        self._store_lvalue(lvalue, result_m)
+        self._release(lvalue)
+        if need_value:
+            return result_m
+        self._release(result_m)
+        return None
+
+    def _load_lvalue_keep(self, lvalue: LValue) -> Value:
+        """Load an lvalue without consuming its address scratch register."""
+        if lvalue.kind == "reg":
+            return Value(reg=lvalue.reg, is_scratch=False)
+        reg = self._alloc_scratch()
+        self._emit(nd.load(reg, lvalue.base, lvalue.offset, lvalue.width))
+        return Value(reg=reg, is_scratch=True)
+
+    def _gen_incdec(self, expr: ast.IncDec, need_value: bool) -> Optional[Value]:
+        target_type = expr.target.ctype
+        step = target_type.pointee.size() if target_type.is_pointer else 1
+        alu_op = AluOp.ADD if expr.op == "++" else AluOp.SUB
+
+        lvalue = self._gen_lvalue(expr.target)
+        if lvalue.kind == "reg":
+            old: Optional[Value] = None
+            if need_value and not expr.is_prefix:
+                reg = self._alloc_scratch()
+                self._emit(nd.mov(reg, lvalue.reg))
+                old = Value(reg=reg, is_scratch=True)
+            self._emit(nd.alu(alu_op, lvalue.reg, Reg(lvalue.reg), Imm(step)))
+            if lvalue.ctype.is_char:
+                self._emit(nd.alu(AluOp.AND, lvalue.reg, Reg(lvalue.reg),
+                                  Imm(255)))
+            if not need_value:
+                return None
+            if expr.is_prefix:
+                return Value(reg=lvalue.reg, is_scratch=False)
+            return old
+
+        current = self._load_lvalue_keep(lvalue)
+        new_reg = self._alloc_scratch()
+        self._emit(nd.alu(alu_op, new_reg, Reg(current.reg), Imm(step)))
+        self._store_lvalue(lvalue, Value(reg=new_reg))
+        self._release(lvalue)
+        if not need_value:
+            self._release_reg(new_reg)
+            self._release(current)
+            return None
+        if expr.is_prefix:
+            self._release(current)
+            return Value(reg=new_reg, is_scratch=True)
+        self._release_reg(new_reg)
+        return current
+
+    # -- calls ------------------------------------------------------------
+    def _gen_call(self, expr: ast.Call, need_value: bool) -> Optional[Value]:
+        info = expr.func
+        if info.is_builtin:
+            return self._gen_builtin_call(expr, need_value)
+
+        arg_values = [self._gen_expr(arg) for arg in expr.args]
+        for index, value in enumerate(arg_values):
+            self._emit(nd.alu(AluOp.MOV, ARG_REGS[index], value.operand()))
+        for value in arg_values:
+            self._release(value)
+        # Spill every remaining live scratch register around the call.
+        spilled = sorted(self._live_scratch)
+        for reg in spilled:
+            self._emit(nd.store(Reg(reg), SP, _SPILL_AREA + 4 * (reg - SCRATCH_FIRST)))
+
+        link = self._new_label("ret")
+        self._close(nd.call(f"f_{expr.name}", link))
+        self._start(link)
+
+        for reg in spilled:
+            self._emit(nd.load(reg, SP, _SPILL_AREA + 4 * (reg - SCRATCH_FIRST)))
+        if need_value and not info.return_type.is_void:
+            reg = self._alloc_scratch()
+            self._emit(nd.mov(reg, RV))
+            return Value(reg=reg, is_scratch=True)
+        return None
+
+    def _gen_builtin_call(self, expr: ast.Call, need_value: bool) -> Optional[Value]:
+        name = expr.name
+        arg_values = [self._materialize(self._gen_expr(arg)) for arg in expr.args]
+        arg_regs = [value.reg for value in arg_values]
+        for value in arg_values:
+            self._release(value)
+        if name == "exit":
+            self._close(nd.syscall(SyscallOp.EXIT, None, arg_regs))
+            return None
+        op = {"getc": SyscallOp.GETC, "putc": SyscallOp.PUTC,
+              "sbrk": SyscallOp.SBRK, "read": SyscallOp.READ,
+              "write": SyscallOp.WRITE}[name]
+        dest: Optional[int] = None
+        if op is not SyscallOp.PUTC:
+            dest = self._alloc_scratch()
+        link = self._new_label("sys")
+        self._close(nd.syscall(op, link, arg_regs, dest))
+        self._start(link)
+        if dest is None:
+            return None
+        if need_value:
+            return Value(reg=dest, is_scratch=True)
+        self._release_reg(dest)
+        return None
+
+
+def generate(unit: ast.TranslationUnit, sema: SemaResult) -> Program:
+    """Generate a complete program from an analysed translation unit."""
+    layout = GlobalLayout(sema)
+    blocks: List[BasicBlock] = []
+
+    # Startup: establish gp/sp, call main, exit with its return value.
+    start_body = [
+        nd.movi(GP, GLOBAL_BASE),
+        nd.movi(SP, STACK_TOP),
+    ]
+    blocks.append(BasicBlock("_start", start_body, nd.call("f_main", "_exit")))
+    blocks.append(BasicBlock("_exit", [], nd.syscall(SyscallOp.EXIT, None, (RV,))))
+
+    for func in unit.functions:
+        if func.body is None:
+            continue
+        blocks.extend(FunctionCodegen(func, sema, layout).run())
+
+    symbols = {
+        name: GLOBAL_BASE + offset for name, offset in layout.offsets.items()
+    }
+    return Program(
+        blocks,
+        entry="_start",
+        data=layout.data,
+        data_size=max(layout.size, len(layout.data)),
+        symbols=symbols,
+    )

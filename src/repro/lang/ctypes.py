@@ -1,0 +1,209 @@
+"""Mini-C's small type system: void, char, int, pointers, arrays, structs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class StructLayout:
+    """A struct tag's members with computed offsets.
+
+    Built by :meth:`CType.struct_` from an ordered member list; natural
+    alignment, with the total size rounded up to the struct's alignment.
+    """
+
+    __slots__ = ("tag", "members", "size_bytes", "align_bytes")
+
+    def __init__(self, tag: str,
+                 members: Optional[List[Tuple[str, "CType"]]] = None):
+        self.tag = tag
+        self.members: Dict[str, Tuple[int, "CType"]] = {}
+        self.size_bytes = 0
+        self.align_bytes = 0
+        if members is not None:
+            self.fill(members)
+
+    @property
+    def is_complete(self) -> bool:
+        """False while the tag is declared but its body not yet laid out
+        (the window in which only pointers to it may be formed)."""
+        return self.align_bytes > 0
+
+    def fill(self, members: List[Tuple[str, "CType"]]) -> None:
+        """Lay out the members (once); enables self-referential pointers."""
+        if self.is_complete:
+            raise ValueError(f"struct {self.tag} laid out twice")
+        offset = 0
+        max_align = 1
+        for name, ctype in members:
+            if name in self.members:
+                raise ValueError(f"duplicate member {name!r} in struct {self.tag}")
+            align = ctype.align()
+            max_align = max(max_align, align)
+            offset = (offset + align - 1) // align * align
+            self.members[name] = (offset, ctype)
+            offset += ctype.size()
+        self.align_bytes = max_align
+        self.size_bytes = (offset + max_align - 1) // max_align * max_align
+        if self.size_bytes == 0:
+            self.size_bytes = max_align
+
+    def member(self, name: str) -> Optional[Tuple[int, "CType"]]:
+        """(offset, type) of a member, or None."""
+        return self.members.get(name)
+
+
+class CType:
+    """An immutable Mini-C type.
+
+    ``base`` is one of ``"void"``, ``"char"``, ``"int"``; ``pointee`` is
+    set for pointer types, ``element``/``length`` for array types, and
+    ``struct`` for struct types.
+    """
+
+    __slots__ = ("base", "pointee", "element", "length", "struct")
+
+    def __init__(
+        self,
+        base: Optional[str] = None,
+        pointee: Optional["CType"] = None,
+        element: Optional["CType"] = None,
+        length: int = 0,
+        struct: Optional[StructLayout] = None,
+    ):
+        self.base = base
+        self.pointee = pointee
+        self.element = element
+        self.length = length
+        self.struct = struct
+
+    # Constructors -----------------------------------------------------
+    @staticmethod
+    def void() -> "CType":
+        return _VOID
+
+    @staticmethod
+    def int_() -> "CType":
+        return _INT
+
+    @staticmethod
+    def char() -> "CType":
+        return _CHAR
+
+    @staticmethod
+    def pointer(pointee: "CType") -> "CType":
+        return CType(pointee=pointee)
+
+    @staticmethod
+    def array(element: "CType", length: int) -> "CType":
+        if length <= 0:
+            raise ValueError("array length must be positive")
+        return CType(element=element, length=length)
+
+    @staticmethod
+    def struct_(layout: StructLayout) -> "CType":
+        return CType(struct=layout)
+
+    # Predicates -------------------------------------------------------
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void"
+
+    @property
+    def is_int(self) -> bool:
+        return self.base == "int"
+
+    @property
+    def is_char(self) -> bool:
+        return self.base == "char"
+
+    @property
+    def is_arith(self) -> bool:
+        return self.base in ("int", "char")
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointee is not None
+
+    @property
+    def is_array(self) -> bool:
+        return self.element is not None
+
+    @property
+    def is_struct(self) -> bool:
+        return self.struct is not None
+
+    @property
+    def is_scalar(self) -> bool:
+        """True for values that fit in one register."""
+        return self.is_arith or self.is_pointer
+
+    # Layout -----------------------------------------------------------
+    def size(self) -> int:
+        """Size in bytes."""
+        if self.is_char:
+            return 1
+        if self.is_int or self.is_pointer:
+            return 4
+        if self.is_array:
+            return self.element.size() * self.length
+        if self.is_struct:
+            if not self.struct.is_complete:
+                raise ValueError(f"struct {self.struct.tag} is incomplete")
+            return self.struct.size_bytes
+        raise ValueError(f"type {self} has no size")
+
+    def align(self) -> int:
+        """Required alignment in bytes."""
+        if self.is_char:
+            return 1
+        if self.is_array:
+            return self.element.align()
+        if self.is_struct:
+            if not self.struct.is_complete:
+                raise ValueError(f"struct {self.struct.tag} is incomplete")
+            return self.struct.align_bytes
+        return 4
+
+    def decay(self) -> "CType":
+        """Array-to-pointer decay; other types unchanged."""
+        if self.is_array:
+            return CType.pointer(self.element)
+        return self
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CType):
+            return NotImplemented
+        if self.is_pointer and other.is_pointer:
+            return self.pointee == other.pointee
+        if self.is_array and other.is_array:
+            return self.element == other.element and self.length == other.length
+        if self.is_struct or other.is_struct:
+            return self.struct is other.struct  # struct types are nominal
+        return self.base == other.base and not (
+            self.is_pointer or other.is_pointer or self.is_array or other.is_array
+        )
+
+    def __hash__(self) -> int:
+        if self.is_pointer:
+            return hash(("ptr", self.pointee))
+        if self.is_array:
+            return hash(("arr", self.element, self.length))
+        if self.is_struct:
+            return hash(("struct", id(self.struct)))
+        return hash(self.base)
+
+    def __repr__(self) -> str:
+        if self.is_pointer:
+            return f"{self.pointee!r}*"
+        if self.is_array:
+            return f"{self.element!r}[{self.length}]"
+        if self.is_struct:
+            return f"struct {self.struct.tag}"
+        return self.base or "?"
+
+
+_VOID = CType(base="void")
+_INT = CType(base="int")
+_CHAR = CType(base="char")

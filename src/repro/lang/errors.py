@@ -1,0 +1,25 @@
+"""Diagnostics for the Mini-C front end."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """Base class for all Mini-C compilation failures."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(location + message)
+        self.line = line
+        self.column = column
+
+
+class LexError(CompileError):
+    """Malformed lexical input."""
+
+
+class ParseError(CompileError):
+    """Grammar violation."""
+
+
+class SemanticError(CompileError):
+    """Type or scoping violation."""

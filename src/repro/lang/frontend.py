@@ -1,0 +1,31 @@
+"""One-call Mini-C compilation driver."""
+
+from __future__ import annotations
+
+from ..opt.pipeline import optimize_program
+from ..program.program import Program
+from .codegen import generate
+from .parser import parse_source
+from .sema import analyze
+
+
+def compile_source(source: str, optimize: bool = True) -> Program:
+    """Compile Mini-C source text into an optimised node-IR program.
+
+    Args:
+        source: Mini-C translation unit text.
+        optimize: run the standard optimisation pipeline (on by default;
+            turn off to inspect raw code generation in tests).
+
+    Returns:
+        A validated :class:`~repro.program.Program` with entry ``_start``.
+
+    Raises:
+        CompileError: on any lexical, syntactic or semantic problem.
+    """
+    unit = parse_source(source)
+    sema = analyze(unit)
+    program = generate(unit, sema)
+    if optimize:
+        program = optimize_program(program)
+    return program

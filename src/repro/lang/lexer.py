@@ -1,0 +1,150 @@
+"""Hand-written lexer for Mini-C."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import LexError
+from .tokens import KEYWORDS, PUNCTUATORS, Token, TokenType
+
+_ESCAPES = {
+    "n": 10,
+    "t": 9,
+    "r": 13,
+    "0": 0,
+    "\\": 92,
+    "'": 39,
+    '"': 34,
+    "b": 8,
+    "f": 12,
+}
+
+
+class Lexer:
+    """Turns Mini-C source text into a token list."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    def tokenize(self) -> List[Token]:
+        """Lex the whole input, ending with an EOF token."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokenType.EOF, "", self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line = self.line
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self.source[self.pos] == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated comment", start_line, 0)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self.source[self.pos]
+
+        if ch.isalpha() or ch == "_":
+            start = self.pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = self.source[start:self.pos]
+            kind = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENT
+            return Token(kind, text, line, column)
+
+        if ch.isdigit():
+            start = self.pos
+            if ch == "0" and self._peek(1) in ("x", "X"):
+                self._advance(2)
+                # note: _peek() is "" at EOF, and "" is `in` any string
+                while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                    self._advance()
+                value = int(self.source[start:self.pos], 16)
+            else:
+                while self._peek().isdigit():
+                    self._advance()
+                value = int(self.source[start:self.pos])
+            return Token(TokenType.NUMBER, value, line, column)
+
+        if ch == "'":
+            self._advance()
+            value = self._read_char_escape("'")
+            if self._peek() != "'":
+                raise self._error("unterminated character literal")
+            self._advance()
+            return Token(TokenType.CHAR, value, line, column)
+
+        if ch == '"':
+            self._advance()
+            chars: List[int] = []
+            while self._peek() != '"':
+                if not self._peek():
+                    raise self._error("unterminated string literal")
+                chars.append(self._read_char_escape('"'))
+            self._advance()
+            text = "".join(chr(c) for c in chars)
+            return Token(TokenType.STRING, text, line, column)
+
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenType.PUNCT, punct, line, column)
+
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _read_char_escape(self, quote: str) -> int:
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            esc = self._peek()
+            if esc not in _ESCAPES:
+                raise self._error(f"unknown escape sequence \\{esc}")
+            self._advance()
+            return _ESCAPES[esc]
+        if not ch or ch == "\n":
+            raise self._error(f"unterminated {quote} literal")
+        self._advance()
+        return ord(ch)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex ``source`` into tokens."""
+    return Lexer(source).tokenize()

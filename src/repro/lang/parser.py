@@ -1,0 +1,548 @@
+"""Recursive-descent parser for Mini-C."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as ast
+from .ctypes import CType
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+#: Binary operators by precedence level, loosest first.
+_BINARY_LEVELS = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.lang.ast_nodes.TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        #: struct tag -> layout; filled by top-level struct declarations
+        self.struct_tags = {}
+
+    # ------------------------------------------------------------------
+    # Token utilities
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(message, token.line, token.column)
+
+    def _check_punct(self, text: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.PUNCT and token.value == text
+
+    def _check_keyword(self, text: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.KEYWORD and token.value == text
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._check_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        if not self._check_punct(text):
+            raise self._error(f"expected {text!r}, found {self._peek().value!r}")
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> Token:
+        if not self._check_keyword(text):
+            raise self._error(f"expected {text!r}, found {self._peek().value!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise self._error(f"expected identifier, found {token.value!r}")
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def _at_type(self) -> bool:
+        token = self._peek()
+        return token.type is TokenType.KEYWORD and token.value in (
+            "int", "char", "void", "struct"
+        )
+
+    def _parse_type(self) -> CType:
+        token = self._peek()
+        if not self._at_type():
+            raise self._error(f"expected a type, found {token.value!r}")
+        self._advance()
+        if token.value == "int":
+            ctype = CType.int_()
+        elif token.value == "char":
+            ctype = CType.char()
+        elif token.value == "struct":
+            tag_token = self._expect_ident()
+            layout = self.struct_tags.get(str(tag_token.value))
+            if layout is None:
+                raise self._error(
+                    f"unknown struct tag {tag_token.value!r}", tag_token
+                )
+            ctype = CType.struct_(layout)
+        else:
+            ctype = CType.void()
+        while self._accept_punct("*"):
+            ctype = CType.pointer(ctype)
+        return ctype
+
+    def _parse_array_suffix(self, ctype: CType) -> CType:
+        """Parse trailing ``[N]`` suffixes onto a declarator type."""
+        lengths: List[int] = []
+        while self._accept_punct("["):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER:
+                raise self._error("array length must be an integer literal")
+            self._advance()
+            self._expect_punct("]")
+            if int(token.value) <= 0:
+                raise self._error("array length must be positive", token)
+            lengths.append(int(token.value))
+        for length in reversed(lengths):
+            ctype = CType.array(ctype, length)
+        return ctype
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        """Parse the whole program."""
+        globals_: List[ast.VarDecl] = []
+        functions: List[ast.FunctionDecl] = []
+        structs: List[ast.StructDecl] = []
+        while self._peek().type is not TokenType.EOF:
+            if (
+                self._check_keyword("struct")
+                and self._peek(1).type is TokenType.IDENT
+                and self._peek(2).value == "{"
+            ):
+                structs.append(self._parse_struct_decl())
+                continue
+            base_type = self._parse_type()
+            name_token = self._expect_ident()
+            if self._check_punct("("):
+                functions.append(self._parse_function(base_type, name_token))
+            else:
+                globals_.append(self._parse_global_var(base_type, name_token))
+        return ast.TranslationUnit(globals_, functions, structs)
+
+    def _parse_struct_decl(self) -> ast.StructDecl:
+        """``struct Tag { member declarations } ;``
+
+        The tag is registered (incomplete) before the body is parsed so
+        members may contain ``struct Tag *`` self-references; by-value
+        self-members are rejected because the layout is still incomplete
+        when their size is needed.
+        """
+        from .ctypes import StructLayout
+
+        self._expect_keyword("struct")
+        tag_token = self._expect_ident()
+        tag = str(tag_token.value)
+        if tag in self.struct_tags:
+            raise self._error(f"redefinition of struct {tag!r}", tag_token)
+        layout = StructLayout(tag)
+        self.struct_tags[tag] = layout
+        self._expect_punct("{")
+        members = []
+        while not self._check_punct("}"):
+            member_base = self._parse_type()
+            while True:
+                ctype = member_base
+                while self._accept_punct("*"):
+                    ctype = CType.pointer(ctype)
+                member_token = self._expect_ident()
+                ctype = self._parse_array_suffix(ctype)
+                if ctype.is_void:
+                    raise self._error(
+                        f"member {member_token.value!r} has void type",
+                        member_token,
+                    )
+                if ctype.is_struct and not ctype.struct.is_complete:
+                    raise self._error(
+                        f"member {member_token.value!r} has incomplete type "
+                        f"struct {ctype.struct.tag} (use a pointer)",
+                        member_token,
+                    )
+                members.append((str(member_token.value), ctype))
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(";")
+        self._expect_punct("}")
+        self._expect_punct(";")
+        try:
+            layout.fill(members)
+        except ValueError as exc:
+            raise self._error(str(exc), tag_token) from None
+        return ast.StructDecl(tag, layout, tag_token.line, tag_token.column)
+
+    def _parse_function(self, return_type: CType, name_token: Token) -> ast.FunctionDecl:
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        if not self._check_punct(")"):
+            if self._check_keyword("void") and self._peek(1).value == ")":
+                self._advance()
+            else:
+                while True:
+                    ptype = self._parse_type()
+                    ptoken = self._expect_ident()
+                    ptype = self._parse_array_suffix(ptype).decay()
+                    params.append(
+                        ast.Param(str(ptoken.value), ptype, ptoken.line, ptoken.column)
+                    )
+                    if not self._accept_punct(","):
+                        break
+        self._expect_punct(")")
+        if self._accept_punct(";"):
+            body: Optional[ast.Block] = None
+        else:
+            body = self._parse_block()
+        return ast.FunctionDecl(
+            str(name_token.value),
+            return_type,
+            params,
+            body,
+            name_token.line,
+            name_token.column,
+        )
+
+    def _parse_global_var(self, base_type: CType, name_token: Token) -> ast.VarDecl:
+        ctype = self._parse_array_suffix(base_type)
+        init = None
+        if self._accept_punct("="):
+            init = self._parse_initializer()
+        self._expect_punct(";")
+        return ast.VarDecl(
+            str(name_token.value), ctype, init, name_token.line, name_token.column
+        )
+
+    def _parse_initializer(self):
+        if self._accept_punct("{"):
+            elements: List[ast.Expr] = []
+            if not self._check_punct("}"):
+                while True:
+                    elements.append(self._parse_expression())
+                    if not self._accept_punct(","):
+                        break
+            self._expect_punct("}")
+            return elements
+        return self._parse_expression()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        open_token = self._expect_punct("{")
+        statements: List[ast.Stmt] = []
+        while not self._check_punct("}"):
+            if self._peek().type is TokenType.EOF:
+                raise self._error("unterminated block", open_token)
+            statements.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Block(statements, open_token.line, open_token.column)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if self._check_punct("{"):
+            return self._parse_block()
+        if self._at_type():
+            return self._parse_local_decl()
+        if token.type is TokenType.KEYWORD:
+            keyword = token.value
+            if keyword == "if":
+                return self._parse_if()
+            if keyword == "while":
+                return self._parse_while()
+            if keyword == "do":
+                return self._parse_do_while()
+            if keyword == "for":
+                return self._parse_for()
+            if keyword == "switch":
+                return self._parse_switch()
+            if keyword == "return":
+                self._advance()
+                value = None if self._check_punct(";") else self._parse_expression()
+                self._expect_punct(";")
+                return ast.Return(value, token.line, token.column)
+            if keyword == "break":
+                self._advance()
+                self._expect_punct(";")
+                return ast.Break(token.line, token.column)
+            if keyword == "continue":
+                self._advance()
+                self._expect_punct(";")
+                return ast.Continue(token.line, token.column)
+        if self._accept_punct(";"):
+            return ast.Block([], token.line, token.column)
+        expr = self._parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(expr, token.line, token.column)
+
+    def _parse_local_decl(self) -> ast.Stmt:
+        base_type = self._parse_type()
+        decls: List[ast.Stmt] = []
+        first_token = self._peek()
+        while True:
+            ctype = base_type
+            while self._accept_punct("*"):
+                ctype = CType.pointer(ctype)
+            name_token = self._expect_ident()
+            ctype = self._parse_array_suffix(ctype)
+            init = None
+            if self._accept_punct("="):
+                init = self._parse_initializer()
+            decls.append(
+                ast.VarDecl(
+                    str(name_token.value), ctype, init, name_token.line, name_token.column
+                )
+            )
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(decls, first_token.line, first_token.column)
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect_keyword("if")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        then_body = self._parse_statement()
+        else_body = None
+        if self._check_keyword("else"):
+            self._advance()
+            else_body = self._parse_statement()
+        return ast.If(cond, then_body, else_body, token.line, token.column)
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.While(cond, body, token.line, token.column)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        token = self._expect_keyword("do")
+        body = self._parse_statement()
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhile(cond, body, token.line, token.column)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect_keyword("for")
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check_punct(";"):
+            if self._at_type():
+                # Local declarations consume their own terminating ';'.
+                init = self._parse_local_decl()
+            else:
+                init = ast.ExprStmt(self._parse_expression())
+                self._expect_punct(";")
+        else:
+            self._advance()
+        cond = None if self._check_punct(";") else self._parse_expression()
+        self._expect_punct(";")
+        step = None if self._check_punct(")") else self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.For(init, cond, step, body, token.line, token.column)
+
+    def _parse_switch(self) -> ast.Switch:
+        token = self._expect_keyword("switch")
+        self._expect_punct("(")
+        subject = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[ast.SwitchCase] = []
+        while not self._check_punct("}"):
+            case_token = self._peek()
+            if self._check_keyword("case"):
+                self._advance()
+                value = self._parse_case_constant()
+                self._expect_punct(":")
+            elif self._check_keyword("default"):
+                self._advance()
+                self._expect_punct(":")
+                value = None
+            else:
+                raise self._error("expected 'case' or 'default' in switch")
+            body: List[ast.Stmt] = []
+            while not (
+                self._check_punct("}")
+                or self._check_keyword("case")
+                or self._check_keyword("default")
+            ):
+                if self._peek().type is TokenType.EOF:
+                    raise self._error("unterminated switch", case_token)
+                body.append(self._parse_statement())
+            cases.append(
+                ast.SwitchCase(value, body, case_token.line, case_token.column)
+            )
+        self._expect_punct("}")
+        return ast.Switch(subject, cases, token.line, token.column)
+
+    def _parse_case_constant(self) -> int:
+        """Case labels are integer or character literals (possibly negated)."""
+        negate = self._accept_punct("-")
+        token = self._peek()
+        if token.type not in (TokenType.NUMBER, TokenType.CHAR):
+            raise self._error("case label must be an integer constant")
+        self._advance()
+        value = int(token.value)
+        return -value if negate else value
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(str(token.value), left, value, token.line, token.column)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if not self._check_punct("?"):
+            return cond
+        token = self._advance()
+        then_value = self._parse_expression()
+        self._expect_punct(":")
+        else_value = self._parse_conditional()
+        return ast.Conditional(cond, then_value, else_value,
+                               token.line, token.column)
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while True:
+            token = self._peek()
+            if token.type is not TokenType.PUNCT or token.value not in ops:
+                return left
+            # Don't mistake a compound assignment for its binary prefix.
+            self._advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(str(token.value), left, right, token.line, token.column)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.PUNCT:
+            if token.value in ("-", "~", "!", "*", "&"):
+                self._advance()
+                operand = self._parse_unary()
+                return ast.Unary(str(token.value), operand, token.line, token.column)
+            if token.value in ("++", "--"):
+                self._advance()
+                target = self._parse_unary()
+                return ast.IncDec(
+                    str(token.value), target, True, token.line, token.column
+                )
+            if token.value == "+":
+                self._advance()
+                return self._parse_unary()
+        if self._check_keyword("sizeof"):
+            self._advance()
+            self._expect_punct("(")
+            target_type = self._parse_type()
+            target_type = self._parse_array_suffix(target_type)
+            self._expect_punct(")")
+            return ast.SizeOf(target_type, token.line, token.column)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if self._check_punct("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect_punct("]")
+                expr = ast.Index(expr, index, token.line, token.column)
+            elif token.type is TokenType.PUNCT and token.value in (".", "->"):
+                self._advance()
+                name_token = self._expect_ident()
+                expr = ast.Member(expr, str(name_token.value),
+                                  token.value == "->",
+                                  token.line, token.column)
+            elif token.type is TokenType.PUNCT and token.value in ("++", "--"):
+                self._advance()
+                expr = ast.IncDec(str(token.value), expr, False, token.line, token.column)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.IntLiteral(int(token.value), token.line, token.column)
+        if token.type is TokenType.CHAR:
+            self._advance()
+            return ast.IntLiteral(int(token.value), token.line, token.column)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.StringLiteral(str(token.value), token.line, token.column)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._check_punct("("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check_punct(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept_punct(","):
+                            break
+                self._expect_punct(")")
+                return ast.Call(str(token.value), args, token.line, token.column)
+            return ast.Identifier(str(token.value), token.line, token.column)
+        if self._accept_punct("("):
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise self._error(f"unexpected token {token.value!r}")
+
+
+def parse_source(source: str) -> ast.TranslationUnit:
+    """Lex and parse Mini-C source text."""
+    return Parser(tokenize(source)).parse_translation_unit()

@@ -1,0 +1,526 @@
+"""Semantic analysis for Mini-C.
+
+Resolves identifiers, checks types (permissively, in the spirit of early
+C), marks address-taken locals, interns string literals and verifies
+control-flow statement placement.  Expressions are annotated in place with
+their computed :class:`~repro.lang.ctypes.CType`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from . import ast_nodes as ast
+from .ctypes import CType
+from .errors import SemanticError
+from .symbols import BUILTINS, FunctionInfo, Scope, ScopeStack, Symbol
+
+_INT = CType.int_()
+_MAX_REG_ARGS = 6
+
+
+class SemaResult:
+    """Output of semantic analysis, consumed by the code generator."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = dict(BUILTINS)
+        self.global_scope = Scope()
+        #: string label -> raw bytes (NUL-terminated)
+        self.strings: Dict[str, bytes] = {}
+        #: per-function list of all local/param symbols, keyed by name
+        self.function_locals: Dict[str, List[Symbol]] = {}
+        #: per-function evaluated constant initialisers for globals:
+        #: name -> int | bytes | list[int]
+        self.global_inits: Dict[str, object] = {}
+
+
+class Analyzer:
+    """Single-pass semantic analyser over a translation unit."""
+
+    def __init__(self) -> None:
+        self.result = SemaResult()
+        self._string_counter = 0
+        self._loop_depth = 0
+        self._break_depth = 0
+        self._scope_stack: Optional[ScopeStack] = None
+        self._current_function: Optional[ast.FunctionDecl] = None
+
+    # ------------------------------------------------------------------
+    def analyze(self, unit: ast.TranslationUnit) -> SemaResult:
+        """Analyse ``unit``; raises :class:`SemanticError` on problems."""
+        for decl in unit.globals:
+            self._declare_global(decl)
+        for func in unit.functions:
+            self._declare_function(func)
+        if "main" not in self.result.functions:
+            raise SemanticError("program has no main() function")
+        for func in unit.functions:
+            if func.body is not None:
+                self._analyze_function(func)
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def _declare_global(self, decl: ast.VarDecl) -> None:
+        if decl.ctype.is_void:
+            raise SemanticError(f"variable {decl.name!r} has void type", decl.line)
+        symbol = Symbol(decl.name, decl.ctype, "global")
+        symbol.addr_taken = True  # globals always live in memory
+        self.result.global_scope.declare(symbol, decl.line)
+        decl.symbol = symbol
+        if decl.init is not None:
+            self.result.global_inits[decl.name] = self._evaluate_global_init(decl)
+
+    def _evaluate_global_init(self, decl: ast.VarDecl):
+        init = decl.init
+        ctype = decl.ctype
+        if isinstance(init, list):
+            if not ctype.is_array:
+                raise SemanticError(
+                    f"brace initialiser on non-array {decl.name!r}", decl.line
+                )
+            if len(init) > ctype.length:
+                raise SemanticError(
+                    f"too many initialisers for {decl.name!r}", decl.line
+                )
+            return [self._const_int(e) for e in init]
+        if isinstance(init, ast.StringLiteral):
+            data = init.value.encode("latin-1") + b"\x00"
+            if ctype.is_array and ctype.element.is_char:
+                if len(data) > ctype.length:
+                    raise SemanticError(
+                        f"string too long for {decl.name!r}", decl.line
+                    )
+                return data
+            if ctype.is_pointer and ctype.pointee.is_char:
+                label = self._intern_string(init)
+                return ("string_ref", label)
+            raise SemanticError(
+                f"string initialiser on incompatible type for {decl.name!r}",
+                decl.line,
+            )
+        if ctype.is_array:
+            raise SemanticError(
+                f"scalar initialiser on array {decl.name!r}", decl.line
+            )
+        return self._const_int(init)
+
+    def _const_int(self, expr: ast.Expr) -> int:
+        """Evaluate a constant integer expression for a global initialiser."""
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._const_int(expr.operand)
+        if isinstance(expr, ast.Unary) and expr.op == "~":
+            return ~self._const_int(expr.operand)
+        if isinstance(expr, ast.Binary):
+            left = self._const_int(expr.left)
+            right = self._const_int(expr.right)
+            ops = {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "|": lambda: left | right,
+                "&": lambda: left & right,
+                "^": lambda: left ^ right,
+                "<<": lambda: left << (right & 31),
+                ">>": lambda: left >> (right & 31),
+            }
+            if expr.op in ops:
+                return ops[expr.op]()
+        raise SemanticError(
+            "global initialiser must be a constant expression", expr.line
+        )
+
+    def _declare_function(self, func: ast.FunctionDecl) -> None:
+        if func.name in BUILTINS:
+            raise SemanticError(
+                f"{func.name!r} is a built-in function", func.line
+            )
+        if len(func.params) > _MAX_REG_ARGS:
+            raise SemanticError(
+                f"function {func.name!r} has more than {_MAX_REG_ARGS} parameters",
+                func.line,
+            )
+        if func.return_type.is_struct:
+            raise SemanticError(
+                f"function {func.name!r} returns a struct by value; "
+                "return a pointer instead",
+                func.line,
+            )
+        for param in func.params:
+            if param.ctype.is_struct:
+                raise SemanticError(
+                    f"parameter {param.name!r} is a struct by value; "
+                    "pass a pointer instead",
+                    param.line,
+                )
+        param_types = tuple(p.ctype for p in func.params)
+        existing = self.result.functions.get(func.name)
+        if existing is not None:
+            if existing.defined and func.body is not None:
+                raise SemanticError(f"redefinition of {func.name!r}()", func.line)
+            if (
+                existing.param_types != param_types
+                or existing.return_type != func.return_type
+            ):
+                raise SemanticError(
+                    f"conflicting declaration of {func.name!r}()", func.line
+                )
+            existing.defined = existing.defined or func.body is not None
+            return
+        self.result.functions[func.name] = FunctionInfo(
+            func.name, func.return_type, param_types, func.body is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Function bodies
+    # ------------------------------------------------------------------
+    def _analyze_function(self, func: ast.FunctionDecl) -> None:
+        self._current_function = func
+        self._scope_stack = ScopeStack(self.result.global_scope)
+        self._scope_stack.push()
+        for param in func.params:
+            if param.ctype.is_void:
+                raise SemanticError(
+                    f"parameter {param.name!r} has void type", param.line
+                )
+            param.symbol = self._scope_stack.declare_local(
+                param.name, param.ctype, "param", param.line
+            )
+        self._analyze_block(func.body)
+        self._scope_stack.pop()
+        self.result.function_locals[func.name] = self._scope_stack.all_locals
+        self._scope_stack = None
+        self._current_function = None
+
+    def _analyze_block(self, block: ast.Block) -> None:
+        self._scope_stack.push()
+        for stmt in block.statements:
+            self._analyze_statement(stmt)
+        self._scope_stack.pop()
+
+    def _analyze_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._analyze_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._analyze_local_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._analyze_expression(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._require_scalar(self._analyze_expression(stmt.cond), stmt.cond)
+            self._analyze_statement(stmt.then_body)
+            if stmt.else_body is not None:
+                self._analyze_statement(stmt.else_body)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            self._require_scalar(self._analyze_expression(stmt.cond), stmt.cond)
+            self._loop_depth += 1
+            self._break_depth += 1
+            self._analyze_statement(stmt.body)
+            self._loop_depth -= 1
+            self._break_depth -= 1
+        elif isinstance(stmt, ast.For):
+            self._scope_stack.push()
+            if stmt.init is not None:
+                self._analyze_statement(stmt.init)
+            if stmt.cond is not None:
+                self._require_scalar(self._analyze_expression(stmt.cond), stmt.cond)
+            if stmt.step is not None:
+                self._analyze_expression(stmt.step)
+            self._loop_depth += 1
+            self._break_depth += 1
+            self._analyze_statement(stmt.body)
+            self._loop_depth -= 1
+            self._break_depth -= 1
+            self._scope_stack.pop()
+        elif isinstance(stmt, ast.Switch):
+            self._require_arith(self._analyze_expression(stmt.subject), stmt.subject)
+            seen_values = set()
+            seen_default = False
+            for case in stmt.cases:
+                if case.value is None:
+                    if seen_default:
+                        raise SemanticError(
+                            "multiple default labels in switch", case.line
+                        )
+                    seen_default = True
+                elif case.value in seen_values:
+                    raise SemanticError(
+                        f"duplicate case label {case.value}", case.line
+                    )
+                else:
+                    seen_values.add(case.value)
+            # `break` leaves the switch; `continue` still needs a loop.
+            self._break_depth += 1
+            self._scope_stack.push()
+            for case in stmt.cases:
+                for inner in case.body:
+                    self._analyze_statement(inner)
+            self._scope_stack.pop()
+            self._break_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            ret_type = self._current_function.return_type
+            if stmt.value is not None:
+                if ret_type.is_void:
+                    raise SemanticError(
+                        "void function returns a value", stmt.line
+                    )
+                self._require_scalar(
+                    self._analyze_expression(stmt.value), stmt.value
+                )
+            elif not ret_type.is_void:
+                raise SemanticError(
+                    "non-void function returns without a value", stmt.line
+                )
+        elif isinstance(stmt, ast.Break):
+            if self._break_depth == 0:
+                raise SemanticError("break outside a loop or switch", stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if self._loop_depth == 0:
+                raise SemanticError("continue outside a loop", stmt.line)
+        else:  # pragma: no cover - parser produces no other kinds
+            raise SemanticError(f"unhandled statement {type(stmt).__name__}")
+
+    def _analyze_local_decl(self, decl: ast.VarDecl) -> None:
+        if decl.ctype.is_void:
+            raise SemanticError(f"variable {decl.name!r} has void type", decl.line)
+        symbol = self._scope_stack.declare_local(
+            decl.name, decl.ctype, "local", decl.line
+        )
+        decl.symbol = symbol
+        if decl.init is not None:
+            if isinstance(decl.init, (list, ast.StringLiteral)) and decl.ctype.is_array:
+                raise SemanticError(
+                    "local array initialisers are not supported; assign elementwise",
+                    decl.line,
+                )
+            if isinstance(decl.init, list):
+                raise SemanticError(
+                    "brace initialiser on non-array local", decl.line
+                )
+            self._require_scalar(self._analyze_expression(decl.init), decl.init)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _analyze_expression(self, expr: ast.Expr) -> CType:
+        ctype = self._compute_type(expr)
+        expr.ctype = ctype
+        return ctype
+
+    def _compute_type(self, expr: ast.Expr) -> CType:
+        if isinstance(expr, ast.IntLiteral):
+            return _INT
+        if isinstance(expr, ast.StringLiteral):
+            expr.symbol = self._intern_string(expr)
+            return CType.pointer(CType.char())
+        if isinstance(expr, ast.Identifier):
+            symbol = self._scope_stack.lookup(expr.name)
+            if symbol is None:
+                raise SemanticError(f"undefined identifier {expr.name!r}", expr.line)
+            expr.symbol = symbol
+            return symbol.ctype
+        if isinstance(expr, ast.SizeOf):
+            return _INT
+        if isinstance(expr, ast.Call):
+            return self._analyze_call(expr)
+        if isinstance(expr, ast.Unary):
+            return self._analyze_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._analyze_binary(expr)
+        if isinstance(expr, ast.Conditional):
+            self._require_scalar(self._analyze_expression(expr.cond), expr.cond)
+            then_type = self._analyze_expression(expr.then_value).decay()
+            else_type = self._analyze_expression(expr.else_value).decay()
+            self._require_scalar(then_type, expr.then_value)
+            self._require_scalar(else_type, expr.else_value)
+            if then_type.is_pointer:
+                return then_type
+            if else_type.is_pointer:
+                return else_type
+            return _INT
+        if isinstance(expr, ast.Assign):
+            return self._analyze_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            target_type = self._analyze_expression(expr.target)
+            self._require_lvalue(expr.target)
+            if not target_type.is_scalar:
+                raise SemanticError("++/-- requires a scalar operand", expr.line)
+            return target_type
+        if isinstance(expr, ast.Member):
+            return self._analyze_member(expr)
+        if isinstance(expr, ast.Index):
+            base = self._analyze_expression(expr.array)
+            self._require_arith(self._analyze_expression(expr.index), expr.index)
+            if base.is_array:
+                return base.element
+            if base.is_pointer:
+                if base.pointee.is_void:
+                    raise SemanticError("cannot index a void pointer", expr.line)
+                return base.pointee
+            raise SemanticError("indexing a non-pointer value", expr.line)
+        raise SemanticError(
+            f"unhandled expression {type(expr).__name__}", expr.line
+        )  # pragma: no cover
+
+    def _analyze_member(self, expr: ast.Member) -> CType:
+        object_type = self._analyze_expression(expr.object)
+        if expr.is_arrow:
+            decayed = object_type.decay()
+            if not decayed.is_pointer or not decayed.pointee.is_struct:
+                raise SemanticError(
+                    "'->' requires a pointer to a struct", expr.line
+                )
+            layout = decayed.pointee.struct
+        else:
+            if not object_type.is_struct:
+                raise SemanticError("'.' requires a struct value", expr.line)
+            layout = object_type.struct
+        entry = layout.member(expr.name)
+        if entry is None:
+            raise SemanticError(
+                f"struct {layout.tag} has no member {expr.name!r}", expr.line
+            )
+        return entry[1]
+
+    def _analyze_call(self, expr: ast.Call) -> CType:
+        info = self.result.functions.get(expr.name)
+        if info is None:
+            raise SemanticError(f"call to undefined function {expr.name!r}", expr.line)
+        expr.func = info
+        if len(expr.args) != len(info.param_types):
+            raise SemanticError(
+                f"{expr.name}() expects {len(info.param_types)} arguments, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        for arg in expr.args:
+            arg_type = self._analyze_expression(arg)
+            if not arg_type.decay().is_scalar:
+                raise SemanticError(
+                    f"argument to {expr.name}() is not a scalar", arg.line
+                )
+        return info.return_type
+
+    def _analyze_unary(self, expr: ast.Unary) -> CType:
+        operand_type = self._analyze_expression(expr.operand)
+        op = expr.op
+        if op in ("-", "~"):
+            self._require_arith(operand_type, expr.operand)
+            return _INT
+        if op == "!":
+            self._require_scalar(operand_type, expr.operand)
+            return _INT
+        if op == "*":
+            decayed = operand_type.decay()
+            if not decayed.is_pointer:
+                raise SemanticError("dereference of a non-pointer", expr.line)
+            if decayed.pointee.is_void:
+                raise SemanticError("dereference of a void pointer", expr.line)
+            return decayed.pointee
+        if op == "&":
+            self._require_lvalue(expr.operand)
+            self._mark_addr_taken(expr.operand)
+            return CType.pointer(operand_type.decay() if operand_type.is_array else operand_type)
+        raise SemanticError(f"unhandled unary operator {op!r}", expr.line)
+
+    def _analyze_binary(self, expr: ast.Binary) -> CType:
+        left = self._analyze_expression(expr.left).decay()
+        right = self._analyze_expression(expr.right).decay()
+        op = expr.op
+        if op in ("&&", "||"):
+            self._require_scalar(left, expr.left)
+            self._require_scalar(right, expr.right)
+            return _INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            self._require_scalar(left, expr.left)
+            self._require_scalar(right, expr.right)
+            return _INT
+        if op in ("+", "-"):
+            if left.is_pointer and right.is_arith:
+                return left
+            if op == "+" and left.is_arith and right.is_pointer:
+                return right
+            if op == "-" and left.is_pointer and right.is_pointer:
+                return _INT
+            self._require_arith(left, expr.left)
+            self._require_arith(right, expr.right)
+            return _INT
+        # Remaining operators are integer-only.
+        self._require_arith(left, expr.left)
+        self._require_arith(right, expr.right)
+        return _INT
+
+    def _analyze_assign(self, expr: ast.Assign) -> CType:
+        target_type = self._analyze_expression(expr.target)
+        self._require_lvalue(expr.target)
+        if target_type.is_array:
+            raise SemanticError("cannot assign to an array", expr.line)
+        if target_type.is_struct:
+            raise SemanticError(
+                "cannot assign whole structs; copy members or use pointers",
+                expr.line,
+            )
+        value_type = self._analyze_expression(expr.value).decay()
+        self._require_scalar(value_type, expr.value)
+        if expr.op != "=":
+            base_op = expr.op[:-1]
+            if base_op in ("+", "-"):
+                if target_type.is_pointer and not value_type.is_arith:
+                    raise SemanticError(
+                        "pointer compound assignment needs an integer", expr.line
+                    )
+                if target_type.is_arith:
+                    self._require_arith(value_type, expr.value)
+            else:
+                self._require_arith(target_type, expr.target)
+                self._require_arith(value_type, expr.value)
+        return target_type
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _intern_string(self, literal: ast.StringLiteral) -> str:
+        data = literal.value.encode("latin-1") + b"\x00"
+        for label, existing in self.result.strings.items():
+            if existing == data:
+                literal.symbol = label
+                return label
+        self._string_counter += 1
+        label = f"$str{self._string_counter}"
+        self.result.strings[label] = data
+        literal.symbol = label
+        return label
+
+    def _require_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Identifier):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        if isinstance(expr, ast.Index):
+            return
+        if isinstance(expr, ast.Member):
+            return
+        raise SemanticError("expression is not assignable", expr.line)
+
+    def _mark_addr_taken(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Identifier) and expr.symbol is not None:
+            expr.symbol.addr_taken = True
+        elif isinstance(expr, ast.Member) and not expr.is_arrow:
+            self._mark_addr_taken(expr.object)
+
+    @staticmethod
+    def _require_arith(ctype: CType, expr: ast.Expr) -> None:
+        if not ctype.decay().is_arith:
+            raise SemanticError("expected an arithmetic value", expr.line)
+
+    @staticmethod
+    def _require_scalar(ctype: CType, expr: ast.Expr) -> None:
+        if not ctype.decay().is_scalar:
+            raise SemanticError("expected a scalar value", expr.line)
+
+
+def analyze(unit: ast.TranslationUnit) -> SemaResult:
+    """Run semantic analysis over a parsed translation unit."""
+    return Analyzer().analyze(unit)

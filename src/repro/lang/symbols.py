@@ -1,0 +1,128 @@
+"""Symbols and scopes for Mini-C semantic analysis."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .ctypes import CType
+from .errors import SemanticError
+
+
+class Symbol:
+    """A declared variable (global, local or parameter)."""
+
+    __slots__ = ("name", "ctype", "kind", "addr_taken", "unique_name")
+
+    def __init__(self, name: str, ctype: CType, kind: str):
+        if kind not in ("global", "local", "param"):
+            raise ValueError(f"bad symbol kind {kind!r}")
+        self.name = name
+        self.ctype = ctype
+        self.kind = kind
+        # arrays and structs always live in memory
+        self.addr_taken = ctype.is_array or ctype.is_struct
+        #: Disambiguated name used by codegen (globals keep their own name).
+        self.unique_name = name
+
+    def __repr__(self) -> str:
+        return f"<Symbol {self.kind} {self.name}: {self.ctype!r}>"
+
+
+class FunctionInfo:
+    """Signature and definition status of a function."""
+
+    __slots__ = ("name", "return_type", "param_types", "defined", "is_builtin")
+
+    def __init__(
+        self,
+        name: str,
+        return_type: CType,
+        param_types: Tuple[CType, ...],
+        defined: bool = False,
+        is_builtin: bool = False,
+    ):
+        self.name = name
+        self.return_type = return_type
+        self.param_types = param_types
+        self.defined = defined
+        self.is_builtin = is_builtin
+
+    def __repr__(self) -> str:
+        return f"<FunctionInfo {self.name}/{len(self.param_types)}>"
+
+
+#: Built-in functions lowered directly to syscall nodes by codegen.
+BUILTINS: Dict[str, FunctionInfo] = {
+    "getc": FunctionInfo("getc", CType.int_(), (CType.int_(),), True, True),
+    "putc": FunctionInfo(
+        "putc", CType.void(), (CType.int_(), CType.int_()), True, True
+    ),
+    "exit": FunctionInfo("exit", CType.void(), (CType.int_(),), True, True),
+    "sbrk": FunctionInfo(
+        "sbrk", CType.pointer(CType.char()), (CType.int_(),), True, True
+    ),
+    "read": FunctionInfo(
+        "read",
+        CType.int_(),
+        (CType.int_(), CType.pointer(CType.char()), CType.int_()),
+        True,
+        True,
+    ),
+    "write": FunctionInfo(
+        "write",
+        CType.int_(),
+        (CType.int_(), CType.pointer(CType.char()), CType.int_()),
+        True,
+        True,
+    ),
+}
+
+
+class Scope:
+    """A lexical scope mapping names to symbols."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, Symbol] = {}
+
+    def declare(self, symbol: Symbol, line: int = 0) -> None:
+        if symbol.name in self.symbols:
+            raise SemanticError(f"redefinition of {symbol.name!r}", line)
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class ScopeStack:
+    """Function-body scope management with unique local naming."""
+
+    def __init__(self, global_scope: Scope):
+        self.global_scope = global_scope
+        self.scopes: List[Scope] = [global_scope]
+        self._counter = 0
+        self.all_locals: List[Symbol] = []
+
+    def push(self) -> None:
+        self.scopes.append(Scope(self.scopes[-1]))
+
+    def pop(self) -> None:
+        if len(self.scopes) == 1:
+            raise RuntimeError("cannot pop the global scope")
+        self.scopes.pop()
+
+    def declare_local(self, name: str, ctype: CType, kind: str, line: int = 0) -> Symbol:
+        symbol = Symbol(name, ctype, kind)
+        self._counter += 1
+        symbol.unique_name = f"{name}.{self._counter}"
+        self.scopes[-1].declare(symbol, line)
+        self.all_locals.append(symbol)
+        return symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        return self.scopes[-1].lookup(name)

@@ -1,0 +1,101 @@
+"""Token definitions for the Mini-C front end."""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Union
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    CHAR = "char"
+    STRING = "string"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "switch",
+        "struct",
+        "case",
+        "default",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can greedily match.
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "->",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    "?",
+    ":",
+    ".",
+)
+
+
+class Token(NamedTuple):
+    """A single lexical token with its source position."""
+
+    type: TokenType
+    value: Union[str, int]
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

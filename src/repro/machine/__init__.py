@@ -1,0 +1,51 @@
+"""Machine models: configuration space, memory system, predictors, engines."""
+
+from .cache import Cache, MemorySystem
+from .config import (
+    BranchMode,
+    Discipline,
+    FIGURE4_MEMORY_ORDER,
+    ISSUE_MODELS,
+    IssueModel,
+    MEMORY_CONFIGS,
+    MachineConfig,
+    MemoryConfig,
+    WINDOW_SIZES,
+    full_configuration_space,
+    scheduling_disciplines,
+)
+from .dynamic import DynamicEngine
+from .predictor import BranchPredictor
+from .simulator import (
+    PreparedWorkload,
+    WorkloadMismatch,
+    prepare_workload,
+    simulate,
+)
+from .static_engine import StaticEngine
+from .templates import BlockTemplate, build_templates
+
+__all__ = [
+    "BlockTemplate",
+    "BranchMode",
+    "BranchPredictor",
+    "Cache",
+    "Discipline",
+    "DynamicEngine",
+    "FIGURE4_MEMORY_ORDER",
+    "ISSUE_MODELS",
+    "IssueModel",
+    "MEMORY_CONFIGS",
+    "MachineConfig",
+    "MemorySystem",
+    "MemoryConfig",
+    "PreparedWorkload",
+    "StaticEngine",
+    "WINDOW_SIZES",
+    "WorkloadMismatch",
+    "build_templates",
+    "full_configuration_space",
+    "prepare_workload",
+    "scheduling_disciplines",
+    "simulate",
+]

@@ -1,0 +1,121 @@
+"""Two-way set-associative cache model (16-byte blocks, LRU).
+
+Matches the paper's cache organisation: 2-way set associative, 16-byte
+block size, with 1K and 16K capacities studied.  Only hit/miss behaviour
+is modelled -- latency is applied by the timing engines, and the memory
+system is fully pipelined so a probe never blocks later probes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import CACHE_BLOCK_BYTES, CACHE_WAYS, MemoryConfig
+
+
+class Cache:
+    """Hit/miss state for one cache instance."""
+
+    __slots__ = ("sets", "set_mask", "_way0", "_way1", "accesses", "misses")
+
+    def __init__(self, size_bytes: int):
+        sets = size_bytes // (CACHE_BLOCK_BYTES * CACHE_WAYS)
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError(f"cache size {size_bytes} gives non-power-of-2 sets")
+        self.sets = sets
+        self.set_mask = sets - 1
+        # way0 holds the most recently used tag of each set.
+        self._way0 = [-1] * sets
+        self._way1 = [-1] * sets
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Probe (and fill) the line containing ``address``; True on hit."""
+        line = address // CACHE_BLOCK_BYTES
+        index = line & self.set_mask
+        tag = line >> 0  # full line id doubles as the tag
+        self.accesses += 1
+        way0 = self._way0
+        way1 = self._way1
+        if way0[index] == tag:
+            return True
+        if way1[index] == tag:
+            # Promote to MRU.
+            way1[index] = way0[index]
+            way0[index] = tag
+            return True
+        self.misses += 1
+        way1[index] = way0[index]
+        way0[index] = tag
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes that hit (1.0 when never probed)."""
+        if self.accesses == 0:
+            return 1.0
+        return 1.0 - self.misses / self.accesses
+
+
+class MemorySystem:
+    """Latency model combining write buffer, cache and backing memory.
+
+    The write buffer is a small fully-associative structure in front of
+    the cache (the paper notes it "acts as a fully associative cache
+    previous to this cache, so hit ratios are higher than might be
+    expected"): loads that hit a line recently written see the hit
+    latency without probing the cache.
+    """
+
+    __slots__ = ("config", "cache", "_wb_lines", "_wb_order", "wb_capacity",
+                 "load_count", "store_count", "wb_hits")
+
+    def __init__(self, config: MemoryConfig, write_buffer_lines: int = 16):
+        self.config = config
+        self.cache: Optional[Cache] = (
+            None if config.is_perfect else Cache(config.cache_bytes)
+        )
+        self.wb_capacity = write_buffer_lines
+        self._wb_lines = set()
+        self._wb_order = []
+        self.load_count = 0
+        self.store_count = 0
+        self.wb_hits = 0
+
+    # ------------------------------------------------------------------
+    def _wb_insert(self, line: int) -> None:
+        if line in self._wb_lines:
+            return
+        self._wb_lines.add(line)
+        self._wb_order.append(line)
+        if len(self._wb_order) > self.wb_capacity:
+            evicted = self._wb_order.pop(0)
+            self._wb_lines.discard(evicted)
+
+    def load_latency(self, address: int) -> int:
+        """Latency in cycles for a load of ``address``."""
+        self.load_count += 1
+        config = self.config
+        if self.cache is None:
+            return config.hit_cycles
+        line = address // CACHE_BLOCK_BYTES
+        if line in self._wb_lines:
+            self.wb_hits += 1
+            return config.hit_cycles
+        if self.cache.access(address):
+            return config.hit_cycles
+        return config.miss_cycles
+
+    def store_access(self, address: int) -> None:
+        """Record a store: fills the write buffer and the cache.
+
+        Stores never stall the machine in this model (they drain from the
+        write buffer); only their hit statistics and their effect on later
+        loads are tracked.
+        """
+        self.store_count += 1
+        if self.cache is not None:
+            line = address // CACHE_BLOCK_BYTES
+            self._wb_insert(line)
+            self.cache.access(address)

@@ -1,0 +1,210 @@
+"""Machine configuration space: the paper's four parameter axes.
+
+The simulation study varies scheduling discipline, issue model, memory
+configuration and branch handling; with the 100% prediction runs limited
+to dynamic windows of 4 and 256 this yields the paper's 560 data points
+per benchmark (10 discipline/branch lines x 8 issue models x 7 memory
+configurations).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class Discipline(enum.Enum):
+    """Scheduling discipline."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+class BranchMode(enum.Enum):
+    """Branch-handling axis.
+
+    ``PERFECT`` uses the enlarged program (the paper fed the enlargement
+    file to both the enlarged and the perfect-prediction studies) with a
+    trace-driven oracle for every branch-trap prediction.
+    """
+
+    SINGLE = "single"
+    ENLARGED = "enlarged"
+    PERFECT = "perfect"
+
+
+@dataclass(frozen=True)
+class IssueModel:
+    """How many nodes of each class issue per cycle.
+
+    ``sequential`` marks the paper's issue model 1, which issues a single
+    node of any class per cycle.
+    """
+
+    index: int
+    mem_slots: int
+    alu_slots: int
+    sequential: bool = False
+
+    @property
+    def total_slots(self) -> int:
+        return 1 if self.sequential else self.mem_slots + self.alu_slots
+
+    def __str__(self) -> str:
+        if self.sequential:
+            return "seq"
+        return f"{self.mem_slots}M+{self.alu_slots}A"
+
+
+#: The paper's eight issue models, keyed by their index, plus two wider
+#: extension models (9, 10) for the "wider multinodewords put more
+#: pressure on both the hardware and the compiler" future-work study;
+#: the extensions are excluded from the paper's 560-point space.
+ISSUE_MODELS: Dict[int, IssueModel] = {
+    1: IssueModel(1, 1, 1, sequential=True),
+    2: IssueModel(2, 1, 1),
+    3: IssueModel(3, 1, 2),
+    4: IssueModel(4, 1, 3),
+    5: IssueModel(5, 2, 4),
+    6: IssueModel(6, 2, 6),
+    7: IssueModel(7, 4, 8),
+    8: IssueModel(8, 4, 12),
+    9: IssueModel(9, 8, 24),
+    10: IssueModel(10, 16, 48),
+}
+
+#: Issue-model indices used by the paper's study.
+PAPER_ISSUE_MODELS = tuple(range(1, 9))
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Memory-hierarchy parameters.
+
+    ``cache_bytes`` of None means a perfect memory with constant
+    ``hit_cycles`` latency.  All caches are 2-way set associative with
+    16-byte blocks, and every miss costs ``miss_cycles``; the memory
+    system is fully pipelined.
+    """
+
+    letter: str
+    hit_cycles: int
+    miss_cycles: int
+    cache_bytes: Optional[int]
+
+    @property
+    def is_perfect(self) -> bool:
+        return self.cache_bytes is None
+
+    def __str__(self) -> str:
+        if self.is_perfect:
+            return f"{self.letter}({self.hit_cycles}cyc)"
+        return (
+            f"{self.letter}({self.hit_cycles}/{self.miss_cycles}cyc,"
+            f"{self.cache_bytes // 1024}K)"
+        )
+
+
+#: The paper's seven memory configurations, keyed by letter.
+MEMORY_CONFIGS: Dict[str, MemoryConfig] = {
+    "A": MemoryConfig("A", 1, 1, None),
+    "B": MemoryConfig("B", 2, 2, None),
+    "C": MemoryConfig("C", 3, 3, None),
+    "D": MemoryConfig("D", 1, 10, 1024),
+    "E": MemoryConfig("E", 1, 10, 16 * 1024),
+    "F": MemoryConfig("F", 2, 10, 1024),
+    "G": MemoryConfig("G", 2, 10, 16 * 1024),
+}
+
+#: Horizontal-axis order used by the paper's Figure 4 (1-cycle memories
+#: with decreasing locality, then 2-cycle, then 3-cycle).
+FIGURE4_MEMORY_ORDER = ("A", "E", "D", "B", "G", "F", "C")
+
+#: Dynamic window sizes studied (in active basic blocks).
+WINDOW_SIZES = (1, 4, 256)
+
+CACHE_BLOCK_BYTES = 16
+CACHE_WAYS = 2
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One point in the simulated configuration space."""
+
+    discipline: Discipline
+    issue_model: int
+    memory: str
+    branch_mode: BranchMode
+    window_blocks: int = 1
+    static_hints: bool = True
+    #: ablation axis beyond the paper: see repro.machine.predictor
+    predictor: str = "twobit"
+
+    def __post_init__(self) -> None:
+        from .predictor import PREDICTOR_KINDS
+
+        if self.predictor not in PREDICTOR_KINDS:
+            raise ValueError(f"unknown predictor kind {self.predictor!r}")
+        if self.issue_model not in ISSUE_MODELS:
+            raise ValueError(f"unknown issue model {self.issue_model}")
+        if self.memory not in MEMORY_CONFIGS:
+            raise ValueError(f"unknown memory configuration {self.memory!r}")
+        if self.discipline is Discipline.DYNAMIC:
+            if self.window_blocks < 1:
+                raise ValueError("window must be at least one block")
+        if (
+            self.branch_mode is BranchMode.PERFECT
+            and self.discipline is not Discipline.DYNAMIC
+        ):
+            raise ValueError("perfect prediction is studied on dynamic machines")
+
+    @property
+    def issue(self) -> IssueModel:
+        return ISSUE_MODELS[self.issue_model]
+
+    @property
+    def memory_config(self) -> MemoryConfig:
+        return MEMORY_CONFIGS[self.memory]
+
+    def discipline_key(self) -> str:
+        """Short name of the scheduling-discipline line this point is on.
+
+        These are the line labels of the paper's Figures 3, 4 and 6, e.g.
+        ``static/single`` or ``dyn4/enlarged`` or ``dyn256/perfect``.
+        """
+        if self.discipline is Discipline.STATIC:
+            base = "static"
+        else:
+            base = f"dyn{self.window_blocks}"
+        return f"{base}/{self.branch_mode.value}"
+
+    def __str__(self) -> str:
+        return f"{self.discipline_key()}/{self.issue}/{self.memory}"
+
+
+def scheduling_disciplines() -> Tuple[Tuple[Discipline, int, BranchMode], ...]:
+    """The paper's ten discipline/branch-handling lines."""
+    lines = []
+    for mode in (BranchMode.SINGLE, BranchMode.ENLARGED):
+        lines.append((Discipline.STATIC, 1, mode))
+        for window in WINDOW_SIZES:
+            lines.append((Discipline.DYNAMIC, window, mode))
+    for window in (4, 256):
+        lines.append((Discipline.DYNAMIC, window, BranchMode.PERFECT))
+    return tuple(lines)
+
+
+def full_configuration_space() -> Iterator[MachineConfig]:
+    """All 560 configurations of the paper's study."""
+    for (discipline, window, mode), issue, memory in itertools.product(
+        scheduling_disciplines(), PAPER_ISSUE_MODELS, MEMORY_CONFIGS
+    ):
+        yield MachineConfig(
+            discipline=discipline,
+            issue_model=issue,
+            memory=memory,
+            branch_mode=mode,
+            window_blocks=window,
+        )

@@ -1,0 +1,407 @@
+"""The dynamically scheduled (restricted-dataflow) timing engine.
+
+Replays a functional trace against an HPS-style machine: nodes are issued
+in program order in multi-node words, decoupled immediately, and
+scheduled to function units as their operands (registers and memory
+locations) become ready -- an unlimited-renaming dataflow model with
+per-cycle function-unit limits equal to the issue-word shape, a window
+bounded in *active basic blocks*, in-order block retirement, speculative
+fetch past predicted branches, and full squash on mispredictions and
+enlarged-block faults.
+
+Modelling notes (documented deltas from real hardware, see DESIGN.md):
+
+* cache probes happen in issue order rather than execution order;
+* wrong-path memory operations see hit latency and do not pollute the
+  cache;
+* squashed nodes do not release the function-unit slots they reserved
+  before the squash (slots for nodes that would execute after the squash
+  are never reserved).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from ..interp.trace import TAKEN, Trace
+from ..isa.ops import NodeKind
+from ..stats.results import SimResult
+from .cache import MemorySystem
+from .config import BranchMode, MachineConfig
+from .predictor import BranchPredictor, make_predictor
+from .templates import (
+    BlockTemplate,
+    T_ALU,
+    T_ASSERT,
+    T_BRANCH,
+    T_CONTROL,
+    T_LOAD,
+    T_STORE,
+    T_SYSCALL,
+)
+
+#: Cycles between a resolving squash and the start of correct-path fetch
+#: (the first issue word opens one cycle later).
+REDIRECT_PENALTY = 1
+
+#: Fetch budget for one wrong-path excursion, in blocks.
+_WRONG_PATH_BLOCK_LIMIT = 64
+
+#: Prune the per-cycle slot tables when they grow past this many entries.
+_SLOT_PRUNE_THRESHOLD = 1_000_000
+
+
+class DynamicEngine:
+    """One trace replay on one dynamic machine configuration."""
+
+    def __init__(self, templates: Dict[str, BlockTemplate], trace: Trace,
+                 config: MachineConfig, benchmark: str = ""):
+        self.templates = templates
+        self.trace = trace
+        self.config = config
+        self.benchmark = benchmark
+        issue = config.issue
+        self.sequential = issue.sequential
+        self.mem_limit = issue.mem_slots
+        self.alu_limit = issue.alu_slots
+        self.window = config.window_blocks
+        self.perfect = config.branch_mode is BranchMode.PERFECT
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        templates = self.templates
+        trace = self.trace
+        tmpl_of: List[BlockTemplate] = [templates[label] for label in trace.labels]
+        block_ids = trace.block_ids
+        outcomes = trace.outcomes
+        fault_indices = trace.fault_indices
+        addresses = trace.addresses
+
+        memsys = MemorySystem(self.config.memory_config)
+        predictor = make_predictor(self.config.predictor, self.config.static_hints)
+        perfect = self.perfect
+        sequential = self.sequential
+        mem_limit = self.mem_limit
+        alu_limit = self.alu_limit
+        window_size = self.window
+
+        reg_ready = [0] * 64
+        store_time: Dict[int, int] = {}
+        load_time: Dict[int, int] = {}
+        alu_used: Dict[int, int] = {}
+        mem_used: Dict[int, int] = {}
+
+        fetch_cycle = 0
+        word_mem_left = 0
+        word_alu_left = 0
+        window_retires: deque = deque()
+
+        retired_nodes = 0
+        discarded_nodes = 0
+        faults = 0
+        prev_retire = 0
+        max_cycle = 0
+        addr_cursor = 0
+        exec_times: List[int] = []
+
+        for position in range(len(block_ids)):
+            tmpl = tmpl_of[block_ids[position]]
+
+            # Window gating: a new block may not begin issue until the
+            # block `window_size` older has retired (or been squashed).
+            if len(window_retires) >= window_size:
+                freed = window_retires.popleft()
+                if freed + 1 > fetch_cycle:
+                    fetch_cycle = freed + 1
+                    word_mem_left = 0
+                    word_alu_left = 0
+
+            fault_index = fault_indices[position]
+            fault_time = -1
+            branch_exec = -1
+            block_complete = 0
+            del exec_times[:]
+            # Each basic block is issued as its own unit of work: a new
+            # issue word opens at every block boundary.  Small blocks
+            # therefore waste issue slots -- the issue-bandwidth problem
+            # basic block enlargement exists to solve.
+            word_mem_left = 0
+            word_alu_left = 0
+
+            for index, (cls, dest, srcs) in enumerate(tmpl.nodes):
+                # ---- issue slot -------------------------------------
+                if cls != T_SYSCALL:
+                    if sequential:
+                        issue_cycle = fetch_cycle
+                        fetch_cycle += 1
+                    else:
+                        if cls == T_LOAD or cls == T_STORE:
+                            if word_mem_left <= 0:
+                                fetch_cycle += 1
+                                word_mem_left = mem_limit
+                                word_alu_left = alu_limit
+                            word_mem_left -= 1
+                        else:
+                            if word_alu_left <= 0:
+                                fetch_cycle += 1
+                                word_mem_left = mem_limit
+                                word_alu_left = alu_limit
+                            word_alu_left -= 1
+                        issue_cycle = fetch_cycle
+                else:
+                    issue_cycle = fetch_cycle
+
+                # ---- operand readiness ------------------------------
+                ready = issue_cycle + 1
+                for src in srcs:
+                    r = reg_ready[src]
+                    if r > ready:
+                        ready = r
+
+                # ---- schedule to a function unit --------------------
+                if cls == T_LOAD:
+                    addr = addresses[addr_cursor]
+                    addr_cursor += 1
+                    word = addr >> 2
+                    st = store_time.get(word)
+                    if st is not None and st > ready:
+                        ready = st
+                    t = ready
+                    while mem_used.get(t, 0) >= mem_limit:
+                        t += 1
+                    mem_used[t] = mem_used.get(t, 0) + 1
+                    lt = load_time.get(word)
+                    if lt is None or t > lt:
+                        load_time[word] = t
+                    done = t + memsys.load_latency(addr)
+                elif cls == T_STORE:
+                    addr = addresses[addr_cursor]
+                    addr_cursor += 1
+                    word = addr >> 2
+                    lt = load_time.get(word)
+                    if lt is not None and lt > ready:
+                        ready = lt
+                    st = store_time.get(word)
+                    if st is not None and st > ready:
+                        ready = st
+                    t = ready
+                    while mem_used.get(t, 0) >= mem_limit:
+                        t += 1
+                    mem_used[t] = mem_used.get(t, 0) + 1
+                    memsys.store_access(addr)
+                    done = t + 1
+                    store_time[word] = done
+                elif cls == T_SYSCALL:
+                    t = ready
+                    done = t + 1
+                else:  # ALU, CONTROL, BRANCH, ASSERT
+                    t = ready
+                    while alu_used.get(t, 0) >= alu_limit:
+                        t += 1
+                    alu_used[t] = alu_used.get(t, 0) + 1
+                    done = t + 1
+                    if cls == T_BRANCH:
+                        branch_exec = t
+                    elif cls == T_ASSERT and index == fault_index:
+                        fault_time = t
+
+                if dest >= 0:
+                    reg_ready[dest] = done
+                exec_times.append(t)
+                if done > block_complete:
+                    block_complete = done
+
+            # ---- end of block: faults, branches, retirement ---------
+            if fault_time >= 0:
+                # The whole block is discarded.  Nodes that reached a
+                # function unit by the fault's resolution count as
+                # executed-but-not-retired work.
+                faults += 1
+                for index, t in enumerate(exec_times):
+                    if t <= fault_time and tmpl.nodes[index][0] != T_SYSCALL:
+                        discarded_nodes += 1
+                if not perfect:
+                    discarded_nodes += self._wrong_path_issue(
+                        self._predicted_successor(tmpl, predictor),
+                        fetch_cycle + 1,
+                        fault_time + 1,
+                        window_retires,
+                        reg_ready,
+                        predictor,
+                        alu_used,
+                        mem_used,
+                    )
+                fetch_cycle = fault_time + REDIRECT_PENALTY
+                word_mem_left = 0
+                word_alu_left = 0
+                window_retires.append(fault_time)
+                if fault_time > max_cycle:
+                    max_cycle = fault_time
+                continue
+
+            if tmpl.has_branch:
+                actual_taken = outcomes[position] == TAKEN
+                if perfect:
+                    predicted = actual_taken
+                else:
+                    predicted = predictor.predict(tmpl.label, tmpl.static_hint)
+                    predictor.update(tmpl.label, actual_taken, predicted)
+                if predicted != actual_taken:
+                    wrong_target = (
+                        tmpl.branch_taken if predicted else tmpl.branch_alt
+                    )
+                    discarded_nodes += self._wrong_path_issue(
+                        wrong_target,
+                        fetch_cycle + 1,
+                        branch_exec + 1,
+                        window_retires,
+                        reg_ready,
+                        predictor,
+                        alu_used,
+                        mem_used,
+                    )
+                    fetch_cycle = branch_exec + REDIRECT_PENALTY
+                    word_mem_left = 0
+                    word_alu_left = 0
+
+            retire = block_complete if block_complete > prev_retire else prev_retire
+            prev_retire = retire
+            # The window slot is reclaimed once every node of the block has
+            # been *scheduled* (dispatched to a function unit) -- the node
+            # table entries, not the retirement commit, are what bounds
+            # fetch in an HPS-style machine.  Retirement stays in order for
+            # the statistics above.
+            last_scheduled = max(exec_times) if exec_times else fetch_cycle
+            window_retires.append(last_scheduled)
+            retired_nodes += tmpl.n_datapath
+            if retire > max_cycle:
+                max_cycle = retire
+
+            # Keep the per-cycle slot tables bounded.
+            if len(alu_used) > _SLOT_PRUNE_THRESHOLD:
+                horizon = fetch_cycle
+                alu_used = {c: n for c, n in alu_used.items() if c >= horizon}
+                mem_used = {c: n for c, n in mem_used.items() if c >= horizon}
+
+        cache = memsys.cache
+        return SimResult(
+            benchmark=self.benchmark,
+            config=self.config,
+            cycles=max(max_cycle, 1),
+            retired_nodes=retired_nodes,
+            discarded_nodes=discarded_nodes,
+            dynamic_blocks=len(block_ids),
+            mispredicts=predictor.mispredicts,
+            branch_lookups=predictor.lookups,
+            faults=faults,
+            loads=memsys.load_count,
+            stores=memsys.store_count,
+            cache_accesses=cache.accesses if cache else 0,
+            cache_misses=cache.misses if cache else 0,
+            write_buffer_hits=memsys.wb_hits,
+        )
+
+    # ------------------------------------------------------------------
+    def _predicted_successor(self, tmpl: BlockTemplate,
+                             predictor: BranchPredictor) -> Optional[str]:
+        """Where fetch would go after ``tmpl`` on the predicted path."""
+        if tmpl.has_branch:
+            taken = predictor.peek(tmpl.label, tmpl.static_hint)
+            return tmpl.branch_taken if taken else tmpl.branch_alt
+        if tmpl.term_kind in (NodeKind.JUMP, NodeKind.CALL):
+            return tmpl.control_target
+        if tmpl.term_kind is NodeKind.SYSCALL:
+            return tmpl.control_target  # None for EXIT
+        return None  # RET: the return stack redirects; treat as fetch stall
+
+    def _wrong_path_issue(self, start_label: Optional[str], start_cycle: int,
+                          until_cycle: int, window_retires: deque,
+                          reg_ready: List[int], predictor: BranchPredictor,
+                          alu_used: Dict[int, int],
+                          mem_used: Dict[int, int]) -> int:
+        """Issue and schedule wrong-path work; returns nodes executed.
+
+        Wrong-path nodes consume issue bandwidth and function-unit slots
+        until the squash at ``until_cycle``; their register results live
+        in an overlay so the architectural ready times are untouched.
+        """
+        if start_label is None or start_cycle > until_cycle:
+            return 0
+        sequential = self.sequential
+        mem_limit = self.mem_limit
+        alu_limit = self.alu_limit
+        window_size = self.window
+        templates = self.templates
+
+        overlay: Dict[int, int] = {}
+        executed = 0
+        cycle = start_cycle
+        word_mem_left = 0
+        word_alu_left = 0
+        label = start_label
+        blocks_fetched = 0
+        hit_latency = self.config.memory_config.hit_cycles
+
+        while label is not None and cycle <= until_cycle:
+            blocks_fetched += 1
+            if blocks_fetched > _WRONG_PATH_BLOCK_LIMIT:
+                break
+            # Window room: real unretired blocks plus wrong-path blocks.
+            active_real = sum(1 for r in window_retires if r > cycle) + 1
+            if active_real + blocks_fetched - 1 >= window_size:
+                break
+            tmpl = templates.get(label)
+            if tmpl is None:
+                break
+            word_mem_left = 0  # each block opens a fresh issue word
+            word_alu_left = 0
+            for cls, dest, srcs in tmpl.nodes:
+                if cls == T_SYSCALL:
+                    continue
+                if sequential:
+                    issue_cycle = cycle
+                    cycle += 1
+                else:
+                    if cls == T_LOAD or cls == T_STORE:
+                        if word_mem_left <= 0:
+                            cycle += 1
+                            word_mem_left = mem_limit
+                            word_alu_left = alu_limit
+                        word_mem_left -= 1
+                    else:
+                        if word_alu_left <= 0:
+                            cycle += 1
+                            word_mem_left = mem_limit
+                            word_alu_left = alu_limit
+                        word_alu_left -= 1
+                    issue_cycle = cycle
+                if issue_cycle > until_cycle:
+                    return executed
+                ready = issue_cycle + 1
+                for src in srcs:
+                    r = overlay.get(src)
+                    if r is None:
+                        r = reg_ready[src]
+                    if r > ready:
+                        ready = r
+                if cls == T_LOAD or cls == T_STORE:
+                    t = ready
+                    while mem_used.get(t, 0) >= mem_limit:
+                        t += 1
+                    if t <= until_cycle:
+                        mem_used[t] = mem_used.get(t, 0) + 1
+                        executed += 1
+                    done = t + (hit_latency if cls == T_LOAD else 1)
+                else:
+                    t = ready
+                    while alu_used.get(t, 0) >= alu_limit:
+                        t += 1
+                    if t <= until_cycle:
+                        alu_used[t] = alu_used.get(t, 0) + 1
+                        executed += 1
+                    done = t + 1
+                if dest >= 0:
+                    overlay[dest] = done
+            label = self._predicted_successor(tmpl, predictor)
+        return executed

@@ -1,0 +1,166 @@
+"""The statically scheduled (in-order, exposed-pipeline) timing engine.
+
+Replays a trace over the list-scheduled program: one instruction word may
+issue per cycle; a word stalls until every operand of every node in it is
+ready (the hardware interlock), so cache misses beyond the compiler's
+assumed hit latency surface as issue stalls at the consumer.  Speculative
+execution fetches one predicted word past an unresolved branch; on a
+misprediction that word is squashed and fetch redirects, and a signalling
+assert discards its whole (enlarged) block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..interp.trace import TAKEN, Trace
+from ..isa.ops import NodeKind
+from ..stats.results import SimResult
+from .cache import MemorySystem
+from .config import MachineConfig
+from .predictor import BranchPredictor, make_predictor
+from .templates import (
+    BlockTemplate,
+    T_ASSERT,
+    T_BRANCH,
+    T_LOAD,
+    T_STORE,
+    T_SYSCALL,
+)
+from ..sched.list_scheduler import ScheduledBlock
+
+#: Issue cycles lost redirecting fetch after a squash.
+REDIRECT_PENALTY = 2
+
+
+class StaticEngine:
+    """One trace replay on one static machine configuration."""
+
+    def __init__(self, templates: Dict[str, BlockTemplate],
+                 schedules: Dict[str, ScheduledBlock], trace: Trace,
+                 config: MachineConfig, benchmark: str = ""):
+        self.templates = templates
+        self.schedules = schedules
+        self.trace = trace
+        self.config = config
+        self.benchmark = benchmark
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        templates = self.templates
+        schedules = self.schedules
+        trace = self.trace
+        tmpl_of: List[BlockTemplate] = [templates[label] for label in trace.labels]
+        sched_of: List[ScheduledBlock] = [schedules[label] for label in trace.labels]
+        block_ids = trace.block_ids
+        outcomes = trace.outcomes
+        fault_indices = trace.fault_indices
+        addresses = trace.addresses
+
+        memsys = MemorySystem(self.config.memory_config)
+        predictor = make_predictor(self.config.predictor, self.config.static_hints)
+
+        reg_ready = [0] * 64
+        cycle = 0  # issue cycle of the most recent word
+        retired_nodes = 0
+        discarded_nodes = 0
+        faults = 0
+        max_cycle = 0
+        addr_cursor = 0
+
+        for position in range(len(block_ids)):
+            tmpl = tmpl_of[block_ids[position]]
+            sched = sched_of[block_ids[position]]
+            nodes = tmpl.nodes
+            fault_index = fault_indices[position]
+            addr_base = addr_cursor
+            addr_cursor += tmpl.n_mem
+
+            branch_exec = -1
+            fault_exec = -1
+            issued_datapath = 0
+            block_complete = 0
+
+            for word in sched.words:
+                issue = cycle + 1
+                for index in word:
+                    for src in nodes[index][2]:
+                        r = reg_ready[src]
+                        if r > issue:
+                            issue = r
+                for index in word:
+                    cls, dest, _ = nodes[index]
+                    if cls == T_LOAD:
+                        addr = addresses[addr_base + sched.mem_rank[index]]
+                        done = issue + memsys.load_latency(addr)
+                    elif cls == T_STORE:
+                        addr = addresses[addr_base + sched.mem_rank[index]]
+                        memsys.store_access(addr)
+                        done = issue + 1
+                    else:
+                        done = issue + 1
+                        if cls == T_BRANCH:
+                            branch_exec = issue
+                        elif cls == T_ASSERT and index == fault_index:
+                            fault_exec = issue
+                    if dest >= 0:
+                        reg_ready[dest] = done
+                    if cls != T_SYSCALL:
+                        issued_datapath += 1
+                    if done > block_complete:
+                        block_complete = done
+                cycle = issue
+                if fault_exec >= 0:
+                    break  # issue stops once the fault resolves
+
+            if fault_exec >= 0:
+                # Enlarged-block fault: everything issued is discarded.
+                faults += 1
+                discarded_nodes += issued_datapath
+                cycle = fault_exec + REDIRECT_PENALTY
+                if cycle > max_cycle:
+                    max_cycle = cycle
+                continue
+
+            retired_nodes += tmpl.n_datapath
+            if block_complete > max_cycle:
+                max_cycle = block_complete
+
+            if tmpl.has_branch:
+                actual_taken = outcomes[position] == TAKEN
+                predicted = predictor.predict(tmpl.label, tmpl.static_hint)
+                predictor.update(tmpl.label, actual_taken, predicted)
+                if predicted != actual_taken:
+                    wrong_target = (
+                        tmpl.branch_taken if predicted else tmpl.branch_alt
+                    )
+                    discarded_nodes += self._squashed_word_nodes(wrong_target)
+                    cycle = branch_exec + REDIRECT_PENALTY
+
+        cache = memsys.cache
+        return SimResult(
+            benchmark=self.benchmark,
+            config=self.config,
+            cycles=max(max_cycle, 1),
+            retired_nodes=retired_nodes,
+            discarded_nodes=discarded_nodes,
+            dynamic_blocks=len(block_ids),
+            mispredicts=predictor.mispredicts,
+            branch_lookups=predictor.lookups,
+            faults=faults,
+            loads=memsys.load_count,
+            stores=memsys.store_count,
+            cache_accesses=cache.accesses if cache else 0,
+            cache_misses=cache.misses if cache else 0,
+            write_buffer_hits=memsys.wb_hits,
+        )
+
+    # ------------------------------------------------------------------
+    def _squashed_word_nodes(self, label: Optional[str]) -> int:
+        """Nodes in the one wrongly fetched word past a mispredict."""
+        if label is None:
+            return 0
+        sched = self.schedules.get(label)
+        if sched is None or not sched.words:
+            return 0
+        return len(sched.words[0])

@@ -1,0 +1,110 @@
+"""Precompiled timing templates for basic blocks.
+
+The timing engines replay traces over millions of nodes; to keep the hot
+loops free of enum dispatch and attribute chasing, each block is compiled
+once into flat tuples of small integers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.ops import NodeKind
+from ..program.block import BasicBlock
+from ..program.program import Program
+
+# Timing node classes.
+T_ALU = 0
+T_LOAD = 1
+T_STORE = 2
+T_BRANCH = 3
+T_ASSERT = 4
+T_CONTROL = 5  # jump / call / ret: ALU-class control transfer
+T_SYSCALL = 6  # no datapath slot, excluded from node statistics
+
+#: Classes that occupy a memory issue slot.
+MEM_CLASSES = frozenset({T_LOAD, T_STORE})
+
+
+class BlockTemplate:
+    """One basic block, flattened for timing replay.
+
+    ``nodes`` holds ``(cls, dest, srcs)`` tuples in issue order
+    (terminator last); ``dest`` is -1 when the node writes no register.
+    """
+
+    __slots__ = (
+        "label",
+        "nodes",
+        "n_datapath",
+        "n_mem",
+        "term_kind",
+        "branch_taken",
+        "branch_alt",
+        "static_hint",
+        "control_target",
+        "call_link",
+        "fault_targets",
+        "is_exit",
+    )
+
+    def __init__(self, block: BasicBlock):
+        self.label = block.label
+        self.nodes: List[Tuple[int, int, Tuple[int, ...]]] = []
+        self.fault_targets: Dict[int, str] = {}
+        self.n_mem = 0
+
+        for index, node in enumerate(block.nodes()):
+            kind = node.kind
+            dest = node.dest if node.dest is not None else -1
+            srcs = node.source_regs()
+            if kind is NodeKind.ALU:
+                cls = T_ALU
+            elif kind is NodeKind.LOAD:
+                cls = T_LOAD
+                self.n_mem += 1
+            elif kind is NodeKind.STORE:
+                cls = T_STORE
+                self.n_mem += 1
+            elif kind is NodeKind.BRANCH:
+                cls = T_BRANCH
+            elif kind is NodeKind.ASSERT:
+                cls = T_ASSERT
+                self.fault_targets[index] = node.target
+            elif kind is NodeKind.SYSCALL:
+                cls = T_SYSCALL
+            else:
+                cls = T_CONTROL
+            self.nodes.append((cls, dest, srcs))
+
+        self.n_datapath = sum(1 for cls, _, _ in self.nodes if cls != T_SYSCALL)
+
+        term = block.terminator
+        self.term_kind = term.kind
+        self.branch_taken: Optional[str] = None
+        self.branch_alt: Optional[str] = None
+        self.static_hint: Optional[bool] = None
+        self.control_target: Optional[str] = None
+        self.call_link: Optional[str] = None
+        self.is_exit = False
+        if term.kind is NodeKind.BRANCH:
+            self.branch_taken = term.target
+            self.branch_alt = term.alt_target
+            self.static_hint = term.expect_taken
+        elif term.kind is NodeKind.JUMP:
+            self.control_target = term.target
+        elif term.kind is NodeKind.CALL:
+            self.control_target = term.target
+            self.call_link = term.alt_target
+        elif term.kind is NodeKind.SYSCALL:
+            self.control_target = term.target  # None for EXIT
+            self.is_exit = term.target is None
+
+    @property
+    def has_branch(self) -> bool:
+        return self.term_kind is NodeKind.BRANCH
+
+
+def build_templates(program: Program) -> Dict[str, BlockTemplate]:
+    """Compile every block of ``program`` into a template."""
+    return {block.label: BlockTemplate(block) for block in program}

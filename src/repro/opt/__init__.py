@@ -1,0 +1,19 @@
+"""Optimisation passes: liveness, local optimisation, CFG simplification."""
+
+from .liveness import LivenessInfo, compute_liveness
+from .localopt import eliminate_dead, forward_optimize, optimize_block
+from .pipeline import optimize_program
+from .simplify_cfg import merge_chains, remove_unreachable, simplify, thread_jumps
+
+__all__ = [
+    "LivenessInfo",
+    "compute_liveness",
+    "eliminate_dead",
+    "forward_optimize",
+    "merge_chains",
+    "optimize_block",
+    "optimize_program",
+    "remove_unreachable",
+    "simplify",
+    "thread_jumps",
+]

@@ -1,0 +1,307 @@
+"""Local (within-block) optimisations.
+
+These run after code generation and again during basic block enlargement,
+where re-optimising a merged block is exactly the paper's mechanism for
+removing the "artificial flow dependencies" between adjacent blocks.
+
+Passes (applied in one forward scan plus one backward scan per block):
+
+* constant and copy propagation with register versioning,
+* constant folding and algebraic strength reduction,
+* common-subexpression elimination over ALU results,
+* redundant-load elimination with store-to-load forwarding,
+* dead-node elimination against global live-out sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa import node as nd
+from ..isa.intmath import wrap32
+from ..isa.node import Imm, Node, Operand, Reg
+from ..isa.ops import AluOp, NodeKind
+from ..program.block import BasicBlock
+from .liveness import node_uses
+
+
+def _fold(op: AluOp, a: int, b: Optional[int]) -> Optional[int]:
+    """Evaluate an ALU op over constants; None when not foldable."""
+    from ..isa import intmath
+
+    if op is AluOp.MOV:
+        return a
+    if op is AluOp.NOT:
+        return wrap32(~a)
+    if op is AluOp.NEG:
+        return wrap32(-a)
+    if b is None:
+        return None
+    try:
+        table = {
+            AluOp.ADD: lambda: wrap32(a + b),
+            AluOp.SUB: lambda: wrap32(a - b),
+            AluOp.MUL: lambda: wrap32(a * b),
+            AluOp.DIV: lambda: intmath.sdiv32(a, b),
+            AluOp.MOD: lambda: intmath.smod32(a, b),
+            AluOp.AND: lambda: wrap32(a & b),
+            AluOp.OR: lambda: wrap32(a | b),
+            AluOp.XOR: lambda: wrap32(a ^ b),
+            AluOp.SHL: lambda: intmath.shl32(a, b),
+            AluOp.SHR: lambda: intmath.sar32(a, b),
+            AluOp.SHRU: lambda: intmath.shr32(a, b),
+            AluOp.SLT: lambda: int(a < b),
+            AluOp.SLE: lambda: int(a <= b),
+            AluOp.SEQ: lambda: int(a == b),
+            AluOp.SNE: lambda: int(a != b),
+            AluOp.SGT: lambda: int(a > b),
+            AluOp.SGE: lambda: int(a >= b),
+        }
+        return table[op]()
+    except ZeroDivisionError:
+        return None
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class _BlockState:
+    """Forward-scan dataflow state with register versioning."""
+
+    def __init__(self) -> None:
+        self.version: Dict[int, int] = {}
+        self.const: Dict[int, int] = {}
+        #: dest reg -> (src reg, src version) for valid copies
+        self.copies: Dict[int, Tuple[int, int]] = {}
+        #: expression key -> (reg, version-of-reg-at-recording)
+        self.avail: Dict[tuple, Tuple[int, int]] = {}
+        #: memory key -> (reg, version)
+        self.loads: Dict[tuple, Tuple[int, int]] = {}
+
+    def ver(self, reg: int) -> int:
+        return self.version.get(reg, 0)
+
+    def operand_key(self, operand: Operand) -> tuple:
+        if isinstance(operand, Imm):
+            return ("i", operand.value)
+        return ("r", operand.index, self.ver(operand.index))
+
+    def reg_key(self, reg: int) -> tuple:
+        return ("r", reg, self.ver(reg))
+
+    def holds(self, entry: Tuple[int, int]) -> Optional[int]:
+        """Return the register if the recorded value is still current."""
+        reg, version = entry
+        return reg if self.ver(reg) == version else None
+
+    def write(self, reg: int) -> None:
+        self.version[reg] = self.ver(reg) + 1
+        self.const.pop(reg, None)
+        self.copies.pop(reg, None)
+
+    def substitute(self, operand: Optional[Operand]) -> Optional[Operand]:
+        """Rewrite an operand through known constants and copies."""
+        if not isinstance(operand, Reg):
+            return operand
+        reg = operand.index
+        if reg in self.const:
+            return Imm(self.const[reg])
+        if reg in self.copies:
+            src, version = self.copies[reg]
+            if self.ver(src) == version:
+                if src in self.const:
+                    return Imm(self.const[src])
+                return Reg(src)
+        return operand
+
+    def substitute_base(self, base: Optional[int]) -> Optional[int]:
+        """Rewrite a memory base register through valid copies."""
+        if base is None:
+            return None
+        if base in self.copies:
+            src, version = self.copies[base]
+            if self.ver(src) == version:
+                return src
+        return base
+
+
+def _rebuild(node: Node, src1: Optional[Operand], src2: Optional[Operand],
+             base: Optional[int], op: Optional[AluOp] = None) -> Node:
+    """Copy a node with replaced operands (and optionally a new ALU op)."""
+    return Node(
+        node.kind,
+        op=op if op is not None else node.op,
+        dest=node.dest,
+        src1=src1,
+        src2=src2,
+        base=base,
+        offset=node.offset,
+        width=node.width,
+        target=node.target,
+        alt_target=node.alt_target,
+        expect_taken=node.expect_taken,
+        args=node.args,
+    )
+
+
+def _reduce_alu(node: Node) -> Node:
+    """Algebraic simplification of one ALU node (operands already final)."""
+    op = node.op
+    src1, src2 = node.src1, node.src2
+
+    if isinstance(src1, Imm):
+        folded = _fold(op, src1.value, src2.value if isinstance(src2, Imm) else None)
+        if folded is not None and (src2 is None or isinstance(src2, Imm)):
+            return nd.movi(node.dest, folded)
+
+    if src2 is None or not isinstance(src2, Imm):
+        # Try x - x, x ^ x with equal registers.
+        if (
+            isinstance(src1, Reg)
+            and isinstance(src2, Reg)
+            and src1.index == src2.index
+            and op in (AluOp.SUB, AluOp.XOR)
+        ):
+            return nd.movi(node.dest, 0)
+        return node
+
+    value = src2.value
+    if op in (AluOp.ADD, AluOp.SUB, AluOp.OR, AluOp.XOR, AluOp.SHL,
+              AluOp.SHR, AluOp.SHRU) and value == 0:
+        return _rebuild(node, src1, None, None, op=AluOp.MOV)
+    if op is AluOp.MUL:
+        if value == 0:
+            return nd.movi(node.dest, 0)
+        if value == 1:
+            return _rebuild(node, src1, None, None, op=AluOp.MOV)
+        if _is_pow2(value):
+            return _rebuild(node, src1, Imm(value.bit_length() - 1), None,
+                            op=AluOp.SHL)
+    if op is AluOp.DIV and value == 1:
+        return _rebuild(node, src1, None, None, op=AluOp.MOV)
+    if op is AluOp.AND and value == 0:
+        return nd.movi(node.dest, 0)
+    return node
+
+
+def forward_optimize(nodes: List[Node]) -> List[Node]:
+    """Constant/copy propagation, folding, CSE and load reuse over a block.
+
+    Takes the full node list (terminator last) and returns a rewritten
+    list of the same length or shorter (nodes are replaced, never removed
+    here; removal is the backward pass's job).
+    """
+    state = _BlockState()
+    result: List[Node] = []
+
+    for node in nodes:
+        kind = node.kind
+        src1 = state.substitute(node.src1)
+        # Branch/assert conditions must stay in a register.
+        if kind in (NodeKind.BRANCH, NodeKind.ASSERT) and isinstance(src1, Imm):
+            src1 = node.src1
+        src2 = state.substitute(node.src2)
+        base = state.substitute_base(node.base)
+        node = _rebuild(node, src1, src2, base)
+
+        if kind is NodeKind.ALU:
+            node = _reduce_alu(node)
+            dest = node.dest
+            if node.op is AluOp.MOV and isinstance(node.src1, Imm):
+                state.write(dest)
+                state.const[dest] = node.src1.value
+                result.append(node)
+                continue
+            if node.op is AluOp.MOV and isinstance(node.src1, Reg):
+                src = node.src1.index
+                if src == dest:
+                    # Self-copy: keep versioning stable, drop the node.
+                    continue
+                state.write(dest)
+                state.copies[dest] = (src, state.ver(src))
+                result.append(node)
+                continue
+            # CSE over the computed expression.
+            key = (
+                node.op,
+                state.operand_key(node.src1) if node.src1 is not None else None,
+                state.operand_key(node.src2) if node.src2 is not None else None,
+            )
+            hit = state.avail.get(key)
+            if hit is not None:
+                held = state.holds(hit)
+                if held is not None and held != dest:
+                    state.write(dest)
+                    state.copies[dest] = (held, state.ver(held))
+                    result.append(nd.mov(dest, held))
+                    continue
+            state.write(dest)
+            state.avail[key] = (dest, state.ver(dest))
+            result.append(node)
+            continue
+
+        if kind is NodeKind.LOAD:
+            key = ("m", state.reg_key(base), node.offset, node.width)
+            hit = state.loads.get(key)
+            if hit is not None:
+                held = state.holds(hit)
+                if held is not None:
+                    dest = node.dest
+                    if held == dest:
+                        # Reloading a value the register already holds.
+                        continue
+                    state.write(dest)
+                    state.copies[dest] = (held, state.ver(held))
+                    result.append(nd.mov(dest, held))
+                    continue
+            state.write(node.dest)
+            state.loads[key] = (node.dest, state.ver(node.dest))
+            result.append(node)
+            continue
+
+        if kind is NodeKind.STORE:
+            # Conservative: any store invalidates all remembered loads.
+            state.loads.clear()
+            if isinstance(node.src1, Reg):
+                key = ("m", state.reg_key(base), node.offset, node.width)
+                src = node.src1.index
+                state.loads[key] = (src, state.ver(src))
+            result.append(node)
+            continue
+
+        if node.dest is not None:  # syscall result
+            state.write(node.dest)
+        result.append(node)
+
+    return result
+
+
+def eliminate_dead(nodes: List[Node], live_out: Set[int]) -> List[Node]:
+    """Backward dead-node elimination given registers live at block exit."""
+    live = set(live_out)
+    kept_reversed: List[Node] = []
+    for node in reversed(nodes):
+        dest = node.dest_reg()
+        removable = (
+            node.kind in (NodeKind.ALU, NodeKind.LOAD)
+            and dest is not None
+            and dest not in live
+        )
+        if removable:
+            continue
+        kept_reversed.append(node)
+        if dest is not None:
+            live.discard(dest)
+        live.update(node_uses(node))
+    kept_reversed.reverse()
+    return kept_reversed
+
+
+def optimize_block(block: BasicBlock, live_out: Set[int]) -> BasicBlock:
+    """Run the forward and backward local passes over one block."""
+    nodes = forward_optimize(list(block.nodes()))
+    nodes = eliminate_dead(nodes, live_out)
+    if not nodes or not nodes[-1].is_terminator:
+        raise AssertionError(f"optimiser dropped terminator of {block.label}")
+    return block.with_body(nodes[:-1], nodes[-1])

@@ -1,0 +1,28 @@
+"""The standard optimisation pipeline applied to generated programs."""
+
+from __future__ import annotations
+
+from ..program.program import Program
+from .liveness import compute_liveness
+from .localopt import optimize_block
+from .simplify_cfg import simplify
+
+
+def optimize_program(program: Program, rounds: int = 2) -> Program:
+    """Run CFG simplification and local optimisation ``rounds`` times.
+
+    Two rounds are enough in practice: the first round's copy propagation
+    exposes dead moves that the second round's liveness-driven elimination
+    removes; further rounds reach a fixpoint.
+    """
+    for _ in range(max(1, rounds)):
+        program = simplify(program)
+        liveness = compute_liveness(program)
+        replacements = {}
+        for block in program:
+            optimized = optimize_block(block, liveness.live_out[block.label])
+            if optimized is not block:
+                replacements[block.label] = optimized
+        if replacements:
+            program = program.replace_blocks(replacements)
+    return simplify(program)

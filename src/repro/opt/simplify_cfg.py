@@ -1,0 +1,132 @@
+"""Control-flow graph simplification.
+
+Removes the structural noise straight-line code generation leaves behind
+(empty forwarding blocks, unreachable blocks, single-successor chains) so
+that block-size statistics and the enlargement planner see realistic basic
+blocks, comparable to the paper's decompiled object code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..isa.ops import NodeKind
+from ..program.block import BasicBlock
+from ..program.cfg import predecessors, unreachable_labels
+from ..program.program import Program
+
+
+def _forwarding_map(program: Program) -> Dict[str, str]:
+    """Map each empty ``jmp``-only block to its final destination."""
+    direct: Dict[str, str] = {}
+    for block in program:
+        if not block.body and block.terminator.kind is NodeKind.JUMP:
+            direct[block.label] = block.terminator.target
+
+    resolved: Dict[str, str] = {}
+    for label in direct:
+        seen = {label}
+        target = direct[label]
+        while target in direct and target not in seen:
+            seen.add(target)
+            target = direct[target]
+        if target != label:
+            resolved[label] = target
+    return resolved
+
+
+def thread_jumps(program: Program) -> Program:
+    """Redirect control transfers through empty jump-only blocks."""
+    mapping = _forwarding_map(program)
+    # Never redirect away from the entry block.
+    mapping.pop(program.entry, None)
+    if not mapping:
+        return program
+
+    new_blocks: List[BasicBlock] = []
+    for block in program:
+        body = [node.retarget(mapping) for node in block.body]
+        terminator = block.terminator.retarget(mapping)
+        new_blocks.append(BasicBlock(block.label, body, terminator, block.origin))
+    return Program(
+        new_blocks,
+        program.entry,
+        data=program.data,
+        data_size=program.data_size,
+        symbols=program.symbols,
+    )
+
+
+def remove_unreachable(program: Program) -> Program:
+    """Drop blocks not reachable from the entry."""
+    dead: Set[str] = unreachable_labels(program)
+    if not dead:
+        return program
+    kept = [block for block in program if block.label not in dead]
+    return Program(
+        kept,
+        program.entry,
+        data=program.data,
+        data_size=program.data_size,
+        symbols=program.symbols,
+    )
+
+
+def merge_chains(program: Program) -> Program:
+    """Merge ``A -> jmp B`` where B has exactly one predecessor.
+
+    The merged block keeps A's label; every mention of B is gone.  CALL
+    link blocks and syscall continuations are never merged away because
+    their predecessors reach them via non-JUMP terminators.
+    """
+    preds = predecessors(program)
+    merged_into: Dict[str, str] = {}
+    blocks: Dict[str, BasicBlock] = {label: blk for label, blk in program.blocks.items()}
+
+    changed = True
+    while changed:
+        changed = False
+        for label in list(blocks):
+            block = blocks.get(label)
+            if block is None or block.terminator.kind is not NodeKind.JUMP:
+                continue
+            target = block.terminator.target
+            if target == label or target == program.entry:
+                continue
+            target_block = blocks.get(target)
+            if target_block is None:
+                continue
+            if len(preds[target]) != 1:
+                continue
+            # Merge target into block.
+            merged = BasicBlock(
+                block.label,
+                block.body + target_block.body,
+                target_block.terminator,
+                block.origin or target_block.origin,
+            )
+            blocks[label] = merged
+            del blocks[target]
+            # Successor predecessor lists: replace `target` with `label`.
+            for succ in target_block.successor_labels():
+                preds[succ] = [label if p == target else p for p in preds[succ]]
+            merged_into[target] = label
+            changed = True
+    if not merged_into:
+        return program
+    return Program(
+        list(blocks.values()),
+        program.entry,
+        data=program.data,
+        data_size=program.data_size,
+        symbols=program.symbols,
+    )
+
+
+def simplify(program: Program) -> Program:
+    """Run all CFG simplifications to a stable point."""
+    program = thread_jumps(program)
+    program = remove_unreachable(program)
+    program = merge_chains(program)
+    program = remove_unreachable(program)
+    return program

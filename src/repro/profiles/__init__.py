@@ -1,0 +1,5 @@
+"""Profile collection from functional traces."""
+
+from .profile import BranchProfile, annotate_static_hints, build_profile
+
+__all__ = ["BranchProfile", "annotate_static_hints", "build_profile"]

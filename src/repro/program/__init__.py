@@ -1,0 +1,23 @@
+"""Program representation: basic blocks, programs, CFG queries, asm I/O."""
+
+from .block import BasicBlock
+from .program import GLOBAL_BASE, Program, ProgramError
+from .parser import AsmSyntaxError, parse_node, parse_program
+from .printer import format_block, format_node, format_program
+from . import cfg
+from .dot import program_to_dot
+
+__all__ = [
+    "AsmSyntaxError",
+    "BasicBlock",
+    "GLOBAL_BASE",
+    "Program",
+    "ProgramError",
+    "cfg",
+    "format_block",
+    "format_node",
+    "format_program",
+    "parse_node",
+    "program_to_dot",
+    "parse_program",
+]

@@ -1,0 +1,110 @@
+"""Basic blocks: straight-line node sequences with a single terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..isa.node import Node
+from ..isa.ops import IssueClass, NodeKind
+
+
+class BasicBlock:
+    """A labelled sequence of nodes ending in exactly one terminator.
+
+    ``body`` holds the non-terminator nodes (ALU, memory, assert) and
+    ``terminator`` the control-transfer node.  Enlarged blocks additionally
+    carry ``origin``: the sequence of original block labels they were built
+    from (used for statistics and debugging; empty for original blocks).
+    """
+
+    __slots__ = ("label", "body", "terminator", "origin")
+
+    def __init__(
+        self,
+        label: str,
+        body: List[Node],
+        terminator: Node,
+        origin: Tuple[str, ...] = (),
+    ):
+        if not terminator.is_terminator:
+            raise ValueError(
+                f"block {label!r}: terminator node has kind {terminator.kind}"
+            )
+        for node in body:
+            if node.is_terminator:
+                raise ValueError(
+                    f"block {label!r}: terminator kind {node.kind} in body"
+                )
+        self.label = label
+        self.body = body
+        self.terminator = terminator
+        self.origin = origin
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[Node]:
+        """All nodes in order, terminator last."""
+        yield from self.body
+        yield self.terminator
+
+    def __len__(self) -> int:
+        """Total node count including the terminator."""
+        return len(self.body) + 1
+
+    @property
+    def datapath_size(self) -> int:
+        """Number of nodes occupying datapath (ALU or memory) slots."""
+        return sum(1 for n in self.nodes() if n.issue_class is not IssueClass.NONE)
+
+    def successor_labels(self) -> Tuple[str, ...]:
+        """Labels this block can transfer control to.
+
+        Includes assert fault targets.  RET blocks have no static
+        successors (the successor is the dynamic link); SYSCALL blocks
+        continue at their continuation label (EXIT has none).
+        """
+        labels: List[str] = []
+        for node in self.body:
+            if node.kind is NodeKind.ASSERT:
+                labels.append(node.target)
+        term = self.terminator
+        if term.kind is NodeKind.BRANCH:
+            labels.append(term.target)
+            labels.append(term.alt_target)
+        elif term.kind is NodeKind.JUMP:
+            labels.append(term.target)
+        elif term.kind is NodeKind.CALL:
+            labels.append(term.target)
+            labels.append(term.alt_target)
+        elif term.kind is NodeKind.SYSCALL and term.target is not None:
+            labels.append(term.target)
+        return tuple(labels)
+
+    def count_by_class(self) -> Tuple[int, int]:
+        """Return ``(alu_nodes, mem_nodes)`` static counts for this block."""
+        n_alu = 0
+        n_mem = 0
+        for node in self.nodes():
+            cls = node.issue_class
+            if cls is IssueClass.ALU:
+                n_alu += 1
+            elif cls is IssueClass.MEM:
+                n_mem += 1
+        return n_alu, n_mem
+
+    def assert_indices(self) -> Tuple[int, ...]:
+        """Body indices of assert nodes, in program order."""
+        return tuple(
+            i for i, n in enumerate(self.body) if n.kind is NodeKind.ASSERT
+        )
+
+    def with_body(self, body: List[Node], terminator: Optional[Node] = None) -> "BasicBlock":
+        """Copy of this block with a replaced body (and terminator)."""
+        return BasicBlock(
+            self.label,
+            body,
+            self.terminator if terminator is None else terminator,
+            self.origin,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.label} ({len(self)} nodes)>"

@@ -1,0 +1,105 @@
+"""Control-flow graph queries over a :class:`~repro.program.Program`.
+
+Calls are treated as opaque: a CALL block's intra-procedural successor is
+its link block, and RET blocks have no intra-procedural successors.  This
+is the view the enlargement planner needs (it never merges across calls).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..isa.ops import NodeKind
+from .program import Program
+
+
+def successors(program: Program) -> Dict[str, Tuple[str, ...]]:
+    """Intra-procedural successor map (fall-through view of calls)."""
+    result: Dict[str, Tuple[str, ...]] = {}
+    for block in program:
+        term = block.terminator
+        if term.kind is NodeKind.BRANCH:
+            result[block.label] = (term.target, term.alt_target)
+        elif term.kind is NodeKind.JUMP:
+            result[block.label] = (term.target,)
+        elif term.kind is NodeKind.CALL:
+            result[block.label] = (term.alt_target,)
+        elif term.kind is NodeKind.SYSCALL and term.target is not None:
+            result[block.label] = (term.target,)
+        else:  # RET, EXIT syscall
+            result[block.label] = ()
+    return result
+
+
+def control_successors(program: Program) -> Dict[str, Tuple[str, ...]]:
+    """Full successor map including call targets and assert fault targets.
+
+    This is the reachability view: every label that control can transfer
+    to from the block.
+    """
+    return {b.label: b.successor_labels() for b in program}
+
+
+def predecessors(program: Program) -> Dict[str, List[str]]:
+    """Inverse of :func:`control_successors`."""
+    preds: Dict[str, List[str]] = {label: [] for label in program.blocks}
+    for label, succs in control_successors(program).items():
+        for succ in succs:
+            preds[succ].append(label)
+    return preds
+
+
+def reachable_labels(program: Program) -> Set[str]:
+    """Labels reachable from the entry (RET edges approximated by links).
+
+    Because RET transfers to a dynamic link, any block reachable as a CALL
+    link is treated as reachable once its call block is.
+    """
+    succs = control_successors(program)
+    seen: Set[str] = set()
+    work = [program.entry]
+    while work:
+        label = work.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        work.extend(s for s in succs[label] if s not in seen)
+    return seen
+
+
+def unreachable_labels(program: Program) -> Set[str]:
+    """Labels not reachable from the entry."""
+    return set(program.blocks) - reachable_labels(program)
+
+
+def back_edges(program: Program) -> Set[Tuple[str, str]]:
+    """Intra-procedural back edges ``(from, to)`` found by DFS.
+
+    A back edge targets a block currently on the DFS stack; these identify
+    loops for the enlargement planner's unrolling decisions.
+    """
+    succs = successors(program)
+    result: Set[Tuple[str, str]] = set()
+    colour: Dict[str, int] = {}  # 0 absent, 1 on stack, 2 done
+
+    for root in program.blocks:
+        if colour.get(root):
+            continue
+        stack: List[Tuple[str, int]] = [(root, 0)]
+        colour[root] = 1
+        while stack:
+            label, idx = stack[-1]
+            succ_list = succs[label]
+            if idx < len(succ_list):
+                stack[-1] = (label, idx + 1)
+                nxt = succ_list[idx]
+                state = colour.get(nxt, 0)
+                if state == 1:
+                    result.add((label, nxt))
+                elif state == 0:
+                    colour[nxt] = 1
+                    stack.append((nxt, 0))
+            else:
+                colour[label] = 2
+                stack.pop()
+    return result

@@ -1,0 +1,89 @@
+"""Graphviz DOT export of control-flow graphs.
+
+Handy when studying what the optimiser or the enlargement planner did to
+a program: ``repro-sim dump --dot`` or :func:`program_to_dot` directly.
+Enlarged blocks are drawn as boxes with their origin sequence; fault
+edges are dashed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..isa.ops import NodeKind
+from .program import Program
+
+
+def _quote(label: str) -> str:
+    return '"' + label.replace('"', '\\"') + '"'
+
+
+def program_to_dot(program: Program, title: Optional[str] = None,
+                   max_blocks: int = 500) -> str:
+    """Render the program's CFG as DOT text.
+
+    Edge styles: solid for branch/jump/fall-through, bold for calls,
+    dashed for assert fault edges.  Blocks beyond ``max_blocks`` are
+    elided with a note (huge programs make unreadable graphs anyway).
+    """
+    lines: List[str] = ["digraph cfg {"]
+    lines.append('  node [shape=box, fontname="monospace"];')
+    if title:
+        lines.append(f"  label={_quote(title)};")
+
+    shown: Set[str] = set()
+    for index, block in enumerate(program):
+        if index >= max_blocks:
+            lines.append(
+                f'  _elided [label="... {len(program) - max_blocks} more '
+                'blocks elided", style=dotted];'
+            )
+            break
+        shown.add(block.label)
+        text = f"{block.label}\\n{block.datapath_size} nodes"
+        if block.origin:
+            text += "\\n[" + "+".join(block.origin) + "]"
+        attributes = f"label={_quote(text)}"
+        if block.label == program.entry:
+            attributes += ", peripheries=2"
+        if block.origin:
+            attributes += ", style=filled, fillcolor=lightgrey"
+        lines.append(f"  {_quote(block.label)} [{attributes}];")
+
+    for block in program:
+        if block.label not in shown:
+            continue
+        term = block.terminator
+        if term.kind is NodeKind.BRANCH:
+            lines.append(
+                f"  {_quote(block.label)} -> {_quote(term.target)} "
+                '[label="T"];'
+            )
+            lines.append(
+                f"  {_quote(block.label)} -> {_quote(term.alt_target)} "
+                '[label="F"];'
+            )
+        elif term.kind is NodeKind.JUMP:
+            lines.append(f"  {_quote(block.label)} -> {_quote(term.target)};")
+        elif term.kind is NodeKind.CALL:
+            lines.append(
+                f"  {_quote(block.label)} -> {_quote(term.target)} "
+                "[style=bold];"
+            )
+            lines.append(
+                f"  {_quote(block.label)} -> {_quote(term.alt_target)} "
+                '[label="ret"];'
+            )
+        elif term.kind is NodeKind.SYSCALL and term.target is not None:
+            lines.append(
+                f"  {_quote(block.label)} -> {_quote(term.target)} "
+                '[label="sys"];'
+            )
+        for node in block.body:
+            if node.kind is NodeKind.ASSERT:
+                lines.append(
+                    f"  {_quote(block.label)} -> {_quote(node.target)} "
+                    '[style=dashed, label="fault"];'
+                )
+    lines.append("}")
+    return "\n".join(lines)

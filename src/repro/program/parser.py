@@ -1,0 +1,223 @@
+"""Parser for the textual assembly form produced by the printer.
+
+This is the inverse of :mod:`repro.program.printer`; property tests check
+the round trip.  It also serves as a convenient way to write small
+programs by hand in unit tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.node import Imm, Node, Operand, Reg
+from ..isa import node as nd
+from ..isa.ops import AluOp, MemWidth, SyscallOp
+from ..isa.registers import parse_reg
+from .block import BasicBlock
+from .program import Program
+
+
+class AsmSyntaxError(Exception):
+    """Raised with a line number on malformed assembly input."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_ADDR_RE = re.compile(r"^\[([a-z0-9]+)([+-]\d+)?\]$")
+_ALU_OPS = {op.value: op for op in AluOp}
+_SYS_OPS = {op.value: op for op in SyscallOp}
+_SYS_RE = re.compile(
+    r"^sys\s+(\w+)\(([^)]*)\)(?:\s*->\s*(\w+))?(?:\s*,\s*next=(\S+))?$"
+)
+
+
+def _parse_operand(text: str, lineno: int) -> Operand:
+    text = text.strip()
+    if text.startswith("#"):
+        try:
+            return Imm(int(text[1:], 0))
+        except ValueError:
+            raise AsmSyntaxError(lineno, f"bad immediate {text!r}") from None
+    try:
+        return Reg(parse_reg(text))
+    except ValueError:
+        raise AsmSyntaxError(lineno, f"bad operand {text!r}") from None
+
+
+def _parse_addr(text: str, lineno: int) -> Tuple[int, int]:
+    match = _ADDR_RE.match(text.strip())
+    if not match:
+        raise AsmSyntaxError(lineno, f"bad address {text!r}")
+    try:
+        base = parse_reg(match.group(1))
+    except ValueError:
+        raise AsmSyntaxError(lineno, f"bad base register in {text!r}") from None
+    offset = int(match.group(2)) if match.group(2) else 0
+    return base, offset
+
+
+def parse_node(line: str, lineno: int = 0) -> Node:
+    """Parse a single node from one line of assembly."""
+    line = line.split(";", 1)[0].strip()
+    if not line:
+        raise AsmSyntaxError(lineno, "empty node line")
+    mnem, _, rest = line.partition(" ")
+    rest = rest.strip()
+
+    if mnem in _ALU_OPS:
+        parts = [p.strip() for p in rest.split(",")]
+        if len(parts) not in (2, 3):
+            raise AsmSyntaxError(lineno, f"bad ALU operand count in {line!r}")
+        dest_op = _parse_operand(parts[0], lineno)
+        if not isinstance(dest_op, Reg):
+            raise AsmSyntaxError(lineno, "ALU destination must be a register")
+        src1 = _parse_operand(parts[1], lineno)
+        src2 = _parse_operand(parts[2], lineno) if len(parts) == 3 else None
+        try:
+            return nd.alu(_ALU_OPS[mnem], dest_op.index, src1, src2)
+        except ValueError as exc:
+            raise AsmSyntaxError(lineno, str(exc)) from None
+
+    if mnem in ("ldw", "ldb"):
+        dest_text, _, addr_text = rest.partition(",")
+        dest_op = _parse_operand(dest_text, lineno)
+        if not isinstance(dest_op, Reg):
+            raise AsmSyntaxError(lineno, "load destination must be a register")
+        base, offset = _parse_addr(addr_text, lineno)
+        width = MemWidth.WORD if mnem == "ldw" else MemWidth.BYTE
+        return nd.load(dest_op.index, base, offset, width)
+
+    if mnem in ("stw", "stb"):
+        src_text, _, addr_text = rest.partition(",")
+        src = _parse_operand(src_text, lineno)
+        base, offset = _parse_addr(addr_text, lineno)
+        width = MemWidth.WORD if mnem == "stw" else MemWidth.BYTE
+        return nd.store(src, base, offset, width)
+
+    if mnem == "br":
+        hint: Optional[bool] = None
+        if rest.endswith("!taken"):
+            hint, rest = True, rest[: -len("!taken")].strip()
+        elif rest.endswith("!nottaken"):
+            hint, rest = False, rest[: -len("!nottaken")].strip()
+        parts = [p.strip() for p in rest.split(",")]
+        if len(parts) != 3:
+            raise AsmSyntaxError(lineno, f"bad branch {line!r}")
+        cond = _parse_operand(parts[0], lineno)
+        if not isinstance(cond, Reg):
+            raise AsmSyntaxError(lineno, "branch condition must be a register")
+        return nd.branch(cond.index, parts[1], parts[2], hint)
+
+    if mnem == "jmp":
+        return nd.jump(rest)
+
+    if mnem == "call":
+        target_text, _, ret_text = rest.partition(",")
+        ret_text = ret_text.strip()
+        if not ret_text.startswith("ret="):
+            raise AsmSyntaxError(lineno, f"call missing ret= in {line!r}")
+        return nd.call(target_text.strip(), ret_text[len("ret="):])
+
+    if mnem == "ret" and not rest:
+        return nd.ret()
+
+    if mnem == "assert":
+        parts = [p.strip() for p in rest.split(",")]
+        if len(parts) != 3 or not parts[2].startswith("fault="):
+            raise AsmSyntaxError(lineno, f"bad assert {line!r}")
+        cond = _parse_operand(parts[0], lineno)
+        if not isinstance(cond, Reg):
+            raise AsmSyntaxError(lineno, "assert condition must be a register")
+        expected = parts[1] == "1"
+        return nd.assert_node(cond.index, expected, parts[2][len("fault="):])
+
+    if mnem == "sys":
+        match = _SYS_RE.match(line)
+        if not match:
+            raise AsmSyntaxError(lineno, f"bad syscall {line!r}")
+        op_name, args_text, dest_text, next_label = match.groups()
+        if op_name not in _SYS_OPS:
+            raise AsmSyntaxError(lineno, f"unknown syscall {op_name!r}")
+        args = []
+        if args_text.strip():
+            for arg in args_text.split(","):
+                operand = _parse_operand(arg, lineno)
+                if not isinstance(operand, Reg):
+                    raise AsmSyntaxError(lineno, "syscall args must be registers")
+                args.append(operand.index)
+        dest = None
+        if dest_text:
+            dest = parse_reg(dest_text)
+        try:
+            return nd.syscall(_SYS_OPS[op_name], next_label, args, dest)
+        except ValueError as exc:
+            raise AsmSyntaxError(lineno, str(exc)) from None
+
+    raise AsmSyntaxError(lineno, f"unknown mnemonic {mnem!r}")
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full program (directives + blocks) from assembly text."""
+    entry: Optional[str] = None
+    data_chunks: List[str] = []
+    data_size: Optional[int] = None
+    symbols: Dict[str, int] = {}
+    blocks: List[BasicBlock] = []
+
+    current_label: Optional[str] = None
+    current_origin: Tuple[str, ...] = ()
+    current_nodes: List[Node] = []
+
+    def finish_block(lineno: int) -> None:
+        nonlocal current_label, current_nodes, current_origin
+        if current_label is None:
+            return
+        if not current_nodes or not current_nodes[-1].is_terminator:
+            raise AsmSyntaxError(
+                lineno, f"block {current_label!r} lacks a terminator"
+            )
+        blocks.append(
+            BasicBlock(current_label, current_nodes[:-1], current_nodes[-1],
+                       current_origin)
+        )
+        current_label = None
+        current_origin = ()
+        current_nodes = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".entry "):
+            entry = line.split()[1]
+        elif line.startswith(".datasize "):
+            data_size = int(line.split()[1], 0)
+        elif line.startswith(".data "):
+            data_chunks.append(line.split()[1])
+        elif line.startswith(".symbol "):
+            _, name, addr = line.split()
+            symbols[name] = int(addr, 0)
+        elif line.startswith("block ") and line.endswith(":"):
+            finish_block(lineno)
+            current_label = line[len("block "):-1].strip()
+            if not current_label:
+                raise AsmSyntaxError(lineno, "empty block label")
+            # The printer records enlarged-block provenance as a comment:
+            # `block E$x$0:  ; origin=a+b`; recover it for round-tripping.
+            comment = raw.split(";", 1)[1] if ";" in raw else ""
+            if "origin=" in comment:
+                origin_text = comment.split("origin=", 1)[1].strip()
+                current_origin = tuple(origin_text.split("+"))
+        else:
+            if current_label is None:
+                raise AsmSyntaxError(lineno, f"node outside a block: {line!r}")
+            current_nodes.append(parse_node(line, lineno))
+    finish_block(len(text.splitlines()) + 1)
+
+    if entry is None:
+        raise AsmSyntaxError(0, "missing .entry directive")
+    data = bytes.fromhex("".join(data_chunks))
+    return Program(blocks, entry, data=data, data_size=data_size, symbols=symbols)

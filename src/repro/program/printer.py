@@ -1,0 +1,104 @@
+"""Textual assembly printer for programs, blocks and nodes.
+
+The format round-trips through :mod:`repro.program.parser` and is used in
+tests, examples and the CLI's ``--dump`` mode.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa.node import Imm, Node, Reg
+from ..isa.ops import MemWidth, NodeKind
+from ..isa.registers import reg_name
+from .block import BasicBlock
+from .program import Program
+
+
+def _format_operand(operand) -> str:
+    if isinstance(operand, Reg):
+        return reg_name(operand.index)
+    if isinstance(operand, Imm):
+        return f"#{operand.value}"
+    raise TypeError(f"not an operand: {operand!r}")
+
+
+def _format_addr(node: Node) -> str:
+    base = reg_name(node.base)
+    if node.offset:
+        return f"[{base}{node.offset:+d}]"
+    return f"[{base}]"
+
+
+def format_node(node: Node) -> str:
+    """Render one node as a line of assembly (without indentation)."""
+    kind = node.kind
+    if kind is NodeKind.ALU:
+        parts = [reg_name(node.dest), _format_operand(node.src1)]
+        if node.src2 is not None:
+            parts.append(_format_operand(node.src2))
+        return f"{node.op.value} " + ", ".join(parts)
+    if kind is NodeKind.LOAD:
+        mnem = "ldw" if node.width is MemWidth.WORD else "ldb"
+        return f"{mnem} {reg_name(node.dest)}, {_format_addr(node)}"
+    if kind is NodeKind.STORE:
+        mnem = "stw" if node.width is MemWidth.WORD else "stb"
+        return f"{mnem} {_format_operand(node.src1)}, {_format_addr(node)}"
+    if kind is NodeKind.BRANCH:
+        text = f"br {_format_operand(node.src1)}, {node.target}, {node.alt_target}"
+        if node.expect_taken is True:
+            text += " !taken"
+        elif node.expect_taken is False:
+            text += " !nottaken"
+        return text
+    if kind is NodeKind.JUMP:
+        return f"jmp {node.target}"
+    if kind is NodeKind.CALL:
+        return f"call {node.target}, ret={node.alt_target}"
+    if kind is NodeKind.RET:
+        return "ret"
+    if kind is NodeKind.ASSERT:
+        expected = 1 if node.expect_taken else 0
+        return (
+            f"assert {_format_operand(node.src1)}, {expected}, "
+            f"fault={node.target}"
+        )
+    if kind is NodeKind.SYSCALL:
+        args = ", ".join(reg_name(r) for r in node.args)
+        text = f"sys {node.op.value}({args})"
+        if node.dest is not None:
+            text += f" -> {reg_name(node.dest)}"
+        if node.target is not None:
+            text += f", next={node.target}"
+        return text
+    raise ValueError(f"unknown node kind: {kind}")  # pragma: no cover
+
+
+def format_block(block: BasicBlock) -> str:
+    """Render a block with its label header and indented nodes."""
+    lines: List[str] = []
+    header = f"block {block.label}:"
+    if block.origin:
+        header += "  ; origin=" + "+".join(block.origin)
+    lines.append(header)
+    for node in block.nodes():
+        lines.append("    " + format_node(node))
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program, including directives for entry and data."""
+    lines: List[str] = [f".entry {program.entry}"]
+    if program.data_size:
+        lines.append(f".datasize {program.data_size}")
+    if program.data:
+        blob = program.data.hex()
+        for i in range(0, len(blob), 64):
+            lines.append(f".data {blob[i:i + 64]}")
+    for name, addr in sorted(program.symbols.items()):
+        lines.append(f".symbol {name} {addr}")
+    lines.append("")
+    for block in program:
+        lines.append(format_block(block))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Static scheduling: list scheduler and latency model."""
+
+from .latency import node_latency
+from .list_scheduler import ScheduledBlock, schedule_block, schedule_program
+
+__all__ = ["ScheduledBlock", "node_latency", "schedule_block", "schedule_program"]

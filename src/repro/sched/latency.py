@@ -1,0 +1,19 @@
+"""Scheduling latencies assumed by the static compiler.
+
+The statically scheduled machine exposes its pipeline to the compiler:
+ALU results are available the next cycle and loads are scheduled assuming
+the cache-hit latency of the target memory configuration (a miss stalls
+the pipeline at the consumer, which the run-time engine models).
+"""
+
+from __future__ import annotations
+
+from ..isa.ops import NodeKind
+from ..machine.config import MemoryConfig
+
+
+def node_latency(kind: NodeKind, memory: MemoryConfig) -> int:
+    """Latency in cycles the compiler assumes for a node of ``kind``."""
+    if kind is NodeKind.LOAD:
+        return memory.hit_cycles
+    return 1

@@ -1,0 +1,21 @@
+"""Statistics containers and aggregation helpers."""
+
+from .aggregate import (
+    format_summary,
+    geometric_mean_ipc,
+    group_by,
+    mean_redundancy,
+    speedup_matrix,
+    summarize,
+)
+from .results import SimResult
+
+__all__ = [
+    "SimResult",
+    "format_summary",
+    "geometric_mean_ipc",
+    "group_by",
+    "mean_redundancy",
+    "speedup_matrix",
+    "summarize",
+]

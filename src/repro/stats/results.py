@@ -1,0 +1,93 @@
+"""Simulation results: the statistics the paper's figures are built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..machine.config import MachineConfig
+
+
+@dataclass
+class SimResult:
+    """Statistics from one timing simulation.
+
+    The paper's figure-of-merit is ``retired_per_cycle``: total retired
+    nodes divided by total machine cycles ("retired" excludes nodes thrown
+    away by branch prediction misses and enlarged-block faults); its
+    Figure 6 plots ``redundancy``: the fraction of executed nodes that
+    were discarded.
+    """
+
+    benchmark: str
+    config: MachineConfig
+    cycles: int
+    retired_nodes: int
+    discarded_nodes: int
+    dynamic_blocks: int
+    mispredicts: int = 0
+    branch_lookups: int = 0
+    faults: int = 0
+    loads: int = 0
+    stores: int = 0
+    cache_accesses: int = 0
+    cache_misses: int = 0
+    write_buffer_hits: int = 0
+    #: architectural work: the single-block program's retired node count
+    #: for this benchmark and input (constant across configurations, as
+    #: the paper notes).  Zero when not supplied.
+    work_nodes: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def executed_nodes(self) -> int:
+        """All nodes that reached a function unit."""
+        return self.retired_nodes + self.discarded_nodes
+
+    @property
+    def retired_per_cycle(self) -> float:
+        """The paper's primary metric: architectural work per cycle.
+
+        The paper observes that "the number of nodes retired is the same
+        for a given benchmark on a given set of input data" across all its
+        configurations, so its metric measures constant work.  Enlarged
+        programs retire a *different* node stream (re-optimisation removes
+        nodes, fault recovery re-executes others), so we normalise by the
+        single-block program's retired count; raw counts stay available as
+        ``retired_nodes``.
+        """
+        if self.cycles == 0:
+            return 0.0
+        work = self.work_nodes if self.work_nodes else self.retired_nodes
+        return work / self.cycles
+
+    @property
+    def redundancy(self) -> float:
+        """Fraction of executed nodes that were discarded (Figure 6)."""
+        executed = self.executed_nodes
+        if executed == 0:
+            return 0.0
+        return self.discarded_nodes / executed
+
+    @property
+    def branch_accuracy(self) -> float:
+        """Realised conditional-branch prediction accuracy."""
+        if self.branch_lookups == 0:
+            return 1.0
+        return 1.0 - self.mispredicts / self.branch_lookups
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.cache_accesses == 0:
+            return 1.0
+        return 1.0 - self.cache_misses / self.cache_accesses
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.benchmark:10s} {str(self.config):34s} "
+            f"IPC={self.retired_per_cycle:6.3f} "
+            f"cycles={self.cycles:>10d} "
+            f"redundancy={self.redundancy:6.3f} "
+            f"bracc={self.branch_accuracy:5.3f}"
+        )

@@ -1,0 +1,37 @@
+"""The benchmark suite: the paper's five UNIX utilities in Mini-C.
+
+The paper's benchmarks "represent the kinds of jobs that have been
+considered difficult to speed up with conventional architectures":
+sort, grep, diff, cpp and compress.  Each is reimplemented against the
+simulator's syscall interface with a deterministic input generator and a
+Python oracle for output validation.
+"""
+
+from .base import Inputs, Workload, prepared
+from .compress_wl import WORKLOAD as COMPRESS
+from .cpp_wl import WORKLOAD as CPP
+from .diff_wl import WORKLOAD as DIFF
+from .extra_wl import EXTRA_WORKLOADS, UNIQ, WC
+from .grep_wl import WORKLOAD as GREP
+from .sort_wl import WORKLOAD as SORT
+
+#: name -> workload, in the paper's listing order.
+WORKLOADS = {
+    workload.name: workload
+    for workload in (SORT, GREP, DIFF, CPP, COMPRESS)
+}
+
+__all__ = [
+    "COMPRESS",
+    "CPP",
+    "DIFF",
+    "EXTRA_WORKLOADS",
+    "GREP",
+    "Inputs",
+    "SORT",
+    "UNIQ",
+    "WC",
+    "WORKLOADS",
+    "Workload",
+    "prepared",
+]

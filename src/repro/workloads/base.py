@@ -1,0 +1,137 @@
+"""Workload definition and preparation plumbing.
+
+Preparing a workload (compile, profile on training input, enlarge, trace
+on evaluation input) costs tens of seconds; :func:`prepared` therefore
+caches the result both in-process and on disk (programs as assembly,
+traces in the binary format of :mod:`repro.interp.trace_io`), keyed by a
+digest of the source and inputs so stale artefacts can never be reused.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+from ..enlarge.plan import EnlargeConfig
+from ..interp.trace_io import load_trace_file, save_trace_file
+from ..lang.frontend import compile_source
+from ..machine.simulator import PreparedWorkload, prepare_workload
+from ..program.parser import parse_program
+from ..program.printer import format_program
+from ..program.program import Program
+
+#: fd -> byte stream
+Inputs = Mapping[int, bytes]
+
+#: Bump to invalidate on-disk prepared workloads after semantic changes.
+PREPARE_CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: Mini-C source, input generators and an oracle.
+
+    Attributes:
+        name: short benchmark name (``sort``, ``grep``, ...).
+        source: Mini-C translation unit implementing the utility.
+        make_inputs: ``(kind, scale) -> Inputs`` where kind is ``train``
+            or ``eval``; scale grows the input proportionally.
+        reference: Python oracle computing the expected fd-1 output for a
+            given input set (used by the test suite, not the simulator).
+    """
+
+    name: str
+    source: str
+    make_inputs: Callable[[str, int], Inputs]
+    reference: Callable[[Inputs], bytes]
+
+    def compile(self) -> Program:
+        """Compile the benchmark's Mini-C source."""
+        return compile_source(self.source)
+
+    def prepare(self, scale: int = 1,
+                enlarge_config: Optional[EnlargeConfig] = None,
+                max_nodes: int = 200_000_000) -> PreparedWorkload:
+        """Compile, profile (train input), enlarge and trace (eval input)."""
+        program = self.compile()
+        return prepare_workload(
+            self.name,
+            program,
+            self.make_inputs("train", scale),
+            self.make_inputs("eval", scale),
+            enlarge_config=enlarge_config,
+            max_nodes=max_nodes,
+        )
+
+
+_PREPARED_CACHE: Dict[tuple, PreparedWorkload] = {}
+
+_ARTEFACTS = ("single.asm", "enlarged.asm", "single.trace", "enlarged.trace")
+
+
+def _digest(workload: Workload, scale: int) -> str:
+    """Content hash covering everything a prepared workload depends on."""
+    hasher = hashlib.sha256()
+    hasher.update(str(PREPARE_CACHE_VERSION).encode())
+    hasher.update(workload.source.encode())
+    for kind in ("train", "eval"):
+        for fd, blob in sorted(workload.make_inputs(kind, scale).items()):
+            hasher.update(str(fd).encode())
+            hasher.update(blob)
+    return hasher.hexdigest()[:16]
+
+
+def _workload_cache_dir(workload: Workload, scale: int) -> str:
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    return os.path.join(
+        root, "workloads", f"{workload.name}-s{scale}-{_digest(workload, scale)}"
+    )
+
+
+def _load_from_disk(directory: str, name: str) -> Optional[PreparedWorkload]:
+    if not all(os.path.exists(os.path.join(directory, f)) for f in _ARTEFACTS):
+        return None
+    try:
+        with open(os.path.join(directory, "single.asm"), encoding="utf-8") as f:
+            single = parse_program(f.read())
+        with open(os.path.join(directory, "enlarged.asm"), encoding="utf-8") as f:
+            enlarged = parse_program(f.read())
+        single_trace = load_trace_file(os.path.join(directory, "single.trace"))
+        enlarged_trace = load_trace_file(os.path.join(directory, "enlarged.trace"))
+    except Exception:  # noqa: BLE001 - any corruption means re-prepare
+        return None
+    return PreparedWorkload(name, single, enlarged, single_trace, enlarged_trace)
+
+
+def _save_to_disk(directory: str, prepared_wl: PreparedWorkload) -> None:
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "single.asm"), "w", encoding="utf-8") as f:
+        f.write(format_program(prepared_wl.single))
+    with open(os.path.join(directory, "enlarged.asm"), "w", encoding="utf-8") as f:
+        f.write(format_program(prepared_wl.enlarged))
+    save_trace_file(prepared_wl.single_trace,
+                    os.path.join(directory, "single.trace"))
+    save_trace_file(prepared_wl.enlarged_trace,
+                    os.path.join(directory, "enlarged.trace"))
+
+
+def prepared(workload: Workload, scale: int = 1) -> PreparedWorkload:
+    """Cached workload preparation (in-process, then on-disk, then fresh).
+
+    Only the default enlargement configuration is cached; custom configs
+    go through :meth:`Workload.prepare` directly.
+    """
+    key = (workload.name, scale)
+    hit = _PREPARED_CACHE.get(key)
+    if hit is not None:
+        return hit
+
+    directory = _workload_cache_dir(workload, scale)
+    loaded = _load_from_disk(directory, workload.name)
+    if loaded is None:
+        loaded = workload.prepare(scale=scale)
+        _save_to_disk(directory, loaded)
+    _PREPARED_CACHE[key] = loaded
+    return loaded

@@ -1,0 +1,133 @@
+"""The ``compress`` benchmark: LZW compression (cf. compress(1)).
+
+Classic 12-bit LZW: the string table grows to 4096 entries and is looked
+up through an open-addressed hash table; output codes are bit-packed,
+12 bits each, to fd 1.  This reproduces the byte-twiddling, hash-probing
+control flow of the original UNIX utility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Workload
+from .stdio_rt import STDIO_RUNTIME
+from .textgen import text_blob
+
+SOURCE = STDIO_RUNTIME + r"""
+int h_key[8192];
+int h_code[8192];
+int bitbuf;
+int bitcnt;
+
+void table_init() {
+    int i;
+    for (i = 0; i < 8192; i++) h_key[i] = -1;
+}
+
+int table_find(int key) {
+    int slot = (key * 40503) & 8191;
+    while (h_key[slot] != -1) {
+        if (h_key[slot] == key) return h_code[slot];
+        slot = (slot + 1) & 8191;
+    }
+    return -1;
+}
+
+void table_add(int key, int code) {
+    int slot = (key * 40503) & 8191;
+    while (h_key[slot] != -1) slot = (slot + 1) & 8191;
+    h_key[slot] = key;
+    h_code[slot] = code;
+}
+
+void put_code(int code) {
+    bitbuf = (bitbuf << 12) | code;
+    bitcnt = bitcnt + 12;
+    while (bitcnt >= 8) {
+        outc((bitbuf >> (bitcnt - 8)) & 255);
+        bitcnt = bitcnt - 8;
+    }
+}
+
+void flush_bits() {
+    if (bitcnt > 0) {
+        outc((bitbuf << (8 - bitcnt)) & 255);
+        bitcnt = 0;
+    }
+}
+
+int main() {
+    int next_code = 256;
+    int w;
+    int c;
+    table_init();
+    w = nextc();
+    if (w < 0) return 0;
+    c = nextc();
+    while (c >= 0) {
+        int key = w * 256 + c;
+        int code = table_find(key);
+        if (code >= 0) {
+            w = code;
+        } else {
+            put_code(w);
+            if (next_code < 4096) {
+                table_add(key, next_code);
+                next_code++;
+            }
+            w = c;
+        }
+        c = nextc();
+    }
+    put_code(w);
+    flush_bits();
+    flushout();
+    return 0;
+}
+"""
+
+
+def make_inputs(kind: str, scale: int = 1) -> Dict[int, bytes]:
+    seed = 51 if kind == "train" else 52
+    return {0: text_blob(seed, 120 * scale)}
+
+
+def reference(inputs: Dict[int, bytes]) -> bytes:
+    """Python oracle implementing the identical LZW variant."""
+    data = inputs[0]
+    out: List[int] = []
+    bitbuf = 0
+    bitcnt = 0
+
+    def put_code(code: int) -> None:
+        nonlocal bitbuf, bitcnt
+        bitbuf = (bitbuf << 12) | code
+        bitcnt += 12
+        while bitcnt >= 8:
+            out.append((bitbuf >> (bitcnt - 8)) & 255)
+            bitcnt -= 8
+
+    if not data:
+        return b""
+    table: Dict[int, int] = {}
+    next_code = 256
+    w = data[0]
+    for c in data[1:]:
+        key = w * 256 + c
+        code = table.get(key)
+        if code is not None:
+            w = code
+        else:
+            put_code(w)
+            if next_code < 4096:
+                table[key] = next_code
+                next_code += 1
+            w = c
+    put_code(w)
+    if bitcnt > 0:
+        out.append((bitbuf << (8 - bitcnt)) & 255)
+    return bytes(out)
+
+
+WORKLOAD = Workload("compress", SOURCE, make_inputs, reference)

@@ -1,0 +1,263 @@
+"""The ``cpp`` benchmark: object-like macro expansion (cf. cpp(1)).
+
+Supports ``#define NAME value`` and ``#undef NAME`` directives; other
+``#`` lines are consumed silently.  Identifiers in ordinary lines are
+expanded recursively (depth-capped) through a hash table with linear
+probing, mirroring the macro machinery of a classic C pre-processor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Workload
+from .stdio_rt import STDIO_RUNTIME
+from .textgen import make_rng, words
+
+_MAX_DEPTH = 8
+
+SOURCE = STDIO_RUNTIME + r"""
+char names[8192];
+char values[16384];
+int name_off[512];
+int name_len[512];
+int val_off[512];
+int val_len[512];
+int state[512];
+int names_used;
+int values_used;
+char line[2048];
+
+int is_ident_start(int c) {
+    if (c >= 97 && c <= 122) return 1;
+    if (c >= 65 && c <= 90) return 1;
+    return c == 95;
+}
+
+int is_ident_char(int c) {
+    if (is_ident_start(c)) return 1;
+    return c >= 48 && c <= 57;
+}
+
+int read_line(char *buf, int cap) {
+    int len = 0;
+    int c = nextc();
+    if (c < 0) return -1;
+    while (c >= 0 && c != 10) {
+        if (len < cap - 1) buf[len++] = c;
+        c = nextc();
+    }
+    buf[len] = 0;
+    return len;
+}
+
+int hash_name(char *buf, int start, int len) {
+    int h = 5381;
+    int k;
+    for (k = 0; k < len; k++) h = h * 33 + buf[start + k];
+    h = h & 511;
+    return h;
+}
+
+int probe(char *buf, int start, int len) {
+    int slot = hash_name(buf, start, len);
+    while (state[slot] != 0) {
+        if (name_len[slot] == len) {
+            int k = 0;
+            int base = name_off[slot];
+            while (k < len && names[base + k] == buf[start + k]) k++;
+            if (k == len) return slot;
+        }
+        slot = (slot + 1) & 511;
+    }
+    return slot;
+}
+
+void define_macro(char *buf, int nstart, int nlen, int vstart, int vlen) {
+    int slot = probe(buf, nstart, nlen);
+    int k;
+    if (state[slot] == 0) {
+        name_off[slot] = names_used;
+        name_len[slot] = nlen;
+        for (k = 0; k < nlen; k++) names[names_used + k] = buf[nstart + k];
+        names_used = names_used + nlen;
+    }
+    state[slot] = 1;
+    val_off[slot] = values_used;
+    val_len[slot] = vlen;
+    for (k = 0; k < vlen; k++) values[values_used + k] = buf[vstart + k];
+    values_used = values_used + vlen;
+}
+
+void undef_macro(char *buf, int nstart, int nlen) {
+    int slot = probe(buf, nstart, nlen);
+    if (state[slot] == 1) state[slot] = 2;
+}
+
+void expand(char *buf, int start, int len, int depth) {
+    int i = start;
+    int end = start + len;
+    while (i < end) {
+        int c = buf[i];
+        if (is_ident_start(c)) {
+            int j = i + 1;
+            int slot;
+            while (j < end && is_ident_char(buf[j])) j++;
+            slot = -1;
+            if (depth < 8) {
+                int found = probe(buf, i, j - i);
+                if (state[found] == 1) slot = found;
+            }
+            if (slot >= 0) {
+                expand(values, val_off[slot], val_len[slot], depth + 1);
+            } else {
+                int k;
+                for (k = i; k < j; k++) outc(buf[k]);
+            }
+            i = j;
+        } else {
+            outc(c);
+            i++;
+        }
+    }
+}
+
+int skip_spaces(char *buf, int pos, int len) {
+    while (pos < len && (buf[pos] == 32 || buf[pos] == 9)) pos++;
+    return pos;
+}
+
+int starts_with(char *buf, int pos, int len, char *word, int wlen) {
+    int k = 0;
+    if (pos + wlen > len) return 0;
+    while (k < wlen && buf[pos + k] == word[k]) k++;
+    return k == wlen;
+}
+
+void handle_directive(int llen) {
+    int pos = skip_spaces(line, 1, llen);
+    int is_define = starts_with(line, pos, llen, "define", 6);
+    int is_undef = starts_with(line, pos, llen, "undef", 5);
+    int nstart;
+    int nend;
+    if (is_define) pos = pos + 6;
+    else if (is_undef) pos = pos + 5;
+    else return;
+    pos = skip_spaces(line, pos, llen);
+    nstart = pos;
+    while (pos < llen && is_ident_char(line[pos])) pos++;
+    nend = pos;
+    if (nend == nstart) return;
+    if (is_undef) {
+        undef_macro(line, nstart, nend - nstart);
+        return;
+    }
+    pos = skip_spaces(line, pos, llen);
+    define_macro(line, nstart, nend - nstart, pos, llen - pos);
+}
+
+int main() {
+    int llen = read_line(line, 2048);
+    while (llen >= 0) {
+        if (llen > 0 && line[0] == 35) {
+            handle_directive(llen);
+        } else {
+            expand(line, 0, llen, 0);
+            outc(10);
+        }
+        llen = read_line(line, 2048);
+    }
+    flushout();
+    return 0;
+}
+"""
+
+
+def make_inputs(kind: str, scale: int = 1) -> Dict[int, bytes]:
+    """A header of macro definitions followed by macro-heavy text."""
+    seed = 41 if kind == "train" else 42
+    rng = make_rng(seed * 13)
+    lines: List[str] = []
+    macro_names = [f"M{idx}" for idx in range(12)]
+    # A few macros chain into each other to exercise recursive expansion.
+    for idx, name in enumerate(macro_names):
+        if idx >= 2 and rng.random() < 0.4:
+            value = f"{macro_names[rng.randrange(idx)]} {words(rng, 1)[0]}"
+        else:
+            value = " ".join(words(rng, rng.randint(1, 3)))
+        lines.append(f"#define {name} {value}")
+    body_lines = 120 * scale
+    for index in range(body_lines):
+        parts = []
+        for _ in range(rng.randint(3, 8)):
+            if rng.random() < 0.35:
+                parts.append(rng.choice(macro_names))
+            else:
+                parts.append(words(rng, 1)[0])
+        lines.append(" ".join(parts))
+        if index % 37 == 17:
+            lines.append(f"#undef {rng.choice(macro_names)}")
+        if index % 53 == 29:
+            name = rng.choice(macro_names)
+            lines.append(f"#define {name} {' '.join(words(rng, 2))}")
+    return {0: ("\n".join(lines) + "\n").encode("latin-1")}
+
+
+def reference(inputs: Dict[int, bytes]) -> bytes:
+    """Python oracle mirroring the Mini-C expansion semantics."""
+    text = inputs[0].decode("latin-1").split("\n")
+    if text and text[-1] == "":
+        text.pop()
+    macros: Dict[str, str] = {}
+    out: List[str] = []
+
+    def is_ident_start(ch: str) -> bool:
+        return ch.isalpha() or ch == "_"
+
+    def is_ident_char(ch: str) -> bool:
+        return ch.isalnum() or ch == "_"
+
+    def expand(text_: str, depth: int, sink: List[str]) -> None:
+        i = 0
+        while i < len(text_):
+            ch = text_[i]
+            if is_ident_start(ch):
+                j = i + 1
+                while j < len(text_) and is_ident_char(text_[j]):
+                    j += 1
+                name = text_[i:j]
+                if depth < _MAX_DEPTH and name in macros:
+                    expand(macros[name], depth + 1, sink)
+                else:
+                    sink.append(name)
+                i = j
+            else:
+                sink.append(ch)
+                i += 1
+
+    for line in text:
+        if line.startswith("#"):
+            rest = line[1:].lstrip(" \t")
+            if rest.startswith("define"):
+                rest = rest[len("define"):].lstrip(" \t")
+                j = 0
+                while j < len(rest) and is_ident_char(rest[j]):
+                    j += 1
+                name = rest[:j]
+                if name:
+                    macros[name] = rest[j:].lstrip(" \t")
+            elif rest.startswith("undef"):
+                rest = rest[len("undef"):].lstrip(" \t")
+                j = 0
+                while j < len(rest) and is_ident_char(rest[j]):
+                    j += 1
+                if rest[:j]:
+                    macros.pop(rest[:j], None)
+            continue
+        sink: List[str] = []
+        expand(line, 0, sink)
+        out.append("".join(sink))
+    return ("".join(line + "\n" for line in out)).encode("latin-1")
+
+
+WORKLOAD = Workload("cpp", SOURCE, make_inputs, reference)

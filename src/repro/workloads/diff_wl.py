@@ -1,0 +1,180 @@
+"""The ``diff`` benchmark: line differences of two files (cf. diff(1)).
+
+Reads the old file from fd 0 and the new file from fd 3, computes a
+longest-common-subsequence alignment over djb2 line hashes, and prints
+deleted lines as ``< line`` and inserted lines as ``> line`` in file
+order (ties resolved toward deletions, matching the Python oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Workload
+from .stdio_rt import STDIO_RUNTIME
+from .textgen import mutate_lines, text_lines
+
+SOURCE = STDIO_RUNTIME + r"""
+int a_start[1024];
+int a_len[1024];
+int a_hash[1024];
+int b_start[1024];
+int b_len[1024];
+int b_hash[1024];
+char *a_text;
+char *b_text;
+int *dp;
+int na;
+int nb;
+
+int hash_range(char *buf, int start, int len) {
+    int h = 5381;
+    int k;
+    for (k = 0; k < len; k++) {
+        h = h * 33 + buf[start + k];
+    }
+    return h;
+}
+
+int split_lines(char *buf, int len, int *starts, int *lens, int *hashes) {
+    int pos = 0;
+    int count = 0;
+    while (pos < len) {
+        int start = pos;
+        while (pos < len && buf[pos] != 10) pos++;
+        starts[count] = start;
+        lens[count] = pos - start;
+        hashes[count] = hash_range(buf, start, pos - start);
+        count++;
+        if (pos < len) pos++;
+    }
+    return count;
+}
+
+void fill_dp() {
+    int width = nb + 1;
+    int i;
+    int j;
+    for (j = 0; j <= nb; j++) dp[na * width + j] = 0;
+    for (i = na - 1; i >= 0; i--) {
+        dp[i * width + nb] = 0;
+        for (j = nb - 1; j >= 0; j--) {
+            if (a_hash[i] == b_hash[j]) {
+                dp[i * width + j] = dp[(i + 1) * width + j + 1] + 1;
+            } else {
+                int down = dp[(i + 1) * width + j];
+                int right = dp[i * width + j + 1];
+                if (down >= right) dp[i * width + j] = down;
+                else dp[i * width + j] = right;
+            }
+        }
+    }
+}
+
+void emit_marked(int marker, char *buf, int start, int len) {
+    int k;
+    outc(marker);
+    outc(32);
+    for (k = 0; k < len; k++) outc(buf[start + k]);
+    outc(10);
+}
+
+void walk() {
+    int width = nb + 1;
+    int i = 0;
+    int j = 0;
+    while (i < na && j < nb) {
+        if (a_hash[i] == b_hash[j]) {
+            i++;
+            j++;
+        } else if (dp[(i + 1) * width + j] >= dp[i * width + j + 1]) {
+            emit_marked(60, a_text, a_start[i], a_len[i]);
+            i++;
+        } else {
+            emit_marked(62, b_text, b_start[j], b_len[j]);
+            j++;
+        }
+    }
+    while (i < na) {
+        emit_marked(60, a_text, a_start[i], a_len[i]);
+        i++;
+    }
+    while (j < nb) {
+        emit_marked(62, b_text, b_start[j], b_len[j]);
+        j++;
+    }
+}
+
+int main() {
+    int alen;
+    int blen;
+    a_text = sbrk(131072);
+    b_text = sbrk(131072);
+    alen = read_fd_all(0, a_text, 131072);
+    blen = read_fd_all(3, b_text, 131072);
+    na = split_lines(a_text, alen, a_start, a_len, a_hash);
+    nb = split_lines(b_text, blen, b_start, b_len, b_hash);
+    dp = sbrk((na + 1) * (nb + 1) * 4);
+    fill_dp();
+    walk();
+    flushout();
+    return 0;
+}
+"""
+
+
+def _djb2(line: str) -> int:
+    value = 5381
+    for ch in line.encode("latin-1"):
+        value = (value * 33 + ch) & 0xFFFFFFFF
+    if value & 0x80000000:
+        value -= 1 << 32
+    return value
+
+
+def make_inputs(kind: str, scale: int = 1) -> Dict[int, bytes]:
+    seed = 31 if kind == "train" else 32
+    old_lines = text_lines(seed, 90 * scale)
+    new_lines = mutate_lines(old_lines, seed + 1000)
+    old_blob = ("\n".join(old_lines) + "\n").encode("latin-1")
+    new_blob = ("\n".join(new_lines) + "\n").encode("latin-1")
+    return {0: old_blob, 3: new_blob}
+
+
+def reference(inputs: Dict[int, bytes]) -> bytes:
+    def split(blob: bytes) -> List[str]:
+        lines = blob.decode("latin-1").split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        return lines
+
+    a = split(inputs[0])
+    b = split(inputs[3])
+    ah = [_djb2(line) for line in a]
+    bh = [_djb2(line) for line in b]
+    na, nb = len(a), len(b)
+    dp = [[0] * (nb + 1) for _ in range(na + 1)]
+    for i in range(na - 1, -1, -1):
+        for j in range(nb - 1, -1, -1):
+            if ah[i] == bh[j]:
+                dp[i][j] = dp[i + 1][j + 1] + 1
+            else:
+                dp[i][j] = max(dp[i + 1][j], dp[i][j + 1])
+    out: List[str] = []
+    i = j = 0
+    while i < na and j < nb:
+        if ah[i] == bh[j]:
+            i += 1
+            j += 1
+        elif dp[i + 1][j] >= dp[i][j + 1]:
+            out.append("< " + a[i])
+            i += 1
+        else:
+            out.append("> " + b[j])
+            j += 1
+    out.extend("< " + line for line in a[i:])
+    out.extend("> " + line for line in b[j:])
+    return ("".join(line + "\n" for line in out)).encode("latin-1")
+
+
+WORKLOAD = Workload("diff", SOURCE, make_inputs, reference)

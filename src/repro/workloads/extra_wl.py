@@ -1,0 +1,165 @@
+"""Extra benchmarks beyond the paper's five: ``wc`` and ``uniq``.
+
+The paper's suite is sort/grep/diff/cpp/compress; these two additional
+UNIX utilities are provided (and tested) for users who want broader
+coverage, but are kept out of :data:`repro.workloads.WORKLOADS` so the
+reproduced figures use exactly the paper's benchmark set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Workload
+from .stdio_rt import STDIO_RUNTIME
+from .textgen import text_blob, text_lines
+
+WC_SOURCE = STDIO_RUNTIME + r"""
+void print_int(int n) {
+    char digits[12];
+    int i = 0;
+    if (n == 0) { outc(48); return; }
+    while (n > 0) {
+        digits[i++] = 48 + n % 10;
+        n /= 10;
+    }
+    while (i > 0) outc(digits[--i]);
+}
+
+int main() {
+    int lines = 0;
+    int words = 0;
+    int chars = 0;
+    int in_word = 0;
+    int c = nextc();
+    while (c >= 0) {
+        chars++;
+        if (c == 10) lines++;
+        if (c == 32 || c == 10 || c == 9) {
+            in_word = 0;
+        } else if (!in_word) {
+            in_word = 1;
+            words++;
+        }
+        c = nextc();
+    }
+    print_int(lines);
+    outc(32);
+    print_int(words);
+    outc(32);
+    print_int(chars);
+    outc(10);
+    flushout();
+    return 0;
+}
+"""
+
+
+def wc_make_inputs(kind: str, scale: int = 1) -> Dict[int, bytes]:
+    seed = 61 if kind == "train" else 62
+    return {0: text_blob(seed, 200 * scale)}
+
+
+def wc_reference(inputs: Dict[int, bytes]) -> bytes:
+    data = inputs[0]
+    lines = data.count(b"\n")
+    chars = len(data)
+    words = 0
+    in_word = False
+    for byte in data:
+        if byte in (32, 10, 9):
+            in_word = False
+        elif not in_word:
+            in_word = True
+            words += 1
+    return f"{lines} {words} {chars}\n".encode("latin-1")
+
+
+WC = Workload("wc", WC_SOURCE, wc_make_inputs, wc_reference)
+
+
+UNIQ_SOURCE = STDIO_RUNTIME + r"""
+char prev[2048];
+char line[2048];
+int have_prev;
+
+int read_line(char *buf, int cap) {
+    int len = 0;
+    int c = nextc();
+    if (c < 0) return -1;
+    while (c >= 0 && c != 10) {
+        if (len < cap - 1) buf[len++] = c;
+        c = nextc();
+    }
+    buf[len] = 0;
+    return len;
+}
+
+int same_as_prev(int llen) {
+    int k = 0;
+    if (!have_prev) return 0;
+    while (line[k] == prev[k]) {
+        if (line[k] == 0) return 1;
+        k++;
+    }
+    return 0;
+}
+
+void remember(int llen) {
+    int k = 0;
+    while (k <= llen) {
+        prev[k] = line[k];
+        k++;
+    }
+    have_prev = 1;
+}
+
+void emit(int llen) {
+    int k;
+    for (k = 0; k < llen; k++) outc(line[k]);
+    outc(10);
+}
+
+int main() {
+    int llen = read_line(line, 2048);
+    while (llen >= 0) {
+        if (!same_as_prev(llen)) {
+            emit(llen);
+            remember(llen);
+        }
+        llen = read_line(line, 2048);
+    }
+    flushout();
+    return 0;
+}
+"""
+
+
+def uniq_make_inputs(kind: str, scale: int = 1) -> Dict[int, bytes]:
+    """Text with deliberate runs of duplicate lines."""
+    seed = 71 if kind == "train" else 72
+    base = text_lines(seed, 80 * scale, min_words=1, max_words=4)
+    duplicated: List[str] = []
+    for index, item in enumerate(base):
+        repeats = 1 + (index * 2654435761 % 4)
+        duplicated.extend([item] * repeats)
+    return {0: ("\n".join(duplicated) + "\n").encode("latin-1")}
+
+
+def uniq_reference(inputs: Dict[int, bytes]) -> bytes:
+    lines = inputs[0].decode("latin-1").split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    out: List[str] = []
+    previous = None
+    for item in lines:
+        if item != previous:
+            out.append(item)
+            previous = item
+    return ("".join(item + "\n" for item in out)).encode("latin-1")
+
+
+UNIQ = Workload("uniq", UNIQ_SOURCE, uniq_make_inputs, uniq_reference)
+
+#: Extension suite, not part of the paper's figures.
+EXTRA_WORKLOADS = {workload.name: workload for workload in (WC, UNIQ)}

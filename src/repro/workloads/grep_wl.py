@@ -1,0 +1,90 @@
+"""The ``grep`` benchmark: print lines containing a pattern (cf. grep(1)).
+
+The first input line is the literal pattern; every following line that
+contains it as a substring is written to fd 1.  The scan uses the
+first-character skip loop classic fgrep implementations use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import Workload
+from .stdio_rt import STDIO_RUNTIME
+from .textgen import make_rng, text_lines, words
+
+SOURCE = STDIO_RUNTIME + r"""
+char pat[256];
+int plen;
+char line[2048];
+
+int read_line(char *buf, int cap) {
+    int len = 0;
+    int c = nextc();
+    if (c < 0) return -1;
+    while (c >= 0 && c != 10) {
+        if (len < cap - 1) buf[len++] = c;
+        c = nextc();
+    }
+    buf[len] = 0;
+    return len;
+}
+
+int contains(int llen) {
+    int first;
+    int i;
+    if (plen == 0) return 1;
+    if (plen > llen) return 0;
+    first = pat[0];
+    for (i = 0; i + plen <= llen; i++) {
+        if (line[i] == first) {
+            int j = 1;
+            while (j < plen && line[i + j] == pat[j]) j++;
+            if (j == plen) return 1;
+        }
+    }
+    return 0;
+}
+
+void emit_line(int llen) {
+    int i;
+    for (i = 0; i < llen; i++) outc(line[i]);
+    outc(10);
+}
+
+int main() {
+    int llen;
+    plen = read_line(pat, 256);
+    if (plen < 0) return 1;
+    llen = read_line(line, 2048);
+    while (llen >= 0) {
+        if (contains(llen)) emit_line(llen);
+        llen = read_line(line, 2048);
+    }
+    flushout();
+    return 0;
+}
+"""
+
+
+def make_inputs(kind: str, scale: int = 1) -> Dict[int, bytes]:
+    """Pattern plus text; roughly 10-20% of lines match."""
+    seed = 21 if kind == "train" else 22
+    rng = make_rng(seed * 7)
+    pattern = words(rng, 1)[0]
+    lines = text_lines(seed, 170 * scale)
+    blob = pattern + "\n" + "\n".join(lines) + "\n"
+    return {0: blob.encode("latin-1")}
+
+
+def reference(inputs: Dict[int, bytes]) -> bytes:
+    text = inputs[0].decode("latin-1").split("\n")
+    pattern = text[0]
+    lines = text[1:]
+    if lines and lines[-1] == "":
+        lines.pop()
+    matched = [line for line in lines if pattern in line]
+    return ("".join(line + "\n" for line in matched)).encode("latin-1")
+
+
+WORKLOAD = Workload("grep", SOURCE, make_inputs, reference)

@@ -1,0 +1,148 @@
+"""The ``sort`` benchmark: sort the lines of a file (cf. sort(1)).
+
+Reads fd 0, sorts lines lexicographically (bytewise, shorter-prefix
+first) with quicksort over an index permutation plus an insertion-sort
+finish for small partitions, and writes the sorted lines to fd 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import Workload
+from .stdio_rt import STDIO_RUNTIME
+from .textgen import text_blob
+
+SOURCE = STDIO_RUNTIME + r"""
+int line_start[4096];
+int line_len[4096];
+int perm[4096];
+char *text;
+int nlines;
+
+int read_all() {
+    int cap = 262144;
+    text = sbrk(cap);
+    return read_fd_all(0, text, cap);
+}
+
+void index_lines(int len) {
+    int pos = 0;
+    nlines = 0;
+    while (pos < len) {
+        int start = pos;
+        while (pos < len && text[pos] != 10) pos++;
+        line_start[nlines] = start;
+        line_len[nlines] = pos - start;
+        perm[nlines] = nlines;
+        nlines++;
+        if (pos < len) pos++;
+    }
+}
+
+int cmp_lines(int i, int j) {
+    int a = line_start[i];
+    int b = line_start[j];
+    int la = line_len[i];
+    int lb = line_len[j];
+    int k = 0;
+    while (k < la && k < lb) {
+        int ca = text[a + k];
+        int cb = text[b + k];
+        if (ca != cb) return ca - cb;
+        k++;
+    }
+    return la - lb;
+}
+
+void insertion(int lo, int hi) {
+    int i;
+    for (i = lo + 1; i <= hi; i++) {
+        int key = perm[i];
+        int j = i - 1;
+        while (j >= lo && cmp_lines(perm[j], key) > 0) {
+            perm[j + 1] = perm[j];
+            j--;
+        }
+        perm[j + 1] = key;
+    }
+}
+
+void quicksort(int lo, int hi) {
+    while (hi - lo > 12) {
+        int mid = lo + (hi - lo) / 2;
+        int pivot;
+        int i = lo;
+        int j = hi;
+        /* median of three into mid */
+        if (cmp_lines(perm[lo], perm[mid]) > 0) {
+            int t = perm[lo]; perm[lo] = perm[mid]; perm[mid] = t;
+        }
+        if (cmp_lines(perm[lo], perm[hi]) > 0) {
+            int t = perm[lo]; perm[lo] = perm[hi]; perm[hi] = t;
+        }
+        if (cmp_lines(perm[mid], perm[hi]) > 0) {
+            int t = perm[mid]; perm[mid] = perm[hi]; perm[hi] = t;
+        }
+        pivot = perm[mid];
+        while (i <= j) {
+            while (cmp_lines(perm[i], pivot) < 0) i++;
+            while (cmp_lines(perm[j], pivot) > 0) j--;
+            if (i <= j) {
+                int t = perm[i]; perm[i] = perm[j]; perm[j] = t;
+                i++;
+                j--;
+            }
+        }
+        /* recurse into the smaller side, loop on the larger */
+        if (j - lo < hi - i) {
+            quicksort(lo, j);
+            lo = i;
+        } else {
+            quicksort(i, hi);
+            hi = j;
+        }
+    }
+    insertion(lo, hi);
+}
+
+void emit() {
+    int i;
+    for (i = 0; i < nlines; i++) {
+        int idx = perm[i];
+        int start = line_start[idx];
+        int len = line_len[idx];
+        int k;
+        for (k = 0; k < len; k++) outc(text[start + k]);
+        outc(10);
+    }
+    flushout();
+}
+
+int main() {
+    int len = read_all();
+    index_lines(len);
+    if (nlines > 1) quicksort(0, nlines - 1);
+    emit();
+    return 0;
+}
+"""
+
+
+def make_inputs(kind: str, scale: int = 1) -> Dict[int, bytes]:
+    """Train and eval inputs come from different seeds."""
+    seed = 11 if kind == "train" else 12
+    return {0: text_blob(seed, 140 * scale)}
+
+
+def reference(inputs: Dict[int, bytes]) -> bytes:
+    """Python oracle matching the Mini-C comparator exactly."""
+    text = inputs[0].decode("latin-1")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    ordered = sorted(lines, key=lambda s: s.encode("latin-1"))
+    return ("".join(line + "\n" for line in ordered)).encode("latin-1")
+
+
+WORKLOAD = Workload("sort", SOURCE, make_inputs, reference)

@@ -1,0 +1,49 @@
+"""Buffered I/O runtime shared by the benchmark sources.
+
+Real 1991 UNIX utilities do their character I/O through stdio: ``getc``
+is a macro reading a 4K buffer refilled with read(2).  Without this the
+simulated programs would take a system-call (block-boundary) exit every
+character, fragmenting basic blocks in a way the paper's decompiled
+binaries never were.  This Mini-C snippet is prepended to every
+benchmark: ``nextc()`` / ``outc()`` / ``flushout()`` are the stdio
+equivalents, and ``read_fd_all`` slurps whole files.
+"""
+
+STDIO_RUNTIME = r"""
+char _ibuf[4096];
+int _ipos;
+int _ilen;
+char _obuf[4096];
+int _olen;
+
+int nextc() {
+    if (_ipos >= _ilen) {
+        _ilen = read(0, _ibuf, 4096);
+        _ipos = 0;
+        if (_ilen <= 0) return -1;
+    }
+    return _ibuf[_ipos++];
+}
+
+void flushout() {
+    if (_olen > 0) {
+        write(1, _obuf, _olen);
+        _olen = 0;
+    }
+}
+
+void outc(int c) {
+    _obuf[_olen++] = c;
+    if (_olen >= 4096) flushout();
+}
+
+int read_fd_all(int fd, char *buf, int cap) {
+    int total = 0;
+    int got = read(fd, buf, cap);
+    while (got > 0) {
+        total = total + got;
+        got = read(fd, buf + total, cap - total);
+    }
+    return total;
+}
+"""

@@ -1,0 +1,44 @@
+"""Shared fixtures: compiled programs and prepared workloads are expensive,
+so they are built once per session and shared."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import compile_source
+from repro.workloads import WORKLOADS, prepared
+
+
+#: A small but feature-complete program used by many execution tests.
+SUMLOOP_SOURCE = """
+int data[64];
+
+int sum_range(int lo, int hi) {
+    int total = 0;
+    int i;
+    for (i = lo; i < hi; i++) total += data[i];
+    return total;
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 64; i++) data[i] = i * 3 + 1;
+    return sum_range(0, 64) % 251;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def sumloop_program():
+    return compile_source(SUMLOOP_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def grep_prepared():
+    """Prepared grep workload (compile + profile + enlarge + traces)."""
+    return prepared(WORKLOADS["grep"])
+
+
+@pytest.fixture(scope="session")
+def sort_prepared():
+    return prepared(WORKLOADS["sort"])

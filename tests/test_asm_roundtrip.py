@@ -1,0 +1,170 @@
+"""Assembly printer/parser round-trip tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    AluOp,
+    Imm,
+    MemWidth,
+    Reg,
+    SyscallOp,
+    alu,
+    assert_node,
+    branch,
+    call,
+    jump,
+    load,
+    movi,
+    ret,
+    store,
+    syscall,
+)
+from repro.program import (
+    AsmSyntaxError,
+    BasicBlock,
+    Program,
+    format_node,
+    format_program,
+    parse_node,
+    parse_program,
+)
+
+
+def roundtrip_node(node):
+    return parse_node(format_node(node))
+
+
+def assert_node_equal(a, b):
+    assert a.kind == b.kind
+    assert a.op == b.op
+    assert a.dest == b.dest
+    assert a.src1 == b.src1
+    assert a.src2 == b.src2
+    assert a.base == b.base
+    assert a.offset == b.offset
+    assert a.width == b.width
+    assert a.target == b.target
+    assert a.alt_target == b.alt_target
+    assert a.expect_taken == b.expect_taken
+    assert a.args == b.args
+
+
+EXAMPLES = [
+    alu(AluOp.ADD, 1, Reg(2), Imm(-5)),
+    alu(AluOp.MUL, 9, Reg(9), Reg(10)),
+    alu(AluOp.NOT, 3, Reg(4)),
+    movi(0, 2**31 - 1),
+    load(5, 62, 16, MemWidth.WORD),
+    load(5, 63, -4, MemWidth.BYTE),
+    store(Reg(5), 62, 0, MemWidth.WORD),
+    store(Imm(65), 10, 3, MemWidth.BYTE),
+    branch(7, "L1", "L2"),
+    branch(7, "L1", "L2", expect_taken=True),
+    branch(7, "L1", "L2", expect_taken=False),
+    jump("away"),
+    call("f_x", "after"),
+    ret(),
+    assert_node(3, True, "fix"),
+    assert_node(3, False, "fix"),
+    syscall(SyscallOp.GETC, "next", (1,), dest=0),
+    syscall(SyscallOp.PUTC, "next", (1, 2)),
+    syscall(SyscallOp.READ, "next", (1, 2, 3), dest=4),
+    syscall(SyscallOp.EXIT, None, (0,)),
+]
+
+
+@pytest.mark.parametrize("node", EXAMPLES, ids=lambda n: format_node(n))
+def test_node_roundtrip(node):
+    assert_node_equal(roundtrip_node(node), node)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "bogus r1, r2",
+            "add r1",
+            "add #1, r2, r3",
+            "ldw r1, r2",
+            "br r1, only_one",
+            "call f",
+            "assert r1, 1",
+            "sys unknown(r1)",
+            "add r99, r1, r2",
+        ],
+    )
+    def test_bad_node(self, text):
+        with pytest.raises(AsmSyntaxError):
+            parse_node(text)
+
+    def test_block_without_terminator(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_program(".entry a\nblock a:\n    add r1, r1, #1\n")
+
+    def test_node_outside_block(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_program(".entry a\n    add r1, r1, #1\n")
+
+    def test_missing_entry(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_program("block a:\n    ret\n")
+
+
+class TestProgramRoundtrip:
+    def test_program_with_data_and_symbols(self):
+        program = Program(
+            [
+                BasicBlock("main", [movi(1, 4)], branch(1, "main", "end")),
+                BasicBlock("end", [], syscall(SyscallOp.EXIT, None, (1,))),
+            ],
+            entry="main",
+            data=bytes(range(40)),
+            data_size=128,
+            symbols={"table": 0x1000},
+        )
+        text = format_program(program)
+        parsed = parse_program(text)
+        assert parsed.entry == program.entry
+        assert parsed.data == program.data
+        assert parsed.data_size == program.data_size
+        assert parsed.symbols == program.symbols
+        assert list(parsed.blocks) == list(program.blocks)
+        for label in program.blocks:
+            want = list(program.block(label).nodes())
+            got = list(parsed.block(label).nodes())
+            assert len(want) == len(got)
+            for a, b in zip(want, got):
+                assert_node_equal(a, b)
+
+    def test_compiled_program_roundtrip(self, sumloop_program):
+        text = format_program(sumloop_program)
+        parsed = parse_program(text)
+        assert list(parsed.blocks) == list(sumloop_program.blocks)
+        for label in parsed.blocks:
+            want = list(sumloop_program.block(label).nodes())
+            got = list(parsed.block(label).nodes())
+            for a, b in zip(want, got):
+                assert_node_equal(a, b)
+
+
+# Property-based: random ALU nodes always round-trip.
+regs = st.integers(min_value=0, max_value=63)
+imms = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+operands = st.one_of(regs.map(Reg), imms.map(Imm))
+binary_ops = st.sampled_from(
+    [op for op in AluOp if op not in (AluOp.NOT, AluOp.NEG, AluOp.MOV)]
+)
+
+
+@given(binary_ops, regs, operands, operands)
+def test_random_alu_roundtrip(op, dest, src1, src2):
+    node = alu(op, dest, src1, src2)
+    assert_node_equal(roundtrip_node(node), node)
+
+
+@given(regs, regs, st.integers(min_value=-4096, max_value=4096),
+       st.sampled_from(list(MemWidth)))
+def test_random_load_roundtrip(dest, base, offset, width):
+    node = load(dest, base, offset, width)
+    assert_node_equal(roundtrip_node(node), node)

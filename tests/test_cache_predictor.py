@@ -1,0 +1,172 @@
+"""Memory-system and branch-predictor model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.cache import Cache, MemorySystem
+from repro.machine.config import MEMORY_CONFIGS
+from repro.machine.predictor import BranchPredictor
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(1024)
+        assert cache.access(0x2000) is False
+        assert cache.access(0x2000) is True
+
+    def test_same_line_hits(self):
+        cache = Cache(1024)
+        cache.access(0x2000)
+        assert cache.access(0x200F) is True  # same 16-byte line
+        assert cache.access(0x2010) is False  # next line
+
+    def test_two_way_associativity(self):
+        cache = Cache(1024)  # 32 sets -> lines 32 apart collide
+        stride = 32 * 16
+        cache.access(0x2000)
+        cache.access(0x2000 + stride)
+        # Both ways occupied; both still hit.
+        assert cache.access(0x2000) is True
+        assert cache.access(0x2000 + stride) is True
+
+    def test_lru_eviction(self):
+        cache = Cache(1024)
+        stride = 32 * 16
+        a, b, c = 0x2000, 0x2000 + stride, 0x2000 + 2 * stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is now MRU
+        cache.access(c)  # evicts b (LRU)
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Cache(1000)
+
+    def test_hit_rate_statistics(self):
+        cache = Cache(1024)
+        cache.access(0x2000)
+        cache.access(0x2000)
+        assert cache.accesses == 2
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    @given(st.lists(st.integers(min_value=0x1000, max_value=0x8000), max_size=60))
+    def test_matches_reference_model(self, addresses):
+        """The array-based cache agrees with a dict-based reference."""
+        cache = Cache(1024)
+        sets = 1024 // 32
+        reference = {}  # set index -> [mru_line, lru_line]
+        for address in addresses:
+            line = address // 16
+            index = line % sets
+            ways = reference.setdefault(index, [])
+            expected_hit = line in ways
+            if expected_hit:
+                ways.remove(line)
+            ways.insert(0, line)
+            del ways[2:]
+            assert cache.access(address) == expected_hit
+
+
+class TestMemorySystem:
+    def test_perfect_memory_constant_latency(self):
+        system = MemorySystem(MEMORY_CONFIGS["C"])
+        for address in (0x2000, 0x9999, 0x2000):
+            assert system.load_latency(address) == 3
+
+    def test_cached_memory_miss_then_hit(self):
+        system = MemorySystem(MEMORY_CONFIGS["D"])
+        assert system.load_latency(0x4000) == 10
+        assert system.load_latency(0x4000) == 1
+
+    def test_write_buffer_makes_loads_hit(self):
+        system = MemorySystem(MEMORY_CONFIGS["D"])
+        system.store_access(0x7000)
+        assert system.load_latency(0x7000) == 1
+
+    def test_write_buffer_capacity(self):
+        system = MemorySystem(MEMORY_CONFIGS["D"], write_buffer_lines=2)
+        system.store_access(0x7000)
+        system.store_access(0x8000)
+        system.store_access(0x9000)  # evicts the 0x7000 line
+        assert 0x7000 // 16 not in system._wb_lines
+
+    def test_statistics(self):
+        system = MemorySystem(MEMORY_CONFIGS["E"])
+        system.load_latency(0x4000)
+        system.store_access(0x4000)
+        assert system.load_count == 1
+        assert system.store_count == 1
+
+
+class TestBranchPredictor:
+    def test_default_prediction_not_taken(self):
+        predictor = BranchPredictor()
+        assert predictor.predict("b1") is False
+
+    def test_static_hint_used_on_miss(self):
+        predictor = BranchPredictor(use_static_hints=True)
+        assert predictor.predict("b1", static_hint=True) is True
+
+    def test_static_hint_ignored_when_disabled(self):
+        predictor = BranchPredictor(use_static_hints=False)
+        assert predictor.predict("b1", static_hint=True) is False
+
+    def test_counter_warms_up(self):
+        predictor = BranchPredictor()
+        predicted = predictor.predict("b1")
+        predictor.update("b1", True, predicted)  # allocates weakly taken
+        assert predictor.predict("b1") is True
+
+    def test_two_bit_hysteresis(self):
+        predictor = BranchPredictor()
+        for _ in range(3):
+            predictor.update("b1", True, predictor.predict("b1"))
+        # Strongly taken now; one not-taken shouldn't flip it.
+        predictor.update("b1", False, predictor.predict("b1"))
+        assert predictor.predict("b1") is True
+        predictor.update("b1", False, predictor.predict("b1"))
+        assert predictor.predict("b1") is False
+
+    def test_counter_saturates(self):
+        predictor = BranchPredictor()
+        for _ in range(10):
+            predictor.update("b1", True, True)
+        predictor.update("b1", False, True)
+        predictor.update("b1", False, True)
+        assert predictor.predict("b1") is False
+
+    def test_collision_evicts(self):
+        predictor = BranchPredictor(entries=1)
+        predictor.update("b1", True, False)
+        assert predictor.predict("b1") is True
+        predictor.update("b2", False, False)  # evicts b1's entry
+        # b1 now misses the BTB and falls back to the default.
+        assert predictor.predict("b1") is False
+
+    def test_mispredict_accounting(self):
+        predictor = BranchPredictor()
+        predicted = predictor.predict("b1")
+        predictor.update("b1", not predicted, predicted)
+        assert predictor.mispredicts == 1
+        assert predictor.lookups == 1
+        assert predictor.accuracy == 0.0
+
+    def test_peek_does_not_count(self):
+        predictor = BranchPredictor()
+        predictor.peek("b1")
+        assert predictor.lookups == 0
+
+    def test_alternating_pattern_estimate(self):
+        """A strictly alternating branch defeats a 2-bit counter."""
+        predictor = BranchPredictor()
+        correct = 0
+        taken = True
+        for _ in range(100):
+            predicted = predictor.predict("b1")
+            correct += predicted == taken
+            predictor.update("b1", taken, predicted)
+            taken = not taken
+        assert correct <= 55  # near-chance accuracy

@@ -1,0 +1,441 @@
+"""End-to-end execution tests: compile Mini-C, run, check behaviour.
+
+These are the compiler's ground-truth tests: each case states a program
+and the exit code (and possibly output) it must produce.  Every case runs
+both optimised and unoptimised, so the optimisation pipeline is checked
+for semantic preservation at the same time.
+"""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.interp import run_program
+
+
+def run(source, inputs=None, optimize=True):
+    program = compile_source(source, optimize=optimize)
+    return run_program(program, inputs=inputs or {0: b""})
+
+
+def exit_code(source, inputs=None, optimize=True):
+    return run(source, inputs, optimize).exit_code
+
+
+# Each entry: (test id, source, expected exit code)
+CASES = [
+    ("return_constant", "int main() { return 42; }", 42),
+    ("arith_mixed", "int main() { return 2 + 3 * 4 - 5; }", 9),
+    ("division_truncates", "int main() { return -7 / 2 + 10; }", 7),
+    ("modulo_sign", "int main() { return -7 % 3 + 5; }", 4),
+    ("bitwise", "int main() { return (12 & 10) | (1 ^ 3); }", 10),
+    ("shifts", "int main() { return (1 << 5) + (64 >> 3); }", 40),
+    ("comparisons",
+     "int main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (3 >= 4) + (5 == 5)"
+     " + (5 != 5); }", 4),
+    ("unary_ops", "int main() { int x = 5; return -x + ~x + 20 + !0; }", 10),
+    ("logical_and_short_circuit",
+     "int g; int set() { g = 1; return 1; } "
+     "int main() { 0 && set(); return g; }", 0),
+    ("logical_or_short_circuit",
+     "int g; int set() { g = 1; return 1; } "
+     "int main() { 1 || set(); return g; }", 0),
+    ("logical_values",
+     "int main() { return (2 && 3) * 10 + (0 || 7 != 0); }", 11),
+    ("if_else", "int main() { int x = 5; if (x > 3) return 1; else return 2; }", 1),
+    ("nested_if",
+     "int main() { int a = 1; int b = 2;"
+     " if (a) { if (b > 5) return 1; else return 2; } return 3; }", 2),
+    ("while_sum",
+     "int main() { int i = 0; int s = 0;"
+     " while (i < 10) { s += i; i++; } return s; }", 45),
+    ("do_while_runs_once",
+     "int main() { int n = 0; do n++; while (0); return n; }", 1),
+    ("for_with_decl",
+     "int main() { int s = 0; for (int i = 1; i <= 4; i++) s += i; return s; }",
+     10),
+    ("break_statement",
+     "int main() { int i; for (i = 0; i < 100; i++) if (i == 7) break;"
+     " return i; }", 7),
+    ("continue_statement",
+     "int main() { int s = 0; int i;"
+     " for (i = 0; i < 10; i++) { if (i % 2) continue; s += i; } return s; }",
+     20),
+    ("nested_loops",
+     "int main() { int s = 0; int i; int j;"
+     " for (i = 0; i < 5; i++) for (j = 0; j < 5; j++) s++; return s; }", 25),
+    ("compound_assigns",
+     "int main() { int x = 100; x += 5; x -= 3; x *= 2; x /= 4; x %= 13;"
+     " return x; }", 12),
+    ("compound_bitwise",
+     "int main() { int x = 12; x &= 10; x |= 1; x ^= 2; x <<= 2; x >>= 1;"
+     " return x; }", 22),
+    ("prefix_postfix",
+     "int main() { int x = 5; int a = x++; int b = ++x; int c = x--;"
+     " int d = --x; return a * 1000 + b * 100 + c * 10 + d; }", 5775),
+    ("incdec_memory",
+     "int main() { int a[1]; a[0] = 5; a[0]++; ++a[0]; a[0]--;"
+     " return a[0]; }", 6),
+    ("global_scalar_init", "int g = 37; int main() { return g; }", 37),
+    ("global_array_init",
+     "int v[4] = {10, 20, 30}; int main() { return v[0] + v[1] + v[2] + v[3]; }",
+     60),
+    ("global_char_array",
+     'char s[6] = "AB"; int main() { return s[0] + s[2]; }', 65),
+    ("string_pointer_global",
+     'char *msg = "hi"; int main() { return msg[0]; }', 104),
+    ("string_literal_expr", 'int main() { return "xyz"[1]; }', 121),
+    ("local_array",
+     "int main() { int a[8]; int i; for (i = 0; i < 8; i++) a[i] = i * i;"
+     " return a[7]; }", 49),
+    ("char_locals",
+     "int main() { char c = 200; char d = 100; return (c + d) % 45; }", 30),
+    ("char_wraps_on_increment",
+     "int main() { char c = 255; c++; return c; }", 0),
+    ("char_assign_truncates",
+     "int main() { char c = 300; return c; }", 44),
+    ("char_is_unsigned",
+     "int main() { char c = 255; return c > 0; }", 1),
+    ("pointer_deref",
+     "int main() { int x = 11; int *p = &x; *p = 22; return x; }", 22),
+    ("pointer_arith",
+     "int main() { int a[5]; int *p = a; int i;"
+     " for (i = 0; i < 5; i++) a[i] = i + 1;"
+     " p = p + 3; return *p + *(p - 2); }", 6),
+    ("pointer_diff",
+     "int main() { int a[10]; int *p = &a[7]; int *q = &a[2]; return p - q; }",
+     5),
+    ("pointer_compound",
+     "int main() { int a[4]; int *p = a; a[2] = 9; p += 2; return *p; }", 9),
+    ("pointer_incdec",
+     "int main() { int a[3]; int *p = a; a[0] = 1; a[1] = 2;"
+     " int first = *p++; return first * 10 + *p; }", 12),
+    ("char_pointer_walk",
+     'char *s = "hello"; int main() { int n = 0; char *p = s;'
+     " while (*p) { n++; p++; } return n; }", 5),
+    ("address_of_array_element",
+     "int main() { int a[4]; int *p = &a[2]; *p = 5; return a[2]; }", 5),
+    ("function_call", "int add(int a, int b) { return a + b; } "
+     "int main() { return add(3, 4); }", 7),
+    ("six_args",
+     "int f(int a, int b, int c, int d, int e, int g)"
+     " { return a + b + c + d + e + g; } "
+     "int main() { return f(1, 2, 3, 4, 5, 6); }", 21),
+    ("recursion_factorial",
+     "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); } "
+     "int main() { return fact(6) % 251; }", 218),
+    ("mutual_recursion",
+     "int is_odd(int n); "
+     "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); } "
+     "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); } "
+     "int main() { return is_even(10) * 10 + is_odd(7); }", 11),
+    ("call_in_expression",
+     "int sq(int x) { return x * x; } "
+     "int main() { return sq(2) + sq(3) * sq(1); }", 13),
+    ("nested_calls",
+     "int inc(int x) { return x + 1; } "
+     "int main() { return inc(inc(inc(0))); }", 3),
+    ("spill_across_call",
+     "int id(int x) { return x; } "
+     "int main() { int a = 3; return a * 7 + id(a) + a * 2; }", 30),
+    ("void_function",
+     "int g; void bump(int by) { g += by; } "
+     "int main() { bump(4); bump(5); return g; }", 9),
+    ("globals_shared_across_functions",
+     "int counter; void tick() { counter++; } "
+     "int main() { int i; for (i = 0; i < 9; i++) tick(); return counter; }", 9),
+    ("overflow_wraps",
+     "int main() { int x = 2147483647; x = x + 1; return x < 0; }", 1),
+    ("mul_overflow_wraps",
+     "int main() { int x = 65536; return x * x == 0; }", 1),
+    ("sizeof_arith",
+     "int main() { return sizeof(int) + sizeof(char) + sizeof(int*)"
+     " + sizeof(int[10]); }", 49),
+    ("ternary_style_minmax",
+     "int max(int a, int b) { if (a > b) return a; return b; } "
+     "int main() { return max(3, 9) * max(7, 2); }", 63),
+    ("deep_expression",
+     "int main() { int a = 1; int b = 2; int c = 3; int d = 4;"
+     " return ((a + b) * (c + d)) + ((a * b) + (c * d)) * ((a + c) * (b + d)); }",
+     357),
+    ("assignment_value",
+     "int main() { int a; int b; b = (a = 21) * 2; return b - a; }", 21),
+    ("comparison_chain_via_ands",
+     "int main() { int x = 5; return (1 < x && x < 9) + (x == 5 && x != 4); }",
+     2),
+    ("many_locals_spill_to_stack",
+     "int main() { "
+     + " ".join(f"int v{i} = {i};" for i in range(40))
+     + " return " + " + ".join(f"v{i}" for i in range(40)) + "; }",
+     sum(range(40))),
+]
+
+
+@pytest.mark.parametrize("optimize", [True, False], ids=["opt", "noopt"])
+@pytest.mark.parametrize(
+    "source,expected", [(s, e) for _, s, e in CASES],
+    ids=[name for name, _, _ in CASES],
+)
+def test_exit_code(source, expected, optimize):
+    assert exit_code(source, optimize=optimize) == expected
+
+
+class TestIO:
+    def test_echo_via_getc_putc(self):
+        source = (
+            "int main() { int c = getc(0); while (c >= 0)"
+            " { putc(1, c); c = getc(0); } return 0; }"
+        )
+        result = run(source, inputs={0: b"hello\n"})
+        assert result.output == b"hello\n"
+
+    def test_read_write_block(self):
+        source = """
+        int main() {
+            char buf[64];
+            int n = read(0, buf, 64);
+            write(1, buf, n);
+            return n;
+        }
+        """
+        result = run(source, inputs={0: b"block io"})
+        assert result.output == b"block io"
+        assert result.exit_code == 8
+
+    def test_read_chunks(self):
+        source = """
+        int main() {
+            char buf[4];
+            int total = 0;
+            int n = read(0, buf, 4);
+            while (n > 0) { total += n; n = read(0, buf, 4); }
+            return total;
+        }
+        """
+        assert run(source, inputs={0: b"x" * 11}).exit_code == 11
+
+    def test_sbrk_heap(self):
+        source = """
+        int main() {
+            int *p = sbrk(40);
+            int *q = sbrk(40);
+            int i;
+            for (i = 0; i < 10; i++) p[i] = i;
+            for (i = 0; i < 10; i++) q[i] = p[i] * 2;
+            return q[9] + (q - p >= 10);
+        }
+        """
+        assert run(source).exit_code == 19
+
+    def test_exit_builtin_stops_program(self):
+        source = "int main() { exit(7); return 1; }"
+        assert run(source).exit_code == 7
+
+    def test_getc_eof(self):
+        source = "int main() { return getc(0) < 0; }"
+        assert run(source, inputs={0: b""}).exit_code == 1
+
+
+class TestOptimizedMatchesUnoptimized:
+    """The optimiser must never change observable behaviour."""
+
+    @pytest.mark.parametrize(
+        "source", [s for _, s, _ in CASES[:20]],
+        ids=[name for name, _, _ in CASES[:20]],
+    )
+    def test_same_exit(self, source):
+        assert exit_code(source, optimize=True) == exit_code(source, optimize=False)
+
+    def test_optimizer_reduces_node_count(self):
+        source = CASES[0][1]
+        opt = compile_source(source, optimize=True)
+        raw = compile_source(source, optimize=False)
+        assert sum(opt.static_node_counts()) <= sum(raw.static_node_counts())
+
+
+class TestTernary:
+    def test_basic_selection(self):
+        assert exit_code("int main() { int x = 5; return x > 3 ? 10 : 20; }") == 10
+        assert exit_code("int main() { int x = 1; return x > 3 ? 10 : 20; }") == 20
+
+    def test_nested_right_associative(self):
+        source = ("int main() { int x = 2; "
+                  "return x == 1 ? 100 : x == 2 ? 200 : 300; }")
+        assert exit_code(source) == 200
+
+    def test_only_selected_arm_evaluates(self):
+        source = (
+            "int g; int bump() { g++; return g; } "
+            "int main() { int r = 1 ? 7 : bump(); return r * 10 + g; }"
+        )
+        assert exit_code(source) == 70
+
+    def test_in_condition_and_argument(self):
+        source = (
+            "int pick(int a) { return a * 2; } "
+            "int main() { int x = 3; return pick(x < 5 ? x : 0); }"
+        )
+        assert exit_code(source) == 6
+
+    def test_with_pointers(self):
+        source = """
+        int main() {
+            int a = 1; int b = 2;
+            int *p = a > b ? &a : &b;
+            *p = 99;
+            return b;
+        }
+        """
+        assert exit_code(source) == 99
+
+    def test_assignment_of_ternary(self):
+        source = "int main() { int m; m = 4 < 5 ? 4 : 5; return m; }"
+        assert exit_code(source) == 4
+
+    def test_unoptimized_matches(self):
+        source = "int main() { int x = 9; return x % 2 ? 111 : 222; }"
+        assert exit_code(source, optimize=True) == exit_code(source, optimize=False)
+
+
+class TestSwitch:
+    def test_simple_dispatch(self):
+        source = """
+        int classify(int x) {
+            switch (x) {
+                case 1: return 10;
+                case 2: return 20;
+                default: return 99;
+            }
+        }
+        int main() { return classify(1) + classify(2) + classify(7); }
+        """
+        assert exit_code(source) == 129
+
+    def test_fallthrough(self):
+        source = """
+        int main() {
+            int r = 0;
+            switch (2) {
+                case 1: r += 1;
+                case 2: r += 2;
+                case 3: r += 4;
+                default: r += 8;
+            }
+            return r;
+        }
+        """
+        assert exit_code(source) == 14  # 2 falls into 3 and default
+
+    def test_break_stops_fallthrough(self):
+        source = """
+        int main() {
+            int r = 0;
+            switch (2) {
+                case 2: r += 2; break;
+                case 3: r += 4;
+            }
+            return r;
+        }
+        """
+        assert exit_code(source) == 2
+
+    def test_default_position_independent(self):
+        source = """
+        int main() {
+            int r = 0;
+            switch (42) {
+                default: r = 5; break;
+                case 1: r = 1;
+            }
+            return r;
+        }
+        """
+        assert exit_code(source) == 5
+
+    def test_no_match_no_default(self):
+        source = """
+        int main() {
+            int r = 7;
+            switch (9) { case 1: r = 0; }
+            return r;
+        }
+        """
+        assert exit_code(source) == 7
+
+    def test_char_case_labels(self):
+        source = """
+        int main() {
+            switch ('b') {
+                case 'a': return 1;
+                case 'b': return 2;
+            }
+            return 0;
+        }
+        """
+        assert exit_code(source) == 2
+
+    def test_negative_case(self):
+        source = """
+        int main() {
+            switch (0 - 3) { case -3: return 1; }
+            return 0;
+        }
+        """
+        assert exit_code(source) == 1
+
+    def test_switch_in_loop_with_continue(self):
+        source = """
+        int main() {
+            int total = 0;
+            int i;
+            for (i = 0; i < 6; i++) {
+                switch (i % 3) {
+                    case 0: continue;
+                    case 1: total += 10; break;
+                    default: total += 1;
+                }
+            }
+            return total;
+        }
+        """
+        assert exit_code(source) == 22
+
+    def test_unoptimized_matches(self):
+        source = """
+        int main() {
+            int r = 0;
+            int i;
+            for (i = 0; i < 10; i++) {
+                switch (i & 3) {
+                    case 0: r += 1; break;
+                    case 1: r += 2;
+                    case 2: r += 3; break;
+                    default: r += 4;
+                }
+            }
+            return r;
+        }
+        """
+        assert exit_code(source, optimize=True) == exit_code(source, optimize=False)
+
+
+class TestSwitchErrors:
+    def test_duplicate_case_rejected(self):
+        import pytest
+        from repro.lang.errors import SemanticError
+
+        with pytest.raises(SemanticError):
+            run("int main() { switch (1) { case 1: case 1: ; } return 0; }")
+
+    def test_multiple_defaults_rejected(self):
+        import pytest
+        from repro.lang.errors import SemanticError
+
+        with pytest.raises(SemanticError):
+            run("int main() { switch (1) { default: default: ; } return 0; }")
+
+    def test_nonconstant_case_rejected(self):
+        import pytest
+        from repro.lang.errors import ParseError
+
+        with pytest.raises(ParseError):
+            run("int main() { int x; switch (1) { case x: ; } return 0; }")

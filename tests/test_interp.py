@@ -1,0 +1,328 @@
+"""Interpreter tests: memory, faults, block atomicity, syscalls, traces.
+
+Hand-written assembly (via the parser) pins down the architectural
+semantics that the compiler tests can't reach directly -- especially the
+block-atomic store buffer and assert-fault rollback.
+"""
+
+import pytest
+
+from repro.interp import (
+    Interpreter,
+    InterpreterError,
+    NodeBudgetExceeded,
+    SimMemory,
+    SyscallError,
+    SyscallHost,
+    run_program,
+)
+from repro.interp.memory import MemoryFault
+from repro.interp.trace import NOT_TAKEN, OTHER, TAKEN
+from repro.lang import compile_source
+from repro.program import parse_program
+from repro.program.program import GLOBAL_BASE
+
+
+def run_asm(text, inputs=None, record_trace=True):
+    program = parse_program(text)
+    return run_program(program, inputs=inputs or {0: b""},
+                       record_trace=record_trace)
+
+
+class TestSimMemory:
+    def test_word_roundtrip(self):
+        memory = SimMemory(0x10000)
+        memory.store_word(0x2000, -123456)
+        assert memory.load_word(0x2000) == -123456
+
+    def test_byte_roundtrip_unsigned(self):
+        memory = SimMemory(0x10000)
+        memory.store_byte(0x2000, 0xFF)
+        assert memory.load_byte(0x2000) == 255
+
+    def test_little_endian(self):
+        memory = SimMemory(0x10000)
+        memory.store_word(0x2000, 0x04030201)
+        assert [memory.load_byte(0x2000 + i) for i in range(4)] == [1, 2, 3, 4]
+
+    def test_null_page_guarded(self):
+        memory = SimMemory(0x10000)
+        with pytest.raises(MemoryFault):
+            memory.load_word(0)
+        with pytest.raises(MemoryFault):
+            memory.store_byte(0xFFF, 1)
+
+    def test_out_of_range(self):
+        memory = SimMemory(0x10000)
+        with pytest.raises(MemoryFault):
+            memory.load_word(0x10000 - 2)
+
+    def test_data_loaded_at_global_base(self):
+        memory = SimMemory(0x10000, data=b"\x2a\x00\x00\x00")
+        assert memory.load_word(GLOBAL_BASE) == 42
+
+    def test_read_cstring(self):
+        memory = SimMemory(0x10000, data=b"hi\x00rest")
+        assert memory.read_cstring(GLOBAL_BASE) == b"hi"
+
+
+class TestSyscallHost:
+    def test_getc_stream_and_eof(self):
+        host = SyscallHost(inputs={0: b"ab"})
+        assert [host.getc(0), host.getc(0), host.getc(0)] == [97, 98, -1]
+
+    def test_getc_unknown_fd(self):
+        host = SyscallHost(inputs={0: b""})
+        with pytest.raises(SyscallError):
+            host.getc(5)
+
+    def test_putc_collects_output(self):
+        host = SyscallHost(inputs={})
+        host.putc(1, 0x41)
+        host.putc(1, 0x158)  # truncated to a byte
+        assert host.output_bytes(1) == b"AX"
+
+    def test_read_block_chunks(self):
+        host = SyscallHost(inputs={0: b"abcdef"})
+        assert host.read_block(0, 4) == b"abcd"
+        assert host.read_block(0, 4) == b"ef"
+        assert host.read_block(0, 4) == b""
+
+    def test_write_block(self):
+        host = SyscallHost(inputs={})
+        assert host.write_block(1, b"xyz") == 3
+        assert host.output_bytes(1) == b"xyz"
+
+    def test_fd_cannot_be_input_and_output(self):
+        with pytest.raises(SyscallError):
+            SyscallHost(inputs={1: b""})
+
+
+class TestBlockAtomicity:
+    def test_store_buffer_visible_to_own_block_loads(self):
+        result = run_asm("""
+.entry a
+block a:
+    mov r1, #8192
+    mov r2, #77
+    stw r2, [r1]
+    ldw r3, [r1]
+    sys exit(r3)
+""")
+        assert result.exit_code == 77
+
+    def test_byte_store_merges_into_word(self):
+        result = run_asm("""
+.entry a
+block a:
+    mov r1, #8192
+    mov r2, #305419896
+    stw r2, [r1]
+    stb r1, [r1+1]
+    ldw r3, [r1]
+    sys exit(r3)
+""")
+        # 0x12345678 with byte 1 overwritten by 8192 & 0xFF == 0.
+        assert result.exit_code == 0x12340078
+
+    def test_fault_discards_stores_and_registers(self):
+        result = run_asm("""
+.entry a
+block a:
+    mov r1, #8192
+    mov r2, #1
+    jmp b
+block b:
+    mov r2, #99
+    stw r2, [r1]
+    assert r2, 0, fault=c
+    jmp c
+block c:
+    ldw r4, [r1]
+    sys exit(r4)
+""")
+        # Block b faults (r2 is 99, expected falsy): its store is discarded
+        # and r2 rolls back, so c loads the never-written zero.
+        assert result.exit_code == 0
+
+    def test_fault_register_rollback(self):
+        result = run_asm("""
+.entry a
+block a:
+    mov r2, #5
+    jmp b
+block b:
+    mov r2, #50
+    assert r2, 0, fault=c
+    jmp c
+block c:
+    sys exit(r2)
+""")
+        assert result.exit_code == 5
+
+    def test_assert_passes_silently(self):
+        result = run_asm("""
+.entry a
+block a:
+    mov r2, #1
+    assert r2, 1, fault=bad
+    sys exit(r2)
+block bad:
+    mov r2, #9
+    sys exit(r2)
+""")
+        assert result.exit_code == 1
+
+
+class TestTraps:
+    def test_division_by_zero(self):
+        with pytest.raises(InterpreterError):
+            run_asm("""
+.entry a
+block a:
+    mov r1, #0
+    div r2, r1, r1
+    sys exit(r2)
+""")
+
+    def test_unmapped_load(self):
+        with pytest.raises(InterpreterError):
+            run_asm("""
+.entry a
+block a:
+    mov r1, #0
+    ldw r2, [r1]
+    sys exit(r2)
+""")
+
+    def test_ret_without_call(self):
+        with pytest.raises(InterpreterError):
+            run_asm("""
+.entry a
+block a:
+    ret
+""")
+
+    def test_node_budget(self):
+        program = parse_program("""
+.entry spin
+block spin:
+    add r1, r1, #1
+    jmp spin
+""")
+        host = SyscallHost(inputs={0: b""})
+        interp = Interpreter(program, host, max_nodes=1000)
+        with pytest.raises(NodeBudgetExceeded):
+            interp.run()
+
+    def test_sbrk_negative(self):
+        with pytest.raises(InterpreterError):
+            run_program(
+                compile_source("int main() { sbrk(-4); return 0; }"),
+                inputs={0: b""},
+            )
+
+
+class TestTraceRecording:
+    def test_outcomes_and_labels(self):
+        result = run_asm("""
+.entry a
+block a:
+    mov r1, #1
+    br r1, yes, no
+block yes:
+    mov r2, #0
+    br r2, done, no
+block no:
+    jmp done
+block done:
+    sys exit(r1)
+""")
+        trace = result.trace
+        assert [trace.label_of(i) for i in range(len(trace))] == [
+            "a", "yes", "no", "done",
+        ]
+        assert trace.outcomes[0] == TAKEN
+        assert trace.outcomes[1] == NOT_TAKEN
+        assert trace.outcomes[2] == OTHER
+
+    def test_address_count_matches_static_mem_count(self, sumloop_program):
+        result = run_program(sumloop_program, inputs={0: b""})
+        trace = result.trace
+        mem_counts = {
+            label: sum(1 for n in sumloop_program.block(label).nodes()
+                       if n.is_memory)
+            for label in sumloop_program.blocks
+        }
+        expected = sum(mem_counts[trace.label_of(i)] for i in range(len(trace)))
+        assert len(trace.addresses) == expected
+
+    def test_faulted_blocks_record_all_addresses(self):
+        result = run_asm("""
+.entry a
+block a:
+    mov r1, #8192
+    mov r2, #1
+    jmp b
+block b:
+    stw r2, [r1]
+    assert r2, 0, fault=c
+    ldw r3, [r1+4]
+    stw r3, [r1+8]
+    jmp c
+block c:
+    sys exit(r2)
+""")
+        trace = result.trace
+        # Block b has 3 memory nodes; despite faulting at the assert all
+        # three addresses must be recorded (speculative completion).
+        position = [trace.label_of(i) for i in range(len(trace))].index("b")
+        assert trace.fault_indices[position] == 1
+        assert len(trace.addresses) == 3
+
+    def test_retired_and_discarded_counts(self):
+        result = run_asm("""
+.entry a
+block a:
+    mov r2, #1
+    jmp b
+block b:
+    mov r3, #2
+    assert r2, 0, fault=c
+    jmp c
+block c:
+    sys exit(r2)
+""")
+        trace = result.trace
+        assert trace.discarded_nodes == 3  # mov + assert + jmp of block b
+        assert trace.retired_nodes == 2  # a: mov + jmp; c: only the syscall
+
+    def test_no_trace_mode(self):
+        result = run_asm(
+            ".entry a\nblock a:\n    mov r1, #3\n    sys exit(r1)\n",
+            record_trace=False,
+        )
+        assert result.trace is None
+        assert result.exit_code == 3
+
+
+class TestCallStack:
+    def test_nested_calls_return_in_order(self):
+        result = run_asm("""
+.entry main
+block main:
+    mov r1, #0
+    call f, ret=after_f
+block after_f:
+    sys exit(r1)
+block f:
+    add r1, r1, #1
+    call g, ret=after_g
+block after_g:
+    add r1, r1, #10
+    ret
+block g:
+    add r1, r1, #100
+    ret
+""")
+        assert result.exit_code == 111

@@ -1,0 +1,110 @@
+"""Unit and property tests for 32-bit integer semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.intmath import (
+    INT32_MAX,
+    INT32_MIN,
+    sar32,
+    sdiv32,
+    shl32,
+    shr32,
+    smod32,
+    to_unsigned32,
+    wrap32,
+)
+
+int32s = st.integers(min_value=INT32_MIN, max_value=INT32_MAX)
+any_ints = st.integers(min_value=-(1 << 40), max_value=1 << 40)
+
+
+class TestWrap32:
+    def test_identity_in_range(self):
+        for value in (0, 1, -1, INT32_MAX, INT32_MIN, 12345, -98765):
+            assert wrap32(value) == value
+
+    def test_wraps_positive_overflow(self):
+        assert wrap32(INT32_MAX + 1) == INT32_MIN
+
+    def test_wraps_negative_overflow(self):
+        assert wrap32(INT32_MIN - 1) == INT32_MAX
+
+    def test_wraps_large_multiple(self):
+        assert wrap32(1 << 32) == 0
+        assert wrap32((1 << 32) + 7) == 7
+
+    @given(any_ints)
+    def test_always_in_range(self, value):
+        assert INT32_MIN <= wrap32(value) <= INT32_MAX
+
+    @given(any_ints)
+    def test_congruent_mod_2_32(self, value):
+        assert (wrap32(value) - value) % (1 << 32) == 0
+
+    @given(int32s)
+    def test_roundtrip_unsigned(self, value):
+        assert wrap32(to_unsigned32(value)) == value
+
+
+class TestDivision:
+    def test_truncates_toward_zero(self):
+        assert sdiv32(7, 2) == 3
+        assert sdiv32(-7, 2) == -3
+        assert sdiv32(7, -2) == -3
+        assert sdiv32(-7, -2) == 3
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            sdiv32(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            smod32(1, 0)
+
+    def test_mod_sign_follows_dividend(self):
+        assert smod32(7, 3) == 1
+        assert smod32(-7, 3) == -1
+        assert smod32(7, -3) == 1
+        assert smod32(-7, -3) == -1
+
+    def test_int_min_by_minus_one_wraps(self):
+        assert sdiv32(INT32_MIN, -1) == INT32_MIN
+
+    @given(int32s, int32s.filter(lambda v: v != 0))
+    def test_c_division_identity(self, a, b):
+        quotient = sdiv32(a, b)
+        remainder = smod32(a, b)
+        if quotient != INT32_MIN or b != -1:
+            assert wrap32(quotient * b + remainder) == a
+
+    @given(int32s, int32s.filter(lambda v: v != 0))
+    def test_remainder_smaller_than_divisor(self, a, b):
+        assert abs(smod32(a, b)) < abs(b)
+
+
+class TestShifts:
+    def test_shl_basic(self):
+        assert shl32(1, 4) == 16
+
+    def test_shl_wraps(self):
+        assert shl32(1, 31) == INT32_MIN
+
+    def test_shift_count_mod_32(self):
+        assert shl32(1, 32) == 1
+        assert sar32(4, 33) == 2
+
+    def test_sar_propagates_sign(self):
+        assert sar32(-8, 2) == -2
+        assert sar32(-1, 31) == -1
+
+    def test_shr_zero_fills(self):
+        assert shr32(-1, 28) == 15
+        assert shr32(-8, 1) == 0x7FFFFFFC
+
+    @given(int32s, st.integers(min_value=0, max_value=31))
+    def test_shr_nonnegative(self, a, count):
+        assert shr32(a, count) >= 0 or count == 0
+
+    @given(st.integers(min_value=0, max_value=INT32_MAX),
+           st.integers(min_value=0, max_value=31))
+    def test_sar_equals_floor_division_for_nonnegative(self, a, count):
+        assert sar32(a, count) == a >> count

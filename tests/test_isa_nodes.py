@@ -1,0 +1,152 @@
+"""Tests for node construction, classification and dataflow queries."""
+
+import pytest
+
+from repro.isa import (
+    AluOp,
+    Imm,
+    IssueClass,
+    MemWidth,
+    NodeKind,
+    Reg,
+    SyscallOp,
+    alu,
+    assert_node,
+    branch,
+    call,
+    jump,
+    load,
+    mov,
+    movi,
+    ret,
+    store,
+    syscall,
+)
+from repro.isa.registers import parse_reg, reg_name
+
+
+class TestOperands:
+    def test_reg_bounds(self):
+        Reg(0)
+        Reg(63)
+        with pytest.raises(ValueError):
+            Reg(64)
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_imm_bounds(self):
+        Imm(2**31 - 1)
+        Imm(-(2**31))
+        with pytest.raises(ValueError):
+            Imm(2**31)
+
+    def test_equality_and_hash(self):
+        assert Reg(3) == Reg(3)
+        assert Reg(3) != Reg(4)
+        assert Imm(5) == Imm(5)
+        assert Reg(5) != Imm(5)
+        assert len({Reg(1), Reg(1), Imm(1)}) == 2
+
+
+class TestRegisterNames:
+    def test_roundtrip_all(self):
+        for index in range(64):
+            assert parse_reg(reg_name(index)) == index
+
+    def test_special_names(self):
+        assert reg_name(62) == "sp"
+        assert parse_reg("sp") == 62
+        assert parse_reg("r62") == 62
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            parse_reg("bogus")
+
+
+class TestAluNodes:
+    def test_binary(self):
+        node = alu(AluOp.ADD, 1, Reg(2), Imm(3))
+        assert node.kind is NodeKind.ALU
+        assert node.dest_reg() == 1
+        assert node.source_regs() == (2,)
+        assert node.issue_class is IssueClass.ALU
+        assert not node.is_terminator
+
+    def test_unary_rejects_two_operands(self):
+        with pytest.raises(ValueError):
+            alu(AluOp.NEG, 1, Reg(2), Reg(3))
+
+    def test_binary_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            alu(AluOp.ADD, 1, Reg(2))
+
+    def test_movi_and_mov(self):
+        assert movi(4, 77).src1 == Imm(77)
+        assert mov(4, 5).source_regs() == (5,)
+
+
+class TestMemoryNodes:
+    def test_load(self):
+        node = load(3, 62, 8, MemWidth.BYTE)
+        assert node.kind is NodeKind.LOAD
+        assert node.is_memory
+        assert node.issue_class is IssueClass.MEM
+        assert node.source_regs() == (62,)
+        assert node.dest_reg() == 3
+
+    def test_store_sources_include_base_and_value(self):
+        node = store(Reg(4), 62, 0)
+        assert sorted(node.source_regs()) == [4, 62]
+        assert node.dest_reg() is None
+
+    def test_store_immediate_value(self):
+        node = store(Imm(9), 10, 4)
+        assert node.source_regs() == (10,)
+
+
+class TestControlNodes:
+    def test_branch(self):
+        node = branch(5, "yes", "no", expect_taken=True)
+        assert node.is_terminator
+        assert node.issue_class is IssueClass.ALU
+        assert node.target == "yes"
+        assert node.alt_target == "no"
+        assert node.expect_taken is True
+
+    def test_jump_call_ret(self):
+        assert jump("L").target == "L"
+        node = call("f", "after")
+        assert (node.target, node.alt_target) == ("f", "after")
+        assert ret().kind is NodeKind.RET
+
+    def test_assert_node(self):
+        node = assert_node(7, True, "recover")
+        assert not node.is_terminator
+        assert node.source_regs() == (7,)
+        assert node.target == "recover"
+
+    def test_retarget(self):
+        node = branch(1, "a", "b")
+        mapped = node.retarget({"a": "x"})
+        assert mapped.target == "x"
+        assert mapped.alt_target == "b"
+        # Unmapped nodes are returned unchanged (same object).
+        assert node.retarget({"zz": "q"}) is node
+
+
+class TestSyscallNodes:
+    def test_exit_has_no_continuation(self):
+        node = syscall(SyscallOp.EXIT, None, (0,))
+        assert node.is_terminator
+        assert node.issue_class is IssueClass.NONE
+        with pytest.raises(ValueError):
+            syscall(SyscallOp.EXIT, "somewhere", (0,))
+
+    def test_getc_requires_continuation(self):
+        with pytest.raises(ValueError):
+            syscall(SyscallOp.GETC, None, (1,), dest=0)
+
+    def test_args_are_sources(self):
+        node = syscall(SyscallOp.WRITE, "next", (1, 2, 3), dest=0)
+        assert node.source_regs() == (1, 2, 3)
+        assert node.dest_reg() == 0

@@ -1,0 +1,350 @@
+"""Compiler torture tests: complete classic algorithms with known outputs.
+
+Each program is a realistic piece of C that exercises many language
+features at once; outputs are independently computable, so these pin the
+whole front end + optimiser + interpreter chain.
+"""
+
+import pytest
+
+from repro.interp import run_program
+from repro.lang import compile_source
+
+
+def run(source, inputs=None, optimize=True):
+    program = compile_source(source, optimize=optimize)
+    return run_program(program, inputs=inputs or {0: b""})
+
+
+class TestSieve:
+    SOURCE = """
+    char composite[1000];
+    int main() {
+        int count = 0;
+        int i;
+        int j;
+        for (i = 2; i < 1000; i++) {
+            if (!composite[i]) {
+                count++;
+                for (j = i + i; j < 1000; j += i) composite[j] = 1;
+            }
+        }
+        return count;
+    }
+    """
+
+    def test_prime_count_below_1000(self):
+        assert run(self.SOURCE).exit_code == 168
+
+    def test_unoptimized_agrees(self):
+        assert run(self.SOURCE, optimize=False).exit_code == 168
+
+
+class TestMatrixMultiply:
+    SOURCE = """
+    int a[16];
+    int b[16];
+    int c[16];
+    int main() {
+        int i; int j; int k;
+        for (i = 0; i < 4; i++)
+            for (j = 0; j < 4; j++) {
+                a[i * 4 + j] = i + j;
+                b[i * 4 + j] = i * j + 1;
+            }
+        for (i = 0; i < 4; i++)
+            for (j = 0; j < 4; j++) {
+                int sum = 0;
+                for (k = 0; k < 4; k++)
+                    sum += a[i * 4 + k] * b[k * 4 + j];
+                c[i * 4 + j] = sum;
+            }
+        return c[0] + c[5] * 10 + c[15] * 100;
+    }
+    """
+
+    def test_result(self):
+        # Python reference computed inline:
+        a = [[i + j for j in range(4)] for i in range(4)]
+        b = [[i * j + 1 for j in range(4)] for i in range(4)]
+        c = [[sum(a[i][k] * b[k][j] for k in range(4)) for j in range(4)]
+             for i in range(4)]
+        expected = c[0][0] + c[1][1] * 10 + c[3][3] * 100
+        assert run(self.SOURCE).exit_code == expected
+
+
+class TestEightQueens:
+    SOURCE = """
+    int cols[8];
+    int solutions;
+
+    int safe(int row, int col) {
+        int r;
+        for (r = 0; r < row; r++) {
+            int other = cols[r];
+            if (other == col) return 0;
+            if (other - col == row - r) return 0;
+            if (col - other == row - r) return 0;
+        }
+        return 1;
+    }
+
+    void place(int row) {
+        int col;
+        if (row == 8) { solutions++; return; }
+        for (col = 0; col < 8; col++) {
+            if (safe(row, col)) {
+                cols[row] = col;
+                place(row + 1);
+            }
+        }
+    }
+
+    int main() {
+        place(0);
+        return solutions;
+    }
+    """
+
+    def test_92_solutions(self):
+        assert run(self.SOURCE).exit_code == 92
+
+
+class TestCollatz:
+    SOURCE = """
+    int steps(int n) {
+        int count = 0;
+        while (n != 1) {
+            if (n & 1) n = 3 * n + 1;
+            else n = n / 2;
+            count++;
+        }
+        return count;
+    }
+    int main() {
+        int longest = 0;
+        int best = 0;
+        int n;
+        for (n = 1; n <= 200; n++) {
+            int s = steps(n);
+            if (s > longest) { longest = s; best = n; }
+        }
+        return best * 1000 + longest;
+    }
+    """
+
+    def test_longest_chain_below_200(self):
+        def steps(n):
+            count = 0
+            while n != 1:
+                n = 3 * n + 1 if n % 2 else n // 2
+                count += 1
+            return count
+
+        best, longest = max(
+            ((n, steps(n)) for n in range(1, 201)), key=lambda t: t[1]
+        )
+        assert run(self.SOURCE).exit_code == best * 1000 + longest
+
+
+class TestStringAlgorithms:
+    SOURCE = """
+    char buf[256];
+
+    int my_strlen(char *s) {
+        int n = 0;
+        while (s[n]) n++;
+        return n;
+    }
+
+    void my_strcpy(char *dst, char *src) {
+        int i = 0;
+        while ((dst[i] = src[i])) i++;
+    }
+
+    void reverse(char *s) {
+        int i = 0;
+        int j = my_strlen(s) - 1;
+        while (i < j) {
+            char t = s[i];
+            s[i] = s[j];
+            s[j] = t;
+            i++;
+            j--;
+        }
+    }
+
+    int is_palindrome(char *s) {
+        int i = 0;
+        int j = my_strlen(s) - 1;
+        while (i < j) {
+            if (s[i] != s[j]) return 0;
+            i++;
+            j--;
+        }
+        return 1;
+    }
+
+    int main() {
+        my_strcpy(buf, "simulator");
+        reverse(buf);
+        int r = buf[0];                 /* 'r' */
+        int pal = is_palindrome("racecar") * 2 + is_palindrome("race");
+        return r * 10 + pal;
+    }
+    """
+
+    def test_combined(self):
+        assert run(self.SOURCE).exit_code == ord("r") * 10 + 2
+
+
+class TestBinarySearchTree:
+    SOURCE = """
+    struct node { int key; struct node *left; struct node *right; };
+
+    struct node *insert(struct node *root, int key) {
+        if (!root) {
+            struct node *n = sbrk(sizeof(struct node));
+            n->key = key;
+            n->left = 0;
+            n->right = 0;
+            return n;
+        }
+        if (key < root->key) root->left = insert(root->left, key);
+        else if (key > root->key) root->right = insert(root->right, key);
+        return root;
+    }
+
+    int count_inorder(struct node *root, int *prev) {
+        int bad = 0;
+        if (!root) return 0;
+        bad += count_inorder(root->left, prev);
+        if (*prev > root->key) bad++;
+        *prev = root->key;
+        bad += count_inorder(root->right, prev);
+        return bad;
+    }
+
+    int depth(struct node *root) {
+        if (!root) return 0;
+        int l = depth(root->left);
+        int r = depth(root->right);
+        return 1 + (l > r ? l : r);
+    }
+
+    int main() {
+        struct node *root = 0;
+        int i;
+        int seed = 7;
+        for (i = 0; i < 64; i++) {
+            seed = (seed * 1103515245 + 12345) & 32767;
+            root = insert(root, seed);
+        }
+        int prev = -1;
+        int violations = count_inorder(root, &prev);
+        return violations * 100 + depth(root);
+    }
+    """
+
+    def test_bst_invariant_holds(self):
+        result = run(self.SOURCE)
+        violations, depth = divmod(result.exit_code, 100)
+        assert violations == 0
+        assert 6 <= depth <= 30  # 64 random keys
+
+
+class TestFixedPointMath:
+    SOURCE = """
+    int isqrt(int n) {
+        int x = n;
+        int y = (x + 1) / 2;
+        if (n < 2) return n;
+        while (y < x) {
+            x = y;
+            y = (x + n / x) / 2;
+        }
+        return x;
+    }
+    int main() {
+        int total = 0;
+        int n;
+        for (n = 0; n < 200; n++) total += isqrt(n);
+        return total;
+    }
+    """
+
+    def test_integer_sqrt_sum(self):
+        import math
+
+        expected = sum(math.isqrt(n) for n in range(200))
+        assert run(self.SOURCE).exit_code == expected
+
+
+class TestRecursiveDescentCalculator:
+    """An expression evaluator written in Mini-C -- a compiler inside
+    the compiled program, exercising recursion and character handling."""
+
+    SOURCE = """
+    char expr[128];
+    int pos;
+
+    int parse_expr();
+
+    int parse_atom() {
+        int value = 0;
+        if (expr[pos] == '(') {
+            pos++;
+            value = parse_expr();
+            pos++;
+            return value;
+        }
+        while (expr[pos] >= '0' && expr[pos] <= '9') {
+            value = value * 10 + (expr[pos] - '0');
+            pos++;
+        }
+        return value;
+    }
+
+    int parse_term() {
+        int value = parse_atom();
+        while (expr[pos] == '*' || expr[pos] == '/') {
+            char op = expr[pos];
+            pos++;
+            int rhs = parse_atom();
+            if (op == '*') value *= rhs;
+            else value /= rhs;
+        }
+        return value;
+    }
+
+    int parse_expr() {
+        int value = parse_term();
+        while (expr[pos] == '+' || expr[pos] == '-') {
+            char op = expr[pos];
+            pos++;
+            int rhs = parse_term();
+            if (op == '+') value += rhs;
+            else value -= rhs;
+        }
+        return value;
+    }
+
+    int main() {
+        int n = read(0, expr, 127);
+        expr[n] = 0;
+        pos = 0;
+        return parse_expr();
+    }
+    """
+
+    @pytest.mark.parametrize("text,expected", [
+        ("1+2*3", 7),
+        ("(1+2)*3", 9),
+        ("100/5/2", 10),
+        ("2*(3+4)-(5-1)", 10),
+        ("((((7))))", 7),
+        ("10-2-3", 5),
+    ])
+    def test_evaluates(self, text, expected):
+        result = run(self.SOURCE, inputs={0: text.encode()})
+        assert result.exit_code == expected

@@ -1,0 +1,90 @@
+"""Mini-C lexer tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_gives_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo while whilex _bar x9")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.KEYWORD,
+            TokenType.IDENT,
+            TokenType.KEYWORD,
+            TokenType.IDENT,
+            TokenType.IDENT,
+            TokenType.IDENT,
+        ]
+
+    def test_decimal_and_hex_numbers(self):
+        assert values("0 42 0x10 0XFF") == [0, 42, 16, 255]
+
+    def test_char_literals(self):
+        assert values(r"'a' '\n' '\0' '\\' '\''") == [97, 10, 0, 92, 39]
+
+    def test_string_literal(self):
+        tokens = tokenize(r'"hi\tthere"')
+        assert tokens[0].value == "hi\tthere"
+
+    def test_position_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+
+class TestPunctuators:
+    def test_maximal_munch(self):
+        assert values("a<<=b") == ["a", "<<=", "b"]
+        assert values("a<<b") == ["a", "<<", "b"]
+        assert values("a<b") == ["a", "<", "b"]
+        assert values("x+++y") == ["x", "++", "+", "y"]
+
+    def test_all_compound_assigns(self):
+        source = "+= -= *= /= %= &= |= ^= <<= >>="
+        assert values(source) == source.split()
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")

@@ -1,0 +1,286 @@
+"""Optimizer tests: local passes, liveness, CFG simplification."""
+
+import pytest
+
+from repro.isa import (
+    AluOp,
+    Imm,
+    Reg,
+    SyscallOp,
+    alu,
+    branch,
+    jump,
+    load,
+    mov,
+    movi,
+    ret,
+    store,
+    syscall,
+)
+from repro.isa.ops import NodeKind
+from repro.opt.liveness import compute_liveness
+from repro.opt.localopt import eliminate_dead, forward_optimize
+from repro.opt.simplify_cfg import merge_chains, remove_unreachable, thread_jumps
+from repro.program import BasicBlock, Program
+
+
+class TestForwardOptimize:
+    def test_constant_folding(self):
+        nodes = [
+            movi(1, 6),
+            movi(2, 7),
+            alu(AluOp.MUL, 3, Reg(1), Reg(2)),
+            ret(),
+        ]
+        out = forward_optimize(nodes)
+        folded = out[2]
+        assert folded.op is AluOp.MOV
+        assert folded.src1 == Imm(42)
+
+    def test_copy_propagation(self):
+        nodes = [
+            mov(2, 1),
+            alu(AluOp.ADD, 3, Reg(2), Imm(5)),
+            ret(),
+        ]
+        out = forward_optimize(nodes)
+        assert out[1].src1 == Reg(1)
+
+    def test_copy_invalidated_by_redefinition(self):
+        nodes = [
+            mov(2, 1),
+            movi(1, 9),
+            alu(AluOp.ADD, 3, Reg(2), Imm(0)),
+            ret(),
+        ]
+        out = forward_optimize(nodes)
+        # r2 must NOT be rewritten to r1 (r1 changed since the copy).
+        add = out[2]
+        assert add.src1 == Reg(2)
+
+    def test_strength_reduction_mul_pow2(self):
+        nodes = [alu(AluOp.MUL, 2, Reg(1), Imm(8)), ret()]
+        out = forward_optimize(nodes)
+        assert out[0].op is AluOp.SHL
+        assert out[0].src2 == Imm(3)
+
+    def test_add_zero_becomes_mov(self):
+        nodes = [alu(AluOp.ADD, 2, Reg(1), Imm(0)), ret()]
+        out = forward_optimize(nodes)
+        assert out[0].op is AluOp.MOV
+
+    def test_xor_self_is_zero(self):
+        nodes = [alu(AluOp.XOR, 2, Reg(1), Reg(1)), ret()]
+        out = forward_optimize(nodes)
+        assert out[0].op is AluOp.MOV
+        assert out[0].src1 == Imm(0)
+
+    def test_cse_reuses_computation(self):
+        nodes = [
+            alu(AluOp.ADD, 2, Reg(1), Imm(4)),
+            alu(AluOp.ADD, 3, Reg(1), Imm(4)),
+            ret(),
+        ]
+        out = forward_optimize(nodes)
+        second = out[1]
+        assert second.op is AluOp.MOV
+        assert second.src1 == Reg(2)
+
+    def test_cse_invalidated_by_operand_write(self):
+        nodes = [
+            alu(AluOp.ADD, 2, Reg(1), Imm(4)),
+            load(1, 10, 0),  # r1 now holds an unknown value
+            alu(AluOp.ADD, 3, Reg(1), Imm(4)),
+            ret(),
+        ]
+        out = forward_optimize(nodes)
+        assert out[2].op is AluOp.ADD
+
+    def test_redundant_load_elimination(self):
+        nodes = [
+            load(2, 10, 8),
+            load(3, 10, 8),
+            ret(),
+        ]
+        out = forward_optimize(nodes)
+        assert out[1].op is AluOp.MOV
+        assert out[1].src1 == Reg(2)
+
+    def test_store_invalidates_loads(self):
+        nodes = [
+            load(2, 10, 8),
+            store(Reg(5), 11, 0),
+            load(3, 10, 8),
+            ret(),
+        ]
+        out = forward_optimize(nodes)
+        assert out[2].kind is NodeKind.LOAD
+
+    def test_store_to_load_forwarding(self):
+        nodes = [
+            store(Reg(5), 10, 8),
+            load(3, 10, 8),
+            ret(),
+        ]
+        out = forward_optimize(nodes)
+        assert out[1].op is AluOp.MOV
+        assert out[1].src1 == Reg(5)
+
+    def test_branch_condition_stays_register(self):
+        nodes = [movi(1, 1), branch(1, "a", "b")]
+        out = forward_optimize(nodes)
+        assert out[1].src1 == Reg(1)
+
+    def test_self_copy_removed(self):
+        nodes = [mov(2, 3), mov(3, 3), ret()]
+        out = forward_optimize(nodes)
+        assert len(out) == 2
+
+    def test_constant_reaches_store_value(self):
+        nodes = [movi(2, 65), store(Reg(2), 10, 0), ret()]
+        out = forward_optimize(nodes)
+        assert out[1].src1 == Imm(65)
+
+
+class TestDeadElimination:
+    def test_removes_dead_alu(self):
+        nodes = [movi(1, 5), movi(2, 6), ret()]
+        out = eliminate_dead(nodes, live_out={2})
+        assert len(out) == 2
+        assert out[0].dest == 2
+
+    def test_keeps_transitively_used(self):
+        nodes = [
+            movi(1, 5),
+            alu(AluOp.ADD, 2, Reg(1), Imm(1)),
+            ret(),
+        ]
+        out = eliminate_dead(nodes, live_out={2})
+        assert len(out) == 3
+
+    def test_never_removes_stores(self):
+        nodes = [movi(1, 5), store(Reg(1), 10, 0), ret()]
+        out = eliminate_dead(nodes, live_out=set())
+        assert len(out) == 3
+
+    def test_removes_dead_load(self):
+        nodes = [load(1, 10, 0), ret()]
+        out = eliminate_dead(nodes, live_out=set())
+        assert len(out) == 1
+
+    def test_overwritten_value_is_dead(self):
+        nodes = [movi(1, 5), movi(1, 6), ret()]
+        out = eliminate_dead(nodes, live_out={1})
+        assert len(out) == 2
+        assert out[0].src1 == Imm(6)
+
+
+class TestLiveness:
+    def test_branch_propagates_liveness(self):
+        program = Program(
+            [
+                BasicBlock("a", [movi(1, 1), movi(2, 2)], branch(1, "u", "v")),
+                BasicBlock("u", [], syscall(SyscallOp.EXIT, None, (2,))),
+                BasicBlock("v", [], syscall(SyscallOp.EXIT, None, ())),
+            ],
+            entry="a",
+        )
+        info = compute_liveness(program)
+        assert 2 in info.live_in["u"]
+        assert 2 in info.live_out["a"]
+        assert 2 not in info.live_in["v"]
+
+    def test_loop_liveness(self):
+        program = Program(
+            [
+                BasicBlock("head", [alu(AluOp.ADD, 1, Reg(1), Imm(1))],
+                           branch(1, "head", "out")),
+                BasicBlock("out", [], syscall(SyscallOp.EXIT, None, (1,))),
+            ],
+            entry="head",
+        )
+        info = compute_liveness(program)
+        assert 1 in info.live_in["head"]
+
+    def test_ret_boundary_includes_callee_saved(self):
+        from repro.isa.registers import LOCAL_FIRST, RV
+
+        program = Program([BasicBlock("f", [], ret())], entry="f")
+        info = compute_liveness(program)
+        assert RV in info.live_out["f"]
+        assert LOCAL_FIRST in info.live_out["f"]
+
+
+class TestSimplifyCfg:
+    def test_thread_jumps(self):
+        program = Program(
+            [
+                BasicBlock("a", [movi(1, 1)], branch(1, "hop", "end")),
+                BasicBlock("hop", [], jump("end")),
+                BasicBlock("end", [], syscall(SyscallOp.EXIT, None, (1,))),
+            ],
+            entry="a",
+        )
+        threaded = thread_jumps(program)
+        assert threaded.block("a").terminator.target == "end"
+
+    def test_thread_jump_chains(self):
+        program = Program(
+            [
+                BasicBlock("a", [], jump("b")),
+                BasicBlock("b", [], jump("c")),
+                BasicBlock("c", [], jump("d")),
+                BasicBlock("d", [], ret()),
+            ],
+            entry="a",
+        )
+        threaded = thread_jumps(program)
+        assert threaded.block("a").terminator.target == "d"
+
+    def test_jump_cycle_does_not_hang(self):
+        program = Program(
+            [
+                BasicBlock("a", [], jump("b")),
+                BasicBlock("b", [], jump("a")),
+            ],
+            entry="a",
+        )
+        thread_jumps(program)  # must terminate
+
+    def test_remove_unreachable(self):
+        program = Program(
+            [
+                BasicBlock("a", [], ret()),
+                BasicBlock("dead", [], ret()),
+            ],
+            entry="a",
+        )
+        cleaned = remove_unreachable(program)
+        assert "dead" not in cleaned.blocks
+
+    def test_merge_single_pred_chain(self):
+        program = Program(
+            [
+                BasicBlock("a", [movi(1, 1)], jump("b")),
+                BasicBlock("b", [movi(2, 2)], ret()),
+            ],
+            entry="a",
+        )
+        merged = merge_chains(program)
+        assert len(merged) == 1
+        merged_block = merged.block("a")
+        assert len(merged_block.body) == 2
+        assert merged_block.terminator.kind is NodeKind.RET
+
+    def test_no_merge_with_two_preds(self):
+        program = Program(
+            [
+                BasicBlock("a", [movi(1, 1)], branch(1, "j", "k")),
+                BasicBlock("j", [], jump("t")),
+                BasicBlock("k", [], jump("t")),
+                BasicBlock("t", [], ret()),
+            ],
+            entry="a",
+        )
+        merged = merge_chains(program)
+        assert "t" in merged.blocks

@@ -1,0 +1,36 @@
+"""ASCII chart renderer tests."""
+
+from repro.harness.plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self):
+        chart = ascii_chart({"alpha": [1.0, 2.0]}, ["a", "b"], title="T")
+        assert chart.startswith("T")
+        assert "o=alpha" in chart
+
+    def test_extremes_at_chart_edges(self):
+        chart = ascii_chart({"s": [0.0, 10.0]}, ["lo", "hi"], height=5)
+        rows = chart.splitlines()
+        data_rows = [r for r in rows if "|" in r]
+        assert "o" in data_rows[0]  # max value on the top row
+        assert "o" in data_rows[-1]  # min value on the bottom row
+
+    def test_hidden_series_skipped(self):
+        chart = ascii_chart({"_meta": [1.0], "real": [1.0]}, ["x"])
+        assert "_meta" not in chart
+
+    def test_overlap_marked(self):
+        chart = ascii_chart({"a": [1.0], "b": [1.0]}, ["x"], height=4)
+        assert "+" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart({}, ["x"], title="only") == "only"
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        chart = ascii_chart({"flat": [2.0, 2.0, 2.0]}, ["a", "b", "c"])
+        assert "flat" in chart
+
+    def test_column_labels_present(self):
+        chart = ascii_chart({"s": [1, 2]}, ["left", "right"])
+        assert "left" in chart and "right" in chart

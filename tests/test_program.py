@@ -1,0 +1,171 @@
+"""Tests for basic blocks, programs and CFG queries."""
+
+import pytest
+
+from repro.isa import AluOp, Imm, Reg, alu, branch, call, jump, movi, ret, store
+from repro.isa import SyscallOp, syscall
+from repro.program import BasicBlock, Program, ProgramError
+from repro.program import cfg
+
+
+def block(label, body, term):
+    return BasicBlock(label, body, term)
+
+
+def diamond_program():
+    """entry -> (left|right) -> join -> exit."""
+    return Program(
+        [
+            block("entry", [movi(1, 1)], branch(1, "left", "right")),
+            block("left", [movi(2, 10)], jump("join")),
+            block("right", [movi(2, 20)], jump("join")),
+            block("join", [], syscall(SyscallOp.EXIT, None, (2,))),
+        ],
+        entry="entry",
+    )
+
+
+class TestBasicBlock:
+    def test_rejects_non_terminator(self):
+        with pytest.raises(ValueError):
+            BasicBlock("b", [], movi(1, 0))
+
+    def test_rejects_terminator_in_body(self):
+        with pytest.raises(ValueError):
+            BasicBlock("b", [jump("x")], jump("y"))
+
+    def test_len_includes_terminator(self):
+        blk = block("b", [movi(1, 0), movi(2, 0)], ret())
+        assert len(blk) == 3
+
+    def test_datapath_size_excludes_syscall(self):
+        blk = block("b", [movi(1, 0)], syscall(SyscallOp.EXIT, None, (1,)))
+        assert blk.datapath_size == 1
+
+    def test_successors_branch(self):
+        blk = block("b", [], branch(1, "t", "f"))
+        assert set(blk.successor_labels()) == {"t", "f"}
+
+    def test_successors_include_assert_faults(self):
+        from repro.isa import assert_node
+
+        blk = block("b", [assert_node(1, True, "recover")], jump("next"))
+        assert set(blk.successor_labels()) == {"recover", "next"}
+
+    def test_count_by_class(self):
+        blk = block(
+            "b",
+            [movi(1, 0), store(Reg(1), 62, 0), alu(AluOp.ADD, 2, Reg(1), Imm(1))],
+            ret(),
+        )
+        n_alu, n_mem = blk.count_by_class()
+        assert (n_alu, n_mem) == (3, 1)  # terminator RET is ALU class
+
+
+class TestProgram:
+    def test_validates_entry(self):
+        with pytest.raises(ProgramError):
+            Program([block("a", [], ret())], entry="missing")
+
+    def test_validates_targets(self):
+        with pytest.raises(ProgramError):
+            Program([block("a", [], jump("nowhere"))], entry="a")
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ProgramError):
+            Program([block("a", [], ret()), block("a", [], ret())], entry="a")
+
+    def test_data_size_consistency(self):
+        with pytest.raises(ProgramError):
+            Program([block("a", [], ret())], entry="a", data=b"xxxx", data_size=2)
+
+    def test_replace_blocks_preserves_layout(self):
+        program = diamond_program()
+        new_left = block("left", [movi(2, 99)], jump("join"))
+        updated = program.replace_blocks({"left": new_left})
+        assert list(updated.blocks) == list(program.blocks)
+        assert updated.block("left").body[0].src1 == Imm(99)
+
+    def test_static_node_counts(self):
+        program = diamond_program()
+        n_alu, n_mem = program.static_node_counts()
+        assert n_mem == 0
+        # 3 movi + 1 branch + 2 jumps; syscall excluded
+        assert n_alu == 6
+
+    def test_conditional_branch_labels(self):
+        assert diamond_program().conditional_branch_labels() == ["entry"]
+
+
+class TestCfg:
+    def test_successors_views(self):
+        program = diamond_program()
+        succs = cfg.successors(program)
+        assert set(succs["entry"]) == {"left", "right"}
+        assert succs["join"] == ()
+
+    def test_call_fallthrough_view(self):
+        program = Program(
+            [
+                block("main", [], call("fn", "after")),
+                block("after", [], syscall(SyscallOp.EXIT, None, ())),
+                block("fn", [], ret()),
+            ],
+            entry="main",
+        )
+        assert cfg.successors(program)["main"] == ("after",)
+        assert set(cfg.control_successors(program)["main"]) == {"fn", "after"}
+
+    def test_predecessors(self):
+        preds = cfg.predecessors(diamond_program())
+        assert set(preds["join"]) == {"left", "right"}
+        assert preds["entry"] == []
+
+    def test_reachability(self):
+        program = Program(
+            [
+                block("a", [], jump("b")),
+                block("b", [], ret()),
+                block("orphan", [], ret()),
+            ],
+            entry="a",
+        )
+        assert cfg.unreachable_labels(program) == {"orphan"}
+
+    def test_back_edges_in_loop(self):
+        program = Program(
+            [
+                block("head", [], branch(1, "body", "exit")),
+                block("body", [], jump("head")),
+                block("exit", [], ret()),
+            ],
+            entry="head",
+        )
+        assert cfg.back_edges(program) == {("body", "head")}
+
+    def test_no_back_edges_in_diamond(self):
+        assert cfg.back_edges(diamond_program()) == set()
+
+
+class TestDotExport:
+    def test_structure(self):
+        from repro.program import program_to_dot
+
+        program = diamond_program()
+        dot = program_to_dot(program, title="demo")
+        assert dot.startswith("digraph cfg {")
+        assert '"entry" -> "left" [label="T"];' in dot
+        assert '"entry" -> "right" [label="F"];' in dot
+        assert "peripheries=2" in dot  # entry highlighted
+        assert 'label="demo"' in dot
+
+    def test_elision_cap(self):
+        from repro.isa import movi, jump, ret
+        from repro.program import program_to_dot
+
+        blocks = [BasicBlock(f"b{i}", [movi(1, i)], jump(f"b{i + 1}"))
+                  for i in range(20)]
+        blocks.append(BasicBlock("b20", [], ret()))
+        program = Program(blocks, entry="b0")
+        dot = program_to_dot(program, max_blocks=5)
+        assert "elided" in dot

@@ -1,0 +1,235 @@
+"""Property-based tests over the compiler, optimiser and enlargement.
+
+Hypothesis generates random (but well-formed) Mini-C programs; the core
+invariants are:
+
+* the optimiser never changes a program's observable behaviour;
+* basic block enlargement never changes a program's observable behaviour,
+  for arbitrary planner thresholds;
+* compiled arithmetic agrees with Python's (wrapped) arithmetic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.enlarge import EnlargeConfig, enlarge_program
+from repro.interp import run_program
+from repro.isa.intmath import wrap32
+from repro.lang import compile_source
+from repro.profiles import build_profile
+
+# ----------------------------------------------------------------------
+# Random expression programs
+# ----------------------------------------------------------------------
+_BIN_OPS = ["+", "-", "*", "&", "|", "^"]
+
+
+@st.composite
+def arith_expr(draw, depth=0):
+    """A random arithmetic expression over variables a, b, c."""
+    if depth >= 3 or draw(st.booleans()):
+        leaf = draw(st.sampled_from(["a", "b", "c", "lit"]))
+        if leaf == "lit":
+            return str(draw(st.integers(min_value=-1000, max_value=1000)))
+        return leaf
+    op = draw(st.sampled_from(_BIN_OPS))
+    left = draw(arith_expr(depth=depth + 1))
+    right = draw(arith_expr(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+def eval_expr(expr, env):
+    """Evaluate with 32-bit wrapping at every step."""
+    token = expr.strip()
+    if token.startswith("("):
+        # Find the top-level operator.
+        depth = 0
+        for index in range(1, len(token) - 1):
+            ch = token[index]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            elif depth == 0 and ch in "+-*&|^" and token[index - 1] == " ":
+                left = eval_expr(token[1:index], env)
+                right = eval_expr(token[index + 1:-1], env)
+                ops = {
+                    "+": left + right,
+                    "-": left - right,
+                    "*": left * right,
+                    "&": left & right,
+                    "|": left | right,
+                    "^": left ^ right,
+                }
+                return wrap32(ops[ch])
+        raise AssertionError(f"unparseable {token}")
+    if token in env:
+        return env[token]
+    return wrap32(int(token))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arith_expr(),
+    st.integers(min_value=-100, max_value=100),
+    st.integers(min_value=-100, max_value=100),
+    st.integers(min_value=-100, max_value=100),
+)
+def test_compiled_arithmetic_matches_python(expr, a, b, c):
+    source = f"""
+    int main() {{
+        int a = {a}; int b = {b}; int c = {c};
+        int r = {expr};
+        return r == {eval_expr(expr, dict(a=a, b=b, c=c))};
+    }}
+    """
+    program = compile_source(source)
+    assert run_program(program, inputs={0: b""}).exit_code == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    arith_expr(),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=1, max_value=20),
+)
+def test_optimizer_preserves_semantics(expr, start, count):
+    source = f"""
+    int main() {{
+        int a = {start}; int b = 7; int c = -3;
+        int s = 0;
+        int i;
+        for (i = 0; i < {count}; i++) {{
+            s = s + ({expr});
+            a = a + 1;
+        }}
+        return s & 65535;
+    }}
+    """
+    optimized = run_program(compile_source(source, optimize=True), inputs={0: b""})
+    raw = run_program(compile_source(source, optimize=False), inputs={0: b""})
+    assert optimized.exit_code == raw.exit_code
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),   # loop count
+    st.integers(min_value=2, max_value=9),    # branch modulus
+    st.floats(min_value=0.3, max_value=0.95),  # arc ratio threshold
+    st.integers(min_value=2, max_value=12),   # max blocks
+)
+def test_enlargement_preserves_semantics(count, modulus, ratio, max_blocks):
+    source = f"""
+    int total;
+    int main() {{
+        int i;
+        for (i = 0; i < {count}; i++) {{
+            if (i % {modulus}) total += i;
+            else total -= 1;
+        }}
+        return total & 65535;
+    }}
+    """
+    program = compile_source(source)
+    baseline = run_program(program, inputs={0: b""})
+    profile = build_profile(baseline.trace)
+    config = EnlargeConfig(
+        min_arc_ratio=ratio,
+        min_cum_ratio=0.01,
+        max_blocks=max_blocks,
+        min_seed_count=1,
+        min_arc_weight=1,
+    )
+    enlarged = enlarge_program(program, profile, config)
+    result = run_program(enlarged, inputs={0: b""})
+    assert result.exit_code == baseline.exit_code
+    assert result.output == baseline.output
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.binary(min_size=0, max_size=300))
+def test_compress_roundtrip_against_oracle(data):
+    """LZW benchmark agrees with its oracle on arbitrary byte streams."""
+    from repro.workloads import COMPRESS
+
+    program = COMPRESS.compile()
+    inputs = {0: data}
+    result = run_program(program, inputs=inputs)
+    assert result.output == COMPRESS.reference(inputs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.text(alphabet="abcxyz ", min_size=0, max_size=12),
+                min_size=1, max_size=20))
+def test_sort_agrees_with_oracle_on_random_lines(lines):
+    from repro.workloads import SORT
+
+    blob = ("\n".join(lines) + "\n").encode("latin-1")
+    inputs = {0: blob}
+    program = SORT.compile()
+    result = run_program(program, inputs=inputs)
+    assert result.output == SORT.reference(inputs)
+
+
+# ----------------------------------------------------------------------
+# Random structured programs through the full pipeline
+# ----------------------------------------------------------------------
+@st.composite
+def loop_nest_program(draw):
+    """A random but well-formed Mini-C program with loops and branches."""
+    outer = draw(st.integers(min_value=1, max_value=12))
+    inner = draw(st.integers(min_value=1, max_value=12))
+    modulus = draw(st.integers(min_value=2, max_value=7))
+    use_array = draw(st.booleans())
+    body = (
+        "data[(i * {inner} + j) % 32] += i ^ j;".format(inner=inner)
+        if use_array else "s += i * j + 1;"
+    )
+    return f"""
+    int data[32];
+    int main() {{
+        int s = 0;
+        int i; int j;
+        for (i = 0; i < {outer}; i++) {{
+            for (j = 0; j < {inner}; j++) {{
+                if ((i + j) % {modulus}) {{ {body} }}
+                else s -= 1;
+            }}
+        }}
+        int k;
+        for (k = 0; k < 32; k++) s += data[k];
+        return s & 65535;
+    }}
+    """
+
+
+@settings(max_examples=10, deadline=None)
+@given(loop_nest_program(), st.sampled_from([1, 2, 5, 8]),
+       st.sampled_from(["A", "D", "C"]), st.sampled_from([1, 4, 256]))
+def test_random_programs_simulate_consistently(source, issue, memory, window):
+    """Full pipeline property: for arbitrary generated programs and
+    configurations, both engines complete and satisfy the accounting
+    identities (retired == functional retired; sane cycle bounds)."""
+    from repro.machine import (
+        BranchMode, Discipline, MachineConfig, simulate,
+    )
+    from repro.machine.simulator import prepare_workload
+
+    program = compile_source(source)
+    workload = prepare_workload("prop", program, {0: b""}, {0: b""})
+    for discipline, mode in (
+        (Discipline.DYNAMIC, BranchMode.SINGLE),
+        (Discipline.DYNAMIC, BranchMode.ENLARGED),
+        (Discipline.STATIC, BranchMode.SINGLE),
+    ):
+        config = MachineConfig(
+            discipline=discipline,
+            issue_model=issue,
+            memory=memory,
+            branch_mode=mode,
+            window_blocks=window if discipline is Discipline.DYNAMIC else 1,
+        )
+        result = simulate(workload, config)
+        trace = workload.trace_for(mode)
+        assert result.retired_nodes == trace.retired_nodes
+        assert result.cycles >= trace.retired_nodes / 16
+        assert result.executed_nodes >= result.retired_nodes

@@ -1,0 +1,175 @@
+"""Semantic analysis tests: scoping, typing, lvalues, global inits."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse_source
+from repro.lang.sema import analyze
+
+
+def check(source):
+    return analyze(parse_source(source))
+
+
+def check_fails(source, fragment=""):
+    with pytest.raises(SemanticError) as excinfo:
+        check(source)
+    assert fragment in str(excinfo.value)
+
+
+MAIN = "int main() { return 0; }"
+
+
+class TestScoping:
+    def test_undefined_identifier(self):
+        check_fails("int main() { return nope; }", "undefined identifier")
+
+    def test_undefined_function(self):
+        check_fails("int main() { return f(); }", "undefined function")
+
+    def test_shadowing_in_inner_scope(self):
+        check("int main() { int x = 1; { int x = 2; } return x; }")
+
+    def test_inner_scope_not_visible_outside(self):
+        check_fails("int main() { { int y = 1; } return y; }")
+
+    def test_redefinition_same_scope(self):
+        check_fails("int main() { int x; int x; }", "redefinition")
+
+    def test_global_redefinition(self):
+        check_fails("int g; int g; " + MAIN, "redefinition")
+
+    def test_function_redefinition(self):
+        check_fails("int f() { return 1; } int f() { return 2; } " + MAIN)
+
+    def test_prototype_then_definition_ok(self):
+        check("int f(int a); int f(int a) { return a; } " + MAIN)
+
+    def test_conflicting_prototype(self):
+        check_fails("int f(int a); char *f(int a) { return 0; } " + MAIN)
+
+    def test_missing_main(self):
+        check_fails("int f() { return 0; }", "main")
+
+    def test_builtin_cannot_be_redefined(self):
+        check_fails("int getc(int fd) { return 0; } " + MAIN, "built-in")
+
+
+class TestTypes:
+    def test_void_variable_rejected(self):
+        check_fails("int main() { void v; }", "void")
+
+    def test_deref_non_pointer(self):
+        check_fails("int main() { int x; return *x; }", "dereference")
+
+    def test_deref_void_pointer(self):
+        check_fails("void *p() ; int main() { void *q; return *q; }")
+
+    def test_index_non_pointer(self):
+        check_fails("int main() { int x; return x[0]; }", "indexing")
+
+    def test_pointer_plus_pointer_rejected(self):
+        check_fails(
+            "int main() { int *a; int *b; return (a + b) == 0; }"
+        )
+
+    def test_pointer_minus_pointer_is_int(self):
+        check("int main() { int *a; int *b; return a - b; }")
+
+    def test_modulo_on_pointer_rejected(self):
+        check_fails("int main() { int *a; return a % 2; }", "arithmetic")
+
+    def test_array_assignment_rejected(self):
+        check_fails("int main() { int a[4]; int b[4]; a = b; }")
+
+    def test_call_arity_checked(self):
+        check_fails(
+            "int f(int a, int b) { return a; } int main() { return f(1); }",
+            "expects 2 arguments",
+        )
+
+    def test_too_many_params(self):
+        params = ", ".join(f"int a{i}" for i in range(7))
+        check_fails(f"int f({params}) {{ return 0; }} " + MAIN, "parameters")
+
+    def test_sizeof_values(self):
+        result = check("int main() { return sizeof(int) + sizeof(char); }")
+        assert result is not None
+
+
+class TestLValues:
+    def test_assign_to_literal(self):
+        check_fails("int main() { 3 = 4; }", "not assignable")
+
+    def test_assign_to_call(self):
+        check_fails(
+            "int f() { return 1; } int main() { f() = 2; }", "not assignable"
+        )
+
+    def test_incdec_requires_lvalue(self):
+        check_fails("int main() { return (1 + 2)++; }", "not assignable")
+
+    def test_address_of_marks_symbol(self):
+        unit = parse_source("int main() { int x; int *p = &x; return *p; }")
+        analyze(unit)
+        decl = unit.functions[0].body.statements[0]
+        assert decl.symbol.addr_taken
+
+    def test_unaddressed_scalar_not_marked(self):
+        unit = parse_source("int main() { int x = 1; return x; }")
+        analyze(unit)
+        decl = unit.functions[0].body.statements[0]
+        assert not decl.symbol.addr_taken
+
+    def test_arrays_always_addr_taken(self):
+        unit = parse_source("int main() { int a[4]; return a[0]; }")
+        analyze(unit)
+        assert unit.functions[0].body.statements[0].symbol.addr_taken
+
+
+class TestControlChecks:
+    def test_break_outside_loop(self):
+        check_fails("int main() { break; }", "break")
+
+    def test_continue_outside_loop(self):
+        check_fails("int main() { continue; }", "continue")
+
+    def test_break_inside_loop_ok(self):
+        check("int main() { while (1) break; return 0; }")
+
+    def test_void_return_with_value(self):
+        check_fails("void f() { return 3; } " + MAIN, "void function")
+
+    def test_nonvoid_return_without_value(self):
+        check_fails("int f() { return; } " + MAIN, "without a value")
+
+
+class TestGlobalInits:
+    def test_constant_folding(self):
+        result = check("int x = 2 * 3 + (1 << 4); " + MAIN)
+        assert result.global_inits["x"] == 22
+
+    def test_non_constant_rejected(self):
+        check_fails("int g; int x = g + 1; " + MAIN, "constant")
+
+    def test_array_too_many_elements(self):
+        check_fails("int v[2] = {1, 2, 3}; " + MAIN, "too many")
+
+    def test_string_too_long(self):
+        check_fails('char s[2] = "abc"; ' + MAIN, "too long")
+
+    def test_string_pointer_init(self):
+        result = check('char *s = "hello"; ' + MAIN)
+        kind, label = result.global_inits["s"]
+        assert kind == "string_ref"
+        assert result.strings[label] == b"hello\x00"
+
+    def test_string_interning(self):
+        result = check('char *a = "x"; char *b = "x"; ' + MAIN)
+        assert len(result.strings) == 1
+
+    def test_local_array_initializer_rejected(self):
+        check_fails("int main() { int a[2] = {1, 2}; }", "elementwise")
+
+    def test_brace_on_scalar_rejected(self):
+        check_fails("int x = {1}; " + MAIN, "non-array")

@@ -1,0 +1,176 @@
+"""Static-engine specifics: schedules, interlocks, fault handling."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.machine import (
+    BranchMode,
+    Discipline,
+    MachineConfig,
+    build_templates,
+)
+from repro.machine.static_engine import StaticEngine
+from repro.program import parse_program
+from repro.sched.list_scheduler import schedule_program
+
+
+def static_config(issue=8, memory="A", hints=True):
+    return MachineConfig(
+        discipline=Discipline.STATIC,
+        issue_model=issue,
+        memory=memory,
+        branch_mode=BranchMode.SINGLE,
+        static_hints=hints,
+    )
+
+
+def run_static(asm, cfg, inputs=None):
+    program = parse_program(asm)
+    result = run_program(program, inputs=inputs or {0: b""})
+    templates = build_templates(program)
+    schedules = schedule_program(program, cfg.issue, cfg.memory_config)
+    engine = StaticEngine(templates, schedules, result.trace, cfg, "t")
+    return engine.run()
+
+
+PARALLEL = """
+.entry a
+block a:
+    mov r1, #1
+    mov r2, #2
+    mov r3, #3
+    mov r4, #4
+    mov r5, #5
+    mov r6, #6
+    sys exit(r1)
+"""
+
+CHAIN = """
+.entry a
+block a:
+    mov r1, #1
+    add r2, r1, #1
+    add r3, r2, #1
+    add r4, r3, #1
+    add r5, r4, #1
+    add r6, r5, #1
+    sys exit(r6)
+"""
+
+
+class TestStaticTiming:
+    def test_wide_word_packs_parallel_work(self):
+        wide = run_static(PARALLEL, static_config(issue=8))
+        narrow = run_static(PARALLEL, static_config(issue=2))
+        assert wide.cycles < narrow.cycles
+
+    def test_chain_unaffected_by_width(self):
+        wide = run_static(CHAIN, static_config(issue=8))
+        narrow = run_static(CHAIN, static_config(issue=2))
+        # A pure dependence chain issues one node per cycle regardless.
+        assert wide.cycles == narrow.cycles
+
+    def test_compiler_hides_hit_latency(self):
+        # Two loads + independent work: the scheduler interleaves so the
+        # 3-cycle hit latency is overlapped.
+        asm = """
+.entry a
+block a:
+    mov r1, #8192
+    ldw r2, [r1]
+    ldw r3, [r1+4]
+    mov r4, #1
+    mov r5, #2
+    add r6, r2, r3
+    sys exit(r6)
+"""
+        fast = run_static(asm, static_config(memory="A"))
+        slow = run_static(asm, static_config(memory="C"))
+        # The compiler knows the latency; the penalty must be less than
+        # the naive 2 loads x 2 extra cycles.
+        assert slow.cycles - fast.cycles <= 3
+
+    def test_cache_miss_stalls_consumer(self):
+        asm = """
+.entry a
+block a:
+    mov r1, #8192
+    ldw r2, [r1]
+    add r3, r2, #1
+    sys exit(r3)
+"""
+        miss = run_static(asm, static_config(memory="D"))   # cold miss: 10
+        perfect = run_static(asm, static_config(memory="A"))
+        assert miss.cycles > perfect.cycles + 5
+
+    def test_retired_counts_exclude_syscalls(self):
+        result = run_static(PARALLEL, static_config())
+        assert result.retired_nodes == 6
+
+
+class TestStaticFaults:
+    ASM = """
+.entry top
+block top:
+    mov r1, #1
+    jmp big
+block big:
+    mov r2, #7
+    assert r1, 0, fault=fix
+    mov r3, #8
+    jmp after
+block fix:
+    mov r3, #0
+    jmp after
+block after:
+    sys exit(r3)
+"""
+
+    def test_fault_discards_issued_nodes(self):
+        result = run_static(self.ASM, static_config())
+        assert result.faults == 1
+        assert result.discarded_nodes >= 1
+        # top(2) + fix(2) retire; big retires nothing.
+        assert result.retired_nodes == 4
+
+    def test_fault_cheaper_at_narrow_width(self):
+        # At width 1 the assert issues before the block's tail, so fewer
+        # nodes are in flight to discard.
+        narrow = run_static(self.ASM, static_config(issue=1))
+        wide = run_static(self.ASM, static_config(issue=8))
+        assert narrow.discarded_nodes <= wide.discarded_nodes
+
+
+class TestStaticPrediction:
+    LOOP = """
+.entry top
+block top:
+    mov r1, #0
+    mov r2, #30
+    jmp head
+block head:
+    add r1, r1, #1
+    slt r3, r1, r2
+    br r3, head, done
+block done:
+    sys exit(r1)
+"""
+
+    def test_loop_branches_predicted_after_warmup(self):
+        result = run_static(self.LOOP, static_config())
+        assert result.branch_lookups == 30
+        assert result.mispredicts <= 4
+
+    def test_mispredicts_add_cycles(self):
+        good = run_static(self.LOOP, static_config())
+        # Force worst-case prediction via the ablation family.
+        bad_cfg = MachineConfig(
+            discipline=Discipline.STATIC,
+            issue_model=8,
+            memory="A",
+            branch_mode=BranchMode.SINGLE,
+            predictor="nottaken",
+        )
+        bad = run_static(self.LOOP, bad_cfg)
+        assert bad.mispredicts > good.mispredicts
+        assert bad.cycles > good.cycles

@@ -1,0 +1,98 @@
+"""Aggregation-helper tests."""
+
+import pytest
+
+from repro.machine.config import BranchMode, Discipline, MachineConfig
+from repro.stats import (
+    SimResult,
+    format_summary,
+    geometric_mean_ipc,
+    group_by,
+    mean_redundancy,
+    speedup_matrix,
+    summarize,
+)
+
+
+def result(benchmark="b", discipline=Discipline.DYNAMIC, window=4,
+           mode=BranchMode.SINGLE, cycles=1000, retired=4000, discarded=0):
+    config = MachineConfig(
+        discipline=discipline,
+        issue_model=8,
+        memory="A",
+        branch_mode=mode,
+        window_blocks=window,
+    )
+    return SimResult(
+        benchmark=benchmark,
+        config=config,
+        cycles=cycles,
+        retired_nodes=retired,
+        discarded_nodes=discarded,
+        dynamic_blocks=100,
+        branch_lookups=200,
+        mispredicts=20,
+        cache_accesses=1000,
+        cache_misses=50,
+        work_nodes=retired,
+    )
+
+
+class TestGroupBy:
+    def test_by_benchmark(self):
+        results = [result("x"), result("y"), result("x")]
+        groups = group_by(results, lambda r: r.benchmark)
+        assert len(groups["x"]) == 2
+        assert len(groups["y"]) == 1
+
+
+class TestMeans:
+    def test_geometric_mean_ipc(self):
+        results = [result(cycles=1000, retired=2000),
+                   result(cycles=1000, retired=8000)]
+        assert geometric_mean_ipc(results) == pytest.approx(4.0)
+
+    def test_empty_inputs(self):
+        assert geometric_mean_ipc([]) == 0.0
+        assert mean_redundancy([]) == 0.0
+
+    def test_mean_redundancy(self):
+        results = [result(discarded=1000, retired=4000),
+                   result(discarded=0, retired=4000)]
+        assert mean_redundancy(results) == pytest.approx(0.1)
+
+
+class TestSpeedupMatrix:
+    def test_speedups_relative_to_baseline(self):
+        results = [
+            result("x", Discipline.STATIC, 1, cycles=3000),
+            result("x", Discipline.DYNAMIC, 4, cycles=1000),
+            result("y", Discipline.STATIC, 1, cycles=2000),
+            result("y", Discipline.DYNAMIC, 4, cycles=500),
+        ]
+        matrix = speedup_matrix(results, "static/single")
+        assert matrix["x"]["dyn4/single"] == pytest.approx(3.0)
+        assert matrix["y"]["dyn4/single"] == pytest.approx(4.0)
+        assert matrix["x"]["static/single"] == pytest.approx(1.0)
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(KeyError):
+            speedup_matrix([result("x")], "static/single")
+
+
+class TestSummarize:
+    def test_fields_and_values(self):
+        summary = summarize([result(discarded=1000)])
+        assert summary["results"] == 1.0
+        assert summary["geomean_ipc"] == pytest.approx(4.0)
+        assert summary["branch_accuracy"] == pytest.approx(0.9)
+        assert summary["cache_hit_rate"] == pytest.approx(0.95)
+        assert summary["discard_fraction"] == pytest.approx(0.2)
+
+    def test_empty(self):
+        assert summarize([]) == {}
+
+    def test_format_summary_lines(self):
+        text = format_summary(summarize([result()]))
+        assert "geomean_ipc" in text
+        assert len(text.splitlines()) == 7

@@ -1,0 +1,302 @@
+"""Struct support: layout, member access, pointers, semantic rules."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.lang import compile_source
+from repro.lang.ctypes import CType, StructLayout
+from repro.lang.errors import ParseError, SemanticError
+from repro.lang.parser import parse_source
+
+
+def run(source, optimize=True):
+    return run_program(compile_source(source, optimize=optimize),
+                       inputs={0: b""})
+
+
+class TestLayout:
+    def test_natural_alignment_and_padding(self):
+        layout = StructLayout("t", [
+            ("c", CType.char()),
+            ("n", CType.int_()),
+            ("d", CType.char()),
+        ])
+        assert layout.member("c") == (0, CType.char())
+        assert layout.member("n")[0] == 4  # padded past the char
+        assert layout.member("d")[0] == 8
+        assert layout.size_bytes == 12  # rounded up to int alignment
+
+    def test_char_only_struct_packs(self):
+        layout = StructLayout("t", [("a", CType.char()), ("b", CType.char())])
+        assert layout.size_bytes == 2
+        assert layout.align_bytes == 1
+
+    def test_nested_struct_offsets(self):
+        inner = StructLayout("inner", [("x", CType.int_()), ("y", CType.int_())])
+        outer = StructLayout("outer", [
+            ("tag", CType.char()),
+            ("body", CType.struct_(inner)),
+        ])
+        assert outer.member("body")[0] == 4
+        assert outer.size_bytes == 12
+
+    def test_array_member(self):
+        layout = StructLayout("t", [("v", CType.array(CType.int_(), 5))])
+        assert layout.size_bytes == 20
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ValueError):
+            StructLayout("t", [("x", CType.int_()), ("x", CType.int_())])
+
+    def test_incomplete_struct_has_no_size(self):
+        layout = StructLayout("t")
+        with pytest.raises(ValueError):
+            CType.struct_(layout).size()
+
+    def test_empty_struct_occupies_space(self):
+        layout = StructLayout("t", [])
+        assert layout.size_bytes >= 1
+
+
+class TestParsing:
+    def test_declaration_registers_tag(self):
+        unit = parse_source(
+            "struct p { int x; int y; }; int main() { return sizeof(struct p); }"
+        )
+        assert unit.structs[0].tag == "p"
+        assert unit.structs[0].layout.size_bytes == 8
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("int main() { struct nope n; return 0; }")
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("struct a { int x; }; struct a { int y; }; "
+                         "int main() { return 0; }")
+
+    def test_self_reference_by_pointer_ok(self):
+        parse_source("struct n { int v; struct n *next; }; "
+                     "int main() { return 0; }")
+
+    def test_self_reference_by_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("struct n { int v; struct n inner; }; "
+                         "int main() { return 0; }")
+
+    def test_multi_declarator_members(self):
+        unit = parse_source("struct p { int x, y, *z; }; "
+                            "int main() { return sizeof(struct p); }")
+        layout = unit.structs[0].layout
+        assert set(layout.members) == {"x", "y", "z"}
+        assert layout.member("z")[1].is_pointer
+
+
+class TestSemantics:
+    def test_unknown_member_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("struct p { int x; }; "
+                           "int main() { struct p q; return q.zzz; }")
+
+    def test_dot_on_non_struct_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("int main() { int x; return x.y; }")
+
+    def test_arrow_on_non_pointer_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("struct p { int x; }; "
+                           "int main() { struct p q; return q->x; }")
+
+    def test_whole_struct_assignment_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("struct p { int x; }; "
+                           "int main() { struct p a; struct p b; a = b; }")
+
+    def test_struct_param_by_value_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("struct p { int x; }; "
+                           "int f(struct p q) { return 0; } "
+                           "int main() { return 0; }")
+
+    def test_struct_return_by_value_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("struct p { int x; }; "
+                           "struct p f() { } int main() { return 0; }")
+
+    def test_struct_as_scalar_value_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("struct p { int x; }; "
+                           "int main() { struct p q; return q + 1; }")
+
+
+class TestExecution:
+    @pytest.mark.parametrize("optimize", [True, False], ids=["opt", "noopt"])
+    def test_member_read_write(self, optimize):
+        source = """
+        struct point { int x; int y; };
+        int main() {
+            struct point p;
+            p.x = 3;
+            p.y = p.x * 7;
+            return p.y - p.x;
+        }
+        """
+        assert run(source, optimize).exit_code == 18
+
+    def test_global_struct(self):
+        source = """
+        struct counter { int hits; char tag; };
+        struct counter c;
+        void bump() { c.hits++; }
+        int main() {
+            c.tag = 88;
+            bump(); bump(); bump();
+            return c.hits * 100 + c.tag;
+        }
+        """
+        assert run(source).exit_code == 388
+
+    def test_array_of_structs(self):
+        source = """
+        struct item { int key; int weight; };
+        struct item items[8];
+        int main() {
+            int i; int total = 0;
+            for (i = 0; i < 8; i++) {
+                items[i].key = i;
+                items[i].weight = i * 2;
+            }
+            for (i = 0; i < 8; i++) total += items[i].weight;
+            return total;
+        }
+        """
+        assert run(source).exit_code == 56
+
+    def test_pointer_arrow_chain(self):
+        source = """
+        struct node { int value; struct node *next; };
+        int main() {
+            struct node a; struct node b; struct node c;
+            a.value = 5; b.value = 6; c.value = 7;
+            a.next = &b; b.next = &c; c.next = 0;
+            return a.next->next->value * 10 + a.next->value;
+        }
+        """
+        assert run(source).exit_code == 76
+
+    def test_nested_struct_members(self):
+        source = """
+        struct point { int x; int y; };
+        struct rect { struct point lo; struct point hi; };
+        int main() {
+            struct rect r;
+            r.lo.x = 1; r.lo.y = 2; r.hi.x = 9; r.hi.y = 12;
+            return (r.hi.x - r.lo.x) * (r.hi.y - r.lo.y);
+        }
+        """
+        assert run(source).exit_code == 80
+
+    def test_struct_pointer_function_arg(self):
+        source = """
+        struct acc { int total; };
+        void add(struct acc *a, int v) { a->total += v; }
+        int main() {
+            struct acc a;
+            a.total = 0;
+            add(&a, 3); add(&a, 4);
+            return a.total;
+        }
+        """
+        assert run(source).exit_code == 7
+
+    def test_struct_on_heap(self):
+        source = """
+        struct pair { int a; int b; };
+        int main() {
+            struct pair *p = sbrk(sizeof(struct pair) * 3);
+            int i;
+            for (i = 0; i < 3; i++) { p[i].a = i; p[i].b = i * i; }
+            return p[2].a + p[2].b + (p + 1)->a;
+        }
+        """
+        assert run(source).exit_code == 7
+
+    def test_char_member_truncates(self):
+        source = """
+        struct s { char c; int pad; };
+        int main() {
+            struct s v;
+            v.c = 300;
+            return v.c;
+        }
+        """
+        assert run(source).exit_code == 44
+
+    def test_address_of_member(self):
+        source = """
+        struct s { int a; int b; };
+        int main() {
+            struct s v;
+            int *p = &v.b;
+            *p = 42;
+            return v.b;
+        }
+        """
+        assert run(source).exit_code == 42
+
+    def test_member_incdec(self):
+        source = """
+        struct s { int n; };
+        int main() {
+            struct s v;
+            v.n = 10;
+            v.n++;
+            ++v.n;
+            v.n--;
+            return v.n;
+        }
+        """
+        assert run(source).exit_code == 11
+
+    def test_member_compound_assign(self):
+        source = """
+        struct s { int n; };
+        int main() {
+            struct s v;
+            v.n = 10;
+            v.n *= 3;
+            v.n -= 5;
+            return v.n;
+        }
+        """
+        assert run(source).exit_code == 25
+
+    def test_sizeof_struct(self):
+        source = """
+        struct a { char c; };
+        struct b { char c; int n; };
+        int main() { return sizeof(struct a) * 100 + sizeof(struct b); }
+        """
+        assert run(source).exit_code == 108
+
+    def test_linked_list_traversal(self):
+        source = """
+        struct node { int value; struct node *next; };
+        int main() {
+            struct node *head = 0;
+            int i;
+            for (i = 1; i <= 5; i++) {
+                struct node *n = sbrk(sizeof(struct node));
+                n->value = i * i;
+                n->next = head;
+                head = n;
+            }
+            int total = 0;
+            while (head) {
+                total += head->value;
+                head = head->next;
+            }
+            return total;
+        }
+        """
+        assert run(source).exit_code == 55

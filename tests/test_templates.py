@@ -1,0 +1,114 @@
+"""Block-template compilation tests (the timing engines' input format)."""
+
+from repro.isa import (
+    AluOp,
+    Imm,
+    Reg,
+    SyscallOp,
+    alu,
+    assert_node,
+    branch,
+    call,
+    jump,
+    load,
+    movi,
+    ret,
+    store,
+    syscall,
+)
+from repro.isa.ops import NodeKind
+from repro.machine.templates import (
+    BlockTemplate,
+    T_ALU,
+    T_ASSERT,
+    T_BRANCH,
+    T_CONTROL,
+    T_LOAD,
+    T_STORE,
+    T_SYSCALL,
+    build_templates,
+)
+from repro.program import BasicBlock, Program
+
+
+def template(body, term):
+    return BlockTemplate(BasicBlock("blk", body, term))
+
+
+class TestClassification:
+    def test_node_classes(self):
+        tmpl = template(
+            [
+                alu(AluOp.ADD, 1, Reg(2), Imm(1)),
+                load(3, 62, 0),
+                store(Reg(3), 62, 4),
+                assert_node(1, True, "blk"),
+            ],
+            branch(1, "blk", "blk"),
+        )
+        classes = [cls for cls, _, _ in tmpl.nodes]
+        assert classes == [T_ALU, T_LOAD, T_STORE, T_ASSERT, T_BRANCH]
+
+    def test_control_terminators(self):
+        assert template([], jump("blk")).nodes[-1][0] == T_CONTROL
+        assert template([], ret()).nodes[-1][0] == T_CONTROL
+        tmpl = template([], call("blk", "blk"))
+        assert tmpl.nodes[-1][0] == T_CONTROL
+        assert tmpl.control_target == "blk"
+        assert tmpl.call_link == "blk"
+
+    def test_syscall_excluded_from_datapath(self):
+        tmpl = template([movi(1, 0)], syscall(SyscallOp.EXIT, None, (1,)))
+        assert tmpl.nodes[-1][0] == T_SYSCALL
+        assert tmpl.n_datapath == 1
+        assert tmpl.is_exit
+
+    def test_syscall_with_continuation_not_exit(self):
+        tmpl = template([], syscall(SyscallOp.GETC, "blk", (1,), dest=0))
+        assert not tmpl.is_exit
+        assert tmpl.control_target == "blk"
+
+
+class TestDataflowFields:
+    def test_dest_and_sources(self):
+        tmpl = template([alu(AluOp.ADD, 5, Reg(6), Reg(7))], ret())
+        cls, dest, srcs = tmpl.nodes[0]
+        assert dest == 5
+        assert srcs == (6, 7)
+
+    def test_store_has_no_dest(self):
+        tmpl = template([store(Reg(3), 62, 0)], ret())
+        _, dest, srcs = tmpl.nodes[0]
+        assert dest == -1
+        assert set(srcs) == {3, 62}
+
+    def test_memory_count(self):
+        tmpl = template([load(1, 62, 0), store(Reg(1), 62, 4), movi(2, 0)],
+                        ret())
+        assert tmpl.n_mem == 2
+
+
+class TestBranchFields:
+    def test_branch_targets_and_hint(self):
+        tmpl = template([], branch(1, "t", "f", expect_taken=True))
+        assert tmpl.has_branch
+        assert tmpl.branch_taken == "t"
+        assert tmpl.branch_alt == "f"
+        assert tmpl.static_hint is True
+
+    def test_assert_fault_targets_by_index(self):
+        tmpl = template(
+            [movi(1, 0), assert_node(1, False, "recover")],
+            jump("t"),
+        )
+        assert tmpl.fault_targets == {1: "recover"}
+
+
+class TestBuildTemplates:
+    def test_covers_whole_program(self, sumloop_program):
+        templates = build_templates(sumloop_program)
+        assert set(templates) == set(sumloop_program.blocks)
+        for label, tmpl in templates.items():
+            block = sumloop_program.block(label)
+            assert len(tmpl.nodes) == len(block)
+            assert tmpl.n_datapath == block.datapath_size

@@ -1,0 +1,131 @@
+"""Trace serialisation and prepared-workload disk cache tests."""
+
+import io
+import os
+
+import pytest
+
+from repro.interp import run_program
+from repro.interp.trace import Trace
+from repro.interp.trace_io import (
+    TraceFormatError,
+    load_trace,
+    load_trace_file,
+    save_trace,
+    save_trace_file,
+)
+from repro.machine import MachineConfig, Discipline, BranchMode, simulate
+from repro.workloads import WORKLOADS
+from repro.workloads import base as wl_base
+
+
+def roundtrip(trace: Trace) -> Trace:
+    buffer = io.BytesIO()
+    save_trace(trace, buffer)
+    buffer.seek(0)
+    return load_trace(buffer)
+
+
+def make_trace() -> Trace:
+    trace = Trace()
+    for label, outcome, fault, addrs in [
+        ("a", 2, -1, [0x2000, 0x2004]),
+        ("b", 1, -1, []),
+        ("a", 0, 3, [0x3000, 0xFFFFFFFF]),
+    ]:
+        trace.block_ids.append(trace.intern(label))
+        trace.outcomes.append(outcome)
+        trace.fault_indices.append(fault)
+        trace.addresses.extend(addrs)
+    trace.exit_code = -7
+    trace.retired_nodes = 123456789
+    trace.discarded_nodes = 42
+    return trace
+
+
+class TestTraceRoundtrip:
+    def test_all_fields_preserved(self):
+        original = make_trace()
+        loaded = roundtrip(original)
+        assert loaded.labels == original.labels
+        assert loaded.block_ids == original.block_ids
+        assert loaded.outcomes == original.outcomes
+        assert loaded.fault_indices == original.fault_indices
+        assert loaded.addresses == original.addresses
+        assert loaded.exit_code == original.exit_code
+        assert loaded.retired_nodes == original.retired_nodes
+        assert loaded.discarded_nodes == original.discarded_nodes
+
+    def test_empty_trace(self):
+        loaded = roundtrip(Trace())
+        assert len(loaded) == 0
+        assert loaded.addresses == []
+
+    def test_real_trace_roundtrip(self, sumloop_program, tmp_path):
+        result = run_program(sumloop_program, inputs={0: b""})
+        path = str(tmp_path / "t.trace")
+        save_trace_file(result.trace, path)
+        loaded = load_trace_file(path)
+        assert loaded.block_ids == result.trace.block_ids
+        assert loaded.addresses == result.trace.addresses
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_trace(io.BytesIO(b"NOPE" + b"\x00" * 64))
+
+    def test_bad_version_rejected(self):
+        buffer = io.BytesIO()
+        save_trace(Trace(), buffer)
+        raw = bytearray(buffer.getvalue())
+        raw[4] = 99  # corrupt the version field
+        with pytest.raises(TraceFormatError):
+            load_trace(io.BytesIO(bytes(raw)))
+
+
+class TestPreparedDiskCache:
+    @pytest.fixture()
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(wl_base, "_PREPARED_CACHE", {})
+        return tmp_path
+
+    def test_cache_roundtrip_equivalence(self, isolated_cache):
+        workload = WORKLOADS["grep"]
+        first = wl_base.prepared(workload)
+        # Clear the in-process cache so the next call must hit disk.
+        wl_base._PREPARED_CACHE.clear()
+        second = wl_base.prepared(workload)
+        assert second is not first
+        assert second.single_trace.retired_nodes == first.single_trace.retired_nodes
+        assert list(second.single.blocks) == list(first.single.blocks)
+        assert list(second.enlarged.blocks) == list(first.enlarged.blocks)
+
+        config = MachineConfig(
+            Discipline.DYNAMIC, 8, "A", BranchMode.ENLARGED, window_blocks=4
+        )
+        assert (
+            simulate(first, config).cycles == simulate(second, config).cycles
+        )
+
+    def test_digest_depends_on_source(self, isolated_cache):
+        workload = WORKLOADS["grep"]
+        digest = wl_base._digest(workload, 1)
+        altered = wl_base.Workload(
+            workload.name, workload.source + "\n// change",
+            workload.make_inputs, workload.reference,
+        )
+        assert wl_base._digest(altered, 1) != digest
+
+    def test_digest_depends_on_scale(self):
+        workload = WORKLOADS["grep"]
+        assert wl_base._digest(workload, 1) != wl_base._digest(workload, 2)
+
+    def test_corrupt_artefact_triggers_reprepare(self, isolated_cache):
+        workload = WORKLOADS["grep"]
+        wl_base.prepared(workload)
+        directory = wl_base._workload_cache_dir(workload, 1)
+        with open(os.path.join(directory, "single.trace"), "wb") as handle:
+            handle.write(b"garbage")
+        wl_base._PREPARED_CACHE.clear()
+        again = wl_base.prepared(workload)  # must silently re-prepare
+        assert again.single_trace.retired_nodes > 0

@@ -1,0 +1,156 @@
+"""Behavioural edge-case tests for the benchmark programs themselves.
+
+The oracle-equality tests prove the programs match their references on
+generated inputs; these pin specific behaviours on crafted inputs.
+"""
+
+import pytest
+
+from repro.interp import run_program
+from repro.workloads import WORKLOADS
+
+
+def run(name, inputs):
+    workload = WORKLOADS[name]
+    program = workload.compile()
+    result = run_program(program, inputs=inputs)
+    assert result.output == workload.reference(inputs)
+    return result
+
+
+class TestSort:
+    def test_empty_input(self):
+        assert run("sort", {0: b""}).output == b""
+
+    def test_single_line(self):
+        assert run("sort", {0: b"only\n"}).output == b"only\n"
+
+    def test_already_sorted(self):
+        data = b"a\nb\nc\n"
+        assert run("sort", {0: data}).output == data
+
+    def test_reverse_sorted(self):
+        assert run("sort", {0: b"c\nb\na\n"}).output == b"a\nb\nc\n"
+
+    def test_duplicates_kept(self):
+        assert run("sort", {0: b"x\nx\nx\n"}).output == b"x\nx\nx\n"
+
+    def test_prefix_sorts_first(self):
+        assert run("sort", {0: b"abc\nab\n"}).output == b"ab\nabc\n"
+
+    def test_missing_trailing_newline(self):
+        assert run("sort", {0: b"b\na"}).output == b"a\nb\n"
+
+    def test_empty_lines_sort_first(self):
+        assert run("sort", {0: b"z\n\nm\n"}).output == b"\nm\nz\n"
+
+    def test_many_identical_then_one(self):
+        data = b"m\n" * 50 + b"a\n"
+        result = run("sort", {0: data})
+        assert result.output == b"a\n" + b"m\n" * 50
+
+
+class TestGrep:
+    def test_no_matches(self):
+        assert run("grep", {0: b"zzz\naaa\nbbb\n"}).output == b""
+
+    def test_all_match(self):
+        assert run("grep", {0: b"a\nabc\nbca\ncab\n"}).output == b"abc\nbca\ncab\n"
+
+    def test_pattern_at_line_edges(self):
+        result = run("grep", {0: b"ed\nedge\nfed\nmiddle-ed-middle\nnope\n"})
+        assert result.output == b"edge\nfed\nmiddle-ed-middle\n"
+
+    def test_empty_pattern_matches_everything(self):
+        assert run("grep", {0: b"\nx\ny\n"}).output == b"x\ny\n"
+
+    def test_pattern_longer_than_lines(self):
+        assert run("grep", {0: b"abcdefgh\nab\ncd\n"}).output == b""
+
+    def test_repeated_prefix_scan(self):
+        # Classic naive-search stress: aab in aaaab.
+        assert run("grep", {0: b"aab\naaaab\nabab\n"}).output == b"aaaab\n"
+
+
+class TestDiff:
+    def test_identical_files(self):
+        data = b"one\ntwo\n"
+        assert run("diff", {0: data, 3: data}).output == b""
+
+    def test_pure_insertion(self):
+        result = run("diff", {0: b"a\nc\n", 3: b"a\nb\nc\n"})
+        assert result.output == b"> b\n"
+
+    def test_pure_deletion(self):
+        result = run("diff", {0: b"a\nb\nc\n", 3: b"a\nc\n"})
+        assert result.output == b"< b\n"
+
+    def test_complete_replacement(self):
+        result = run("diff", {0: b"x\n", 3: b"y\n"})
+        assert result.output in (b"< x\n> y\n", b"> y\n< x\n")
+
+    def test_empty_old_file(self):
+        assert run("diff", {0: b"", 3: b"n\n"}).output == b"> n\n"
+
+    def test_empty_new_file(self):
+        assert run("diff", {0: b"o\n", 3: b""}).output == b"< o\n"
+
+
+class TestCpp:
+    def test_simple_expansion(self):
+        result = run("cpp", {0: b"#define X hello\nX world\n"})
+        assert result.output == b"hello world\n"
+
+    def test_chained_macros(self):
+        source = b"#define A B\n#define B C\n#define C done\nA\n"
+        assert run("cpp", {0: source}).output == b"done\n"
+
+    def test_undef(self):
+        source = b"#define X 1\nX\n#undef X\nX\n"
+        assert run("cpp", {0: source}).output == b"1\nX\n"
+
+    def test_redefinition(self):
+        source = b"#define X old\nX\n#define X new\nX\n"
+        assert run("cpp", {0: source}).output == b"old\nnew\n"
+
+    def test_identifier_boundaries_respected(self):
+        source = b"#define ab Z\nab abc ab1 1ab ab\n"
+        assert run("cpp", {0: source}).output == b"Z abc ab1 1Z Z\n"
+
+    def test_self_referential_macro_depth_capped(self):
+        source = b"#define LOOP LOOP x\nLOOP\n"
+        result = run("cpp", {0: source})
+        # Expansion terminates at the depth cap instead of diverging.
+        assert result.output.endswith(b"\n")
+        assert b"LOOP" in result.output
+
+    def test_unknown_directives_consumed(self):
+        source = b"#include <stdio.h>\n#pragma x\ntext\n"
+        assert run("cpp", {0: source}).output == b"text\n"
+
+
+class TestCompress:
+    def test_empty_input(self):
+        assert run("compress", {0: b""}).output == b""
+
+    def test_single_byte(self):
+        result = run("compress", {0: b"A"})
+        # One 12-bit code (65) packed into two bytes: 0x041, 0x0 pad.
+        assert result.output == bytes([0x04, 0x10])
+
+    def test_repetitive_input_compresses(self):
+        data = b"ab" * 400
+        result = run("compress", {0: data})
+        assert len(result.output) < len(data) / 2
+
+    def test_random_like_input_does_not_explode(self):
+        data = bytes((i * 97 + 13) % 251 for i in range(600))
+        result = run("compress", {0: data})
+        # 12-bit codes over bytes: worst case 1.5x.
+        assert len(result.output) <= len(data) * 3 // 2 + 2
+
+    def test_dictionary_cap_respected(self):
+        # Enough distinct digrams to overflow 4096 entries: must still
+        # match the oracle (checked in run()) and terminate.
+        data = bytes((i ^ (i >> 3)) & 0xFF for i in range(9000))
+        run("compress", {0: data})
