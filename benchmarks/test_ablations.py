@@ -247,7 +247,6 @@ def test_fill_unit_vs_profile_enlargement(benchmark):
     from repro.enlarge import fill_unit_enlarge
     from repro.interp import run_program
     from repro.machine.simulator import PreparedWorkload
-    from repro.machine.templates import build_templates
 
     def sweep():
         stats = {}

@@ -14,7 +14,7 @@ Run:  python examples/enlargement_study.py [benchmark]
 import sys
 from collections import Counter
 
-from repro.enlarge import EnlargeConfig, apply_plan, plan_enlargement
+from repro.enlarge import EnlargeConfig, plan_enlargement
 from repro.interp import run_program
 from repro.machine import BranchMode, Discipline, MachineConfig
 from repro.machine.simulator import prepare_workload

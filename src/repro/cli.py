@@ -3,12 +3,17 @@
 Subcommands:
 
 * ``run``     -- simulate one benchmark on one machine configuration
+* ``trace``   -- dump a per-cycle pipeline trace (Chrome tracing / JSONL)
 * ``figure``  -- print the data for one of the paper's figures (2-6)
 * ``report``  -- write the full EXPERIMENTS.md (runs missing simulations)
 * ``dump``    -- print a benchmark's translated assembly (or DOT CFG)
 * ``compile`` -- compile and run a user Mini-C source file
 * ``sweep``   -- run the paper's full 560-point space (resumable)
 * ``list``    -- list benchmarks and configuration axes
+
+``sweep`` and ``report`` accept ``--telemetry`` (live progress plus
+counters/timers) and ``--metrics-out FILE`` (write the aggregated
+``telemetry.json``); see the "Observability" section of DESIGN.md.
 """
 
 from __future__ import annotations
@@ -24,7 +29,6 @@ from .harness.figures import (
     figure5_data,
     figure6_data,
     render_series_table,
-    static_ratio_data,
 )
 from .harness.report import generate_report
 from .harness.runner import SweepRunner
@@ -40,6 +44,35 @@ from .program.printer import format_program
 from .workloads import WORKLOADS
 
 
+def _add_config_arguments(command: argparse.ArgumentParser) -> None:
+    """The machine-configuration axes shared by ``run`` and ``trace``."""
+    command.add_argument("--benchmark", required=True,
+                         choices=sorted(WORKLOADS))
+    command.add_argument("--discipline", choices=("static", "dynamic"),
+                         default="dynamic")
+    command.add_argument("--window", type=int, default=4,
+                         help="window size in basic blocks (dynamic only)")
+    command.add_argument("--issue", type=int, default=8,
+                         choices=sorted(ISSUE_MODELS))
+    command.add_argument("--memory", default="A",
+                         choices=sorted(MEMORY_CONFIGS))
+    command.add_argument("--branch", default="single",
+                         choices=[mode.value for mode in BranchMode])
+    command.add_argument("--no-static-hints", action="store_true")
+    command.add_argument("--scale", type=int, default=None)
+
+
+def _config_from_args(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig(
+        discipline=Discipline(args.discipline),
+        issue_model=args.issue,
+        memory=args.memory,
+        branch_mode=BranchMode(args.branch),
+        window_blocks=args.window if args.discipline == "dynamic" else 1,
+        static_hints=not args.no_static_hints,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -48,18 +81,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="simulate one configuration point")
-    run.add_argument("--benchmark", required=True, choices=sorted(WORKLOADS))
-    run.add_argument("--discipline", choices=("static", "dynamic"),
-                     default="dynamic")
-    run.add_argument("--window", type=int, default=4,
-                     help="window size in basic blocks (dynamic only)")
-    run.add_argument("--issue", type=int, default=8,
-                     choices=sorted(ISSUE_MODELS))
-    run.add_argument("--memory", default="A", choices=sorted(MEMORY_CONFIGS))
-    run.add_argument("--branch", default="single",
-                     choices=[mode.value for mode in BranchMode])
-    run.add_argument("--no-static-hints", action="store_true")
-    run.add_argument("--scale", type=int, default=None)
+    _add_config_arguments(run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="simulate one point and dump its per-cycle pipeline trace",
+    )
+    _add_config_arguments(trace)
+    trace.add_argument("-o", "--out", default=None,
+                       help="output path (default: <benchmark>.trace.json"
+                            " or .jsonl)")
+    trace.add_argument("--format", choices=("chrome", "jsonl"),
+                       default="chrome",
+                       help="chrome://tracing JSON document, or one JSON"
+                            " event per line")
 
     figure = sub.add_parser("figure", help="print one figure's data")
     figure.add_argument("number", type=int, choices=(2, 3, 4, 5, 6))
@@ -68,6 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="write EXPERIMENTS.md")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
     report.add_argument("--scale", type=int, default=None)
+    report.add_argument("--telemetry", action="store_true",
+                        help="collect sweep counters and timings")
+    report.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write aggregated telemetry.json (implies"
+                             " --telemetry)")
 
     dump = sub.add_parser("dump", help="print translated assembly")
     dump.add_argument("--benchmark", required=True, choices=sorted(WORKLOADS))
@@ -99,20 +139,18 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scale", type=int, default=None)
     sweep.add_argument("--limit", type=int, default=None,
                        help="stop after N uncached points (for budgeting)")
+    sweep.add_argument("--telemetry", action="store_true",
+                       help="live progress line plus cache/timing counters")
+    sweep.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write aggregated telemetry.json (implies"
+                            " --telemetry)")
 
     sub.add_parser("list", help="list benchmarks and configuration axes")
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = MachineConfig(
-        discipline=Discipline(args.discipline),
-        issue_model=args.issue,
-        memory=args.memory,
-        branch_mode=BranchMode(args.branch),
-        window_blocks=args.window if args.discipline == "dynamic" else 1,
-        static_hints=not args.no_static_hints,
-    )
+    config = _config_from_args(args)
     runner = SweepRunner(scale=args.scale, verbose=True)
     result = runner.run_point(args.benchmark, config)
     print(result.summary())
@@ -121,6 +159,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  cycles        : {result.cycles}")
     print(f"  faults        : {result.faults}")
     print(f"  cache hit rate: {result.cache_hit_rate:.4f}")
+    print(f"  issue util    : {result.issue_utilization:.4f}")
+    if result.window_samples:
+        print(f"  avg window    : {result.avg_window_blocks:.2f} blocks")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .machine.simulator import simulate
+    from .telemetry import TraceCollector, write_chrome_trace, write_jsonl
+
+    config = _config_from_args(args)
+    runner = SweepRunner(scale=args.scale, use_cache=False)
+    workload = runner.workload(args.benchmark)
+    collector = TraceCollector()
+    result = simulate(workload, config, collector=collector)
+    suffix = ".trace.json" if args.format == "chrome" else ".trace.jsonl"
+    out = args.out if args.out else f"{args.benchmark}{suffix}"
+    if args.format == "chrome":
+        write_chrome_trace(collector, out, benchmark=args.benchmark,
+                           config=str(config))
+    else:
+        write_jsonl(collector, out)
+    print(result.summary(), file=sys.stderr)
+    print(f"wrote {out} ({len(collector.events)} events, "
+          f"{result.cycles} cycles)")
     return 0
 
 
@@ -162,12 +225,29 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(collector, path: str) -> None:
+    import json
+
+    from .stats.aggregate import telemetry_report
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(telemetry_report(collector), handle, indent=2)
+    print(f"wrote {path}")
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    runner = SweepRunner(scale=args.scale)
+    from .telemetry import MetricsCollector
+
+    collector = (
+        MetricsCollector() if args.telemetry or args.metrics_out else None
+    )
+    runner = SweepRunner(scale=args.scale, collector=collector)
     text = generate_report(runner)
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(text)
     print(f"wrote {args.output}")
+    if args.metrics_out:
+        _write_metrics(collector, args.metrics_out)
     return 0
 
 
@@ -221,17 +301,25 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .machine.config import full_configuration_space
+    from .telemetry import MetricsCollector, ProgressLine
 
     benchmarks = (
         [name.strip() for name in args.benchmarks.split(",")]
         if args.benchmarks else None
     )
-    runner = SweepRunner(benchmarks=benchmarks, scale=args.scale)
+    telemetry = args.telemetry or bool(args.metrics_out)
+    collector = MetricsCollector() if telemetry else None
+    runner = SweepRunner(benchmarks=benchmarks, scale=args.scale,
+                         collector=collector)
     configs = list(full_configuration_space())
     total = len(configs) * len(runner.benchmarks)
+    progress = ProgressLine(total) if telemetry else None
     done = 0
     fresh = 0
+    limited = False
     for config in configs:
+        if limited:
+            break
         for name in runner.benchmarks:
             cached = (
                 runner.cache.get(name, config, runner.scale)
@@ -239,14 +327,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
             if cached is None:
                 if args.limit is not None and fresh >= args.limit:
-                    print(f"limit reached: {done}/{total} points in cache")
-                    return 0
+                    limited = True
+                    break
                 fresh += 1
             result = runner.run_point(name, config)
             done += 1
-            if done % 50 == 0 or done == total:
+            if progress is not None:
+                progress.update(done, f"{name} {config}")
+            elif done % 50 == 0 or done == total:
                 print(f"[{done}/{total}] {result.summary()}", file=sys.stderr)
-    print(f"sweep complete: {total} points ({fresh} newly simulated)")
+    if progress is not None:
+        progress.finish()
+    if limited:
+        print(f"limit reached: {done}/{total} points in cache")
+    else:
+        print(f"sweep complete: {total} points ({fresh} newly simulated)")
+    if args.metrics_out:
+        _write_metrics(collector, args.metrics_out)
     return 0
 
 
@@ -268,6 +365,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "figure": _cmd_figure,
         "report": _cmd_report,
         "dump": _cmd_dump,

@@ -13,11 +13,12 @@ import json
 import os
 from typing import Dict, Optional
 
-from ..machine.config import BranchMode, Discipline, MachineConfig
+from ..machine.config import MachineConfig
 from ..stats.results import SimResult
+from ..telemetry.collector import Collector, NULL_COLLECTOR
 
 #: Bump when simulator behaviour changes enough to invalidate old results.
-CACHE_VERSION = 6
+CACHE_VERSION = 7
 
 _RESULT_FIELDS = (
     "cycles",
@@ -32,6 +33,10 @@ _RESULT_FIELDS = (
     "cache_accesses",
     "cache_misses",
     "write_buffer_hits",
+    "issue_words",
+    "issued_slots",
+    "window_block_cycles",
+    "window_samples",
     "work_nodes",
 )
 
@@ -49,11 +54,13 @@ def result_key(benchmark: str, config: MachineConfig, scale: int) -> str:
 class ResultCache:
     """JSON-file-backed result store."""
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None,
+                 collector: Collector = NULL_COLLECTOR):
         if path is None:
             root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
             path = os.path.join(root, "results.json")
         self.path = path
+        self.collector = collector
         self._data: Dict[str, dict] = {}
         self._loaded = False
         self._dirty = 0
@@ -65,22 +72,47 @@ class ResultCache:
         self._loaded = True
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
-                self._data = json.load(handle)
-        except (OSError, ValueError):
+                data = json.load(handle)
+        except OSError:
+            self._data = {}
+            return
+        except ValueError:
+            # A truncated or garbled cache file: start fresh rather than
+            # failing the whole sweep.
+            self.collector.count("cache.corrupt")
+            self._data = {}
+            return
+        if isinstance(data, dict):
+            self._data = data
+        else:
+            self.collector.count("cache.corrupt")
             self._data = {}
 
     def get(self, benchmark: str, config: MachineConfig,
             scale: int) -> Optional[SimResult]:
-        """Fetch a cached result, rebuilding the SimResult object."""
+        """Fetch a cached result, rebuilding the SimResult object.
+
+        A corrupted entry (wrong shape, missing fields -- e.g. written by
+        an older code version or truncated on disk) is dropped and
+        counted under the ``cache.corrupt`` telemetry counter, so the
+        caller transparently recomputes instead of crashing.
+        """
         self._load()
-        raw = self._data.get(result_key(benchmark, config, scale))
+        key = result_key(benchmark, config, scale)
+        raw = self._data.get(key)
         if raw is None:
             return None
-        return SimResult(
-            benchmark=benchmark,
-            config=config,
-            **{field: raw[field] for field in _RESULT_FIELDS},
-        )
+        try:
+            return SimResult(
+                benchmark=benchmark,
+                config=config,
+                **{field: raw[field] for field in _RESULT_FIELDS},
+            )
+        except (KeyError, TypeError):
+            self.collector.count("cache.corrupt")
+            del self._data[key]
+            self._dirty += 1
+            return None
 
     def put(self, result: SimResult, scale: int) -> None:
         """Store a result and flush to disk."""

@@ -9,7 +9,7 @@ into EXPERIMENTS.md.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..interp.trace import Trace
 from ..machine.config import (
@@ -19,7 +19,6 @@ from ..machine.config import (
     MachineConfig,
     scheduling_disciplines,
 )
-from ..machine.templates import build_templates
 from .runner import SweepRunner
 
 #: Line labels in the order the paper's legend lists its ten schemes.

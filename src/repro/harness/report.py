@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from .figures import (
-    discipline_lines,
     figure2_data,
     figure3_data,
     figure4_data,

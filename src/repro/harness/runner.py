@@ -10,11 +10,13 @@ from __future__ import annotations
 import math
 import os
 import sys
-from typing import Dict, Iterable, List, Optional, Sequence
+import time
+from typing import Iterable, List, Optional, Sequence
 
 from ..machine.config import MachineConfig
 from ..machine.simulator import PreparedWorkload, simulate
 from ..stats.results import SimResult
+from ..telemetry.collector import Collector, NULL_COLLECTOR
 from ..workloads import WORKLOADS, prepared
 from .cache import ResultCache
 
@@ -42,13 +44,17 @@ class SweepRunner:
 
     def __init__(self, benchmarks: Optional[Sequence[str]] = None,
                  scale: Optional[int] = None, use_cache: bool = True,
-                 verbose: bool = False):
+                 verbose: bool = False,
+                 collector: Optional[Collector] = None):
         self.benchmarks = list(benchmarks) if benchmarks else default_benchmarks()
         unknown = [name for name in self.benchmarks if name not in WORKLOADS]
         if unknown:
             raise ValueError(f"unknown benchmarks: {unknown}")
         self.scale = default_scale() if scale is None else scale
-        self.cache = ResultCache() if use_cache else None
+        self.collector = NULL_COLLECTOR if collector is None else collector
+        self.cache = (
+            ResultCache(collector=self.collector) if use_cache else None
+        )
         self.verbose = verbose
 
     # ------------------------------------------------------------------
@@ -57,12 +63,43 @@ class SweepRunner:
         return prepared(WORKLOADS[name], scale=self.scale)
 
     def run_point(self, benchmark: str, config: MachineConfig) -> SimResult:
-        """One simulation, served from cache when available."""
+        """One simulation, served from cache when available.
+
+        When the runner's collector is enabled, each point records its
+        wall time split into workload preparation and simulation, the
+        result-cache hit/miss counters, and a per-point summary record
+        (the ``points`` list of ``telemetry.json``).
+        """
+        collector = self.collector
         if self.cache is not None:
             hit = self.cache.get(benchmark, config, self.scale)
             if hit is not None:
+                if collector.enabled:
+                    collector.count("sweep.cache.hit")
+                    collector.record_point(
+                        benchmark=benchmark, config=str(config),
+                        cached=True, wall_s=0.0,
+                        ipc=hit.retired_per_cycle,
+                    )
                 return hit
-        result = simulate(self.workload(benchmark), config)
+        if collector.enabled:
+            start = time.perf_counter()
+            workload = self.workload(benchmark)
+            prepared_at = time.perf_counter()
+            result = simulate(workload, config, collector=collector)
+            end = time.perf_counter()
+            collector.count("sweep.cache.miss")
+            collector.observe("sweep.point.prepare_s", prepared_at - start)
+            collector.observe("sweep.point.simulate_s", end - prepared_at)
+            collector.observe("sweep.point.wall_s", end - start)
+            collector.record_point(
+                benchmark=benchmark, config=str(config), cached=False,
+                wall_s=end - start, prepare_s=prepared_at - start,
+                simulate_s=end - prepared_at,
+                ipc=result.retired_per_cycle,
+            )
+        else:
+            result = simulate(self.workload(benchmark), config)
         if self.cache is not None:
             self.cache.put(result, self.scale)
         if self.verbose:

@@ -6,7 +6,7 @@ annotates expressions with a ``ctype`` attribute in place.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from .ctypes import CType
 

@@ -27,15 +27,19 @@ from typing import Dict, List, Optional
 from ..interp.trace import TAKEN, Trace
 from ..isa.ops import NodeKind
 from ..stats.results import SimResult
+from ..telemetry.collector import (
+    Collector,
+    NULL_COLLECTOR,
+    TID_CONTROL,
+    TID_MEM,
+)
 from .cache import MemorySystem
 from .config import BranchMode, MachineConfig
 from .predictor import BranchPredictor, make_predictor
 from .templates import (
     BlockTemplate,
-    T_ALU,
     T_ASSERT,
     T_BRANCH,
-    T_CONTROL,
     T_LOAD,
     T_STORE,
     T_SYSCALL,
@@ -56,11 +60,13 @@ class DynamicEngine:
     """One trace replay on one dynamic machine configuration."""
 
     def __init__(self, templates: Dict[str, BlockTemplate], trace: Trace,
-                 config: MachineConfig, benchmark: str = ""):
+                 config: MachineConfig, benchmark: str = "",
+                 collector: Collector = NULL_COLLECTOR):
         self.templates = templates
         self.trace = trace
         self.config = config
         self.benchmark = benchmark
+        self.collector = collector
         issue = config.issue
         self.sequential = issue.sequential
         self.mem_limit = issue.mem_slots
@@ -85,6 +91,9 @@ class DynamicEngine:
         mem_limit = self.mem_limit
         alu_limit = self.alu_limit
         window_size = self.window
+        collector = self.collector
+        tracing = collector.tracing
+        hit_latency = self.config.memory_config.hit_cycles
 
         reg_ready = [0] * 64
         store_time: Dict[int, int] = {}
@@ -103,6 +112,10 @@ class DynamicEngine:
         prev_retire = 0
         max_cycle = 0
         addr_cursor = 0
+        issue_words = 0
+        issued_slots = 0
+        window_block_cycles = 0
+        window_samples = 0
         exec_times: List[int] = []
 
         for position in range(len(block_ids)):
@@ -116,6 +129,18 @@ class DynamicEngine:
                     fetch_cycle = freed + 1
                     word_mem_left = 0
                     word_alu_left = 0
+
+            occupancy = len(window_retires) + 1
+            if occupancy > window_size:
+                occupancy = window_size
+            window_block_cycles += occupancy
+            window_samples += 1
+            block_start = fetch_cycle
+            if tracing:
+                collector.event(
+                    "window.occupancy", fetch_cycle, 0, 0,
+                    {"blocks": occupancy},
+                )
 
             fault_index = fault_indices[position]
             fault_time = -1
@@ -135,20 +160,30 @@ class DynamicEngine:
                     if sequential:
                         issue_cycle = fetch_cycle
                         fetch_cycle += 1
+                        issue_words += 1
                     else:
                         if cls == T_LOAD or cls == T_STORE:
                             if word_mem_left <= 0:
                                 fetch_cycle += 1
                                 word_mem_left = mem_limit
                                 word_alu_left = alu_limit
+                                issue_words += 1
                             word_mem_left -= 1
                         else:
                             if word_alu_left <= 0:
                                 fetch_cycle += 1
                                 word_mem_left = mem_limit
                                 word_alu_left = alu_limit
+                                issue_words += 1
                             word_alu_left -= 1
                         issue_cycle = fetch_cycle
+                    issued_slots += 1
+                    if tracing:
+                        collector.event(
+                            "issue.slot", issue_cycle, 0,
+                            TID_MEM if cls == T_LOAD or cls == T_STORE
+                            else 0,
+                        )
                 else:
                     issue_cycle = fetch_cycle
 
@@ -174,7 +209,17 @@ class DynamicEngine:
                     lt = load_time.get(word)
                     if lt is None or t > lt:
                         load_time[word] = t
-                    done = t + memsys.load_latency(addr)
+                    if tracing:
+                        wb_before = memsys.wb_hits
+                        lat = memsys.load_latency(addr)
+                        collector.event(
+                            "mem.load", t, lat, TID_MEM,
+                            {"addr": addr, "miss": lat > hit_latency,
+                             "wb_hit": memsys.wb_hits != wb_before},
+                        )
+                    else:
+                        lat = memsys.load_latency(addr)
+                    done = t + lat
                 elif cls == T_STORE:
                     addr = addresses[addr_cursor]
                     addr_cursor += 1
@@ -190,6 +235,10 @@ class DynamicEngine:
                         t += 1
                     mem_used[t] = mem_used.get(t, 0) + 1
                     memsys.store_access(addr)
+                    if tracing:
+                        collector.event(
+                            "mem.store", t, 1, TID_MEM, {"addr": addr}
+                        )
                     done = t + 1
                     store_time[word] = done
                 elif cls == T_SYSCALL:
@@ -218,9 +267,16 @@ class DynamicEngine:
                 # function unit by the fault's resolution count as
                 # executed-but-not-retired work.
                 faults += 1
+                block_discarded = 0
                 for index, t in enumerate(exec_times):
                     if t <= fault_time and tmpl.nodes[index][0] != T_SYSCALL:
-                        discarded_nodes += 1
+                        block_discarded += 1
+                discarded_nodes += block_discarded
+                if tracing:
+                    collector.event(
+                        "block.fault", fault_time, 0, TID_CONTROL,
+                        {"block": tmpl.label, "discarded": block_discarded},
+                    )
                 if not perfect:
                     discarded_nodes += self._wrong_path_issue(
                         self._predicted_successor(tmpl, predictor),
@@ -247,6 +303,12 @@ class DynamicEngine:
                 else:
                     predicted = predictor.predict(tmpl.label, tmpl.static_hint)
                     predictor.update(tmpl.label, actual_taken, predicted)
+                if tracing:
+                    collector.event(
+                        "branch.resolve", branch_exec, 0, TID_CONTROL,
+                        {"block": tmpl.label, "taken": actual_taken,
+                         "mispredict": predicted != actual_taken},
+                    )
                 if predicted != actual_taken:
                     wrong_target = (
                         tmpl.branch_taken if predicted else tmpl.branch_alt
@@ -277,6 +339,12 @@ class DynamicEngine:
             retired_nodes += tmpl.n_datapath
             if retire > max_cycle:
                 max_cycle = retire
+            if tracing:
+                collector.event(
+                    "block.retire", block_start,
+                    max(block_complete - block_start, 1), TID_CONTROL,
+                    {"block": tmpl.label, "nodes": tmpl.n_datapath},
+                )
 
             # Keep the per-cycle slot tables bounded.
             if len(alu_used) > _SLOT_PRUNE_THRESHOLD:
@@ -300,6 +368,10 @@ class DynamicEngine:
             cache_accesses=cache.accesses if cache else 0,
             cache_misses=cache.misses if cache else 0,
             write_buffer_hits=memsys.wb_hits,
+            issue_words=issue_words,
+            issued_slots=issued_slots,
+            window_block_cycles=window_block_cycles,
+            window_samples=window_samples,
         )
 
     # ------------------------------------------------------------------

@@ -14,7 +14,7 @@ branch data from being overly biased".
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 
 from ..enlarge.builder import apply_plan
 from ..enlarge.plan import EnlargeConfig, plan_enlargement
@@ -24,6 +24,7 @@ from ..profiles.profile import annotate_static_hints, build_profile
 from ..program.program import Program
 from ..sched.list_scheduler import ScheduledBlock, schedule_program
 from ..stats.results import SimResult
+from ..telemetry.collector import Collector, NULL_COLLECTOR
 from .config import BranchMode, Discipline, MachineConfig
 from .dynamic import DynamicEngine
 from .static_engine import StaticEngine
@@ -121,18 +122,25 @@ def prepare_workload(
     )
 
 
-def simulate(prepared: PreparedWorkload, config: MachineConfig) -> SimResult:
-    """Run one timing simulation of a prepared workload."""
+def simulate(prepared: PreparedWorkload, config: MachineConfig,
+             collector: Collector = NULL_COLLECTOR) -> SimResult:
+    """Run one timing simulation of a prepared workload.
+
+    ``collector`` receives per-cycle pipeline events when it is a
+    tracing collector (see :mod:`repro.telemetry`); the default null
+    collector records nothing and costs nothing.
+    """
     templates = prepared.templates_for(config.branch_mode)
     trace = prepared.trace_for(config.branch_mode)
     if config.discipline is Discipline.STATIC:
         result = StaticEngine(
             templates, prepared.schedules_for(config), trace, config,
-            benchmark=prepared.name,
+            benchmark=prepared.name, collector=collector,
         ).run()
     else:
         result = DynamicEngine(
-            templates, trace, config, benchmark=prepared.name
+            templates, trace, config, benchmark=prepared.name,
+            collector=collector,
         ).run()
     # Normalise the performance metric to architectural work (the single
     # program's retired node count); see SimResult.retired_per_cycle.

@@ -14,11 +14,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..interp.trace import TAKEN, Trace
-from ..isa.ops import NodeKind
 from ..stats.results import SimResult
+from ..telemetry.collector import (
+    Collector,
+    NULL_COLLECTOR,
+    TID_CONTROL,
+    TID_MEM,
+)
 from .cache import MemorySystem
 from .config import MachineConfig
-from .predictor import BranchPredictor, make_predictor
+from .predictor import make_predictor
 from .templates import (
     BlockTemplate,
     T_ASSERT,
@@ -38,12 +43,14 @@ class StaticEngine:
 
     def __init__(self, templates: Dict[str, BlockTemplate],
                  schedules: Dict[str, ScheduledBlock], trace: Trace,
-                 config: MachineConfig, benchmark: str = ""):
+                 config: MachineConfig, benchmark: str = "",
+                 collector: Collector = NULL_COLLECTOR):
         self.templates = templates
         self.schedules = schedules
         self.trace = trace
         self.config = config
         self.benchmark = benchmark
+        self.collector = collector
 
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -59,6 +66,9 @@ class StaticEngine:
 
         memsys = MemorySystem(self.config.memory_config)
         predictor = make_predictor(self.config.predictor, self.config.static_hints)
+        collector = self.collector
+        tracing = collector.tracing
+        hit_latency = self.config.memory_config.hit_cycles
 
         reg_ready = [0] * 64
         cycle = 0  # issue cycle of the most recent word
@@ -67,6 +77,8 @@ class StaticEngine:
         faults = 0
         max_cycle = 0
         addr_cursor = 0
+        issue_words = 0
+        issued_slots = 0
 
         for position in range(len(block_ids)):
             tmpl = tmpl_of[block_ids[position]]
@@ -80,6 +92,7 @@ class StaticEngine:
             fault_exec = -1
             issued_datapath = 0
             block_complete = 0
+            block_start = cycle + 1
 
             for word in sched.words:
                 issue = cycle + 1
@@ -88,15 +101,30 @@ class StaticEngine:
                         r = reg_ready[src]
                         if r > issue:
                             issue = r
+                issue_words += 1
                 for index in word:
                     cls, dest, _ = nodes[index]
                     if cls == T_LOAD:
                         addr = addresses[addr_base + sched.mem_rank[index]]
-                        done = issue + memsys.load_latency(addr)
+                        if tracing:
+                            wb_before = memsys.wb_hits
+                            lat = memsys.load_latency(addr)
+                            collector.event(
+                                "mem.load", issue, lat, TID_MEM,
+                                {"addr": addr, "miss": lat > hit_latency,
+                                 "wb_hit": memsys.wb_hits != wb_before},
+                            )
+                        else:
+                            lat = memsys.load_latency(addr)
+                        done = issue + lat
                     elif cls == T_STORE:
                         addr = addresses[addr_base + sched.mem_rank[index]]
                         memsys.store_access(addr)
                         done = issue + 1
+                        if tracing:
+                            collector.event(
+                                "mem.store", issue, 1, TID_MEM, {"addr": addr}
+                            )
                     else:
                         done = issue + 1
                         if cls == T_BRANCH:
@@ -107,11 +135,19 @@ class StaticEngine:
                         reg_ready[dest] = done
                     if cls != T_SYSCALL:
                         issued_datapath += 1
+                        if tracing:
+                            collector.event(
+                                "issue.slot", issue, 0,
+                                TID_MEM if cls == T_LOAD or cls == T_STORE
+                                else 0,
+                            )
                     if done > block_complete:
                         block_complete = done
                 cycle = issue
                 if fault_exec >= 0:
                     break  # issue stops once the fault resolves
+
+            issued_slots += issued_datapath
 
             if fault_exec >= 0:
                 # Enlarged-block fault: everything issued is discarded.
@@ -120,16 +156,33 @@ class StaticEngine:
                 cycle = fault_exec + REDIRECT_PENALTY
                 if cycle > max_cycle:
                     max_cycle = cycle
+                if tracing:
+                    collector.event(
+                        "block.fault", fault_exec, 0, TID_CONTROL,
+                        {"block": tmpl.label, "discarded": issued_datapath},
+                    )
                 continue
 
             retired_nodes += tmpl.n_datapath
             if block_complete > max_cycle:
                 max_cycle = block_complete
+            if tracing:
+                collector.event(
+                    "block.retire", block_start,
+                    max(block_complete - block_start, 1), TID_CONTROL,
+                    {"block": tmpl.label, "nodes": tmpl.n_datapath},
+                )
 
             if tmpl.has_branch:
                 actual_taken = outcomes[position] == TAKEN
                 predicted = predictor.predict(tmpl.label, tmpl.static_hint)
                 predictor.update(tmpl.label, actual_taken, predicted)
+                if tracing:
+                    collector.event(
+                        "branch.resolve", branch_exec, 0, TID_CONTROL,
+                        {"block": tmpl.label, "taken": actual_taken,
+                         "mispredict": predicted != actual_taken},
+                    )
                 if predicted != actual_taken:
                     wrong_target = (
                         tmpl.branch_taken if predicted else tmpl.branch_alt
@@ -153,6 +206,8 @@ class StaticEngine:
             cache_accesses=cache.accesses if cache else 0,
             cache_misses=cache.misses if cache else 0,
             write_buffer_hits=memsys.wb_hits,
+            issue_words=issue_words,
+            issued_slots=issued_slots,
         )
 
     # ------------------------------------------------------------------

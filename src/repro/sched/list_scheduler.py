@@ -19,7 +19,7 @@ consulted by the static engine.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..isa.node import Node
 from ..isa.ops import NodeKind

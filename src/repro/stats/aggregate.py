@@ -8,9 +8,13 @@ these helpers keep that logic out of the harness plumbing.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..telemetry.collector import Collector
 from .results import SimResult
+
+#: Version tag of the ``telemetry.json`` document layout.
+TELEMETRY_SCHEMA = "repro.telemetry/1"
 
 
 def group_by(results: Iterable[SimResult],
@@ -97,6 +101,47 @@ def summarize(results: Sequence[SimResult]) -> Dict[str, float]:
             (total_executed - total_retired) / total_executed
             if total_executed else 0.0
         ),
+    }
+
+
+def histogram_stats(values: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of one recorded distribution."""
+    if not values:
+        return {"count": 0}
+    ordered = sorted(values)
+    n = len(ordered)
+    return {
+        "count": n,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / n,
+        "p50": ordered[n // 2],
+        "p90": ordered[min(int(n * 0.9), n - 1)],
+    }
+
+
+def telemetry_report(collector: Collector) -> Dict[str, Any]:
+    """The machine-readable ``telemetry.json`` document for one sweep.
+
+    Schema (``TELEMETRY_SCHEMA``): ``counters`` maps dotted counter
+    names to totals (e.g. ``sweep.cache.hit``); ``timers`` maps timer
+    names to ``{total_s, count}``; ``histograms`` maps distribution
+    names to :func:`histogram_stats` summaries (e.g.
+    ``sweep.point.wall_s``); ``points`` lists one record per simulated
+    point with its per-point timings.
+    """
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "counters": dict(sorted(collector.counters.items())),
+        "timers": {
+            name: {"total_s": total, "count": count}
+            for name, (total, count) in sorted(collector.timers.items())
+        },
+        "histograms": {
+            name: histogram_stats(values)
+            for name, values in sorted(collector.histograms.items())
+        },
+        "points": list(collector.points),
     }
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from ..machine.config import MachineConfig
 
@@ -33,6 +33,16 @@ class SimResult:
     cache_accesses: int = 0
     cache_misses: int = 0
     write_buffer_hits: int = 0
+    #: issue words opened on the fetched (non-wrong-path) instruction
+    #: stream, and the datapath nodes issued into their slots.  These
+    #: feed ``issue_utilization``: how full the machine's issue bandwidth
+    #: actually ran.
+    issue_words: int = 0
+    issued_slots: int = 0
+    #: window occupancy, sampled once per block at block entry (dynamic
+    #: engine only): the sum of active-block counts and the sample count.
+    window_block_cycles: int = 0
+    window_samples: int = 0
     #: architectural work: the single-block program's retired node count
     #: for this benchmark and input (constant across configurations, as
     #: the paper notes).  Zero when not supplied.
@@ -75,6 +85,33 @@ class SimResult:
         if self.branch_lookups == 0:
             return 1.0
         return 1.0 - self.mispredicts / self.branch_lookups
+
+    @property
+    def issue_utilization(self) -> float:
+        """Fraction of issue slots that carried a datapath node.
+
+        The denominator is the issue bandwidth actually opened
+        (``issue_words`` x the configuration's slots per word); low
+        values diagnose issue-slot starvation from small basic blocks,
+        the problem basic block enlargement exists to solve.  Zero when
+        slot counters were not collected (e.g. results cached before
+        they existed).
+        """
+        if self.issue_words == 0:
+            return 0.0
+        width = self.config.issue.total_slots
+        return self.issued_slots / (self.issue_words * width)
+
+    @property
+    def avg_window_blocks(self) -> float:
+        """Mean active basic blocks in the window, sampled at block entry.
+
+        Zero for static machines (no window) and for results cached
+        before window sampling existed.
+        """
+        if self.window_samples == 0:
+            return 0.0
+        return self.window_block_cycles / self.window_samples
 
     @property
     def cache_hit_rate(self) -> float:

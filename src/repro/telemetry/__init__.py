@@ -1,0 +1,39 @@
+"""Observability subsystem: counters, timers, per-cycle pipeline traces.
+
+See DESIGN.md section "Observability" for the collector API, the
+event/counter naming scheme, and the ``telemetry.json`` schema.
+"""
+
+from .collector import (
+    Collector,
+    EVENT_NAMES,
+    MetricsCollector,
+    NULL_COLLECTOR,
+    TID_ALU,
+    TID_CONTROL,
+    TID_MEM,
+    TraceCollector,
+)
+from .export import (
+    chrome_trace,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .progress import ProgressLine
+
+__all__ = [
+    "Collector",
+    "EVENT_NAMES",
+    "MetricsCollector",
+    "NULL_COLLECTOR",
+    "TID_ALU",
+    "TID_CONTROL",
+    "TID_MEM",
+    "TraceCollector",
+    "chrome_trace",
+    "jsonl_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+    "ProgressLine",
+]

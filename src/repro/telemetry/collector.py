@@ -1,0 +1,219 @@
+"""Telemetry collectors: counters, histograms, timers and trace events.
+
+The collector API is designed around one invariant: **when telemetry is
+off, the instrumented code must do no extra work**.  The base
+:class:`Collector` is itself the null object -- every method is a no-op
+and its read-side views are empty -- and the timing engines additionally
+guard each per-cycle ``event()`` call behind the plain-attribute
+``tracing`` flag, so the disabled path costs one attribute read at engine
+start and nothing per cycle (no calls, no allocations).
+
+Three tiers:
+
+* :class:`Collector` -- the null object; :data:`NULL_COLLECTOR` is the
+  shared default instance.
+* :class:`MetricsCollector` -- counters / histograms / timers / sweep
+  points, for harness-level instrumentation (``enabled`` but not
+  ``tracing``).
+* :class:`TraceCollector` -- additionally records per-cycle pipeline
+  events for the exporters in :mod:`repro.telemetry.export`.
+"""
+
+from __future__ import annotations
+
+import time
+from types import MappingProxyType
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Trace-event names the engines may emit.  Exporters and tests treat
+#: this as the closed vocabulary; add here (and in DESIGN.md) when an
+#: engine grows a new hook.
+EVENT_NAMES = frozenset({
+    "issue.slot",         # one issue slot consumed (tid: 0=ALU, 1=MEM)
+    "window.occupancy",   # active basic blocks at block entry
+    "mem.load",           # load scheduled (dur=latency; args: miss, wb_hit)
+    "mem.store",          # store scheduled
+    "branch.resolve",     # conditional branch resolved (args: mispredict)
+    "block.fault",        # enlarged-block assert fired, block discarded
+    "block.retire",       # block retired (dur = issue..complete span)
+})
+
+#: Trace-event thread lanes (Chrome ``tid``): which resource an event
+#: belongs to.
+TID_ALU = 0
+TID_MEM = 1
+TID_CONTROL = 2
+
+#: An event record: (ts_cycle, dur_cycles, name, tid, args-or-None).
+Event = Tuple[int, int, str, int, Optional[Dict[str, Any]]]
+
+_EMPTY_MAP: Any = MappingProxyType({})
+
+
+class _NullTimer:
+    """Context manager that measures nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    """Context manager accumulating wall time into a collector."""
+
+    __slots__ = ("_collector", "_name", "_start")
+
+    def __init__(self, collector: "MetricsCollector", name: str):
+        self._collector = collector
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._collector.add_time(self._name, time.perf_counter() - self._start)
+
+
+class Collector:
+    """The telemetry API; the base class is the null implementation.
+
+    ``enabled`` gates harness-level instrumentation (counters, timers,
+    per-point records); ``tracing`` gates per-cycle event recording.
+    Both are plain class attributes so hot loops can hoist them into a
+    local bool once.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    tracing = False
+
+    # ---- write side (all no-ops on the null object) ------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named monotonic counter."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the named distribution."""
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate elapsed wall time under the named timer."""
+
+    def time(self, name: str) -> "_NullTimer":
+        """Context manager timing a block into :meth:`add_time`."""
+        return _NULL_TIMER
+
+    def event(self, name: str, ts: int, dur: int = 0, tid: int = TID_ALU,
+              args: Optional[Dict[str, Any]] = None) -> None:
+        """Record one trace event at cycle ``ts`` lasting ``dur`` cycles."""
+
+    def record_point(self, **fields: Any) -> None:
+        """Record one sweep-point summary (benchmark, config, timings)."""
+
+    # ---- read side (empty on the null object) ------------------------
+    @property
+    def counters(self) -> Dict[str, int]:
+        return _EMPTY_MAP
+
+    @property
+    def histograms(self) -> Dict[str, List[float]]:
+        return _EMPTY_MAP
+
+    @property
+    def timers(self) -> Dict[str, List[float]]:
+        return _EMPTY_MAP
+
+    @property
+    def events(self) -> List[Event]:
+        return []
+
+    @property
+    def points(self) -> List[Dict[str, Any]]:
+        return []
+
+
+#: Shared null collector: the default everywhere telemetry is optional.
+NULL_COLLECTOR = Collector()
+
+
+class MetricsCollector(Collector):
+    """Collector recording counters, histograms, timers and sweep points."""
+
+    __slots__ = ("_counters", "_histograms", "_timers", "_points")
+
+    enabled = True
+    tracing = False
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, List[float]] = {}
+        self._timers: Dict[str, List[float]] = {}  # name -> [total_s, count]
+        self._points: List[Dict[str, Any]] = []
+
+    def count(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        self._histograms.setdefault(name, []).append(value)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        entry = self._timers.get(name)
+        if entry is None:
+            self._timers[name] = [seconds, 1]
+        else:
+            entry[0] += seconds
+            entry[1] += 1
+
+    def time(self, name: str) -> _Timer:
+        return _Timer(self, name)
+
+    def record_point(self, **fields: Any) -> None:
+        self._points.append(fields)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return self._counters
+
+    @property
+    def histograms(self) -> Dict[str, List[float]]:
+        return self._histograms
+
+    @property
+    def timers(self) -> Dict[str, List[float]]:
+        return self._timers
+
+    @property
+    def points(self) -> List[Dict[str, Any]]:
+        return self._points
+
+
+class TraceCollector(MetricsCollector):
+    """Collector that additionally records per-cycle pipeline events.
+
+    Events are held as flat tuples (no per-event objects) and ordered by
+    the exporters, not here, to keep the record path cheap.
+    """
+
+    __slots__ = ("_events",)
+
+    tracing = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._events: List[Event] = []
+
+    def event(self, name: str, ts: int, dur: int = 0, tid: int = TID_ALU,
+              args: Optional[Dict[str, Any]] = None) -> None:
+        self._events.append((ts, dur, name, tid, args))
+
+    @property
+    def events(self) -> List[Event]:
+        return self._events

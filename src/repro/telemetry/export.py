@@ -1,0 +1,140 @@
+"""Trace exporters: Chrome ``chrome://tracing`` JSON and compact JSONL.
+
+Both exporters consume a :class:`~repro.telemetry.collector.TraceCollector`
+and emit events sorted by timestamp (the engines append in schedule
+order, which is not globally monotonic on a dataflow machine).
+
+Chrome format notes (the ``about:tracing`` / Perfetto JSON schema):
+
+* timestamps and durations are nominally microseconds; we map one
+  machine cycle to one microsecond so cycle numbers read directly;
+* span events (``dur > 0``) become complete events (``ph="X"``);
+* point events become instants (``ph="i"``, thread scope);
+* ``issue.slot`` and ``window.occupancy`` events become counter tracks
+  (``ph="C"``), aggregated per cycle, so slot pressure is a plot rather
+  than thousands of instants.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Union
+
+from .collector import (
+    Event,
+    TID_ALU,
+    TID_CONTROL,
+    TID_MEM,
+    TraceCollector,
+)
+
+#: Chrome trace process id used for all events (one simulated machine).
+CHROME_PID = 1
+
+_THREAD_NAMES = {
+    TID_ALU: "alu units",
+    TID_MEM: "memory units",
+    TID_CONTROL: "control",
+}
+
+
+def _sorted_events(collector: TraceCollector) -> List[Event]:
+    return sorted(collector.events, key=lambda e: (e[0], e[2], e[3]))
+
+
+def _slot_counter_series(events: Iterable[Event]) -> Dict[int, List[int]]:
+    """Aggregate ``issue.slot`` events into per-cycle [alu, mem] counts."""
+    series: Dict[int, List[int]] = {}
+    for ts, _dur, name, tid, _args in events:
+        if name != "issue.slot":
+            continue
+        row = series.get(ts)
+        if row is None:
+            row = series[ts] = [0, 0]
+        row[1 if tid == TID_MEM else 0] += 1
+    return series
+
+
+def chrome_trace(collector: TraceCollector, *,
+                 benchmark: str = "", config: str = "") -> Dict[str, Any]:
+    """Build the Chrome-tracing JSON document for a recorded trace."""
+    trace_events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": CHROME_PID, "tid": 0, "name": "process_name",
+         "args": {"name": f"repro {benchmark} {config}".strip()}},
+    ]
+    for tid, label in sorted(_THREAD_NAMES.items()):
+        trace_events.append(
+            {"ph": "M", "pid": CHROME_PID, "tid": tid, "name": "thread_name",
+             "args": {"name": label}}
+        )
+
+    events = _sorted_events(collector)
+    timed: List[Dict[str, Any]] = []
+    for ts, counts in _slot_counter_series(events).items():
+        timed.append(
+            {"ph": "C", "pid": CHROME_PID, "tid": 0, "ts": ts,
+             "name": "issue.slots",
+             "args": {"alu": counts[0], "mem": counts[1]}}
+        )
+    for ts, dur, name, tid, args in events:
+        if name == "issue.slot":
+            continue  # folded into the counter track above
+        record: Dict[str, Any] = {
+            "pid": CHROME_PID, "tid": tid, "ts": ts, "name": name,
+        }
+        if name == "window.occupancy":
+            record["ph"] = "C"
+            record["tid"] = 0
+        elif dur > 0:
+            record["ph"] = "X"
+            record["dur"] = dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        if args:
+            record["args"] = dict(args)
+        timed.append(record)
+    timed.sort(key=lambda r: r["ts"])
+    trace_events.extend(timed)
+
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"benchmark": benchmark, "config": config,
+                      "clock": "1 cycle = 1 us"},
+        "traceEvents": trace_events,
+    }
+
+
+def write_chrome_trace(collector: TraceCollector,
+                       destination: Union[str, IO[str]], *,
+                       benchmark: str = "", config: str = "") -> None:
+    """Write the Chrome-tracing JSON document to a path or stream."""
+    document = chrome_trace(collector, benchmark=benchmark, config=config)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+    else:
+        json.dump(document, destination)
+
+
+def jsonl_lines(collector: TraceCollector) -> Iterable[str]:
+    """One compact JSON object per event, sorted by timestamp."""
+    for ts, dur, name, tid, args in _sorted_events(collector):
+        record: Dict[str, Any] = {"ts": ts, "name": name, "tid": tid}
+        if dur:
+            record["dur"] = dur
+        if args:
+            record.update(args)
+        yield json.dumps(record, separators=(",", ":"))
+
+
+def write_jsonl(collector: TraceCollector,
+                destination: Union[str, IO[str]]) -> None:
+    """Write the JSONL event stream to a path or stream."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            for line in jsonl_lines(collector):
+                handle.write(line + "\n")
+    else:
+        for line in jsonl_lines(collector):
+            destination.write(line + "\n")

@@ -1,0 +1,34 @@
+"""A single-line, carriage-return progress display for long sweeps."""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+
+class ProgressLine:
+    """Rewrites one status line in place (``\\r``) on a terminal stream.
+
+    The line is overwritten on every :meth:`update`; :meth:`finish`
+    terminates it with a newline so subsequent output starts clean.
+    Writes are plain text (no escape codes), so redirected streams just
+    see one line per update.
+    """
+
+    def __init__(self, total: int, stream: Optional[IO[str]] = None):
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self._last_width = 0
+
+    def update(self, done: int, text: str = "") -> None:
+        line = f"[{done}/{self.total}] {text}".rstrip()
+        pad = max(self._last_width - len(line), 0)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+        self._last_width = len(line)
+
+    def finish(self) -> None:
+        if self._last_width:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._last_width = 0

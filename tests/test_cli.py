@@ -41,6 +41,78 @@ class TestRun:
         assert "cycles" in out
 
 
+class TestTrace:
+    def test_trace_writes_chrome_json(self, capsys, grep_prepared, tmp_path,
+                                      monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        out = tmp_path / "grep.trace.json"
+        code = main([
+            "trace", "--benchmark", "grep", "--discipline", "dynamic",
+            "--window", "4", "--issue", "8", "--memory", "D",
+            "--branch", "enlarged", "-o", str(out),
+        ])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        assert events
+        names = {event["name"] for event in events}
+        assert "issue.slots" in names
+        assert "window.occupancy" in names
+
+    def test_trace_writes_jsonl(self, capsys, grep_prepared, tmp_path,
+                                monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        out = tmp_path / "grep.trace.jsonl"
+        code = main([
+            "trace", "--benchmark", "grep", "--discipline", "static",
+            "--issue", "4", "--memory", "A", "--format", "jsonl",
+            "-o", str(out),
+        ])
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        record = json.loads(lines[0])
+        assert "ts" in record and "name" in record
+
+
+class TestSweepTelemetry:
+    def test_metrics_out_written_even_at_limit(self, capsys, tmp_path,
+                                               monkeypatch, grep_prepared):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        metrics = tmp_path / "telemetry.json"
+        code = main([
+            "sweep", "--benchmarks", "grep", "--limit", "2",
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        assert "limit reached" in capsys.readouterr().out
+        document = json.loads(metrics.read_text())
+        assert document["schema"] == "repro.telemetry/1"
+        assert document["counters"]["sweep.cache.miss"] == 2
+        assert document["histograms"]["sweep.point.wall_s"]["count"] == 2
+        assert len(document["points"]) == 2
+        assert {"wall_s", "prepare_s", "simulate_s"} <= set(
+            document["points"][0]
+        )
+
+    def test_telemetry_progress_line(self, capsys, tmp_path, monkeypatch,
+                                     grep_prepared):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main([
+            "sweep", "--benchmarks", "grep", "--limit", "1", "--telemetry",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "\r[1/560]" in captured.err
+
+
 class TestArgumentErrors:
     def test_unknown_benchmark(self):
         with pytest.raises(SystemExit):

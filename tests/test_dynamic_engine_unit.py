@@ -5,8 +5,6 @@ issue-word shaping, window gating, memory disambiguation and wrong-path
 accounting at single-cycle granularity (within documented tolerances).
 """
 
-import pytest
-
 from repro.interp import run_program
 from repro.machine import BranchMode, Discipline, MachineConfig, build_templates
 from repro.machine.dynamic import DynamicEngine

@@ -1,5 +1,6 @@
 """Harness tests: result cache, aggregation, figure data plumbing."""
 
+import json
 import math
 
 import pytest
@@ -45,6 +46,10 @@ def make_result(config, cycles=1000):
         cache_accesses=500,
         cache_misses=25,
         write_buffer_hits=40,
+        issue_words=1000,
+        issued_slots=4100,
+        window_block_cycles=2400,
+        window_samples=800,
         work_nodes=4000,
     )
 
@@ -85,6 +90,29 @@ class TestSimResultMetrics:
     def test_summary_is_one_line(self):
         assert "\n" not in make_result(make_config()).summary()
 
+    def test_issue_utilization(self):
+        result = make_result(make_config(issue_model=2))  # 1M+1A: width 2
+        # 4100 issued datapath nodes over 1000 words x 2 slots.
+        assert result.issue_utilization == pytest.approx(4100 / 2000)
+
+    def test_issue_utilization_sequential_width_is_one(self):
+        result = make_result(make_config(issue_model=1))
+        assert result.issue_utilization == pytest.approx(4100 / 1000)
+
+    def test_issue_utilization_zero_without_counters(self):
+        result = make_result(make_config())
+        result.issue_words = 0
+        assert result.issue_utilization == 0.0
+
+    def test_avg_window_blocks(self):
+        result = make_result(make_config())
+        assert result.avg_window_blocks == pytest.approx(2400 / 800)
+
+    def test_avg_window_blocks_zero_without_samples(self):
+        result = make_result(make_config())
+        result.window_samples = 0
+        assert result.avg_window_blocks == 0.0
+
 
 class TestResultCache:
     def test_roundtrip(self, tmp_path):
@@ -124,6 +152,52 @@ class TestResultCache:
         path.write_text("{not json")
         cache = ResultCache(path=str(path))
         assert cache.get("bench", make_config(), 1) is None
+
+    def test_corrupt_file_counts_telemetry(self, tmp_path):
+        from repro.telemetry import MetricsCollector
+
+        path = tmp_path / "results.json"
+        path.write_text("{truncated...")
+        collector = MetricsCollector()
+        cache = ResultCache(path=str(path), collector=collector)
+        assert cache.get("bench", make_config(), 1) is None
+        assert collector.counters["cache.corrupt"] == 1
+
+    def test_corrupt_entry_recomputed_not_raised(self, tmp_path):
+        """A truncated on-disk entry is dropped and recomputed (regression:
+        this used to raise KeyError from SimResult reconstruction)."""
+        from repro.telemetry import MetricsCollector
+
+        path = tmp_path / "results.json"
+        config = make_config()
+        ResultCache(path=str(path)).put(make_result(config), scale=1)
+
+        # Truncate the stored entry the way an interrupted writer or an
+        # older code version would: fields missing.
+        data = json.loads(path.read_text())
+        (key,) = data.keys()
+        del data[key]["cycles"]
+        path.write_text(json.dumps(data))
+
+        collector = MetricsCollector()
+        cache = ResultCache(path=str(path), collector=collector)
+        assert cache.get("bench", config, 1) is None  # no exception
+        assert collector.counters["cache.corrupt"] == 1
+
+        # The recomputed result can be stored and read back again.
+        cache.put(make_result(config), scale=1)
+        assert cache.get("bench", config, 1) is not None
+
+    def test_entry_with_wrong_shape_recomputed(self, tmp_path):
+        path = tmp_path / "results.json"
+        config = make_config()
+        cache = ResultCache(path=str(path))
+        cache.put(make_result(config), scale=1)
+        data = json.loads(path.read_text())
+        (key,) = data.keys()
+        data[key] = "not a dict"
+        path.write_text(json.dumps(data))
+        assert ResultCache(path=str(path)).get("bench", config, 1) is None
 
 
 class TestFigureHelpers:
@@ -187,3 +261,23 @@ class TestSweepRunnerCaching:
         from repro.harness.runner import default_benchmarks
 
         assert default_benchmarks() == ["sort", "grep"]
+
+    def test_run_point_records_telemetry(self, tmp_path, monkeypatch,
+                                         grep_prepared):
+        from repro.telemetry import MetricsCollector
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        collector = MetricsCollector()
+        runner = SweepRunner(benchmarks=["grep"], collector=collector)
+        config = make_config(issue_model=3)
+        runner.run_point("grep", config)  # simulated
+        runner.run_point("grep", config)  # served from the on-disk cache
+        assert collector.counters["sweep.cache.miss"] == 1
+        assert collector.counters["sweep.cache.hit"] == 1
+        assert len(collector.histograms["sweep.point.wall_s"]) == 1
+        assert len(collector.histograms["sweep.point.prepare_s"]) == 1
+        assert len(collector.histograms["sweep.point.simulate_s"]) == 1
+        cached_flags = [point["cached"] for point in collector.points]
+        assert cached_flags == [False, True]
+        assert all(point["benchmark"] == "grep"
+                   for point in collector.points)

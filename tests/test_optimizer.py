@@ -1,7 +1,5 @@
 """Optimizer tests: local passes, liveness, CFG simplification."""
 
-import pytest
-
 from repro.isa import (
     AluOp,
     Imm,

@@ -1,15 +1,12 @@
 """Static list-scheduler tests: dependences, shapes, coverage."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import (
     AluOp,
     Imm,
-    MemWidth,
     Reg,
     alu,
-    branch,
     jump,
     load,
     movi,

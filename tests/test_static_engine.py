@@ -1,7 +1,5 @@
 """Static-engine specifics: schedules, interlocks, fault handling."""
 
-import pytest
-
 from repro.interp import run_program
 from repro.machine import (
     BranchMode,

@@ -1,0 +1,326 @@
+"""Telemetry subsystem tests: collector API, exporters, null fast path."""
+
+import io
+import json
+import tracemalloc
+
+import pytest
+
+import repro.telemetry.collector as collector_module
+from repro.machine.config import BranchMode, Discipline, MachineConfig
+from repro.machine.simulator import simulate
+from repro.stats.aggregate import histogram_stats, telemetry_report
+from repro.telemetry import (
+    EVENT_NAMES,
+    Collector,
+    MetricsCollector,
+    NULL_COLLECTOR,
+    ProgressLine,
+    TID_MEM,
+    TraceCollector,
+    chrome_trace,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+DYN_CONFIG = MachineConfig(
+    discipline=Discipline.DYNAMIC,
+    issue_model=8,
+    memory="D",
+    branch_mode=BranchMode.ENLARGED,
+    window_blocks=4,
+)
+STATIC_CONFIG = MachineConfig(
+    discipline=Discipline.STATIC,
+    issue_model=4,
+    memory="E",
+    branch_mode=BranchMode.SINGLE,
+)
+
+#: Every SimResult field that must not depend on telemetry being on.
+_COMPARED_FIELDS = (
+    "cycles", "retired_nodes", "discarded_nodes", "dynamic_blocks",
+    "mispredicts", "branch_lookups", "faults", "loads", "stores",
+    "cache_accesses", "cache_misses", "write_buffer_hits",
+    "issue_words", "issued_slots", "window_block_cycles", "window_samples",
+)
+
+
+class TestMetricsCollector:
+    def test_count_accumulates(self):
+        collector = MetricsCollector()
+        collector.count("a")
+        collector.count("a", 4)
+        collector.count("b")
+        assert collector.counters == {"a": 5, "b": 1}
+
+    def test_observe_records_samples(self):
+        collector = MetricsCollector()
+        collector.observe("h", 1.0)
+        collector.observe("h", 3.0)
+        assert collector.histograms["h"] == [1.0, 3.0]
+
+    def test_timer_accumulates(self):
+        collector = MetricsCollector()
+        with collector.time("t"):
+            pass
+        with collector.time("t"):
+            pass
+        total, count = collector.timers["t"]
+        assert count == 2
+        assert total >= 0.0
+
+    def test_record_point(self):
+        collector = MetricsCollector()
+        collector.record_point(benchmark="sort", wall_s=1.5)
+        assert collector.points == [{"benchmark": "sort", "wall_s": 1.5}]
+
+    def test_metrics_collector_drops_events(self):
+        collector = MetricsCollector()
+        collector.event("issue.slot", 3)
+        assert collector.events == []
+        assert not collector.tracing
+
+
+class TestNullCollector:
+    def test_flags(self):
+        assert not NULL_COLLECTOR.enabled
+        assert not NULL_COLLECTOR.tracing
+        assert isinstance(NULL_COLLECTOR, Collector)
+
+    def test_writes_are_noops(self):
+        NULL_COLLECTOR.count("a")
+        NULL_COLLECTOR.observe("h", 1.0)
+        NULL_COLLECTOR.event("issue.slot", 0)
+        NULL_COLLECTOR.record_point(x=1)
+        with NULL_COLLECTOR.time("t"):
+            pass
+        assert NULL_COLLECTOR.counters == {}
+        assert NULL_COLLECTOR.histograms == {}
+        assert NULL_COLLECTOR.timers == {}
+        assert NULL_COLLECTOR.events == []
+        assert NULL_COLLECTOR.points == []
+
+
+class TestTraceCollector:
+    def test_events_recorded_as_tuples(self):
+        collector = TraceCollector()
+        collector.event("mem.load", 7, 10, TID_MEM, {"addr": 4})
+        assert collector.events == [(7, 10, "mem.load", TID_MEM, {"addr": 4})]
+        assert collector.tracing and collector.enabled
+
+
+@pytest.fixture(scope="module")
+def traced_dynamic(request):
+    """(SimResult, TraceCollector) for one dynamic point on grep."""
+    prepared = request.getfixturevalue("grep_prepared")
+    collector = TraceCollector()
+    result = simulate(prepared, DYN_CONFIG, collector=collector)
+    return result, collector
+
+
+@pytest.fixture(scope="module")
+def traced_static(request):
+    prepared = request.getfixturevalue("grep_prepared")
+    collector = TraceCollector()
+    result = simulate(prepared, STATIC_CONFIG, collector=collector)
+    return result, collector
+
+
+class TestEnginesUnchangedByTracing:
+    """Telemetry on vs off must not change any simulation statistic."""
+
+    @pytest.mark.parametrize("config", [DYN_CONFIG, STATIC_CONFIG],
+                             ids=["dynamic", "static"])
+    def test_simresult_identical(self, grep_prepared, config):
+        plain = simulate(grep_prepared, config)
+        traced = simulate(grep_prepared, config, collector=TraceCollector())
+        for field in _COMPARED_FIELDS:
+            assert getattr(plain, field) == getattr(traced, field), field
+
+    def test_null_collector_event_never_called(self, grep_prepared,
+                                               monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("event() called on the disabled path")
+
+        monkeypatch.setattr(Collector, "event", boom)
+        simulate(grep_prepared, DYN_CONFIG)
+        simulate(grep_prepared, STATIC_CONFIG)
+
+    def test_null_path_makes_no_telemetry_allocations(self, grep_prepared):
+        """The per-cycle hot loops allocate nothing in telemetry code."""
+        simulate(grep_prepared, DYN_CONFIG)  # warm every lazy cache
+        tracemalloc.start()
+        try:
+            simulate(grep_prepared, DYN_CONFIG)
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        telemetry_file = collector_module.__file__
+        stats = snapshot.filter_traces(
+            [tracemalloc.Filter(True, telemetry_file)]
+        ).statistics("filename")
+        assert sum(s.count for s in stats) == 0
+
+
+class TestTraceContents:
+    def test_event_names_are_stable(self, traced_dynamic, traced_static):
+        for _result, collector in (traced_dynamic, traced_static):
+            names = {event[2] for event in collector.events}
+            assert names
+            assert names <= EVENT_NAMES
+
+    def test_dynamic_trace_covers_all_hook_classes(self, traced_dynamic):
+        _result, collector = traced_dynamic
+        names = {event[2] for event in collector.events}
+        assert {"issue.slot", "window.occupancy", "mem.load", "mem.store",
+                "branch.resolve", "block.fault", "block.retire"} <= names
+
+    def test_static_trace_has_no_window_events(self, traced_static):
+        _result, collector = traced_static
+        names = {event[2] for event in collector.events}
+        assert "window.occupancy" not in names
+        assert "issue.slot" in names
+
+    def test_issued_slots_match_trace(self, traced_dynamic):
+        result, collector = traced_dynamic
+        slots = sum(1 for e in collector.events if e[2] == "issue.slot")
+        assert slots == result.issued_slots
+
+    def test_window_occupancy_bounded(self, traced_dynamic):
+        _result, collector = traced_dynamic
+        values = [e[4]["blocks"] for e in collector.events
+                  if e[2] == "window.occupancy"]
+        assert values
+        assert all(1 <= v <= DYN_CONFIG.window_blocks for v in values)
+
+    def test_mispredict_events_match_result(self, traced_dynamic):
+        result, collector = traced_dynamic
+        mispredicts = sum(
+            1 for e in collector.events
+            if e[2] == "branch.resolve" and e[4]["mispredict"]
+        )
+        assert mispredicts == result.mispredicts
+
+    def test_memory_events_match_result(self, traced_dynamic):
+        result, collector = traced_dynamic
+        load_events = [e for e in collector.events if e[2] == "mem.load"]
+        store_events = [e for e in collector.events if e[2] == "mem.store"]
+        misses = sum(1 for e in load_events if e[4]["miss"])
+        wb_hits = sum(1 for e in load_events if e[4]["wb_hit"])
+        assert len(load_events) == result.loads
+        assert len(store_events) == result.stores
+        assert wb_hits == result.write_buffer_hits
+        # cache_misses additionally counts store-probe misses.
+        assert 0 < misses <= result.cache_misses
+
+
+class TestChromeExporter:
+    def test_document_is_valid_and_monotonic(self, traced_dynamic):
+        _result, collector = traced_dynamic
+        buffer = io.StringIO()
+        write_chrome_trace(collector, buffer, benchmark="grep",
+                           config=str(DYN_CONFIG))
+        document = json.loads(buffer.getvalue())
+        events = document["traceEvents"]
+        assert events
+        timestamps = [e["ts"] for e in events if "ts" in e]
+        assert all(a <= b for a, b in zip(timestamps, timestamps[1:]))
+        phases = {e["ph"] for e in events}
+        assert phases <= {"M", "X", "i", "C"}
+        for event in events:
+            assert event["name"]
+            if event["ph"] == "X":
+                assert event["dur"] >= 1
+
+    def test_slot_events_become_counter_track(self, traced_dynamic):
+        _result, collector = traced_dynamic
+        document = chrome_trace(collector)
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "issue.slots" in names
+        assert "issue.slot" not in names  # folded, not emitted raw
+        sample = next(e for e in document["traceEvents"]
+                      if e["name"] == "issue.slots")
+        assert set(sample["args"]) == {"alu", "mem"}
+
+    def test_writes_to_path(self, traced_static, tmp_path):
+        _result, collector = traced_static
+        out = tmp_path / "trace.json"
+        write_chrome_trace(collector, str(out))
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+
+
+class TestJsonlExporter:
+    def test_lines_are_json_and_monotonic(self, traced_dynamic):
+        _result, collector = traced_dynamic
+        lines = list(jsonl_lines(collector))
+        assert lines
+        records = [json.loads(line) for line in lines]
+        timestamps = [r["ts"] for r in records]
+        assert all(a <= b for a, b in zip(timestamps, timestamps[1:]))
+        assert {r["name"] for r in records} <= EVENT_NAMES
+
+    def test_writes_to_path(self, traced_dynamic, tmp_path):
+        _result, collector = traced_dynamic
+        out = tmp_path / "trace.jsonl"
+        write_jsonl(collector, str(out))
+        first = out.read_text().splitlines()[0]
+        assert "ts" in json.loads(first)
+
+
+class TestDerivedSimResultFields:
+    def test_dynamic_utilization_in_range(self, traced_dynamic):
+        result, _collector = traced_dynamic
+        assert 0.0 < result.issue_utilization <= 1.0
+        assert 1.0 <= result.avg_window_blocks <= DYN_CONFIG.window_blocks
+
+    def test_static_has_no_window_samples(self, traced_static):
+        result, _collector = traced_static
+        assert result.window_samples == 0
+        assert result.avg_window_blocks == 0.0
+        assert 0.0 < result.issue_utilization <= 1.0
+
+
+class TestTelemetryReport:
+    def test_histogram_stats(self):
+        stats = histogram_stats([3.0, 1.0, 2.0])
+        assert stats["count"] == 3
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["mean"] == pytest.approx(2.0)
+        assert histogram_stats([]) == {"count": 0}
+
+    def test_report_shape_and_json_roundtrip(self):
+        collector = MetricsCollector()
+        collector.count("sweep.cache.hit", 2)
+        collector.observe("sweep.point.wall_s", 0.5)
+        with collector.time("sweep.total_s"):
+            pass
+        collector.record_point(benchmark="sort", wall_s=0.5)
+        report = telemetry_report(collector)
+        parsed = json.loads(json.dumps(report))
+        assert parsed["schema"] == "repro.telemetry/1"
+        assert parsed["counters"]["sweep.cache.hit"] == 2
+        assert parsed["histograms"]["sweep.point.wall_s"]["count"] == 1
+        assert parsed["timers"]["sweep.total_s"]["count"] == 1
+        assert parsed["points"][0]["benchmark"] == "sort"
+
+
+class TestProgressLine:
+    def test_updates_rewrite_one_line(self):
+        stream = io.StringIO()
+        progress = ProgressLine(10, stream=stream)
+        progress.update(1, "longer text here")
+        progress.update(2, "short")
+        progress.finish()
+        text = stream.getvalue()
+        assert text.count("\r") == 2
+        assert text.endswith("\n")
+        assert "[2/10] short" in text
+
+    def test_finish_without_updates_writes_nothing(self):
+        stream = io.StringIO()
+        ProgressLine(5, stream=stream).finish()
+        assert stream.getvalue() == ""

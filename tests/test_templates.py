@@ -16,7 +16,6 @@ from repro.isa import (
     store,
     syscall,
 )
-from repro.isa.ops import NodeKind
 from repro.machine.templates import (
     BlockTemplate,
     T_ALU,
@@ -28,7 +27,7 @@ from repro.machine.templates import (
     T_SYSCALL,
     build_templates,
 )
-from repro.program import BasicBlock, Program
+from repro.program import BasicBlock
 
 
 def template(body, term):

@@ -4,8 +4,6 @@ The oracle-equality tests prove the programs match their references on
 generated inputs; these pin specific behaviours on crafted inputs.
 """
 
-import pytest
-
 from repro.interp import run_program
 from repro.workloads import WORKLOADS
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.interp import run_program
-from repro.machine.simulator import prepare_workload
 from repro.workloads import WORKLOADS
 
 
