@@ -132,7 +132,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep",
         help="run the paper's full 560-point configuration space "
-             "(resumable; results land in the on-disk cache)",
+             "(fault-tolerant and resumable; results land in the on-disk "
+             "cache, failures in sweep.state.json)",
     )
     sweep.add_argument("--benchmarks", default=None,
                        help="comma-separated subset (default: all five)")
@@ -144,6 +145,25 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write aggregated telemetry.json (implies"
                             " --telemetry)")
+    sweep.add_argument("--isolate", action="store_true",
+                       help="run each point in a subprocess worker that is"
+                            " terminated on timeout or crash")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per point attempt")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="extra attempts for transient point failures"
+                            " (exponential backoff; default 2)")
+    sweep.add_argument("--max-cycles", type=int, default=None,
+                       help="engine watchdog: abort a point past this many"
+                            " simulated cycles (default REPRO_MAX_CYCLES"
+                            " or ~8.6e9)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume from sweep.state.json: skip points"
+                            " recorded as failed, reuse all cached results")
+    sweep.add_argument("--retry-failed", action="store_true",
+                       help="with --resume: re-attempt previously failed"
+                            " points instead of carrying them forward")
 
     sub.add_parser("list", help="list benchmarks and configuration axes")
     return parser
@@ -300,6 +320,17 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Fault-tolerant sweep.
+
+    Exit codes are deterministic: 0 on full success (or a budget-limited
+    but failure-free run), 3 when the sweep completed but some points
+    failed (structured ``PointFailure`` records; summary on stderr), and
+    1 on a fatal harness error.
+    """
+    from .harness.cache import result_key
+    from .harness.checkpoint import SweepCheckpoint, default_checkpoint_path
+    from .harness.errors import PointFailure
+    from .harness.executor import ExecutionPolicy, PointExecutor
     from .machine.config import full_configuration_space
     from .telemetry import MetricsCollector, ProgressLine
 
@@ -310,40 +341,117 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     telemetry = args.telemetry or bool(args.metrics_out)
     collector = MetricsCollector() if telemetry else None
     runner = SweepRunner(benchmarks=benchmarks, scale=args.scale,
-                         collector=collector)
+                         collector=collector, max_cycles=args.max_cycles)
+    executor = PointExecutor(runner, ExecutionPolicy(
+        timeout_s=args.timeout,
+        retries=args.retries,
+        isolate=args.isolate,
+        max_cycles=args.max_cycles,
+    ))
     configs = list(full_configuration_space())
     total = len(configs) * len(runner.benchmarks)
+
+    checkpoint_path = default_checkpoint_path()
+    checkpoint = None
+    carried = {}
+    if args.resume:
+        loaded = SweepCheckpoint.load(checkpoint_path)
+        if loaded is not None and loaded.compatible_with(
+            runner.benchmarks, runner.scale
+        ):
+            checkpoint = loaded
+            checkpoint.total = total
+            if args.retry_failed:
+                checkpoint.failures.clear()
+            else:
+                carried = dict(checkpoint.failures)
+        else:
+            print("resume: no compatible sweep.state.json; starting fresh",
+                  file=sys.stderr)
+    if checkpoint is None:
+        checkpoint = SweepCheckpoint(
+            checkpoint_path, runner.benchmarks, runner.scale, total
+        )
+
     progress = ProgressLine(total) if telemetry else None
     done = 0
     fresh = 0
+    failed = 0
     limited = False
-    for config in configs:
-        if limited:
-            break
-        for name in runner.benchmarks:
-            cached = (
-                runner.cache.get(name, config, runner.scale)
-                if runner.cache else None
-            )
-            if cached is None:
-                if args.limit is not None and fresh >= args.limit:
-                    limited = True
+    try:
+        try:
+            for config in configs:
+                if limited:
                     break
-                fresh += 1
-            result = runner.run_point(name, config)
-            done += 1
+                for name in runner.benchmarks:
+                    key = result_key(name, config, runner.scale)
+                    prior = carried.get(key)
+                    if prior is not None:
+                        # Known-failed on a previous run: carry the
+                        # failure forward instead of burning time on a
+                        # deterministic re-failure (--retry-failed opts
+                        # out).
+                        runner.failures.append(prior)
+                        failed += 1
+                        done += 1
+                        if collector is not None:
+                            collector.count("sweep.point.skipped_failed")
+                        if progress is not None:
+                            progress.update(done, f"skip {name} {config}")
+                        continue
+                    cached = (
+                        runner.cache.get(name, config, runner.scale)
+                        if runner.cache else None
+                    )
+                    if cached is None:
+                        if args.limit is not None and fresh >= args.limit:
+                            limited = True
+                            break
+                        fresh += 1
+                    outcome = executor.execute(name, config)
+                    done += 1
+                    if isinstance(outcome, PointFailure):
+                        failed += 1
+                        checkpoint.mark_failed(key, outcome)
+                        line = f"FAILED({outcome.kind}) {name} {config}"
+                        if progress is not None:
+                            progress.update(done, line)
+                        else:
+                            print(f"[{done}/{total}] {line}", file=sys.stderr)
+                        continue
+                    checkpoint.mark_done(key)
+                    if progress is not None:
+                        progress.update(done, f"{name} {config}")
+                    elif done % 50 == 0 or done == total:
+                        print(f"[{done}/{total}] {outcome.summary()}",
+                              file=sys.stderr)
+        finally:
+            # A killed or crashing sweep must still leave a resumable
+            # manifest behind.
+            checkpoint.save()
             if progress is not None:
-                progress.update(done, f"{name} {config}")
-            elif done % 50 == 0 or done == total:
-                print(f"[{done}/{total}] {result.summary()}", file=sys.stderr)
-    if progress is not None:
-        progress.finish()
+                progress.finish()
+    except Exception as exc:  # noqa: BLE001 - deterministic exit code 1
+        print(f"fatal: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
     if limited:
         print(f"limit reached: {done}/{total} points in cache")
     else:
-        print(f"sweep complete: {total} points ({fresh} newly simulated)")
+        print(f"sweep complete: {total} points ({fresh} newly simulated,"
+              f" {failed} failed)")
     if args.metrics_out:
         _write_metrics(collector, args.metrics_out)
+    if runner.failures:
+        kinds = sorted({failure.kind for failure in runner.failures})
+        print(
+            f"sweep: {len(runner.failures)} point(s) failed"
+            f" ({', '.join(kinds)}); details in {checkpoint_path}",
+            file=sys.stderr,
+        )
+        return 3
+    if not limited:
+        checkpoint.remove()
     return 0
 
 

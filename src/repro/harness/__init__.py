@@ -1,6 +1,28 @@
-"""Experiment harness: sweeps, caching, figure data, reporting."""
+"""Experiment harness: sweeps, caching, figure data, reporting.
 
-from .cache import ResultCache
+Fault tolerance (see DESIGN.md "Fault tolerance"): points run through
+:class:`PointExecutor` degrade to structured :class:`PointFailure`
+records instead of aborting a sweep; :class:`SweepCheckpoint` makes
+killed sweeps resumable.
+"""
+
+from .cache import ResultCache, atomic_write_json
+from .checkpoint import SweepCheckpoint, default_checkpoint_path
+from .errors import (
+    CacheCorruption,
+    EngineDivergence,
+    FAILURE_KINDS,
+    HarnessError,
+    PointFailure,
+    PointTimeout,
+    SimulationHang,
+    TransientSimulationError,
+    WorkerCrashed,
+    WorkloadPrepareError,
+    classify_error,
+    is_transient,
+)
+from .executor import ExecutionPolicy, PointExecutor
 from .figures import (
     FIGURE5_COMPOSITES,
     discipline_lines,
@@ -17,9 +39,26 @@ from .report import generate_report
 from .runner import SweepRunner, default_benchmarks, default_scale, geometric_mean
 
 __all__ = [
+    "CacheCorruption",
+    "EngineDivergence",
+    "ExecutionPolicy",
+    "FAILURE_KINDS",
     "FIGURE5_COMPOSITES",
+    "HarnessError",
+    "PointExecutor",
+    "PointFailure",
+    "PointTimeout",
     "ResultCache",
+    "SimulationHang",
+    "SweepCheckpoint",
     "SweepRunner",
+    "TransientSimulationError",
+    "WorkerCrashed",
+    "WorkloadPrepareError",
+    "atomic_write_json",
+    "classify_error",
+    "default_checkpoint_path",
+    "is_transient",
     "default_benchmarks",
     "default_scale",
     "discipline_lines",

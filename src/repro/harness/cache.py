@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional
+import tempfile
+from typing import Any, Dict, Optional
 
 from ..machine.config import MachineConfig
 from ..stats.results import SimResult
@@ -19,6 +20,34 @@ from ..telemetry.collector import Collector, NULL_COLLECTOR
 
 #: Bump when simulator behaviour changes enough to invalidate old results.
 CACHE_VERSION = 7
+
+
+def atomic_write_json(path: str, payload: Any) -> None:
+    """Crash-safe JSON write: unique temp file, fsync, ``os.replace``.
+
+    A killed writer can never leave a truncated file at ``path`` -- the
+    old contents stay until the fully flushed replacement is renamed
+    into place -- and the unique temp name keeps concurrent writers
+    (e.g. two sweeps sharing a cache directory) from trampling each
+    other's in-flight data.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 _RESULT_FIELDS = (
     "cycles",
@@ -125,15 +154,10 @@ class ResultCache:
         self.flush()
 
     def flush(self) -> None:
+        """Persist dirty entries via a crash-safe atomic replace."""
         if not self._dirty:
             return
-        directory = os.path.dirname(self.path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        tmp_path = self.path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(self._data, handle)
-        os.replace(tmp_path, self.path)
+        atomic_write_json(self.path, self._data)
         self._dirty = 0
 
     def __len__(self) -> int:

@@ -1,0 +1,231 @@
+"""Fault-tolerant execution of sweep points.
+
+:class:`PointExecutor` runs each (benchmark, configuration) point
+through an isolation boundary with a wall-clock timeout and bounded
+retry, turning every failure into a structured :class:`PointFailure`
+record instead of aborting the sweep:
+
+* **In-process** (the default): the point runs on a worker thread so the
+  wall-clock timeout can fire; a timed-out thread is abandoned (Python
+  threads cannot be killed) and the engine-level ``max_cycles`` watchdog
+  remains the backstop that actually unwinds a runaway simulation.
+* **Subprocess** (``isolate=True``): the point runs in a forked worker
+  that is terminated outright on timeout, so a wedged or crashing point
+  cannot take the sweep down with it.  Results cross the process
+  boundary by pickling; the parent performs the cache write, so worker
+  crashes can never corrupt the result cache.
+
+Transient failures (see :func:`repro.harness.errors.is_transient`) are
+retried with exponential backoff up to ``retries`` times.  Telemetry:
+``sweep.point.retried``, ``sweep.point.timeout``, ``sweep.point.failed``
+counters, plus a per-point record flagged ``failed=True``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..machine.config import MachineConfig
+from ..stats.results import SimResult
+from .errors import (
+    PointFailure,
+    PointTimeout,
+    RemoteFailure,
+    WorkerCrashed,
+    classify_error,
+    is_transient,
+)
+from .runner import SweepRunner
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How hard to try, how long to wait, and where to run each point."""
+
+    #: wall-clock budget per attempt in seconds (None: unbounded).
+    timeout_s: Optional[float] = None
+    #: extra attempts granted to *transient* failures.
+    retries: int = 2
+    #: first backoff delay; doubles per retry.
+    backoff_s: float = 0.05
+    #: run each point in a terminate-on-timeout subprocess.
+    isolate: bool = False
+    #: engine watchdog override (None: REPRO_MAX_CYCLES or the default).
+    max_cycles: Optional[int] = None
+
+
+def _isolated_worker(conn, benchmark: str, config: MachineConfig,
+                     scale: int, max_cycles: Optional[int]) -> None:
+    """Subprocess entry: simulate one point, report through the pipe."""
+    try:
+        runner = SweepRunner(
+            benchmarks=[benchmark], scale=scale, use_cache=False,
+            max_cycles=max_cycles,
+        )
+        result = runner.simulate_point(benchmark, config)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - marshalled to the parent
+        conn.send(("err", classify_error(exc), is_transient(exc),
+                   f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def _call_with_timeout(fn, timeout_s: float, benchmark: str,
+                       config_str: str):
+    """Run ``fn`` on a daemon thread, raising PointTimeout on expiry.
+
+    The timed-out thread keeps running (abandoned); the engine watchdog
+    bounds how long it can actually burn CPU.
+    """
+    box: list = []
+
+    def target() -> None:
+        try:
+            box.append(("ok", fn()))
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box.append(("err", exc))
+
+    thread = threading.Thread(
+        target=target, name=f"point-{benchmark}", daemon=True
+    )
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise PointTimeout(benchmark, config_str, timeout_s)
+    status, payload = box[0]
+    if status == "err":
+        raise payload
+    return payload
+
+
+class PointExecutor:
+    """Runs sweep points with isolation, timeout, retry and degradation."""
+
+    def __init__(self, runner: SweepRunner,
+                 policy: Optional[ExecutionPolicy] = None):
+        self.runner = runner
+        self.policy = policy or ExecutionPolicy()
+        self.collector = runner.collector
+        #: every failure this executor has recorded, in order.
+        self.failures: List[PointFailure] = []
+        if self.policy.max_cycles is not None:
+            runner.max_cycles = self.policy.max_cycles
+
+    # ------------------------------------------------------------------
+    def execute(self, benchmark: str,
+                config: MachineConfig) -> Union[SimResult, PointFailure]:
+        """One point: cache probe, guarded simulation, structured failure."""
+        runner = self.runner
+        hit = runner.cache_lookup(benchmark, config)
+        if hit is not None:
+            return hit
+
+        policy = self.policy
+        collector = self.collector
+        start = time.perf_counter()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                if policy.isolate:
+                    result = self._run_isolated(benchmark, config)
+                elif policy.timeout_s is not None:
+                    result = _call_with_timeout(
+                        lambda: runner.simulate_point(benchmark, config),
+                        policy.timeout_s, benchmark, str(config),
+                    )
+                else:
+                    result = runner.simulate_point(benchmark, config)
+            except Exception as exc:  # noqa: BLE001 - degrade, don't abort
+                if is_transient(exc) and attempts <= policy.retries:
+                    collector.count("sweep.point.retried")
+                    time.sleep(policy.backoff_s * (2 ** (attempts - 1)))
+                    continue
+                return self._record_failure(
+                    benchmark, config, exc, attempts,
+                    time.perf_counter() - start,
+                )
+            try:
+                runner.cache_store(result)
+            except Exception:  # noqa: BLE001 - a cache write must not
+                collector.count("sweep.cache.store_error")  # lose the result
+            return result
+
+    # ------------------------------------------------------------------
+    def _run_isolated(self, benchmark: str,
+                      config: MachineConfig) -> SimResult:
+        """One attempt in a dedicated worker process."""
+        runner = self.runner
+        policy = self.policy
+        ctx = multiprocessing.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_isolated_worker,
+            args=(child_conn, benchmark, config, runner.scale,
+                  runner.max_cycles),
+            daemon=True,
+        )
+        start = time.perf_counter()
+        process.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(policy.timeout_s):
+                process.terminate()
+                process.join()
+                raise PointTimeout(
+                    benchmark, str(config), policy.timeout_s or 0.0
+                )
+            try:
+                payload = parent_conn.recv()
+            except EOFError:
+                process.join()
+                raise WorkerCrashed(
+                    benchmark, str(config), process.exitcode
+                ) from None
+        finally:
+            parent_conn.close()
+            if process.is_alive():
+                process.join(5)
+        if payload[0] == "ok":
+            result: SimResult = payload[1]
+            collector = self.collector
+            if collector.enabled:
+                wall = time.perf_counter() - start
+                collector.count("sweep.cache.miss")
+                collector.observe("sweep.point.wall_s", wall)
+                collector.record_point(
+                    benchmark=benchmark, config=str(config), cached=False,
+                    isolated=True, wall_s=wall,
+                    ipc=result.retired_per_cycle,
+                )
+            return result
+        _, kind, transient, message = payload
+        raise RemoteFailure(kind, transient, message)
+
+    def _record_failure(self, benchmark: str, config: MachineConfig,
+                        exc: BaseException, attempts: int,
+                        elapsed: float) -> PointFailure:
+        collector = self.collector
+        kind = classify_error(exc)
+        if kind == "timeout":
+            collector.count("sweep.point.timeout")
+        collector.count("sweep.point.failed")
+        failure = PointFailure(
+            benchmark=benchmark, config=str(config), kind=kind,
+            message=str(exc), attempts=attempts,
+            elapsed_s=round(elapsed, 6),
+        )
+        if collector.enabled:
+            collector.record_point(
+                benchmark=benchmark, config=str(config), cached=False,
+                failed=True, error=kind, attempts=attempts,
+                wall_s=elapsed,
+            )
+        self.failures.append(failure)
+        self.runner.failures.append(failure)
+        return failure

@@ -116,7 +116,39 @@ def generate_report(runner: Optional[SweepRunner] = None,
     ablations = _ablation_section()
     if ablations:
         sections.append(ablations)
+    partial = partial_grid_note(getattr(runner, "failures", []))
+    if partial:
+        sections.append(partial)
     return "\n".join(sections)
+
+
+def partial_grid_note(failures) -> str:
+    """A warning section for grids with failed (degraded) points.
+
+    Fault-tolerant execution records failed points instead of aborting
+    (see ``repro.harness.executor``); any figure built over a partial
+    grid must say so, or a missing point silently skews every mean.
+    """
+    failures = list(failures)
+    if not failures:
+        return ""
+    lines = [
+        "## ⚠ Partial grid\n",
+        f"{len(failures)} point(s) failed and are missing from the data"
+        " above; means and verdicts over the affected series are"
+        " degraded.\n",
+        "| benchmark | configuration | kind | attempts | error |",
+        "|---|---|---|---|---|",
+    ]
+    for failure in failures:
+        message = failure.message.replace("|", "\\|")
+        if len(message) > 100:
+            message = message[:97] + "..."
+        lines.append(
+            f"| {failure.benchmark} | {failure.config} | {failure.kind} "
+            f"| {failure.attempts} | {message} |"
+        )
+    return "\n".join(lines) + "\n"
 
 
 def _ablation_section() -> str:

@@ -19,6 +19,7 @@ from ..stats.results import SimResult
 from ..telemetry.collector import Collector, NULL_COLLECTOR
 from ..workloads import WORKLOADS, prepared
 from .cache import ResultCache
+from .errors import PointFailure, WorkloadPrepareError
 
 #: Benchmarks used when the caller does not choose, overridable via the
 #: REPRO_BENCH_WORKLOADS environment variable (comma-separated names).
@@ -45,7 +46,8 @@ class SweepRunner:
     def __init__(self, benchmarks: Optional[Sequence[str]] = None,
                  scale: Optional[int] = None, use_cache: bool = True,
                  verbose: bool = False,
-                 collector: Optional[Collector] = None):
+                 collector: Optional[Collector] = None,
+                 max_cycles: Optional[int] = None):
         self.benchmarks = list(benchmarks) if benchmarks else default_benchmarks()
         unknown = [name for name in self.benchmarks if name not in WORKLOADS]
         if unknown:
@@ -56,37 +58,53 @@ class SweepRunner:
             ResultCache(collector=self.collector) if use_cache else None
         )
         self.verbose = verbose
+        #: engine watchdog limit (None: REPRO_MAX_CYCLES or the default).
+        self.max_cycles = max_cycles
+        #: PointFailure records accumulated by fault-tolerant execution
+        #: (see repro.harness.executor); report generation annotates
+        #: partial grids from this list.
+        self.failures: List[PointFailure] = []
 
     # ------------------------------------------------------------------
     def workload(self, name: str) -> PreparedWorkload:
-        """The prepared (traced) workload for one benchmark."""
-        return prepared(WORKLOADS[name], scale=self.scale)
+        """The prepared (traced) workload for one benchmark.
 
-    def run_point(self, benchmark: str, config: MachineConfig) -> SimResult:
-        """One simulation, served from cache when available.
-
-        When the runner's collector is enabled, each point records its
-        wall time split into workload preparation and simulation, the
-        result-cache hit/miss counters, and a per-point summary record
-        (the ``points`` list of ``telemetry.json``).
+        Raises:
+            WorkloadPrepareError: wrapping whatever preparation raised
+                (``WorkloadMismatch``, compiler errors, corrupted
+                artefacts), so prepare-stage failures are typed and
+                never mistaken for simulation failures.
         """
+        try:
+            return prepared(WORKLOADS[name], scale=self.scale)
+        except Exception as exc:
+            raise WorkloadPrepareError(name, exc) from exc
+
+    def cache_lookup(self, benchmark: str,
+                     config: MachineConfig) -> Optional[SimResult]:
+        """Probe the result cache, recording hit telemetry."""
+        if self.cache is None:
+            return None
+        hit = self.cache.get(benchmark, config, self.scale)
+        if hit is not None and self.collector.enabled:
+            self.collector.count("sweep.cache.hit")
+            self.collector.record_point(
+                benchmark=benchmark, config=str(config),
+                cached=True, wall_s=0.0,
+                ipc=hit.retired_per_cycle,
+            )
+        return hit
+
+    def simulate_point(self, benchmark: str,
+                       config: MachineConfig) -> SimResult:
+        """Prepare and simulate one point, bypassing the result cache."""
         collector = self.collector
-        if self.cache is not None:
-            hit = self.cache.get(benchmark, config, self.scale)
-            if hit is not None:
-                if collector.enabled:
-                    collector.count("sweep.cache.hit")
-                    collector.record_point(
-                        benchmark=benchmark, config=str(config),
-                        cached=True, wall_s=0.0,
-                        ipc=hit.retired_per_cycle,
-                    )
-                return hit
         if collector.enabled:
             start = time.perf_counter()
             workload = self.workload(benchmark)
             prepared_at = time.perf_counter()
-            result = simulate(workload, config, collector=collector)
+            result = simulate(workload, config, collector=collector,
+                              max_cycles=self.max_cycles)
             end = time.perf_counter()
             collector.count("sweep.cache.miss")
             collector.observe("sweep.point.prepare_s", prepared_at - start)
@@ -99,11 +117,35 @@ class SweepRunner:
                 ipc=result.retired_per_cycle,
             )
         else:
-            result = simulate(self.workload(benchmark), config)
-        if self.cache is not None:
-            self.cache.put(result, self.scale)
+            result = simulate(self.workload(benchmark), config,
+                              max_cycles=self.max_cycles)
         if self.verbose:
             print(result.summary(), file=sys.stderr)
+        return result
+
+    def cache_store(self, result: SimResult) -> None:
+        """Persist one freshly simulated result."""
+        if self.cache is not None:
+            self.cache.put(result, self.scale)
+
+    def run_point(self, benchmark: str, config: MachineConfig) -> SimResult:
+        """One simulation, served from cache when available.
+
+        When the runner's collector is enabled, each point records its
+        wall time split into workload preparation and simulation, the
+        result-cache hit/miss counters, and a per-point summary record
+        (the ``points`` list of ``telemetry.json``).
+
+        This is the fail-fast path: errors propagate.  For graceful
+        degradation (timeouts, retries, structured ``PointFailure``
+        records) wrap the runner in a
+        :class:`repro.harness.executor.PointExecutor`.
+        """
+        hit = self.cache_lookup(benchmark, config)
+        if hit is not None:
+            return hit
+        result = self.simulate_point(benchmark, config)
+        self.cache_store(result)
         return result
 
     def run_configs(self, configs: Iterable[MachineConfig],
@@ -123,7 +165,8 @@ class SweepRunner:
         """Geometric-mean retired-nodes-per-cycle across benchmarks."""
         names = list(benchmarks) if benchmarks else self.benchmarks
         values = [self.run_point(name, config).retired_per_cycle for name in names]
-        return geometric_mean(values)
+        return geometric_mean(values, collector=self.collector,
+                              label=f"IPC at {config}")
 
     def mean_redundancy(self, config: MachineConfig,
                         benchmarks: Optional[Sequence[str]] = None) -> float:
@@ -133,10 +176,27 @@ class SweepRunner:
         return sum(values) / len(values)
 
 
-def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean, tolerating zeros by flooring at a tiny epsilon."""
+def geometric_mean(values: Sequence[float],
+                   collector: Collector = NULL_COLLECTOR,
+                   label: str = "value") -> float:
+    """Geometric mean, tolerating zeros by flooring at a tiny epsilon.
+
+    A zero IPC means a degraded or failed point, and silently flooring
+    it would bury that in the mean -- so every floored value is counted
+    under the ``sweep.zero_ipc`` telemetry counter and warned about on
+    stderr.
+    """
     if not values:
         return 0.0
+    floored = sum(1 for value in values if value <= 0.0)
+    if floored:
+        collector.count("sweep.zero_ipc", floored)
+        print(
+            f"warning: {floored} zero/negative {label} value(s) floored at"
+            f" 1e-12 in a geometric mean of {len(values)}; the mean hides"
+            " degraded points",
+            file=sys.stderr,
+        )
     total = 0.0
     for value in values:
         total += math.log(max(value, 1e-12))

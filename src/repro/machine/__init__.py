@@ -15,6 +15,13 @@ from .config import (
     scheduling_disciplines,
 )
 from .dynamic import DynamicEngine
+from .errors import (
+    DEFAULT_MAX_CYCLES,
+    EngineDivergence,
+    SimulationError,
+    SimulationHang,
+    resolve_max_cycles,
+)
 from .predictor import BranchPredictor
 from .simulator import (
     PreparedWorkload,
@@ -30,8 +37,13 @@ __all__ = [
     "BranchMode",
     "BranchPredictor",
     "Cache",
+    "DEFAULT_MAX_CYCLES",
     "Discipline",
     "DynamicEngine",
+    "EngineDivergence",
+    "SimulationError",
+    "SimulationHang",
+    "resolve_max_cycles",
     "FIGURE4_MEMORY_ORDER",
     "ISSUE_MODELS",
     "IssueModel",

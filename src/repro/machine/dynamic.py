@@ -35,6 +35,7 @@ from ..telemetry.collector import (
 )
 from .cache import MemorySystem
 from .config import BranchMode, MachineConfig
+from .errors import EngineDivergence, SimulationHang, resolve_max_cycles
 from .predictor import BranchPredictor, make_predictor
 from .templates import (
     BlockTemplate,
@@ -61,7 +62,8 @@ class DynamicEngine:
 
     def __init__(self, templates: Dict[str, BlockTemplate], trace: Trace,
                  config: MachineConfig, benchmark: str = "",
-                 collector: Collector = NULL_COLLECTOR):
+                 collector: Collector = NULL_COLLECTOR,
+                 max_cycles: Optional[int] = None, self_check: bool = True):
         self.templates = templates
         self.trace = trace
         self.config = config
@@ -73,6 +75,10 @@ class DynamicEngine:
         self.alu_limit = issue.alu_slots
         self.window = config.window_blocks
         self.perfect = config.branch_mode is BranchMode.PERFECT
+        #: watchdog: raise SimulationHang past this simulated cycle.
+        self.max_cycles = resolve_max_cycles(max_cycles)
+        #: verify engine accounting against the functional trace.
+        self.self_check = self_check
 
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -118,8 +124,18 @@ class DynamicEngine:
         window_samples = 0
         exec_times: List[int] = []
 
+        watchdog_limit = self.max_cycles
+
         for position in range(len(block_ids)):
             tmpl = tmpl_of[block_ids[position]]
+
+            # Watchdog: one comparison per block bounds any runaway
+            # scheduling loop without touching the per-node hot path.
+            if fetch_cycle > watchdog_limit:
+                raise SimulationHang(
+                    self.benchmark, str(self.config), fetch_cycle,
+                    watchdog_limit,
+                )
 
             # Window gating: a new block may not begin issue until the
             # block `window_size` older has retired (or been squashed).
@@ -351,6 +367,15 @@ class DynamicEngine:
                 horizon = fetch_cycle
                 alu_used = {c: n for c, n in alu_used.items() if c >= horizon}
                 mem_used = {c: n for c, n in mem_used.items() if c >= horizon}
+
+        # Cross-engine invariant: every trace block either retires or
+        # faults, so the retired datapath-node count must match the
+        # functional run's.  A divergence means the replay is wrong.
+        if self.self_check and retired_nodes != trace.retired_nodes:
+            raise EngineDivergence(
+                self.benchmark, str(self.config), retired_nodes,
+                trace.retired_nodes,
+            )
 
         cache = memsys.cache
         return SimResult(

@@ -1,0 +1,81 @@
+"""Engine-level failure types and self-check limits.
+
+The timing engines replay long functional traces; a modelling bug (or a
+corrupted trace) can send the scheduling loops spinning toward infinity
+or silently mis-account retired work.  These errors let the engines fail
+*loudly and typed* so the fault-tolerant harness layer
+(:mod:`repro.harness.executor`) can record a structured point failure
+instead of wedging or poisoning a sweep.
+
+Defined here (not in the harness) so the machine layer never imports
+upward; :mod:`repro.harness.errors` re-exports them as part of the full
+error taxonomy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Watchdog ceiling when the caller does not choose one.  Real points in
+#: this study finish in well under 10^8 cycles even at scale; anything
+#: past this is a runaway scheduling loop, not a slow simulation.
+DEFAULT_MAX_CYCLES = 1 << 33  # ~8.6e9 cycles
+
+
+def resolve_max_cycles(max_cycles: Optional[int] = None) -> int:
+    """The effective watchdog limit for one engine run.
+
+    Precedence: explicit argument, then the ``REPRO_MAX_CYCLES``
+    environment variable, then :data:`DEFAULT_MAX_CYCLES`.
+    """
+    if max_cycles is not None:
+        return max_cycles
+    raw = os.environ.get("REPRO_MAX_CYCLES")
+    if raw:
+        return int(raw)
+    return DEFAULT_MAX_CYCLES
+
+
+class SimulationError(Exception):
+    """Base class for typed failures raised by the timing engines."""
+
+
+class SimulationHang(SimulationError):
+    """An engine's cycle counter blew past its watchdog limit.
+
+    Raised by the per-block watchdog in :class:`StaticEngine` and
+    :class:`DynamicEngine` instead of spinning forever.
+    """
+
+    def __init__(self, benchmark: str, config: str, cycle: int, limit: int):
+        self.benchmark = benchmark
+        self.config = config
+        self.cycle = cycle
+        self.limit = limit
+        super().__init__(
+            f"{benchmark or '<unnamed>'} on {config}: simulated cycle "
+            f"{cycle} exceeded the max_cycles watchdog ({limit})"
+        )
+
+
+class EngineDivergence(SimulationError):
+    """An engine's accounting diverged from the functional trace.
+
+    Every block of the trace either retires or faults, so the retired
+    datapath-node count of a timing run must equal the functional
+    trace's; a mismatch means the replay skipped or double-counted work
+    and the result cannot be trusted.
+    """
+
+    def __init__(self, benchmark: str, config: str,
+                 engine_retired: int, trace_retired: int):
+        self.benchmark = benchmark
+        self.config = config
+        self.engine_retired = engine_retired
+        self.trace_retired = trace_retired
+        super().__init__(
+            f"{benchmark or '<unnamed>'} on {config}: engine retired "
+            f"{engine_retired} nodes but the functional trace retired "
+            f"{trace_retired}"
+        )

@@ -123,12 +123,20 @@ def prepare_workload(
 
 
 def simulate(prepared: PreparedWorkload, config: MachineConfig,
-             collector: Collector = NULL_COLLECTOR) -> SimResult:
+             collector: Collector = NULL_COLLECTOR,
+             max_cycles: Optional[int] = None,
+             self_check: bool = True) -> SimResult:
     """Run one timing simulation of a prepared workload.
 
     ``collector`` receives per-cycle pipeline events when it is a
     tracing collector (see :mod:`repro.telemetry`); the default null
     collector records nothing and costs nothing.
+
+    ``max_cycles`` bounds the engine's simulated clock (watchdog; see
+    :mod:`repro.machine.errors`), raising ``SimulationHang`` instead of
+    spinning forever; ``self_check`` verifies the engine's retired-node
+    accounting against the functional trace, raising
+    ``EngineDivergence`` on mismatch.
     """
     templates = prepared.templates_for(config.branch_mode)
     trace = prepared.trace_for(config.branch_mode)
@@ -136,11 +144,13 @@ def simulate(prepared: PreparedWorkload, config: MachineConfig,
         result = StaticEngine(
             templates, prepared.schedules_for(config), trace, config,
             benchmark=prepared.name, collector=collector,
+            max_cycles=max_cycles, self_check=self_check,
         ).run()
     else:
         result = DynamicEngine(
             templates, trace, config, benchmark=prepared.name,
-            collector=collector,
+            collector=collector, max_cycles=max_cycles,
+            self_check=self_check,
         ).run()
     # Normalise the performance metric to architectural work (the single
     # program's retired node count); see SimResult.retired_per_cycle.

@@ -23,6 +23,7 @@ from ..telemetry.collector import (
 )
 from .cache import MemorySystem
 from .config import MachineConfig
+from .errors import EngineDivergence, SimulationHang, resolve_max_cycles
 from .predictor import make_predictor
 from .templates import (
     BlockTemplate,
@@ -44,13 +45,18 @@ class StaticEngine:
     def __init__(self, templates: Dict[str, BlockTemplate],
                  schedules: Dict[str, ScheduledBlock], trace: Trace,
                  config: MachineConfig, benchmark: str = "",
-                 collector: Collector = NULL_COLLECTOR):
+                 collector: Collector = NULL_COLLECTOR,
+                 max_cycles: Optional[int] = None, self_check: bool = True):
         self.templates = templates
         self.schedules = schedules
         self.trace = trace
         self.config = config
         self.benchmark = benchmark
         self.collector = collector
+        #: watchdog: raise SimulationHang past this simulated cycle.
+        self.max_cycles = resolve_max_cycles(max_cycles)
+        #: verify engine accounting against the functional trace.
+        self.self_check = self_check
 
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -80,7 +86,14 @@ class StaticEngine:
         issue_words = 0
         issued_slots = 0
 
+        watchdog_limit = self.max_cycles
+
         for position in range(len(block_ids)):
+            # Watchdog: bounds any runaway issue loop at block granularity.
+            if cycle > watchdog_limit:
+                raise SimulationHang(
+                    self.benchmark, str(self.config), cycle, watchdog_limit
+                )
             tmpl = tmpl_of[block_ids[position]]
             sched = sched_of[block_ids[position]]
             nodes = tmpl.nodes
@@ -189,6 +202,14 @@ class StaticEngine:
                     )
                     discarded_nodes += self._squashed_word_nodes(wrong_target)
                     cycle = branch_exec + REDIRECT_PENALTY
+
+        # Cross-engine invariant (see DynamicEngine.run): retired work
+        # must match the functional trace exactly.
+        if self.self_check and retired_nodes != trace.retired_nodes:
+            raise EngineDivergence(
+                self.benchmark, str(self.config), retired_nodes,
+                trace.retired_nodes,
+            )
 
         cache = memsys.cache
         return SimResult(

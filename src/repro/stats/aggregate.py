@@ -128,8 +128,12 @@ def telemetry_report(collector: Collector) -> Dict[str, Any]:
     names to ``{total_s, count}``; ``histograms`` maps distribution
     names to :func:`histogram_stats` summaries (e.g.
     ``sweep.point.wall_s``); ``points`` lists one record per simulated
-    point with its per-point timings.
+    point with its per-point timings.  Points that failed under
+    fault-tolerant execution carry ``failed: true`` and an ``error``
+    kind, and are additionally surfaced in the ``failures`` list so a
+    partial grid is visible at the top level.
     """
+    points = list(collector.points)
     return {
         "schema": TELEMETRY_SCHEMA,
         "counters": dict(sorted(collector.counters.items())),
@@ -141,7 +145,8 @@ def telemetry_report(collector: Collector) -> Dict[str, Any]:
             name: histogram_stats(values)
             for name, values in sorted(collector.histograms.items())
         },
-        "points": list(collector.points),
+        "points": points,
+        "failures": [point for point in points if point.get("failed")],
     }
 
 
