@@ -145,9 +145,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write aggregated telemetry.json (implies"
                             " --telemetry)")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run points across N worker processes (prepare"
+                            " happens once per benchmark; workers load"
+                            " artifacts from the store and results merge"
+                            " back to the single-writer cache)")
     sweep.add_argument("--isolate", action="store_true",
                        help="run each point in a subprocess worker that is"
-                            " terminated on timeout or crash")
+                            " terminated on timeout or crash (serial"
+                            " backend only; --jobs N already isolates"
+                            " points in worker processes)")
     sweep.add_argument("--timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="wall-clock budget per point attempt")
@@ -164,6 +171,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--retry-failed", action="store_true",
                        help="with --resume: re-attempt previously failed"
                             " points instead of carrying them forward")
+
+    bench = sub.add_parser(
+        "bench",
+        help="time a small fixed sweep grid on the serial and process"
+             " backends and write BENCH_sweep.json",
+    )
+    bench.add_argument("--benchmarks", default="grep",
+                       help="comma-separated benchmarks (default: grep)")
+    bench.add_argument("--points", type=int, default=24,
+                       help="grid points to time per backend (default 24)")
+    bench.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="process-backend worker count (default: host"
+                            " CPU count)")
+    bench.add_argument("--scale", type=int, default=None)
+    bench.add_argument("-o", "--output", default="BENCH_sweep.json")
 
     sub.add_parser("list", help="list benchmarks and configuration axes")
     return parser
@@ -245,13 +267,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _write_metrics(collector, path: str) -> None:
+def _write_metrics(collector, path: str, context=None) -> None:
     import json
 
     from .stats.aggregate import telemetry_report
 
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(telemetry_report(collector), handle, indent=2)
+        json.dump(telemetry_report(collector, context=context), handle,
+                  indent=2)
     print(f"wrote {path}")
 
 
@@ -320,20 +343,34 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    """Fault-tolerant sweep.
+    """Fault-tolerant, optionally parallel sweep.
 
-    Exit codes are deterministic: 0 on full success (or a budget-limited
-    but failure-free run), 3 when the sweep completed but some points
-    failed (structured ``PointFailure`` records; summary on stderr), and
-    1 on a fatal harness error.
+    The sweep loop is the single writer of the result cache, the
+    checkpoint manifest and the telemetry document; execution backends
+    (serial, or a process pool under ``--jobs N``) only produce
+    ``PointOutcome`` messages.  Exit codes are deterministic: 0 on full
+    success (or a budget-limited but failure-free run), 3 when the
+    sweep completed but some points failed (structured ``PointFailure``
+    records; summary on stderr), and 1 on a fatal harness error.
     """
+    from .harness.backend import make_backend, plan_tasks, PointTask
     from .harness.cache import result_key
     from .harness.checkpoint import SweepCheckpoint, default_checkpoint_path
-    from .harness.errors import PointFailure
-    from .harness.executor import ExecutionPolicy, PointExecutor
+    from .harness.executor import ExecutionPolicy
+    from .harness.runner import reset_zero_ipc_warning
     from .machine.config import full_configuration_space
     from .telemetry import MetricsCollector, ProgressLine
 
+    if args.jobs < 1:
+        print("fatal: --jobs must be >= 1", file=sys.stderr)
+        return 1
+    if args.jobs > 1 and args.isolate:
+        print("fatal: --isolate applies to the serial backend; --jobs N"
+              " already isolates points in worker processes",
+              file=sys.stderr)
+        return 1
+
+    reset_zero_ipc_warning()
     benchmarks = (
         [name.strip() for name in args.benchmarks.split(",")]
         if args.benchmarks else None
@@ -342,12 +379,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     collector = MetricsCollector() if telemetry else None
     runner = SweepRunner(benchmarks=benchmarks, scale=args.scale,
                          collector=collector, max_cycles=args.max_cycles)
-    executor = PointExecutor(runner, ExecutionPolicy(
+    policy = ExecutionPolicy(
         timeout_s=args.timeout,
         retries=args.retries,
         isolate=args.isolate,
         max_cycles=args.max_cycles,
-    ))
+    )
+    backend = make_backend(runner, policy, jobs=args.jobs)
     configs = list(full_configuration_space())
     total = len(configs) * len(runner.benchmarks)
 
@@ -370,64 +408,79 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   file=sys.stderr)
     if checkpoint is None:
         checkpoint = SweepCheckpoint(
-            checkpoint_path, runner.benchmarks, runner.scale, total
+            checkpoint_path, runner.benchmarks, runner.scale, total,
+            backend=backend.name,
         )
+    else:
+        checkpoint.backend = backend.name
 
     progress = ProgressLine(total) if telemetry else None
     done = 0
     fresh = 0
     failed = 0
     limited = False
+
+    def handle(outcome) -> None:
+        """Merge one backend outcome: checkpoint + progress accounting."""
+        nonlocal done, failed
+        done += 1
+        task = outcome.task
+        if outcome.failure is not None:
+            failed += 1
+            checkpoint.mark_failed(task.key, outcome.failure)
+            line = f"FAILED({outcome.failure.kind}) {task.benchmark} {task.config}"
+            if progress is not None:
+                progress.update(done, line)
+            else:
+                print(f"[{done}/{total}] {line}", file=sys.stderr)
+            return
+        checkpoint.mark_done(task.key)
+        if progress is not None:
+            progress.update(done, f"{task.benchmark} {task.config}")
+        elif done % 50 == 0 or done == total:
+            print(f"[{done}/{total}] {outcome.result.summary()}",
+                  file=sys.stderr)
+
+    tasks = plan_tasks(
+        configs, runner.benchmarks,
+        lambda name, config: result_key(name, config, runner.scale),
+        benchmark_major=args.jobs > 1,
+    )
     try:
         try:
-            for config in configs:
-                if limited:
-                    break
-                for name in runner.benchmarks:
-                    key = result_key(name, config, runner.scale)
-                    prior = carried.get(key)
-                    if prior is not None:
-                        # Known-failed on a previous run: carry the
-                        # failure forward instead of burning time on a
-                        # deterministic re-failure (--retry-failed opts
-                        # out).
-                        runner.failures.append(prior)
-                        failed += 1
-                        done += 1
-                        if collector is not None:
-                            collector.count("sweep.point.skipped_failed")
-                        if progress is not None:
-                            progress.update(done, f"skip {name} {config}")
-                        continue
-                    cached = (
-                        runner.cache.get(name, config, runner.scale)
-                        if runner.cache else None
-                    )
-                    if cached is None:
-                        if args.limit is not None and fresh >= args.limit:
-                            limited = True
-                            break
-                        fresh += 1
-                    outcome = executor.execute(name, config)
+            for name, config, key in tasks:
+                prior = carried.get(key)
+                if prior is not None:
+                    # Known-failed on a previous run: carry the failure
+                    # forward instead of burning time on a deterministic
+                    # re-failure (--retry-failed opts out).
+                    runner.failures.append(prior)
+                    failed += 1
                     done += 1
-                    if isinstance(outcome, PointFailure):
-                        failed += 1
-                        checkpoint.mark_failed(key, outcome)
-                        line = f"FAILED({outcome.kind}) {name} {config}"
-                        if progress is not None:
-                            progress.update(done, line)
-                        else:
-                            print(f"[{done}/{total}] {line}", file=sys.stderr)
-                        continue
+                    if collector is not None:
+                        collector.count("sweep.point.skipped_failed")
+                    if progress is not None:
+                        progress.update(done, f"skip {name} {config}")
+                    continue
+                hit = runner.cache_lookup(name, config)
+                if hit is not None:
+                    done += 1
                     checkpoint.mark_done(key)
                     if progress is not None:
                         progress.update(done, f"{name} {config}")
-                    elif done % 50 == 0 or done == total:
-                        print(f"[{done}/{total}] {outcome.summary()}",
-                              file=sys.stderr)
+                    continue
+                if args.limit is not None and fresh >= args.limit:
+                    limited = True
+                    break
+                fresh += 1
+                for outcome in backend.submit(PointTask(name, config, key)):
+                    handle(outcome)
+            for outcome in backend.finish():
+                handle(outcome)
         finally:
             # A killed or crashing sweep must still leave a resumable
-            # manifest behind.
+            # manifest behind, and pool workers must not outlive it.
+            backend.close()
             checkpoint.save()
             if progress is not None:
                 progress.finish()
@@ -441,7 +494,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"sweep complete: {total} points ({fresh} newly simulated,"
               f" {failed} failed)")
     if args.metrics_out:
-        _write_metrics(collector, args.metrics_out)
+        _write_metrics(collector, args.metrics_out,
+                       context={"backend": backend.name, "jobs": args.jobs})
     if runner.failures:
         kinds = sorted({failure.kind for failure in runner.failures})
         print(
@@ -453,6 +507,113 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not limited:
         checkpoint.remove()
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time one fixed grid on the serial and process backends.
+
+    Artifacts are materialized once up front and each backend runs
+    against a throwaway result cache, so the timings compare dispatch +
+    simulation throughput (what ``--jobs`` parallelizes), not compile or
+    cache state.  Writes ``BENCH_sweep.json`` and prints a summary; the
+    document records the host CPU count because the achievable speedup
+    is bounded by it.
+    """
+    import json
+    import os
+    import tempfile
+    import time
+
+    from .harness.artifacts import default_artifact_root
+    from .harness.backend import PointTask, make_backend, plan_tasks
+    from .harness.cache import result_key
+    from .harness.executor import ExecutionPolicy
+    from .machine.config import full_configuration_space
+    from .workloads.base import clear_prepared_cache
+
+    benchmarks = [name.strip() for name in args.benchmarks.split(",")]
+    cpu_count = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs is not None else max(2, cpu_count)
+    probe = SweepRunner(benchmarks=benchmarks, scale=args.scale,
+                        use_cache=False)
+    scale = probe.scale
+    configs = list(full_configuration_space())
+    tasks = list(plan_tasks(
+        configs, benchmarks,
+        lambda name, config: result_key(name, config, scale),
+        benchmark_major=True,
+    ))[: args.points]
+
+    # Pin the artifact root before swapping REPRO_CACHE_DIR (its default
+    # lives under the cache dir), then materialize artifacts once so
+    # both backends load the same on-disk workloads.
+    os.environ["REPRO_ARTIFACT_DIR"] = default_artifact_root()
+    for name in benchmarks:
+        probe.prepare_artifacts(name)
+
+    def timed(jobs_n: int) -> dict:
+        clear_prepared_cache()
+        with tempfile.TemporaryDirectory() as cache_dir:
+            previous = os.environ.get("REPRO_CACHE_DIR")
+            os.environ["REPRO_CACHE_DIR"] = cache_dir
+            try:
+                runner = SweepRunner(benchmarks=benchmarks, scale=scale)
+                backend = make_backend(runner, ExecutionPolicy(),
+                                       jobs=jobs_n)
+                failures = 0
+                start = time.perf_counter()
+                try:
+                    for name, config, key in tasks:
+                        for outcome in backend.submit(
+                            PointTask(name, config, key)
+                        ):
+                            failures += 0 if outcome.ok else 1
+                    for outcome in backend.finish():
+                        failures += 0 if outcome.ok else 1
+                finally:
+                    backend.close()
+                wall_s = time.perf_counter() - start
+            finally:
+                if previous is None:
+                    os.environ.pop("REPRO_CACHE_DIR", None)
+                else:
+                    os.environ["REPRO_CACHE_DIR"] = previous
+        return {
+            "backend": backend.name,
+            "jobs": jobs_n,
+            "wall_s": round(wall_s, 3),
+            "points_per_s": round(len(tasks) / wall_s, 3) if wall_s else 0.0,
+            "failures": failures,
+        }
+
+    print(f"bench: {len(tasks)} points x {{serial, process x{jobs}}}"
+          f" on {','.join(benchmarks)} (host: {cpu_count} CPU(s))",
+          file=sys.stderr)
+    serial = timed(1)
+    print(f"  serial      : {serial['wall_s']:.2f}s"
+          f" ({serial['points_per_s']:.2f} points/s)", file=sys.stderr)
+    process = timed(jobs)
+    print(f"  process x{jobs}  : {process['wall_s']:.2f}s"
+          f" ({process['points_per_s']:.2f} points/s)", file=sys.stderr)
+    speedup = (
+        serial["wall_s"] / process["wall_s"] if process["wall_s"] else 0.0
+    )
+    document = {
+        "schema": "repro.bench/1",
+        "host": {"cpu_count": cpu_count},
+        "grid": {
+            "benchmarks": benchmarks,
+            "points": len(tasks),
+            "scale": scale,
+        },
+        "backends": {"serial": serial, "process": process},
+        "speedup": round(speedup, 3),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"speedup: {speedup:.2f}x; wrote {args.output}")
+    return 1 if (serial["failures"] or process["failures"]) else 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -479,6 +640,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dump": _cmd_dump,
         "compile": _cmd_compile,
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

@@ -4,8 +4,25 @@ Fault tolerance (see DESIGN.md "Fault tolerance"): points run through
 :class:`PointExecutor` degrade to structured :class:`PointFailure`
 records instead of aborting a sweep; :class:`SweepCheckpoint` makes
 killed sweeps resumable.
+
+Parallel execution (see DESIGN.md "Parallel execution"): sweeps run
+through an :class:`ExecutionBackend` -- :class:`SerialBackend` in
+process, or :class:`ProcessPoolBackend` under ``--jobs N``, which loads
+prepared workloads from the versioned :class:`ArtifactStore` and mails
+results back to the parent, the single writer of cache, checkpoint and
+telemetry.
 """
 
+from .artifacts import ArtifactStore, default_artifact_root, workload_digest
+from .backend import (
+    ExecutionBackend,
+    PointOutcome,
+    PointTask,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    plan_tasks,
+)
 from .cache import ResultCache, atomic_write_json
 from .checkpoint import SweepCheckpoint, default_checkpoint_path
 from .errors import (
@@ -39,16 +56,22 @@ from .report import generate_report
 from .runner import SweepRunner, default_benchmarks, default_scale, geometric_mean
 
 __all__ = [
+    "ArtifactStore",
     "CacheCorruption",
     "EngineDivergence",
+    "ExecutionBackend",
     "ExecutionPolicy",
     "FAILURE_KINDS",
     "FIGURE5_COMPOSITES",
     "HarnessError",
     "PointExecutor",
     "PointFailure",
+    "PointOutcome",
+    "PointTask",
     "PointTimeout",
+    "ProcessPoolBackend",
     "ResultCache",
+    "SerialBackend",
     "SimulationHang",
     "SweepCheckpoint",
     "SweepRunner",
@@ -57,10 +80,14 @@ __all__ = [
     "WorkloadPrepareError",
     "atomic_write_json",
     "classify_error",
+    "default_artifact_root",
     "default_checkpoint_path",
     "is_transient",
     "default_benchmarks",
     "default_scale",
+    "make_backend",
+    "plan_tasks",
+    "workload_digest",
     "discipline_lines",
     "figure2_data",
     "figure3_data",

@@ -38,14 +38,25 @@ def default_checkpoint_path() -> str:
 
 
 class SweepCheckpoint:
-    """Atomic, resumable record of one sweep's progress."""
+    """Atomic, resumable record of one sweep's progress.
+
+    Single-writer: only the sweep's parent process writes the manifest.
+    Parallel backends (``--jobs N``) mail point outcomes back to the
+    parent, which folds them in here -- workers never open this file.
+    """
 
     def __init__(self, path: str, benchmarks: Sequence[str], scale: int,
-                 total: int, save_interval: int = 25):
+                 total: int, save_interval: int = 25,
+                 backend: str = "serial"):
         self.path = path
         self.benchmarks = list(benchmarks)
         self.scale = scale
         self.total = total
+        #: Informational: which execution backend last wrote this
+        #: manifest.  Never part of compatibility -- keys are identical
+        #: across backends, so a serial sweep resumes under ``--jobs N``
+        #: and vice versa.
+        self.backend = backend
         self.done: set = set()
         self.failures: Dict[str, PointFailure] = {}
         self._save_interval = max(1, save_interval)
@@ -68,6 +79,7 @@ class SweepCheckpoint:
                 benchmarks=list(raw["benchmarks"]),
                 scale=int(raw["scale"]),
                 total=int(raw["total"]),
+                backend=str(raw.get("backend", "serial")),
             )
             checkpoint.done = set(raw.get("done", []))
             checkpoint.failures = {
@@ -112,6 +124,7 @@ class SweepCheckpoint:
             "benchmarks": self.benchmarks,
             "scale": self.scale,
             "total": self.total,
+            "backend": self.backend,
             "done": sorted(self.done),
             "failures": [
                 {"key": key, "failure": failure.to_dict()}

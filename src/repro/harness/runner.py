@@ -18,13 +18,16 @@ from ..machine.simulator import PreparedWorkload, simulate
 from ..stats.results import SimResult
 from ..telemetry.collector import Collector, NULL_COLLECTOR
 from ..workloads import WORKLOADS, prepared
+from ..workloads.base import ensure_artifacts
 from .cache import ResultCache
 from .errors import PointFailure, WorkloadPrepareError
 
-#: Benchmarks used when the caller does not choose, overridable via the
-#: REPRO_BENCH_WORKLOADS environment variable (comma-separated names).
 def default_benchmarks() -> List[str]:
-    """Benchmark selection for harness runs (env-overridable)."""
+    """Benchmarks used when the caller does not choose.
+
+    Overridable via the ``REPRO_BENCH_WORKLOADS`` environment variable
+    (comma-separated names).
+    """
     raw = os.environ.get("REPRO_BENCH_WORKLOADS")
     if raw:
         names = [name.strip() for name in raw.split(",") if name.strip()]
@@ -77,6 +80,21 @@ class SweepRunner:
         """
         try:
             return prepared(WORKLOADS[name], scale=self.scale)
+        except Exception as exc:
+            raise WorkloadPrepareError(name, exc) from exc
+
+    def prepare_artifacts(self, name: str) -> None:
+        """Materialize one benchmark's on-disk artifacts without loading.
+
+        The parent side of a parallel sweep calls this once per
+        benchmark before dispatching its points, so pool workers load
+        artifacts instead of re-compiling and re-tracing.
+
+        Raises:
+            WorkloadPrepareError: wrapping whatever preparation raised.
+        """
+        try:
+            ensure_artifacts(WORKLOADS[name], scale=self.scale)
         except Exception as exc:
             raise WorkloadPrepareError(name, exc) from exc
 
@@ -176,6 +194,24 @@ class SweepRunner:
         return sum(values) / len(values)
 
 
+#: Whether the zero-IPC stderr warning has fired since the last
+#: :func:`reset_zero_ipc_warning`.  Dedup is deliberate: a 2800-point
+#: grid with a few degraded points calls :func:`geometric_mean` per
+#: figure cell, and one warning per call would bury stderr.  The
+#: ``sweep.zero_ipc`` counter still counts every floored value.
+_ZERO_IPC_WARNED = False
+
+
+def reset_zero_ipc_warning() -> None:
+    """Re-arm the once-per-sweep zero-IPC stderr warning.
+
+    The sweep/report entry points call this so each run warns exactly
+    once however many means it computes.
+    """
+    global _ZERO_IPC_WARNED
+    _ZERO_IPC_WARNED = False
+
+
 def geometric_mean(values: Sequence[float],
                    collector: Collector = NULL_COLLECTOR,
                    label: str = "value") -> float:
@@ -183,20 +219,26 @@ def geometric_mean(values: Sequence[float],
 
     A zero IPC means a degraded or failed point, and silently flooring
     it would bury that in the mean -- so every floored value is counted
-    under the ``sweep.zero_ipc`` telemetry counter and warned about on
-    stderr.
+    under the ``sweep.zero_ipc`` telemetry counter, and the first
+    occurrence per sweep is warned about on stderr (see
+    :func:`reset_zero_ipc_warning`).
     """
     if not values:
         return 0.0
     floored = sum(1 for value in values if value <= 0.0)
     if floored:
         collector.count("sweep.zero_ipc", floored)
-        print(
-            f"warning: {floored} zero/negative {label} value(s) floored at"
-            f" 1e-12 in a geometric mean of {len(values)}; the mean hides"
-            " degraded points",
-            file=sys.stderr,
-        )
+        global _ZERO_IPC_WARNED
+        if not _ZERO_IPC_WARNED:
+            _ZERO_IPC_WARNED = True
+            print(
+                f"warning: {floored} zero/negative {label} value(s) floored"
+                f" at 1e-12 in a geometric mean of {len(values)}; the mean"
+                " hides degraded points (further zero-IPC warnings"
+                " suppressed for this sweep; see the sweep.zero_ipc"
+                " counter)",
+                file=sys.stderr,
+            )
     total = 0.0
     for value in values:
         total += math.log(max(value, 1e-12))

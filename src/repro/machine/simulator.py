@@ -45,11 +45,30 @@ class PreparedWorkload:
         self.enlarged = enlarged
         self.single_trace = single_trace
         self.enlarged_trace = enlarged_trace
-        self.templates_single: Dict[str, BlockTemplate] = build_templates(single)
-        self.templates_enlarged: Dict[str, BlockTemplate] = build_templates(enlarged)
+        self._templates_single: Optional[Dict[str, BlockTemplate]] = None
+        self._templates_enlarged: Optional[Dict[str, BlockTemplate]] = None
         self._schedule_cache: Dict[tuple, Dict[str, ScheduledBlock]] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def templates_single(self) -> Dict[str, BlockTemplate]:
+        """Issue templates for the single-block program (built lazily).
+
+        Laziness matters to the parallel sweep: the parent process
+        materializes every benchmark's artifacts without ever
+        simulating, so it must not pay template construction for
+        programs only its pool workers will run.
+        """
+        if self._templates_single is None:
+            self._templates_single = build_templates(self.single)
+        return self._templates_single
+
+    @property
+    def templates_enlarged(self) -> Dict[str, BlockTemplate]:
+        if self._templates_enlarged is None:
+            self._templates_enlarged = build_templates(self.enlarged)
+        return self._templates_enlarged
+
     def program_for(self, mode: BranchMode) -> Program:
         """Which translated program a branch-handling mode runs."""
         return self.single if mode is BranchMode.SINGLE else self.enlarged

@@ -120,7 +120,9 @@ def histogram_stats(values: Sequence[float]) -> Dict[str, float]:
     }
 
 
-def telemetry_report(collector: Collector) -> Dict[str, Any]:
+def telemetry_report(collector: Collector,
+                     context: Optional[Dict[str, Any]] = None,
+                     ) -> Dict[str, Any]:
     """The machine-readable ``telemetry.json`` document for one sweep.
 
     Schema (``TELEMETRY_SCHEMA``): ``counters`` maps dotted counter
@@ -131,10 +133,14 @@ def telemetry_report(collector: Collector) -> Dict[str, Any]:
     point with its per-point timings.  Points that failed under
     fault-tolerant execution carry ``failed: true`` and an ``error``
     kind, and are additionally surfaced in the ``failures`` list so a
-    partial grid is visible at the top level.
+    partial grid is visible at the top level.  ``context`` (when given)
+    records run-level facts such as the execution backend and worker
+    count; a parallel sweep's document is the parent-side merge of every
+    worker's collector snapshot, so the schema is identical across
+    backends.
     """
     points = list(collector.points)
-    return {
+    document: Dict[str, Any] = {
         "schema": TELEMETRY_SCHEMA,
         "counters": dict(sorted(collector.counters.items())),
         "timers": {
@@ -148,6 +154,9 @@ def telemetry_report(collector: Collector) -> Dict[str, Any]:
         "points": points,
         "failures": [point for point in points if point.get("failed")],
     }
+    if context:
+        document["context"] = dict(context)
+    return document
 
 
 def format_summary(summary: Dict[str, float]) -> str:

@@ -118,6 +118,19 @@ class Collector:
     def record_point(self, **fields: Any) -> None:
         """Record one sweep-point summary (benchmark, config, timings)."""
 
+    # ---- cross-process merge (no-ops on the null object) -------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-data copy of everything recorded so far.
+
+        The snapshot is picklable and feeds :meth:`merge` in another
+        collector -- the message a parallel sweep worker sends back to
+        the parent so ``telemetry.json`` stays single-writer.
+        """
+        return {}
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        """Fold another collector's :meth:`snapshot` into this one."""
+
     # ---- read side (empty on the null object) ------------------------
     @property
     def counters(self) -> Dict[str, int]:
@@ -177,6 +190,33 @@ class MetricsCollector(Collector):
 
     def record_point(self, **fields: Any) -> None:
         self._points.append(fields)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self._counters),
+            "histograms": {
+                name: list(values)
+                for name, values in self._histograms.items()
+            },
+            "timers": {
+                name: list(entry) for name, entry in self._timers.items()
+            },
+            "points": [dict(point) for point in self._points],
+        }
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        for name, total in snap.get("counters", {}).items():
+            self.count(name, total)
+        for name, values in snap.get("histograms", {}).items():
+            self._histograms.setdefault(name, []).extend(values)
+        for name, (total_s, count) in snap.get("timers", {}).items():
+            entry = self._timers.get(name)
+            if entry is None:
+                self._timers[name] = [total_s, count]
+            else:
+                entry[0] += total_s
+                entry[1] += count
+        self._points.extend(snap.get("points", []))
 
     @property
     def counters(self) -> Dict[str, int]:

@@ -1,32 +1,27 @@
 """Workload definition and preparation plumbing.
 
 Preparing a workload (compile, profile on training input, enlarge, trace
-on evaluation input) costs tens of seconds; :func:`prepared` therefore
-caches the result both in-process and on disk (programs as assembly,
-traces in the binary format of :mod:`repro.interp.trace_io`), keyed by a
-digest of the source and inputs so stale artefacts can never be reused.
+on evaluation input) costs seconds per benchmark; :func:`prepared`
+therefore caches the result in-process and delegates on-disk persistence
+to the versioned artifact store (:mod:`repro.harness.artifacts`), keyed
+by a digest of the source and inputs so stale artifacts can never be
+reused.  :func:`ensure_artifacts` materializes the on-disk form without
+loading it -- the parent side of a parallel sweep, whose pool workers
+load the artifacts themselves.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional
 
 from ..enlarge.plan import EnlargeConfig
-from ..interp.trace_io import load_trace_file, save_trace_file
 from ..lang.frontend import compile_source
 from ..machine.simulator import PreparedWorkload, prepare_workload
-from ..program.parser import parse_program
-from ..program.printer import format_program
 from ..program.program import Program
 
 #: fd -> byte stream
 Inputs = Mapping[int, bytes]
-
-#: Bump to invalidate on-disk prepared workloads after semantic changes.
-PREPARE_CACHE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -68,54 +63,6 @@ class Workload:
 
 _PREPARED_CACHE: Dict[tuple, PreparedWorkload] = {}
 
-_ARTEFACTS = ("single.asm", "enlarged.asm", "single.trace", "enlarged.trace")
-
-
-def _digest(workload: Workload, scale: int) -> str:
-    """Content hash covering everything a prepared workload depends on."""
-    hasher = hashlib.sha256()
-    hasher.update(str(PREPARE_CACHE_VERSION).encode())
-    hasher.update(workload.source.encode())
-    for kind in ("train", "eval"):
-        for fd, blob in sorted(workload.make_inputs(kind, scale).items()):
-            hasher.update(str(fd).encode())
-            hasher.update(blob)
-    return hasher.hexdigest()[:16]
-
-
-def _workload_cache_dir(workload: Workload, scale: int) -> str:
-    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-    return os.path.join(
-        root, "workloads", f"{workload.name}-s{scale}-{_digest(workload, scale)}"
-    )
-
-
-def _load_from_disk(directory: str, name: str) -> Optional[PreparedWorkload]:
-    if not all(os.path.exists(os.path.join(directory, f)) for f in _ARTEFACTS):
-        return None
-    try:
-        with open(os.path.join(directory, "single.asm"), encoding="utf-8") as f:
-            single = parse_program(f.read())
-        with open(os.path.join(directory, "enlarged.asm"), encoding="utf-8") as f:
-            enlarged = parse_program(f.read())
-        single_trace = load_trace_file(os.path.join(directory, "single.trace"))
-        enlarged_trace = load_trace_file(os.path.join(directory, "enlarged.trace"))
-    except Exception:  # noqa: BLE001 - any corruption means re-prepare
-        return None
-    return PreparedWorkload(name, single, enlarged, single_trace, enlarged_trace)
-
-
-def _save_to_disk(directory: str, prepared_wl: PreparedWorkload) -> None:
-    os.makedirs(directory, exist_ok=True)
-    with open(os.path.join(directory, "single.asm"), "w", encoding="utf-8") as f:
-        f.write(format_program(prepared_wl.single))
-    with open(os.path.join(directory, "enlarged.asm"), "w", encoding="utf-8") as f:
-        f.write(format_program(prepared_wl.enlarged))
-    save_trace_file(prepared_wl.single_trace,
-                    os.path.join(directory, "single.trace"))
-    save_trace_file(prepared_wl.enlarged_trace,
-                    os.path.join(directory, "enlarged.trace"))
-
 
 def prepared(workload: Workload, scale: int = 1) -> PreparedWorkload:
     """Cached workload preparation (in-process, then on-disk, then fresh).
@@ -123,15 +70,41 @@ def prepared(workload: Workload, scale: int = 1) -> PreparedWorkload:
     Only the default enlargement configuration is cached; custom configs
     go through :meth:`Workload.prepare` directly.
     """
+    # Imported lazily: repro.harness imports the workload registry at
+    # package level, so the reverse import must happen at call time.
+    from ..harness.artifacts import ArtifactStore
+
     key = (workload.name, scale)
     hit = _PREPARED_CACHE.get(key)
     if hit is not None:
         return hit
 
-    directory = _workload_cache_dir(workload, scale)
-    loaded = _load_from_disk(directory, workload.name)
+    store = ArtifactStore()
+    loaded = store.load(workload, scale)
     if loaded is None:
         loaded = workload.prepare(scale=scale)
-        _save_to_disk(directory, loaded)
+        store.save(workload, scale, loaded)
     _PREPARED_CACHE[key] = loaded
     return loaded
+
+
+def clear_prepared_cache() -> None:
+    """Drop the in-process prepared-workload cache.
+
+    The on-disk artifact store is untouched; the next :func:`prepared`
+    call reloads from it.  Used by the bench command (so each timed
+    backend starts from the same cold in-process state) and by tests.
+    """
+    _PREPARED_CACHE.clear()
+
+
+def ensure_artifacts(workload: Workload, scale: int = 1) -> str:
+    """Materialize a workload's on-disk artifacts without loading them.
+
+    Returns the artifact directory.  This is the prepare step a parallel
+    sweep runs in the parent, once per benchmark, before dispatching the
+    benchmark's points to pool workers.
+    """
+    from ..harness.artifacts import ArtifactStore
+
+    return ArtifactStore().ensure(workload, scale)

@@ -1,0 +1,148 @@
+"""Artifact-store tests: versioned roundtrip, corruption, invalidation.
+
+The store's contract is load-or-None: any missing, stale or corrupt
+state must be invisible (forcing a re-prepare), never a bad load.
+"""
+
+import json
+import os
+from dataclasses import replace
+
+from repro.harness import artifacts as artifacts_mod
+from repro.harness.artifacts import (
+    ARTIFACT_FILES,
+    ArtifactStore,
+    default_artifact_root,
+    workload_digest,
+)
+from repro.machine.config import (
+    BranchMode,
+    Discipline,
+    MachineConfig,
+)
+from repro.machine.simulator import simulate
+from repro.program.printer import format_program
+from repro.workloads import WORKLOADS
+
+GREP = WORKLOADS["grep"]
+
+
+class TestDigest:
+    def test_stable(self):
+        assert workload_digest(GREP, 1) == workload_digest(GREP, 1)
+
+    def test_covers_scale(self):
+        assert workload_digest(GREP, 1) != workload_digest(GREP, 2)
+
+    def test_covers_source(self):
+        tweaked = replace(GREP, source=GREP.source + "\n")
+        assert workload_digest(GREP, 1) != workload_digest(tweaked, 1)
+
+    def test_covers_prepare_version(self, monkeypatch):
+        before = workload_digest(GREP, 1)
+        monkeypatch.setattr(artifacts_mod, "PREPARE_CACHE_VERSION", 999)
+        assert workload_digest(GREP, 1) != before
+
+
+class TestRoot:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "arts"))
+        assert default_artifact_root() == str(tmp_path / "arts")
+
+    def test_defaults_under_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_artifact_root() == os.path.join(
+            str(tmp_path), "workloads"
+        )
+
+
+class TestRoundtrip:
+    def test_save_then_load_simulates_identically(self, tmp_path,
+                                                  grep_prepared):
+        store = ArtifactStore(str(tmp_path))
+        directory = store.save(GREP, 1, grep_prepared)
+        assert store.contains(GREP, 1)
+        assert sorted(os.listdir(directory)) == sorted(
+            ARTIFACT_FILES + ("manifest.json",)
+        )
+        loaded = store.load(GREP, 1)
+        assert loaded is not None
+        assert format_program(loaded.single) == format_program(
+            grep_prepared.single
+        )
+        assert format_program(loaded.enlarged) == format_program(
+            grep_prepared.enlarged
+        )
+        config = MachineConfig(
+            discipline=Discipline.DYNAMIC, issue_model=8, memory="A",
+            branch_mode=BranchMode.ENLARGED, window_blocks=4,
+        )
+        assert simulate(loaded, config) == simulate(grep_prepared, config)
+
+    def test_missing_is_none(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        assert store.load(GREP, 1) is None
+        assert not store.contains(GREP, 1)
+
+    def test_corrupt_manifest_is_invisible(self, tmp_path, grep_prepared):
+        store = ArtifactStore(str(tmp_path))
+        directory = store.save(GREP, 1, grep_prepared)
+        with open(os.path.join(directory, "manifest.json"), "w",
+                  encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert store.load(GREP, 1) is None
+
+    def test_missing_artifact_file_is_invisible(self, tmp_path,
+                                                grep_prepared):
+        store = ArtifactStore(str(tmp_path))
+        directory = store.save(GREP, 1, grep_prepared)
+        os.remove(os.path.join(directory, "single.trace"))
+        assert store.load(GREP, 1) is None
+
+    def test_version_mismatch_is_invisible(self, tmp_path, grep_prepared):
+        store = ArtifactStore(str(tmp_path))
+        directory = store.save(GREP, 1, grep_prepared)
+        manifest_path = os.path.join(directory, "manifest.json")
+        with open(manifest_path, encoding="utf-8") as handle:
+            raw = json.load(handle)
+        raw["artifact_version"] = 999
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(raw, handle)
+        assert store.load(GREP, 1) is None
+
+    def test_corrupt_trace_body_is_invisible(self, tmp_path, grep_prepared):
+        store = ArtifactStore(str(tmp_path))
+        directory = store.save(GREP, 1, grep_prepared)
+        with open(os.path.join(directory, "single.trace"), "wb") as handle:
+            handle.write(b"garbage")
+        assert store.load(GREP, 1) is None
+
+
+class _FakeWorkload:
+    """Duck-typed workload whose prepare() calls are countable."""
+
+    name = "fake"
+    source = "// counted"
+
+    def __init__(self, prepared):
+        self._prepared = prepared
+        self.prepare_calls = 0
+
+    def make_inputs(self, kind, scale):
+        return {}
+
+    def prepare(self, scale=1):
+        self.prepare_calls += 1
+        return self._prepared
+
+
+class TestEnsure:
+    def test_ensure_prepares_exactly_once(self, tmp_path, grep_prepared):
+        fake = _FakeWorkload(grep_prepared)
+        store = ArtifactStore(str(tmp_path))
+        first = store.ensure(fake, 1)
+        second = store.ensure(fake, 1)
+        assert first == second
+        assert fake.prepare_calls == 1
+        assert store.load(fake, 1) is not None

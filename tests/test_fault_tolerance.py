@@ -27,7 +27,11 @@ from repro.harness.errors import (
 )
 from repro.harness.executor import ExecutionPolicy, PointExecutor
 from repro.harness.report import partial_grid_note
-from repro.harness.runner import SweepRunner, geometric_mean
+from repro.harness.runner import (
+    SweepRunner,
+    geometric_mean,
+    reset_zero_ipc_warning,
+)
 from repro.interp.trace import Trace
 from repro.machine.config import (
     BranchMode,
@@ -346,6 +350,7 @@ class TestWorkloadPrepareErrors:
 
 class TestZeroIpcAccounting:
     def test_zero_values_counted_and_warned(self, capsys):
+        reset_zero_ipc_warning()
         collector = MetricsCollector()
         value = geometric_mean([0.0, 1.0, 0.0], collector=collector)
         assert value > 0.0
@@ -353,10 +358,23 @@ class TestZeroIpcAccounting:
         assert "floored" in capsys.readouterr().err
 
     def test_clean_values_stay_silent(self, capsys):
+        reset_zero_ipc_warning()
         collector = MetricsCollector()
         geometric_mean([2.0, 8.0], collector=collector)
         assert "sweep.zero_ipc" not in collector.counters
         assert capsys.readouterr().err == ""
+
+    def test_warning_fires_once_per_sweep(self, capsys):
+        reset_zero_ipc_warning()
+        collector = MetricsCollector()
+        geometric_mean([0.0, 1.0], collector=collector)
+        geometric_mean([0.0, 2.0], collector=collector)
+        # Dedup silences the second warning but never the counter.
+        assert capsys.readouterr().err.count("floored") == 1
+        assert collector.counters["sweep.zero_ipc"] == 2
+        reset_zero_ipc_warning()
+        geometric_mean([0.0, 1.0], collector=collector)
+        assert "floored" in capsys.readouterr().err
 
 
 class TestCrashSafeWrites:

@@ -14,6 +14,7 @@ from repro.interp.trace_io import (
     save_trace,
     save_trace_file,
 )
+from repro.harness.artifacts import ArtifactStore, workload_digest
 from repro.machine import MachineConfig, Discipline, BranchMode, simulate
 from repro.workloads import WORKLOADS
 from repro.workloads import base as wl_base
@@ -109,21 +110,21 @@ class TestPreparedDiskCache:
 
     def test_digest_depends_on_source(self, isolated_cache):
         workload = WORKLOADS["grep"]
-        digest = wl_base._digest(workload, 1)
+        digest = workload_digest(workload, 1)
         altered = wl_base.Workload(
             workload.name, workload.source + "\n// change",
             workload.make_inputs, workload.reference,
         )
-        assert wl_base._digest(altered, 1) != digest
+        assert workload_digest(altered, 1) != digest
 
     def test_digest_depends_on_scale(self):
         workload = WORKLOADS["grep"]
-        assert wl_base._digest(workload, 1) != wl_base._digest(workload, 2)
+        assert workload_digest(workload, 1) != workload_digest(workload, 2)
 
     def test_corrupt_artefact_triggers_reprepare(self, isolated_cache):
         workload = WORKLOADS["grep"]
         wl_base.prepared(workload)
-        directory = wl_base._workload_cache_dir(workload, 1)
+        directory = ArtifactStore().directory(workload, 1)
         with open(os.path.join(directory, "single.trace"), "wb") as handle:
             handle.write(b"garbage")
         wl_base._PREPARED_CACHE.clear()
