@@ -2,18 +2,26 @@
 
 Subcommands:
 
-* ``run``     -- simulate one benchmark on one machine configuration
-* ``trace``   -- dump a per-cycle pipeline trace (Chrome tracing / JSONL)
-* ``figure``  -- print the data for one of the paper's figures (2-6)
-* ``report``  -- write the full EXPERIMENTS.md (runs missing simulations)
-* ``dump``    -- print a benchmark's translated assembly (or DOT CFG)
-* ``compile`` -- compile and run a user Mini-C source file
-* ``sweep``   -- run the paper's full 560-point space (resumable)
-* ``list``    -- list benchmarks and configuration axes
+* ``run``      -- simulate one benchmark on one machine configuration
+* ``trace``    -- dump a per-cycle pipeline trace (Chrome tracing / JSONL)
+* ``figure``   -- print the data for one of the paper's figures (2-6)
+* ``report``   -- write the full EXPERIMENTS.md (runs missing simulations)
+* ``dump``     -- print a benchmark's translated assembly (or DOT CFG)
+* ``compile``  -- compile and run a user Mini-C source file
+* ``sweep``    -- run the paper's full 560-point space (resumable)
+* ``validate`` -- run the validation oracle over a grid (invariants,
+  dominance orders, golden-baseline regression gating; see the
+  "Validation & regression gating" section of DESIGN.md)
+* ``bench``    -- time the serial and process backends
+* ``list``     -- list benchmarks and configuration axes
 
 ``sweep`` and ``report`` accept ``--telemetry`` (live progress plus
 counters/timers) and ``--metrics-out FILE`` (write the aggregated
 ``telemetry.json``); see the "Observability" section of DESIGN.md.
+
+Exit codes: 0 success, 1 fatal harness error, 3 some sweep points
+failed (structured ``PointFailure`` records), 4 the validation oracle
+found gating (``error``-severity) findings.
 """
 
 from __future__ import annotations
@@ -171,6 +179,48 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--retry-failed", action="store_true",
                        help="with --resume: re-attempt previously failed"
                             " points instead of carrying them forward")
+    sweep.add_argument("--validate", action="store_true",
+                       help="run the validation oracle inline: per-result"
+                            " invariants as points merge, dominance orders"
+                            " over the completed grid (findings land in"
+                            " telemetry.json; error findings exit 4)")
+    sweep.add_argument("--baseline", default=None, metavar="FILE",
+                       help="with --validate (implied): also check results"
+                            " against this golden baseline")
+    sweep.add_argument("--rel-tol", type=float, default=None,
+                       metavar="FRACTION",
+                       help="relative tolerance for dominance comparisons"
+                            " (default 0.02)")
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the validation oracle over a configuration grid:"
+             " per-result invariants, the paper's dominance orders, and"
+             " golden-baseline regression gating (--record / --check)",
+    )
+    validate.add_argument("--benchmarks", default=None,
+                          help="comma-separated subset (default: all five)")
+    validate.add_argument("--scale", type=int, default=None)
+    validate.add_argument("--smoke", action="store_true",
+                          help="validate the 40-config smoke grid instead"
+                               " of the full 560-config space")
+    validate.add_argument("--record", action="store_true",
+                          help="write the grid's golden baseline (refused"
+                               " when the oracle itself finds errors)")
+    validate.add_argument("--check", action="store_true",
+                          help="check the grid against its golden baseline")
+    validate.add_argument("--baseline", default=None, metavar="FILE",
+                          help="baseline path (default:"
+                               " baselines/<grid>-<benchmarks>.json)")
+    validate.add_argument("--rel-tol", type=float, default=None,
+                          metavar="FRACTION",
+                          help="relative tolerance for dominance"
+                               " comparisons (default 0.02)")
+    validate.add_argument("--telemetry", action="store_true",
+                          help="live progress line plus counters")
+    validate.add_argument("--metrics-out", default=None, metavar="FILE",
+                          help="write telemetry.json including the"
+                               " validation report (implies --telemetry)")
 
     bench = sub.add_parser(
         "bench",
@@ -267,14 +317,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _write_metrics(collector, path: str, context=None) -> None:
+def _write_metrics(collector, path: str, context=None,
+                   validation=None) -> None:
     import json
 
     from .stats.aggregate import telemetry_report
 
+    document = telemetry_report(collector, context=context,
+                                validation=validation)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(telemetry_report(collector, context=context), handle,
-                  indent=2)
+        json.dump(document, handle, indent=2)
     print(f"wrote {path}")
 
 
@@ -377,8 +429,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     telemetry = args.telemetry or bool(args.metrics_out)
     collector = MetricsCollector() if telemetry else None
+    validating = args.validate or bool(args.baseline)
     runner = SweepRunner(benchmarks=benchmarks, scale=args.scale,
-                         collector=collector, max_cycles=args.max_cycles)
+                         collector=collector, max_cycles=args.max_cycles,
+                         validate=validating)
     policy = ExecutionPolicy(
         timeout_s=args.timeout,
         retries=args.retries,
@@ -493,9 +547,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         print(f"sweep complete: {total} points ({fresh} newly simulated,"
               f" {failed} failed)")
+    report = None
+    if validating:
+        from .validate import run_oracle
+
+        report = run_oracle(
+            runner.results, rel_tol=args.rel_tol,
+            baseline_path=args.baseline, scale=runner.scale,
+            invariant_findings=runner.findings,
+        )
+        for line in report.summary_lines():
+            print(line, file=sys.stderr)
     if args.metrics_out:
-        _write_metrics(collector, args.metrics_out,
-                       context={"backend": backend.name, "jobs": args.jobs})
+        _write_metrics(
+            collector, args.metrics_out,
+            context={"backend": backend.name, "jobs": args.jobs},
+            validation=report.to_dict() if report is not None else None,
+        )
     if runner.failures:
         kinds = sorted({failure.kind for failure in runner.failures})
         print(
@@ -506,7 +574,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 3
     if not limited:
         checkpoint.remove()
+    if report is not None and not report.ok:
+        return 4
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """The validation oracle as a standalone gate.
+
+    Simulates (or serves from cache) every point of the chosen grid,
+    then runs all applicable oracle layers: per-result invariants and
+    cross-configuration dominance always, golden-baseline drift under
+    ``--check``.  ``--record`` snapshots the grid's metrics as the new
+    golden baseline -- refused when the oracle itself found errors, so a
+    broken simulator cannot be enshrined as truth.
+
+    Exit codes: 0 clean (warnings allowed), 4 gating findings, 1 fatal.
+    """
+    from .machine.config import smoke_configuration_space
+    from .telemetry import MetricsCollector, ProgressLine
+    from .validate import default_baseline_path, record_baseline, run_oracle
+
+    benchmarks = (
+        [name.strip() for name in args.benchmarks.split(",")]
+        if args.benchmarks else None
+    )
+    telemetry = args.telemetry or bool(args.metrics_out)
+    collector = MetricsCollector() if telemetry else None
+    runner = SweepRunner(benchmarks=benchmarks, scale=args.scale,
+                         collector=collector, validate=True)
+    configs = list(
+        smoke_configuration_space() if args.smoke
+        else full_configuration_space()
+    )
+    total = len(configs) * len(runner.benchmarks)
+    progress = ProgressLine(total) if telemetry else None
+    done = 0
+    try:
+        try:
+            for config in configs:
+                for name in runner.benchmarks:
+                    runner.run_point(name, config)
+                    done += 1
+                    if progress is not None:
+                        progress.update(done, f"{name} {config}")
+        finally:
+            if progress is not None:
+                progress.finish()
+    except Exception as exc:  # noqa: BLE001 - deterministic exit code 1
+        print(f"fatal: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    baseline = args.baseline or default_baseline_path(
+        runner.benchmarks, args.smoke
+    )
+    report = run_oracle(
+        runner.results,
+        rel_tol=args.rel_tol,
+        baseline_path=baseline if args.check else None,
+        scale=runner.scale,
+        invariant_findings=runner.findings,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.record:
+        if report.ok:
+            record_baseline(runner.results, runner.scale, baseline)
+            print(f"recorded golden baseline: {baseline}"
+                  f" ({len(runner.results)} points)")
+        else:
+            print("refusing to record a golden baseline from a run the"
+                  " oracle rejected", file=sys.stderr)
+    if args.metrics_out:
+        _write_metrics(
+            collector, args.metrics_out,
+            context={"grid": "smoke" if args.smoke else "full"},
+            validation=report.to_dict(),
+        )
+    return 0 if report.ok else 4
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -551,7 +696,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for name in benchmarks:
         probe.prepare_artifacts(name)
 
-    def timed(jobs_n: int) -> dict:
+    def timed(jobs_n: int) -> tuple:
         clear_prepared_cache()
         with tempfile.TemporaryDirectory() as cache_dir:
             previous = os.environ.get("REPRO_CACHE_DIR")
@@ -561,6 +706,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 backend = make_backend(runner, ExecutionPolicy(),
                                        jobs=jobs_n)
                 failures = 0
+                results = []
                 start = time.perf_counter()
                 try:
                     for name, config, key in tasks:
@@ -568,8 +714,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                             PointTask(name, config, key)
                         ):
                             failures += 0 if outcome.ok else 1
+                            if outcome.result is not None:
+                                results.append(outcome.result)
                     for outcome in backend.finish():
                         failures += 0 if outcome.ok else 1
+                        if outcome.result is not None:
+                            results.append(outcome.result)
                 finally:
                     backend.close()
                 wall_s = time.perf_counter() - start
@@ -584,20 +734,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "wall_s": round(wall_s, 3),
             "points_per_s": round(len(tasks) / wall_s, 3) if wall_s else 0.0,
             "failures": failures,
-        }
+        }, results
 
     print(f"bench: {len(tasks)} points x {{serial, process x{jobs}}}"
           f" on {','.join(benchmarks)} (host: {cpu_count} CPU(s))",
           file=sys.stderr)
-    serial = timed(1)
+    serial, serial_results = timed(1)
     print(f"  serial      : {serial['wall_s']:.2f}s"
           f" ({serial['points_per_s']:.2f} points/s)", file=sys.stderr)
-    process = timed(jobs)
+    process, _ = timed(jobs)
     print(f"  process x{jobs}  : {process['wall_s']:.2f}s"
           f" ({process['points_per_s']:.2f} points/s)", file=sys.stderr)
     speedup = (
         serial["wall_s"] / process["wall_s"] if process["wall_s"] else 0.0
     )
+    # Time the full oracle (invariants + dominance) over the serial
+    # results: what `sweep --validate` would add on top of simulation.
+    from .validate import run_oracle
+
+    validate_start = time.perf_counter()
+    validation = run_oracle(serial_results, scale=scale)
+    validate_s = time.perf_counter() - validate_start
+    validate_overhead_pct = (
+        100.0 * validate_s / serial["wall_s"] if serial["wall_s"] else 0.0
+    )
+    print(f"  validate    : {validate_s:.3f}s"
+          f" ({validate_overhead_pct:.2f}% of serial wall,"
+          f" {len(validation.findings)} finding(s))", file=sys.stderr)
     document = {
         "schema": "repro.bench/1",
         "host": {"cpu_count": cpu_count},
@@ -608,6 +771,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         },
         "backends": {"serial": serial, "process": process},
         "speedup": round(speedup, 3),
+        "validate": {
+            "wall_s": round(validate_s, 4),
+            "checked_results": validation.checked_results,
+            "findings": len(validation.findings),
+        },
+        "validate_overhead_pct": round(validate_overhead_pct, 3),
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
@@ -640,6 +809,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dump": _cmd_dump,
         "compile": _cmd_compile,
         "sweep": _cmd_sweep,
+        "validate": _cmd_validate,
         "bench": _cmd_bench,
         "list": _cmd_list,
     }

@@ -119,6 +119,7 @@ class SerialBackend(ExecutionBackend):
         if isinstance(outcome, PointFailure):
             yield PointOutcome(task, failure=outcome)
         else:
+            self.runner.observe_result(outcome)
             yield PointOutcome(task, result=outcome)
 
     def finish(self) -> Iterator[PointOutcome]:
@@ -326,6 +327,10 @@ class ProcessPoolBackend(ExecutionBackend):
                 self.runner.collector.count(  # lose the result
                     "sweep.cache.store_error"
                 )
+            # Validation happens on the parent side of the merge (the
+            # worker's runner never has the oracle enabled), so the
+            # finding set is identical to a serial run of this grid.
+            self.runner.observe_result(outcome)
             yield PointOutcome(pending.task, result=outcome)
         if broken:
             self._rebuild_pool()

@@ -22,14 +22,16 @@ from ..telemetry.collector import Collector, NULL_COLLECTOR
 CACHE_VERSION = 7
 
 
-def atomic_write_json(path: str, payload: Any) -> None:
+def atomic_write_json(path: str, payload: Any,
+                      indent: Optional[int] = None) -> None:
     """Crash-safe JSON write: unique temp file, fsync, ``os.replace``.
 
     A killed writer can never leave a truncated file at ``path`` -- the
     old contents stay until the fully flushed replacement is renamed
     into place -- and the unique temp name keeps concurrent writers
     (e.g. two sweeps sharing a cache directory) from trampling each
-    other's in-flight data.
+    other's in-flight data.  ``indent`` is forwarded to ``json.dump``
+    for documents meant to be committed and diffed (golden baselines).
     """
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
@@ -38,7 +40,9 @@ def atomic_write_json(path: str, payload: Any) -> None:
     )
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+            json.dump(payload, handle, indent=indent)
+            if indent is not None:
+                handle.write("\n")
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)

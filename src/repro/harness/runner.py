@@ -17,9 +17,11 @@ from ..machine.config import MachineConfig
 from ..machine.simulator import PreparedWorkload, simulate
 from ..stats.results import SimResult
 from ..telemetry.collector import Collector, NULL_COLLECTOR
+from ..validate.findings import ValidationFinding
+from ..validate.invariants import check_result
 from ..workloads import WORKLOADS, prepared
 from ..workloads.base import ensure_artifacts
-from .cache import ResultCache
+from .cache import ResultCache, result_key
 from .errors import PointFailure, WorkloadPrepareError
 
 def default_benchmarks() -> List[str]:
@@ -50,7 +52,8 @@ class SweepRunner:
                  scale: Optional[int] = None, use_cache: bool = True,
                  verbose: bool = False,
                  collector: Optional[Collector] = None,
-                 max_cycles: Optional[int] = None):
+                 max_cycles: Optional[int] = None,
+                 validate: bool = False):
         self.benchmarks = list(benchmarks) if benchmarks else default_benchmarks()
         unknown = [name for name in self.benchmarks if name not in WORKLOADS]
         if unknown:
@@ -67,6 +70,16 @@ class SweepRunner:
         #: (see repro.harness.executor); report generation annotates
         #: partial grids from this list.
         self.failures: List[PointFailure] = []
+        #: validation oracle hook (see repro.validate): when enabled the
+        #: runner keeps every result it serves and checks per-result
+        #: invariants eagerly.  Only the sweep's parent process enables
+        #: this -- pool workers mail results back and the parent observes
+        #: them under the single-writer merge, so serial and parallel
+        #: sweeps of one grid collect identical findings.
+        self.validate = validate
+        self.results: List[SimResult] = []
+        self.findings: List[ValidationFinding] = []
+        self._observed_keys: set = set()
 
     # ------------------------------------------------------------------
     def workload(self, name: str) -> PreparedWorkload:
@@ -98,19 +111,47 @@ class SweepRunner:
         except Exception as exc:
             raise WorkloadPrepareError(name, exc) from exc
 
+    def observe_result(self, result: SimResult) -> None:
+        """Feed one served result to the validation oracle (if enabled).
+
+        Called exactly once per point by every path that delivers a
+        result to the sweep's parent process: cache hits here in
+        :meth:`cache_lookup`, fresh serial results by the execution
+        backends, and parallel results by the pool harvest.  Invariant
+        findings are collected eagerly; dominance and baseline layers
+        run over :attr:`results` once the grid is complete.
+        """
+        if not self.validate:
+            return
+        key = result_key(result.benchmark, result.config, self.scale)
+        if key in self._observed_keys:
+            # A point can reach the parent twice (e.g. a cache probe in
+            # both the sweep loop and the executor); one grid point
+            # contributes one result to the oracle.
+            return
+        self._observed_keys.add(key)
+        self.results.append(result)
+        found = check_result(result)
+        if found:
+            self.findings.extend(found)
+            self.collector.count("validate.invariant.violations", len(found))
+
     def cache_lookup(self, benchmark: str,
                      config: MachineConfig) -> Optional[SimResult]:
         """Probe the result cache, recording hit telemetry."""
         if self.cache is None:
             return None
         hit = self.cache.get(benchmark, config, self.scale)
-        if hit is not None and self.collector.enabled:
+        if hit is None:
+            return None
+        if self.collector.enabled:
             self.collector.count("sweep.cache.hit")
             self.collector.record_point(
                 benchmark=benchmark, config=str(config),
                 cached=True, wall_s=0.0,
                 ipc=hit.retired_per_cycle,
             )
+        self.observe_result(hit)
         return hit
 
     def simulate_point(self, benchmark: str,
@@ -164,6 +205,7 @@ class SweepRunner:
             return hit
         result = self.simulate_point(benchmark, config)
         self.cache_store(result)
+        self.observe_result(result)
         return result
 
     def run_configs(self, configs: Iterable[MachineConfig],

@@ -208,3 +208,34 @@ def full_configuration_space() -> Iterator[MachineConfig]:
             branch_mode=mode,
             window_blocks=window,
         )
+
+
+#: Issue models kept by the validation smoke grid: the narrowest
+#: non-sequential model and the paper's widest.
+SMOKE_ISSUE_MODELS = (2, 8)
+
+#: Memory configurations kept by the smoke grid: the fastest and
+#: slowest perfect memories (the ends of the A >= B >= C chain).
+SMOKE_MEMORIES = ("A", "C")
+
+
+def smoke_configuration_space() -> Iterator[MachineConfig]:
+    """A 40-point slice of the space that still exercises every ordering.
+
+    All ten discipline/branch-handling lines are kept (so the window,
+    branch-handling and discipline comparisons all have their points)
+    crossed with two issue models and two perfect memories -- small
+    enough for CI to simulate in seconds, rich enough that every
+    dominance rule in :mod:`repro.validate.dominance` has pairs to
+    compare.
+    """
+    for (discipline, window, mode), issue, memory in itertools.product(
+        scheduling_disciplines(), SMOKE_ISSUE_MODELS, SMOKE_MEMORIES
+    ):
+        yield MachineConfig(
+            discipline=discipline,
+            issue_model=issue,
+            memory=memory,
+            branch_mode=mode,
+            window_blocks=window,
+        )

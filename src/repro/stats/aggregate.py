@@ -75,10 +75,30 @@ def speedup_matrix(results: Iterable[SimResult],
     return matrix
 
 
+#: What :func:`summarize` reports for an empty batch: every key
+#: present, ratios at their no-information identity (a consumer indexing
+#: ``summary["geomean_ipc"]`` must never KeyError on an empty grid, and
+#: nothing here is a NaN).
+EMPTY_SUMMARY: Dict[str, float] = {
+    "results": 0.0,
+    "geomean_ipc": 0.0,
+    "mean_redundancy": 0.0,
+    "aggregate_ipc": 0.0,
+    "branch_accuracy": 1.0,
+    "cache_hit_rate": 1.0,
+    "discard_fraction": 0.0,
+}
+
+
 def summarize(results: Sequence[SimResult]) -> Dict[str, float]:
-    """Aggregate statistics over a batch of results."""
+    """Aggregate statistics over a batch of results.
+
+    An empty batch returns :data:`EMPTY_SUMMARY` (same keys, defined
+    values) rather than an empty dict, so downstream indexing is safe
+    on fully-failed or filtered-out grids.
+    """
     if not results:
-        return {}
+        return dict(EMPTY_SUMMARY)
     total_cycles = sum(r.cycles for r in results)
     total_retired = sum(r.retired_nodes for r in results)
     total_executed = sum(r.executed_nodes for r in results)
@@ -122,6 +142,7 @@ def histogram_stats(values: Sequence[float]) -> Dict[str, float]:
 
 def telemetry_report(collector: Collector,
                      context: Optional[Dict[str, Any]] = None,
+                     validation: Optional[Dict[str, Any]] = None,
                      ) -> Dict[str, Any]:
     """The machine-readable ``telemetry.json`` document for one sweep.
 
@@ -137,7 +158,9 @@ def telemetry_report(collector: Collector,
     records run-level facts such as the execution backend and worker
     count; a parallel sweep's document is the parent-side merge of every
     worker's collector snapshot, so the schema is identical across
-    backends.
+    backends.  ``validation`` (when given) is a
+    :meth:`repro.validate.ValidationReport.to_dict` document: the
+    oracle's typed findings ride in the same file as the failure list.
     """
     points = list(collector.points)
     document: Dict[str, Any] = {
@@ -156,6 +179,8 @@ def telemetry_report(collector: Collector,
     }
     if context:
         document["context"] = dict(context)
+    if validation is not None:
+        document["validation"] = validation
     return document
 
 

@@ -1,0 +1,199 @@
+"""Cross-configuration dominance: layer two of the validation oracle.
+
+The paper's argument is built from ordered comparisons across its
+configuration grid: a strictly more capable machine must never lose.
+Four partial orders are machine-checked over a sweep's result set, each
+comparing ``retired_per_cycle`` (the paper's figure of merit) between
+two points that differ in exactly one axis:
+
+* ``dominance.window``  -- dynamic window 256 >= 4 >= 1 (same branch
+  handling, issue model and memory);
+* ``dominance.issue``   -- wider issue models >= narrower ones (the
+  paper's models 1..8 are component-wise nested, as are the extension
+  models 9 and 10);
+* ``dominance.memory``  -- faster perfect memories win: A >= B >= C
+  (1-, 2- and 3-cycle constant latency);
+* ``dominance.branch``  -- perfect prediction >= realistic prediction
+  on the same enlarged program (dyn4/dyn256).
+
+A violation emits one ``error`` finding naming both points; nothing is
+raised, so findings flow into ``telemetry.json`` and the sweep's exit
+code machinery.  ``rel_tol`` forgives losses smaller than the given
+relative fraction -- the simulator is deterministic, so the default
+tolerance is small, but second-order effects (a bigger window issuing
+more wrong-path work into finite bandwidth) legitimately produce
+sub-percent inversions on tiny inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..machine.config import BranchMode, MEMORY_CONFIGS
+from ..stats.results import SimResult
+from .findings import SEVERITY_ERROR, ValidationFinding
+
+#: Default relative tolerance for ordered-pair comparisons.
+DEFAULT_REL_TOL = 0.02
+
+#: The closed vocabulary of dominance rule identifiers.
+DOMINANCE_RULES = (
+    "dominance.window",
+    "dominance.issue",
+    "dominance.memory",
+    "dominance.branch",
+)
+
+#: Perfect-memory chain, fastest first (Figure 4's left-hand group).
+_PERFECT_MEMORY_ORDER = tuple(
+    letter for letter, memory in sorted(
+        MEMORY_CONFIGS.items(), key=lambda item: item[1].hit_cycles
+    )
+    if memory.is_perfect
+)
+
+#: One point's coordinates: (benchmark, line, issue index, memory letter)
+#: where ``line`` is ``config.discipline_key()``.
+_Coord = Tuple[str, str, int, str]
+
+
+def _index(results: Iterable[SimResult]) -> Dict[_Coord, SimResult]:
+    """Results keyed by grid coordinate (later duplicates win)."""
+    indexed: Dict[_Coord, SimResult] = {}
+    for result in results:
+        config = result.config
+        coord = (result.benchmark, config.discipline_key(),
+                 config.issue_model, config.memory)
+        indexed[coord] = result
+    return indexed
+
+
+def _violation(rule: str, stronger: SimResult, weaker: SimResult,
+               rel_tol: float, axis: str) -> ValidationFinding:
+    return ValidationFinding(
+        rule=rule,
+        severity=SEVERITY_ERROR,
+        benchmark=stronger.benchmark,
+        config=str(stronger.config),
+        reference=str(weaker.config),
+        message=(
+            f"the stronger {axis} lost: "
+            f"{stronger.retired_per_cycle:.6f} < "
+            f"{weaker.retired_per_cycle:.6f} IPC"
+            f" (rel_tol {rel_tol:g})"
+        ),
+        measured=stronger.retired_per_cycle,
+        expected=weaker.retired_per_cycle,
+    )
+
+
+def _dominates(stronger: SimResult, weaker: SimResult,
+               rel_tol: float) -> bool:
+    """Whether ``stronger`` is at least as fast, within tolerance."""
+    return (
+        stronger.retired_per_cycle
+        >= weaker.retired_per_cycle * (1.0 - rel_tol)
+    )
+
+
+def _chain_pairs(indexed: Dict[_Coord, SimResult],
+                 coords: List[_Coord]) -> Iterable[Tuple[SimResult, SimResult]]:
+    """Consecutive present pairs along one ordered coordinate chain.
+
+    ``coords`` is ordered weakest first; each yielded pair is
+    ``(stronger, weaker)`` for adjacent points that both exist, so a
+    partial grid (``--limit``, subsets) is compared as far as it goes.
+    """
+    present = [indexed[coord] for coord in coords if coord in indexed]
+    for weaker, stronger in zip(present, present[1:]):
+        yield stronger, weaker
+
+
+def check_dominance(results: Iterable[SimResult],
+                    rel_tol: Optional[float] = None,
+                    ) -> List[ValidationFinding]:
+    """Every violated partial order over one sweep's result set.
+
+    Only pairs present in ``results`` are compared, so partial grids
+    validate as far as their coverage allows; order of ``results`` does
+    not affect the findings (they are emitted in a deterministic
+    coordinate order).
+    """
+    tol = DEFAULT_REL_TOL if rel_tol is None else rel_tol
+    indexed = _index(results)
+    findings: List[ValidationFinding] = []
+
+    benchmarks = sorted({coord[0] for coord in indexed})
+    lines = sorted({coord[1] for coord in indexed})
+    issues = sorted({coord[2] for coord in indexed})
+    memories = sorted({coord[3] for coord in indexed})
+
+    # ---- dominance.window: dyn256 >= dyn4 >= dyn1 --------------------
+    for benchmark in benchmarks:
+        for mode in BranchMode:
+            windows = sorted(
+                int(line[3:].split("/")[0])
+                for line in lines
+                if line.startswith("dyn") and line.endswith(f"/{mode.value}")
+            )
+            for issue in issues:
+                for memory in memories:
+                    chain = [
+                        (benchmark, f"dyn{window}/{mode.value}", issue, memory)
+                        for window in windows
+                    ]
+                    for stronger, weaker in _chain_pairs(indexed, chain):
+                        if not _dominates(stronger, weaker, tol):
+                            findings.append(_violation(
+                                "dominance.window", stronger, weaker, tol,
+                                "window",
+                            ))
+
+    # ---- dominance.issue: wider models win ---------------------------
+    for benchmark in benchmarks:
+        for line in lines:
+            for memory in memories:
+                chain = [
+                    (benchmark, line, issue, memory) for issue in issues
+                ]
+                for stronger, weaker in _chain_pairs(indexed, chain):
+                    if not _dominates(stronger, weaker, tol):
+                        findings.append(_violation(
+                            "dominance.issue", stronger, weaker, tol,
+                            "issue model",
+                        ))
+
+    # ---- dominance.memory: perfect A >= B >= C -----------------------
+    for benchmark in benchmarks:
+        for line in lines:
+            for issue in issues:
+                chain = [
+                    (benchmark, line, issue, memory)
+                    for memory in reversed(_PERFECT_MEMORY_ORDER)
+                ]
+                for stronger, weaker in _chain_pairs(indexed, chain):
+                    if not _dominates(stronger, weaker, tol):
+                        findings.append(_violation(
+                            "dominance.memory", stronger, weaker, tol,
+                            "memory",
+                        ))
+
+    # ---- dominance.branch: perfect prediction >= realistic -----------
+    for benchmark in benchmarks:
+        for window in (4, 256):
+            for issue in issues:
+                for memory in memories:
+                    perfect = indexed.get(
+                        (benchmark, f"dyn{window}/perfect", issue, memory)
+                    )
+                    realistic = indexed.get(
+                        (benchmark, f"dyn{window}/enlarged", issue, memory)
+                    )
+                    if perfect is None or realistic is None:
+                        continue
+                    if not _dominates(perfect, realistic, tol):
+                        findings.append(_violation(
+                            "dominance.branch", perfect, realistic, tol,
+                            "branch handling",
+                        ))
+    return findings

@@ -4,10 +4,12 @@ import pytest
 
 from repro.machine.config import BranchMode, Discipline, MachineConfig
 from repro.stats import (
+    EMPTY_SUMMARY,
     SimResult,
     format_summary,
     geometric_mean_ipc,
     group_by,
+    histogram_stats,
     mean_redundancy,
     speedup_matrix,
     summarize,
@@ -61,6 +63,19 @@ class TestMeans:
                    result(discarded=0, retired=4000)]
         assert mean_redundancy(results) == pytest.approx(0.1)
 
+    def test_all_zero_ipc_is_floored_not_nan(self):
+        # A fully degraded batch (every point at zero cycles/IPC) must
+        # come back as a small finite float, never a NaN or a raise.
+        results = [result(cycles=0), result(cycles=0)]
+        mean = geometric_mean_ipc(results)
+        assert mean == pytest.approx(1e-12)
+        assert mean == mean  # not NaN
+
+    def test_single_result_is_identity(self):
+        only = result(cycles=1000, retired=3000)
+        assert geometric_mean_ipc([only]) == pytest.approx(3.0)
+        assert mean_redundancy([only]) == pytest.approx(only.redundancy)
+
 
 class TestSpeedupMatrix:
     def test_speedups_relative_to_baseline(self):
@@ -79,6 +94,32 @@ class TestSpeedupMatrix:
         with pytest.raises(KeyError):
             speedup_matrix([result("x")], "static/single")
 
+    def test_single_point_grid(self):
+        # One benchmark, one discipline: the matrix is the 1.0 identity.
+        matrix = speedup_matrix([result("x", Discipline.STATIC, 1)],
+                                "static/single")
+        assert matrix == {"x": {"static/single": pytest.approx(1.0)}}
+
+    def test_zero_cycle_point_yields_zero_speedup(self):
+        results = [
+            result("x", Discipline.STATIC, 1, cycles=3000),
+            result("x", Discipline.DYNAMIC, 4, cycles=0),
+        ]
+        matrix = speedup_matrix(results, "static/single")
+        assert matrix["x"]["dyn4/single"] == 0.0
+
+    def test_mismatched_grids_compare_what_exists(self):
+        # Benchmark y ran fewer disciplines than x: each row only holds
+        # the discipline lines that benchmark actually has.
+        results = [
+            result("x", Discipline.STATIC, 1, cycles=3000),
+            result("x", Discipline.DYNAMIC, 4, cycles=1000),
+            result("y", Discipline.STATIC, 1, cycles=2000),
+        ]
+        matrix = speedup_matrix(results, "static/single")
+        assert set(matrix["x"]) == {"static/single", "dyn4/single"}
+        assert set(matrix["y"]) == {"static/single"}
+
 
 class TestSummarize:
     def test_fields_and_values(self):
@@ -89,10 +130,46 @@ class TestSummarize:
         assert summary["cache_hit_rate"] == pytest.approx(0.95)
         assert summary["discard_fraction"] == pytest.approx(0.2)
 
-    def test_empty(self):
-        assert summarize([]) == {}
+    def test_empty_batch_keeps_every_key(self):
+        summary = summarize([])
+        assert summary == EMPTY_SUMMARY
+        assert summary is not EMPTY_SUMMARY  # callers may mutate their copy
+        assert summary["results"] == 0.0
+        assert summary["branch_accuracy"] == 1.0
+        assert summary["cache_hit_rate"] == 1.0
+
+    def test_empty_and_populated_summaries_share_keys(self):
+        assert set(summarize([])) == set(summarize([result()]))
 
     def test_format_summary_lines(self):
         text = format_summary(summarize([result()]))
         assert "geomean_ipc" in text
         assert len(text.splitlines()) == 7
+
+    def test_format_summary_handles_empty_batch(self):
+        text = format_summary(summarize([]))
+        assert len(text.splitlines()) == len(EMPTY_SUMMARY)
+
+
+class TestHistogramStats:
+    def test_empty_distribution(self):
+        assert histogram_stats([]) == {"count": 0}
+
+    def test_single_value(self):
+        stats = histogram_stats([2.5])
+        assert stats["count"] == 1
+        assert stats["min"] == stats["max"] == stats["mean"] == 2.5
+        assert stats["p50"] == stats["p90"] == 2.5
+
+    def test_percentiles_stay_in_range(self):
+        stats = histogram_stats([5.0, 1.0, 3.0, 4.0, 2.0])
+        assert stats["min"] == 1.0
+        assert stats["max"] == 5.0
+        assert stats["mean"] == pytest.approx(3.0)
+        assert stats["min"] <= stats["p50"] <= stats["p90"] <= stats["max"]
+
+    def test_all_zero_values(self):
+        stats = histogram_stats([0.0, 0.0, 0.0])
+        assert stats["count"] == 3
+        assert stats["mean"] == 0.0
+        assert stats["p90"] == 0.0
