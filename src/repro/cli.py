@@ -13,6 +13,10 @@ Subcommands:
   dominance orders, golden-baseline regression gating; see the
   "Validation & regression gating" section of DESIGN.md)
 * ``bench``    -- time the serial and process backends
+  (``--mode service`` benches the daemon: cold vs warm submits)
+* ``serve``    -- run the long-lived simulation service daemon
+* ``submit``   -- submit a grid job to a running daemon (``--wait``
+  streams progress until it finishes)
 * ``list``     -- list benchmarks and configuration axes
 
 ``sweep`` and ``report`` accept ``--telemetry`` (live progress plus
@@ -20,8 +24,10 @@ counters/timers) and ``--metrics-out FILE`` (write the aggregated
 ``telemetry.json``); see the "Observability" section of DESIGN.md.
 
 Exit codes: 0 success, 1 fatal harness error, 3 some sweep points
-failed (structured ``PointFailure`` records), 4 the validation oracle
-found gating (``error``-severity) findings.
+failed (structured ``PointFailure`` records) or a submitted job
+finished ``failed``, 4 the validation oracle found gating
+(``error``-severity) findings, 5 the service rejected a job at
+admission (typed 429-style response; retry later).
 """
 
 from __future__ import annotations
@@ -81,6 +87,41 @@ def _config_from_args(args: argparse.Namespace) -> MachineConfig:
     )
 
 
+def _add_grid_arguments(command: argparse.ArgumentParser,
+                        default_benchmarks: Optional[str] = None) -> None:
+    """The grid-spec axes shared by sweep/validate/bench/submit.
+
+    One definition instead of a per-subcommand copy, so every grid verb
+    spells its selection flags identically (and ``submit`` did not have
+    to grow a third copy).
+    """
+    command.add_argument("--benchmarks", default=default_benchmarks,
+                         help="comma-separated subset"
+                              + (" (default: all five)"
+                                 if default_benchmarks is None
+                                 else f" (default: {default_benchmarks})"))
+    command.add_argument("--scale", type=int, default=None,
+                         help="input scale (default: REPRO_BENCH_SCALE or 1)")
+
+
+def _benchmarks_from_args(args: argparse.Namespace) -> Optional[List[str]]:
+    """The ``--benchmarks`` list, or None for the default set."""
+    if not args.benchmarks:
+        return None
+    return [name.strip() for name in args.benchmarks.split(",")
+            if name.strip()]
+
+
+def _add_telemetry_arguments(command: argparse.ArgumentParser) -> None:
+    """The observability flags shared by sweep/validate/report."""
+    command.add_argument("--telemetry", action="store_true",
+                         help="collect sweep counters and timings (live"
+                              " progress line on grid runs)")
+    command.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="write aggregated telemetry.json (implies"
+                              " --telemetry)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -111,11 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="write EXPERIMENTS.md")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
     report.add_argument("--scale", type=int, default=None)
-    report.add_argument("--telemetry", action="store_true",
-                        help="collect sweep counters and timings")
-    report.add_argument("--metrics-out", default=None, metavar="FILE",
-                        help="write aggregated telemetry.json (implies"
-                             " --telemetry)")
+    _add_telemetry_arguments(report)
 
     dump = sub.add_parser("dump", help="print translated assembly")
     dump.add_argument("--benchmark", required=True, choices=sorted(WORKLOADS))
@@ -143,16 +180,10 @@ def _build_parser() -> argparse.ArgumentParser:
              "(fault-tolerant and resumable; results land in the on-disk "
              "cache, failures in sweep.state.json)",
     )
-    sweep.add_argument("--benchmarks", default=None,
-                       help="comma-separated subset (default: all five)")
-    sweep.add_argument("--scale", type=int, default=None)
+    _add_grid_arguments(sweep)
     sweep.add_argument("--limit", type=int, default=None,
                        help="stop after N uncached points (for budgeting)")
-    sweep.add_argument("--telemetry", action="store_true",
-                       help="live progress line plus cache/timing counters")
-    sweep.add_argument("--metrics-out", default=None, metavar="FILE",
-                       help="write aggregated telemetry.json (implies"
-                            " --telemetry)")
+    _add_telemetry_arguments(sweep)
     sweep.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="run points across N worker processes (prepare"
                             " happens once per benchmark; workers load"
@@ -198,9 +229,7 @@ def _build_parser() -> argparse.ArgumentParser:
              " per-result invariants, the paper's dominance orders, and"
              " golden-baseline regression gating (--record / --check)",
     )
-    validate.add_argument("--benchmarks", default=None,
-                          help="comma-separated subset (default: all five)")
-    validate.add_argument("--scale", type=int, default=None)
+    _add_grid_arguments(validate)
     validate.add_argument("--smoke", action="store_true",
                           help="validate the 40-config smoke grid instead"
                                " of the full 560-config space")
@@ -216,26 +245,94 @@ def _build_parser() -> argparse.ArgumentParser:
                           metavar="FRACTION",
                           help="relative tolerance for dominance"
                                " comparisons (default 0.02)")
-    validate.add_argument("--telemetry", action="store_true",
-                          help="live progress line plus counters")
-    validate.add_argument("--metrics-out", default=None, metavar="FILE",
-                          help="write telemetry.json including the"
-                               " validation report (implies --telemetry)")
+    _add_telemetry_arguments(validate)
 
     bench = sub.add_parser(
         "bench",
         help="time a small fixed sweep grid on the serial and process"
-             " backends and write BENCH_sweep.json",
+             " backends (--mode backends, writes BENCH_sweep.json) or"
+             " cold/warm submits against an in-process service daemon"
+             " (--mode service, writes BENCH_service.json)",
     )
-    bench.add_argument("--benchmarks", default="grep",
-                       help="comma-separated benchmarks (default: grep)")
+    bench.add_argument("--mode", choices=("backends", "service"),
+                       default="backends",
+                       help="what to bench: execution backends (default)"
+                            " or the service daemon's cold/warm path")
+    _add_grid_arguments(bench, default_benchmarks="grep")
     bench.add_argument("--points", type=int, default=24,
-                       help="grid points to time per backend (default 24)")
+                       help="grid points to time per backend (default 24;"
+                            " backends mode only -- service mode always"
+                            " submits the smoke grid)")
     bench.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="process-backend worker count (default: host"
-                            " CPU count)")
-    bench.add_argument("--scale", type=int, default=None)
-    bench.add_argument("-o", "--output", default="BENCH_sweep.json")
+                            " CPU count; backends mode only)")
+    bench.add_argument("--status-requests", type=int, default=200,
+                       help="status requests timed for the requests/s"
+                            " figure (service mode; default 200)")
+    bench.add_argument("-o", "--output", default=None,
+                       help="output path (default: BENCH_sweep.json or"
+                            " BENCH_service.json by mode)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived simulation service: keeps prepared"
+             " workloads, the result cache and (with --jobs N) a worker"
+             " pool resident between submitted jobs (see the 'Service"
+             " layer' section of DESIGN.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="listen port (0 picks a free one; default 8737)")
+    serve.add_argument("--scale", type=int, default=None,
+                       help="the one input scale this daemon serves"
+                            " (result-cache keys embed it)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run points across N worker processes")
+    serve.add_argument("--max-queued", type=int, default=8, metavar="N",
+                       help="admission bound: queued jobs beyond this are"
+                            " rejected with a typed 429 (default 8)")
+    serve.add_argument("--max-job-points", type=int, default=5600,
+                       metavar="N",
+                       help="admission bound: largest accepted job fan-out"
+                            " (default 5600 = one full 560-config space"
+                            " x 10 benchmarks)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per point attempt")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="extra attempts for transient point failures")
+    serve.add_argument("--max-cycles", type=int, default=None,
+                       help="engine watchdog: abort a point past this many"
+                            " simulated cycles")
+    serve.add_argument("--validate", action="store_true",
+                       help="run the validation oracle over each finished"
+                            " job (per-job report in the job document)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one grid job to a running service daemon",
+    )
+    _add_grid_arguments(submit)
+    submit.add_argument("--grid", choices=("smoke", "full"), default="smoke",
+                        help="configuration grid to fan out (default:"
+                             " smoke, 40 configs)")
+    submit.add_argument("--limit", type=int, default=None,
+                        help="submit only the first N points of the grid")
+    submit.add_argument("--url", default="http://127.0.0.1:8737",
+                        help="service base URL")
+    submit.add_argument("--wait", action="store_true",
+                        help="stream progress events until the job reaches"
+                             " a terminal state")
+    submit.add_argument("--connect-retries", type=int, default=0,
+                        metavar="N",
+                        help="poll the daemon's /healthz up to N times"
+                             " before submitting (startup races)")
+    submit.add_argument("--expect-all-cached", action="store_true",
+                        help="with --wait: exit non-zero unless every"
+                             " point was served from the result cache"
+                             " (CI warm-path assertion)")
 
     sub.add_parser("list", help="list benchmarks and configuration axes")
     return parser
@@ -423,10 +520,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 1
 
     reset_zero_ipc_warning()
-    benchmarks = (
-        [name.strip() for name in args.benchmarks.split(",")]
-        if args.benchmarks else None
-    )
+    benchmarks = _benchmarks_from_args(args)
     telemetry = args.telemetry or bool(args.metrics_out)
     collector = MetricsCollector() if telemetry else None
     validating = args.validate or bool(args.baseline)
@@ -591,14 +685,14 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     Exit codes: 0 clean (warnings allowed), 4 gating findings, 1 fatal.
     """
-    from .machine.config import smoke_configuration_space
+    from .machine.config import (
+        full_configuration_space,
+        smoke_configuration_space,
+    )
     from .telemetry import MetricsCollector, ProgressLine
     from .validate import default_baseline_path, record_baseline, run_oracle
 
-    benchmarks = (
-        [name.strip() for name in args.benchmarks.split(",")]
-        if args.benchmarks else None
-    )
+    benchmarks = _benchmarks_from_args(args)
     telemetry = args.telemetry or bool(args.metrics_out)
     collector = MetricsCollector() if telemetry else None
     runner = SweepRunner(benchmarks=benchmarks, scale=args.scale,
@@ -655,6 +749,12 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.mode == "service":
+        return _bench_service(args)
+    return _bench_backends(args)
+
+
+def _bench_backends(args: argparse.Namespace) -> int:
     """Time one fixed grid on the serial and process backends.
 
     Artifacts are materialized once up front and each backend runs
@@ -676,7 +776,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .machine.config import full_configuration_space
     from .workloads.base import clear_prepared_cache
 
-    benchmarks = [name.strip() for name in args.benchmarks.split(",")]
+    benchmarks = _benchmarks_from_args(args) or ["grep"]
     cpu_count = os.cpu_count() or 1
     jobs = args.jobs if args.jobs is not None else max(2, cpu_count)
     probe = SweepRunner(benchmarks=benchmarks, scale=args.scale,
@@ -778,11 +878,257 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         },
         "validate_overhead_pct": round(validate_overhead_pct, 3),
     }
-    with open(args.output, "w", encoding="utf-8") as handle:
+    output = args.output or "BENCH_sweep.json"
+    with open(output, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")
-    print(f"speedup: {speedup:.2f}x; wrote {args.output}")
+    print(f"speedup: {speedup:.2f}x; wrote {output}")
     return 1 if (serial["failures"] or process["failures"]) else 0
+
+
+def _bench_service(args: argparse.Namespace) -> int:
+    """Bench the daemon's headline win: cold vs warm identical submits.
+
+    Spins up an in-process daemon (scheduler + HTTP server on an
+    ephemeral port) over throwaway cache/artifact directories, submits
+    the smoke grid twice through the real HTTP client, and times both:
+    the cold submit pays prepare + simulate, the warm one must be served
+    entirely from the resident result cache.  A status-endpoint hammer
+    then measures request throughput.  Writes ``BENCH_service.json``.
+    """
+    import json
+    import os
+    import tempfile
+    import threading
+    import time
+
+    from .service import JobScheduler, ServiceClient, make_server
+    from .telemetry import MetricsCollector
+    from .workloads.base import clear_prepared_cache
+
+    benchmarks = _benchmarks_from_args(args) or ["grep"]
+    spec = {"benchmarks": benchmarks, "grid": "smoke"}
+    cpu_count = os.cpu_count() or 1
+
+    clear_prepared_cache()
+    with tempfile.TemporaryDirectory() as tmp:
+        saved = {
+            name: os.environ.get(name)
+            for name in ("REPRO_CACHE_DIR", "REPRO_ARTIFACT_DIR")
+        }
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        os.environ["REPRO_ARTIFACT_DIR"] = os.path.join(tmp, "workloads")
+        try:
+            runner = SweepRunner(scale=args.scale,
+                                 collector=MetricsCollector())
+            scheduler = JobScheduler(
+                runner, journal_path=os.path.join(tmp, "journal.jsonl")
+            )
+            scheduler.start()
+            server = make_server(scheduler, port=0, quiet=True)
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_address[1]}"
+            )
+            try:
+                client.wait_ready()
+
+                def submit_and_wait() -> tuple:
+                    start = time.perf_counter()
+                    job = client.submit(spec)
+                    final = client.wait(job["job_id"])
+                    return time.perf_counter() - start, final
+
+                total = len(benchmarks) * 40  # smoke grid: 40 configs
+                print(f"bench service: {total}-point smoke grid on"
+                      f" {','.join(benchmarks)}, cold then warm",
+                      file=sys.stderr)
+                cold_s, cold_job = submit_and_wait()
+                print(f"  cold submit : {cold_s:.2f}s"
+                      f" ({cold_job['points']['fresh']} simulated)",
+                      file=sys.stderr)
+                warm_s, warm_job = submit_and_wait()
+                print(f"  warm submit : {warm_s:.3f}s"
+                      f" ({warm_job['points']['cached']} cache hits)",
+                      file=sys.stderr)
+
+                requests = max(1, args.status_requests)
+                start = time.perf_counter()
+                for _ in range(requests):
+                    client.job(warm_job["job_id"], include_results=False)
+                status_wall = time.perf_counter() - start
+                requests_per_s = requests / status_wall if status_wall else 0.0
+                print(f"  status      : {requests} requests in"
+                      f" {status_wall:.2f}s ({requests_per_s:.0f} req/s)",
+                      file=sys.stderr)
+            finally:
+                server.shutdown()
+                server.server_close()
+                scheduler.stop()
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+            clear_prepared_cache()
+
+    document = {
+        "schema": "repro.bench.service/1",
+        "host": {"cpu_count": cpu_count},
+        "grid": {
+            "benchmarks": benchmarks,
+            "grid": "smoke",
+            "points": total,
+            "scale": runner.scale,
+        },
+        "cold": {
+            "wall_s": round(cold_s, 3),
+            "points": cold_job["points"],
+        },
+        "warm": {
+            "wall_s": round(warm_s, 4),
+            "points": warm_job["points"],
+            "counters": warm_job.get("counters", {}),
+        },
+        "warm_speedup": round(cold_s / warm_s, 1) if warm_s else 0.0,
+        "status_requests_per_s": round(requests_per_s, 1),
+    }
+    output = args.output or "BENCH_service.json"
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"warm speedup: {document['warm_speedup']:.1f}x; wrote {output}")
+    failed = cold_job["points"]["failed"] + warm_job["points"]["failed"]
+    warm_misses = warm_job["points"]["fresh"]
+    if warm_misses:
+        print(f"bench service: warm submit re-simulated {warm_misses}"
+              " point(s); the resident cache is not working", file=sys.stderr)
+    return 1 if (failed or warm_misses) else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service daemon until interrupted.
+
+    One scheduler thread owns the runner (cache + collector + backend);
+    the HTTP server fans requests onto its thread-safe surface.  The
+    ready line on stdout is machine-parsable ("listening on URL") so
+    wrappers and CI can wait for it.
+    """
+    from .harness.executor import ExecutionPolicy
+    from .service import JobScheduler, make_server
+    from .telemetry import MetricsCollector
+
+    if args.jobs < 1:
+        print("fatal: --jobs must be >= 1", file=sys.stderr)
+        return 1
+    collector = MetricsCollector()
+    runner = SweepRunner(scale=args.scale, collector=collector,
+                         max_cycles=args.max_cycles)
+    policy = ExecutionPolicy(timeout_s=args.timeout, retries=args.retries,
+                             max_cycles=args.max_cycles)
+    scheduler = JobScheduler(
+        runner, policy=policy, jobs=args.jobs,
+        max_queued_jobs=args.max_queued,
+        max_job_points=args.max_job_points,
+        validate=args.validate,
+    )
+    try:
+        server = make_server(scheduler, host=args.host, port=args.port,
+                             quiet=args.quiet)
+    except OSError as exc:
+        print(f"fatal: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    host, port = server.server_address[:2]
+    scheduler.start()
+    print(f"repro service listening on http://{host}:{port}"
+          f" (scale {runner.scale}, backend {scheduler.backend.name},"
+          f" max {args.max_queued} queued job(s))", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        scheduler.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one grid job; with ``--wait``, stream progress to stderr."""
+    from .service import AdmissionRejected, JobFailed, ServiceClient
+    from .service import ServiceError
+
+    client = ServiceClient(args.url)
+    spec = {"grid": args.grid}
+    benchmarks = _benchmarks_from_args(args)
+    if benchmarks is not None:
+        spec["benchmarks"] = benchmarks
+    if args.scale is not None:
+        spec["scale"] = args.scale
+    if args.limit is not None:
+        spec["limit"] = args.limit
+    try:
+        if args.connect_retries:
+            client.wait_ready(attempts=args.connect_retries)
+        job = client.submit(spec)
+    except AdmissionRejected as exc:
+        print(f"rejected ({exc.reason}): {exc}", file=sys.stderr)
+        return 5
+    except ServiceError as exc:
+        print(f"fatal: {exc}", file=sys.stderr)
+        return 1
+    job_id = job["job_id"]
+    print(f"accepted {job_id}: {job['points']['total']} point(s),"
+          f" state {job['state']}")
+    if not args.wait:
+        return 0
+
+    def show(event: dict) -> None:
+        kind = event.get("kind", "")
+        if kind == "point":
+            print(f"  [{event['resolved']}/{event['total']}]"
+                  f" {event['status']:6s} {event['benchmark']}"
+                  f" {event['config']}", file=sys.stderr)
+        elif kind.startswith("job."):
+            print(f"  {kind}", file=sys.stderr)
+
+    try:
+        final = client.wait(job_id, on_event=show)
+    except JobFailed as exc:
+        points = exc.job.get("points", {})
+        print(f"job {job_id} {exc.job.get('state')}:"
+              f" {points.get('failed', '?')} failed point(s)"
+              f" ({exc.job.get('error')})", file=sys.stderr)
+        return 3
+    except ServiceError as exc:
+        print(f"fatal: {exc}", file=sys.stderr)
+        return 1
+    points = final["points"]
+    wall = (final["finished_s"] - final["started_s"]
+            if final.get("finished_s") and final.get("started_s") else 0.0)
+    print(f"job {job_id} done: {points['total']} point(s)"
+          f" ({points['cached']} cached, {points['fresh']} simulated,"
+          f" {points['deduped']} deduped) in {wall:.2f}s")
+    validation = final.get("validation")
+    if validation is not None:
+        severities = validation.get("severities", {})
+        print(f"validation: {validation.get('checked_results', 0)} result(s)"
+              f" checked, {severities.get('error', 0)} error(s),"
+              f" {severities.get('warning', 0)} warning(s)")
+        if severities.get("error"):
+            return 4
+    if args.expect_all_cached and points["cached"] != points["total"]:
+        print(f"expected all {points['total']} point(s) cached, but"
+              f" {points['fresh']} were re-simulated and"
+              f" {points['failed']} failed", file=sys.stderr)
+        return 3
+    return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -811,6 +1157,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

@@ -34,6 +34,41 @@ class TraceFormatError(Exception):
     """Raised for unreadable or mismatched trace files."""
 
 
+def _read_exact(stream: BinaryIO, count: int, what: str) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`TraceFormatError`.
+
+    Truncation is the common corruption mode (a killed writer, a partial
+    copy); every load-path read goes through here so it always surfaces
+    as a typed format error rather than a bare ``struct.error``.
+    """
+    data = stream.read(count)
+    if len(data) != count:
+        raise TraceFormatError(
+            f"truncated trace: expected {count} byte(s) of {what},"
+            f" got {len(data)}"
+        )
+    return data
+
+
+def _read_array(stream: BinaryIO, typecode: str, count: int,
+                what: str) -> array:
+    """Read ``count`` array items, mapping EOF to :class:`TraceFormatError`.
+
+    ``array.fromfile`` raises ``EOFError`` when the stream runs dry on an
+    item boundary and ``ValueError`` when the leftover byte count is not
+    a multiple of the item size; both are the same truncation to us.
+    """
+    values = array(typecode)
+    try:
+        values.fromfile(stream, count)
+    except (EOFError, ValueError):
+        raise TraceFormatError(
+            f"truncated trace: expected {count} {what} item(s),"
+            f" got {len(values)}"
+        ) from None
+    return values
+
+
 def save_trace(trace: Trace, stream: BinaryIO) -> None:
     """Write ``trace`` to a binary stream."""
     stream.write(_MAGIC)
@@ -53,11 +88,16 @@ def save_trace(trace: Trace, stream: BinaryIO) -> None:
 
 
 def load_trace(stream: BinaryIO) -> Trace:
-    """Read a trace previously written by :func:`save_trace`."""
-    if stream.read(4) != _MAGIC:
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises:
+        TraceFormatError: bad magic, unsupported version, or a stream
+            that ends before the header-declared payload does.
+    """
+    if _read_exact(stream, 4, "magic") != _MAGIC:
         raise TraceFormatError("not a trace file (bad magic)")
     version, exit_code, retired, discarded = struct.unpack(
-        "<IiQQ", stream.read(struct.calcsize("<IiQQ"))
+        "<IiQQ", _read_exact(stream, struct.calcsize("<IiQQ"), "header")
     )
     if version != _VERSION:
         raise TraceFormatError(f"unsupported trace version {version}")
@@ -66,21 +106,25 @@ def load_trace(stream: BinaryIO) -> Trace:
     trace.retired_nodes = retired
     trace.discarded_nodes = discarded
 
-    (n_labels,) = struct.unpack("<I", stream.read(4))
+    (n_labels,) = struct.unpack("<I", _read_exact(stream, 4, "label count"))
     for _ in range(n_labels):
-        (length,) = struct.unpack("<H", stream.read(2))
-        trace.intern(stream.read(length).decode("utf-8"))
+        (length,) = struct.unpack(
+            "<H", _read_exact(stream, 2, "label length")
+        )
+        try:
+            label = _read_exact(stream, length, "label").decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(f"undecodable label: {exc}") from None
+        trace.intern(label)
 
-    (n_blocks,) = struct.unpack("<I", stream.read(4))
-    block_ids = array("I")
-    block_ids.fromfile(stream, n_blocks)
-    outcomes = array("B")
-    outcomes.fromfile(stream, n_blocks)
-    faults = array("i")
-    faults.fromfile(stream, n_blocks)
-    (n_addresses,) = struct.unpack("<I", stream.read(4))
-    addresses = array("Q")
-    addresses.fromfile(stream, n_addresses)
+    (n_blocks,) = struct.unpack("<I", _read_exact(stream, 4, "block count"))
+    block_ids = _read_array(stream, "I", n_blocks, "block id")
+    outcomes = _read_array(stream, "B", n_blocks, "outcome")
+    faults = _read_array(stream, "i", n_blocks, "fault index")
+    (n_addresses,) = struct.unpack(
+        "<I", _read_exact(stream, 4, "address count")
+    )
+    addresses = _read_array(stream, "Q", n_addresses, "address")
 
     trace.block_ids = list(block_ids)
     trace.outcomes = list(outcomes)

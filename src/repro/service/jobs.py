@@ -1,0 +1,307 @@
+"""Job model for the simulation service.
+
+A job is one grid query -- "simulate these benchmarks over this
+configuration grid" -- accepted by the daemon and executed
+asynchronously.  Two design rules keep the model restart-safe:
+
+* **Deterministic identity.**  A job's id is derived from the sorted
+  result-cache keys of its points (plus a per-daemon acceptance
+  sequence number for uniqueness), so identical grid queries are
+  recognizably identical across restarts, logs and clients, and the
+  id pins exactly which ``CACHE_VERSION`` the results belong to.
+* **Journaled acceptance.**  Every accepted job and every state
+  transition is appended to a JSONL journal before it is acknowledged.
+  A daemon restart replays the journal: finished jobs reappear for
+  status queries, and accepted-but-unfinished jobs are re-queued.  The
+  journal never records results -- completed points live in the result
+  cache, which is why a replayed job re-runs at cache-hit speed instead
+  of duplicating work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..harness.cache import result_key
+from ..machine.config import (
+    MachineConfig,
+    full_configuration_space,
+    smoke_configuration_space,
+)
+
+#: Journal layout version (a line with another version is ignored).
+JOURNAL_VERSION = 1
+
+#: Default journal filename, placed next to the result cache.
+JOURNAL_BASENAME = "service.journal.jsonl"
+
+# Job lifecycle -------------------------------------------------------
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+TERMINAL_STATES = frozenset({JOB_DONE, JOB_FAILED, JOB_CANCELLED})
+
+#: The configuration grids a job may ask for.
+GRIDS = {
+    "smoke": smoke_configuration_space,
+    "full": full_configuration_space,
+}
+
+
+class SpecError(ValueError):
+    """A malformed or unsatisfiable grid spec (the client's fault: 400)."""
+
+
+def default_journal_path() -> str:
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    return os.path.join(root, JOURNAL_BASENAME)
+
+
+@dataclass(frozen=True)
+class PointJob:
+    """One (benchmark, configuration) point of a job's fan-out."""
+
+    benchmark: str
+    config: MachineConfig
+    #: result-cache key; also the scheduler's deduplication key.
+    key: str
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """What a client asks the service to simulate.
+
+    ``scale`` of None means "the daemon's configured scale" -- the
+    result-cache keys embed the scale, so one daemon serves one scale
+    and the scheduler rejects explicit mismatches at admission.
+    """
+
+    benchmarks: Tuple[str, ...]
+    grid: str = "smoke"
+    scale: Optional[int] = None
+    #: keep only the first N points of the fan-out (budgeting / tests).
+    limit: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, raw: Any) -> "GridSpec":
+        """Parse and validate an untrusted spec document."""
+        from ..workloads import WORKLOADS
+
+        if not isinstance(raw, dict):
+            raise SpecError("spec must be a JSON object")
+        unknown_fields = set(raw) - {"benchmarks", "grid", "scale", "limit"}
+        if unknown_fields:
+            raise SpecError(f"unknown spec fields: {sorted(unknown_fields)}")
+        benchmarks = raw.get("benchmarks")
+        if benchmarks is None:
+            benchmarks = sorted(WORKLOADS)
+        if (not isinstance(benchmarks, (list, tuple)) or not benchmarks
+                or not all(isinstance(name, str) for name in benchmarks)):
+            raise SpecError("benchmarks must be a non-empty list of names")
+        unknown = [name for name in benchmarks if name not in WORKLOADS]
+        if unknown:
+            raise SpecError(f"unknown benchmarks: {unknown}")
+        grid = raw.get("grid", "smoke")
+        if grid not in GRIDS:
+            raise SpecError(f"unknown grid {grid!r}; pick from {sorted(GRIDS)}")
+        scale = raw.get("scale")
+        if scale is not None and (not isinstance(scale, int) or scale < 1):
+            raise SpecError("scale must be a positive integer")
+        limit = raw.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 1):
+            raise SpecError("limit must be a positive integer")
+        return cls(benchmarks=tuple(benchmarks), grid=grid, scale=scale,
+                   limit=limit)
+
+    def to_dict(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "benchmarks": list(self.benchmarks),
+            "grid": self.grid,
+        }
+        if self.scale is not None:
+            document["scale"] = self.scale
+        if self.limit is not None:
+            document["limit"] = self.limit
+        return document
+
+    # ------------------------------------------------------------------
+    def points(self, scale: int) -> List[PointJob]:
+        """The job's fan-out, benchmark-major (prepare once per benchmark).
+
+        Benchmark-major order matters for the same reason it does in a
+        parallel sweep: a benchmark's expensive prepare happens on its
+        first point, so grouping keeps at most one prepare in flight and
+        every later point of that benchmark rides the warm workload.
+        """
+        configs = list(GRIDS[self.grid]())
+        out: List[PointJob] = []
+        for name in self.benchmarks:
+            for config in configs:
+                out.append(PointJob(name, config,
+                                    result_key(name, config, scale)))
+        if self.limit is not None:
+            out = out[: self.limit]
+        return out
+
+    def digest(self, scale: int) -> str:
+        """Deterministic identity of this grid query at this scale.
+
+        Hashes the sorted result-cache keys, so two specs naming the
+        same point set -- and only those -- share a digest, and any
+        ``CACHE_VERSION`` bump changes every digest with it.
+        """
+        hasher = hashlib.sha256()
+        for key in sorted(point.key for point in self.points(scale)):
+            hasher.update(key.encode())
+            hasher.update(b"\n")
+        return hasher.hexdigest()[:12]
+
+
+@dataclass
+class SweepJob:
+    """One accepted grid query and everything known about its progress.
+
+    Mutable state is owned by the scheduler (all mutation happens under
+    its lock); HTTP handlers only ever see :meth:`to_dict` snapshots.
+    """
+
+    job_id: str
+    spec: GridSpec
+    seq: int
+    scale: int
+    points_total: int
+    state: str = JOB_QUEUED
+    created_s: float = field(default_factory=time.time)
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    points_cached: int = 0
+    points_fresh: int = 0
+    points_failed: int = 0
+    #: points this job did not dispatch because an identical point was
+    #: already in flight for another job (it shares that outcome).
+    points_deduped: int = 0
+    cancel_requested: bool = False
+    error: Optional[str] = None
+    #: per-job telemetry counter deltas, stamped at completion.
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: per-job validation oracle report (``serve --validate``).
+    validation: Optional[Dict[str, Any]] = None
+    #: one summary record per resolved point, in resolution order.
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    #: SimResult objects for this job (validation input; not serialized).
+    sim_results: List[Any] = field(default_factory=list)
+
+    @property
+    def points_resolved(self) -> int:
+        return self.points_cached + self.points_fresh + self.points_failed
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, include_results: bool = True) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "seq": self.seq,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "scale": self.scale,
+            "points": {
+                "total": self.points_total,
+                "resolved": self.points_resolved,
+                "cached": self.points_cached,
+                "fresh": self.points_fresh,
+                "failed": self.points_failed,
+                "deduped": self.points_deduped,
+            },
+            "created_s": self.created_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+        }
+        if self.counters:
+            document["counters"] = dict(self.counters)
+        if self.validation is not None:
+            document["validation"] = self.validation
+        if include_results:
+            document["results"] = [dict(record) for record in self.results]
+        return document
+
+
+class JobJournal:
+    """Append-only JSONL record of accepted jobs and their transitions.
+
+    One line per event, flushed immediately, so a killed daemon loses at
+    most the event being written.  Replay tolerates a truncated final
+    line (the usual crash artefact) by skipping unparsable lines.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+
+    def _open(self):
+        if self._handle is None:
+            directory = os.path.dirname(self.path) or "."
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, record: Dict[str, Any]) -> None:
+        record = dict(record)
+        record["v"] = JOURNAL_VERSION
+        handle = self._open()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replay(path: str) -> List[Dict[str, Any]]:
+        """All well-formed journal records at ``path``, in write order."""
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # truncated tail of a crashed write
+                    if (isinstance(record, dict)
+                            and record.get("v") == JOURNAL_VERSION):
+                        records.append(record)
+        except OSError:
+            return []
+        return records
+
+    def rewrite(self, records: Sequence[Dict[str, Any]]) -> None:
+        """Compact the journal to ``records`` (restart-time hygiene)."""
+        self.close()
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for record in records:
+                record = dict(record)
+                record["v"] = JOURNAL_VERSION
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)

@@ -1,0 +1,612 @@
+"""FIFO job scheduler: the daemon's single execution loop.
+
+One background thread owns the :class:`~repro.harness.runner.SweepRunner`
+(and through it the result cache, the telemetry collector and the
+execution backend), preserving the single-writer discipline of batch
+sweeps exactly: HTTP threads only parse specs, take the admission lock
+and read snapshots -- they never touch the cache or the collector.
+
+Execution of one job mirrors the batch sweep loop point for point:
+cache probe first (hits route through ``observe_result`` just like
+``sweep`` does), then dispatch onto the shared
+:class:`~repro.harness.backend.ExecutionBackend`, whose serial and pool
+variants already own the cache-store/observe/merge discipline.  Because
+the runner, the in-process prepared-workload cache and the pool survive
+between jobs, the first job pays preparation once and every later job
+that touches the same benchmarks starts warm -- the service's whole
+reason to exist.
+
+Admission control is typed: :class:`AdmissionError` carries a machine
+-readable reason (``queue-full``, ``job-too-large``, ``scale-mismatch``,
+``stopped``) and the HTTP status it maps to, so clients can distinguish
+"retry later" from "fix your request".
+
+Deduplication: a point key is in flight at most once daemon-wide.  The
+common cross-job case resolves through the result cache (an earlier
+job's finished point is a later job's cache hit); the in-flight map
+covers the live window -- most visibly the points a cancelled job left
+running, which a successor job subscribes to instead of re-dispatching.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..harness.backend import ExecutionBackend, PointTask, make_backend
+from ..harness.executor import ExecutionPolicy
+from ..harness.runner import SweepRunner
+from ..stats.results import SimResult
+from .jobs import (
+    GridSpec,
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobJournal,
+    PointJob,
+    SpecError,
+    SweepJob,
+    TERMINAL_STATES,
+    default_journal_path,
+)
+
+#: Hard ceiling a job's event list may grow to; earlier point events are
+#: dropped (the job's ``results`` list keeps every record regardless).
+MAX_EVENTS_PER_JOB = 10_000
+
+
+class AdmissionError(Exception):
+    """Typed admission rejection (the service is full or stopping)."""
+
+    def __init__(self, reason: str, message: str, http_status: int = 429,
+                 retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.reason = reason
+        self.http_status = http_status
+        self.retry_after_s = retry_after_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "error": "admission",
+            "reason": self.reason,
+            "message": str(self),
+        }
+        if self.retry_after_s is not None:
+            document["retry_after_s"] = self.retry_after_s
+        return document
+
+
+class UnknownJobError(KeyError):
+    """No such job id (404)."""
+
+
+class JobScheduler:
+    """Accepts jobs, runs them FIFO, and streams progress events."""
+
+    def __init__(self, runner: SweepRunner, *,
+                 backend: Optional[ExecutionBackend] = None,
+                 policy: Optional[ExecutionPolicy] = None,
+                 jobs: int = 1,
+                 max_queued_jobs: int = 8,
+                 max_job_points: int = 5600,
+                 journal_path: Optional[str] = None,
+                 validate: bool = False):
+        self.runner = runner
+        self.backend = backend if backend is not None else make_backend(
+            runner, policy, jobs=jobs
+        )
+        self.max_queued_jobs = max_queued_jobs
+        self.max_job_points = max_job_points
+        self.validate = validate
+        self.started_at = time.time()
+
+        self._cond = threading.Condition()
+        self._jobs: Dict[str, SweepJob] = {}
+        self._order: List[str] = []  # acceptance order, for listings
+        self._queue: Deque[str] = deque()
+        self._events: Dict[str, List[Dict[str, Any]]] = {}
+        #: point key -> job ids awaiting its outcome (daemon-wide dedup).
+        self._inflight: Dict[str, List[str]] = {}
+        self._seq = 0
+        self._stop_requested = False
+        self._thread: Optional[threading.Thread] = None
+        #: admission-side counters (mutated under the lock by HTTP
+        #: threads; kept off the collector, which only the scheduler
+        #: thread writes).
+        self.stats: Dict[str, int] = {
+            "jobs.accepted": 0,
+            "jobs.rejected.queue-full": 0,
+            "jobs.rejected.job-too-large": 0,
+            "jobs.rejected.scale-mismatch": 0,
+            "jobs.rejected.stopped": 0,
+            "jobs.done": 0,
+            "jobs.failed": 0,
+            "jobs.cancelled": 0,
+            "points.deduped": 0,
+        }
+        #: scheduler-thread refresh of the collector's counters, so
+        #: ``/metrics`` reads never race collector writes.
+        self._counters_view: Dict[str, int] = {}
+
+        self._journal = JobJournal(
+            journal_path if journal_path is not None
+            else default_journal_path()
+        )
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the scheduler thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 60.0, cancel_pending: bool = True) -> None:
+        """Stop the loop, optionally cancelling queued/running jobs.
+
+        In-flight points of the running job are abandoned with the
+        backend (their results, if any completed, are already in the
+        cache); accepted-but-unfinished jobs stay journaled and re-queue
+        on the next start.
+        """
+        with self._cond:
+            self._stop_requested = True
+            if cancel_pending:
+                for job in self._jobs.values():
+                    if not job.terminal:
+                        job.cancel_requested = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            self._thread = None
+        self.backend.close()
+        self._journal.close()
+
+    # ------------------------------------------------------------------
+    # admission (called from HTTP threads)
+    # ------------------------------------------------------------------
+    def submit(self, spec: GridSpec) -> Dict[str, Any]:
+        """Accept (journal + queue) one job, or raise a typed rejection."""
+        scale = spec.scale if spec.scale is not None else self.runner.scale
+        if scale != self.runner.scale:
+            with self._cond:
+                self.stats["jobs.rejected.scale-mismatch"] += 1
+            raise AdmissionError(
+                "scale-mismatch",
+                f"this daemon serves scale {self.runner.scale}, not {scale}"
+                " (result-cache keys embed the scale)",
+                http_status=400,
+            )
+        points = spec.points(scale)
+        digest = spec.digest(scale)
+        with self._cond:
+            if self._stop_requested:
+                self.stats["jobs.rejected.stopped"] += 1
+                raise AdmissionError(
+                    "stopped", "the service is shutting down",
+                    http_status=503,
+                )
+            if len(points) > self.max_job_points:
+                self.stats["jobs.rejected.job-too-large"] += 1
+                raise AdmissionError(
+                    "job-too-large",
+                    f"job has {len(points)} points; this daemon admits at"
+                    f" most {self.max_job_points} per job",
+                    http_status=429,
+                )
+            if len(self._queue) >= self.max_queued_jobs:
+                self.stats["jobs.rejected.queue-full"] += 1
+                raise AdmissionError(
+                    "queue-full",
+                    f"{len(self._queue)} job(s) already queued (bound"
+                    f" {self.max_queued_jobs}); retry later",
+                    http_status=429,
+                    retry_after_s=5.0,
+                )
+            self._seq += 1
+            job = SweepJob(
+                job_id=f"{digest}-{self._seq:04d}",
+                spec=spec, seq=self._seq, scale=scale,
+                points_total=len(points),
+            )
+            self._admit(job)
+            self.stats["jobs.accepted"] += 1
+            self._cond.notify_all()
+            return job.to_dict(include_results=False)
+
+    def _admit(self, job: SweepJob) -> None:
+        """Register one queued job (lock held): journal, queue, event."""
+        self._jobs[job.job_id] = job
+        self._order.append(job.job_id)
+        self._events[job.job_id] = []
+        self._queue.append(job.job_id)
+        self._journal.append({
+            "event": "accept",
+            "job_id": job.job_id,
+            "seq": job.seq,
+            "scale": job.scale,
+            "points_total": job.points_total,
+            "spec": job.spec.to_dict(),
+        })
+        self._emit(job, "job.queued", queue_depth=len(self._queue))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; queued jobs settle immediately."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            if job.terminal:
+                return job.to_dict(include_results=False)
+            job.cancel_requested = True
+            if job.state == JOB_QUEUED:
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:
+                    pass
+                self._finish_locked(job, JOB_CANCELLED)
+            self._cond.notify_all()
+            return job.to_dict(include_results=False)
+
+    # ------------------------------------------------------------------
+    # read side (called from HTTP threads)
+    # ------------------------------------------------------------------
+    def job(self, job_id: str, include_results: bool = True) -> Dict[str, Any]:
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return job.to_dict(include_results=include_results)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        with self._cond:
+            return [
+                self._jobs[job_id].to_dict(include_results=False)
+                for job_id in self._order
+            ]
+
+    def wait_events(self, job_id: str, after: int = 0,
+                    timeout_s: float = 25.0,
+                    ) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+        """Long-poll: events past ``after``, or until timeout/terminal.
+
+        Returns ``(events, job snapshot)``; an empty event list means
+        the timeout elapsed with nothing new (the client re-polls).
+        """
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        with self._cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise UnknownJobError(job_id)
+                events = self._events[job_id]
+                # Filter by seq, not list index: the front of a very
+                # long stream may have been truncated.
+                fresh = [dict(event) for event in events
+                         if event["seq"] > after]
+                if fresh or job.terminal:
+                    return fresh, job.to_dict(include_results=False)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return [], job.to_dict(include_results=False)
+                self._cond.wait(remaining)
+
+    def health(self) -> Dict[str, Any]:
+        with self._cond:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "ok": True,
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "queued": len(self._queue),
+                "inflight_points": len(self._inflight),
+                "jobs": states,
+                "scale": self.runner.scale,
+                "backend": self.backend.name,
+                "stopping": self._stop_requested,
+            }
+
+    def metrics(self) -> Dict[str, Any]:
+        """Counter snapshot for ``/metrics``.
+
+        Collector counters come from the scheduler thread's last
+        refresh (never a live read of a dict another thread is
+        writing); admission counters are merged in under the lock.
+        """
+        with self._cond:
+            counters = dict(self._counters_view)
+            for name, value in self.stats.items():
+                counters[f"service.{name}"] = value
+            return {
+                "schema": "repro.service.metrics/1",
+                "counters": dict(sorted(counters.items())),
+                "service": self.health(),
+            }
+
+    # ------------------------------------------------------------------
+    # journal recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the journal: finished jobs reappear, pending re-queue.
+
+        Completed points are *not* replayed -- they live in the result
+        cache -- so a re-queued job re-runs as cache hits instead of
+        duplicating work.  The journal is compacted afterwards so it
+        does not grow across restart cycles.
+        """
+        records = JobJournal.replay(self._journal.path)
+        if not records:
+            return
+        final_state: Dict[str, Dict[str, Any]] = {}
+        accepted: Dict[str, Dict[str, Any]] = {}
+        order: List[str] = []
+        for record in records:
+            job_id = record.get("job_id")
+            if not isinstance(job_id, str):
+                continue
+            if record.get("event") == "accept":
+                if job_id not in accepted:
+                    accepted[job_id] = record
+                    order.append(job_id)
+            elif record.get("event") == "state":
+                final_state[job_id] = record
+        compacted: List[Dict[str, Any]] = []
+        with self._cond:
+            self._recover_jobs(accepted, final_state, order, compacted)
+        self._journal.rewrite(compacted)
+
+    def _recover_jobs(self, accepted: Dict[str, Dict[str, Any]],
+                      final_state: Dict[str, Dict[str, Any]],
+                      order: List[str],
+                      compacted: List[Dict[str, Any]]) -> None:
+        """Rebuild job state from replayed records (lock held)."""
+        for job_id in order:
+            record = accepted[job_id]
+            try:
+                spec = GridSpec.from_dict(record.get("spec"))
+                scale = int(record["scale"])
+                seq = int(record["seq"])
+                points_total = int(record["points_total"])
+            except (SpecError, KeyError, TypeError, ValueError):
+                continue  # an unusable record: drop it from the compaction
+            job = SweepJob(job_id=job_id, spec=spec, seq=seq, scale=scale,
+                           points_total=points_total)
+            self._seq = max(self._seq, seq)
+            state_record = final_state.get(job_id)
+            state = (state_record or {}).get("state")
+            compacted.append({key: record[key] for key in
+                              ("event", "job_id", "seq", "scale",
+                               "points_total", "spec")})
+            if state in TERMINAL_STATES:
+                job.state = state
+                job.error = (state_record or {}).get("error")
+                points = (state_record or {}).get("points")
+                if isinstance(points, dict):
+                    job.points_cached = int(points.get("cached", 0))
+                    job.points_fresh = int(points.get("fresh", 0))
+                    job.points_failed = int(points.get("failed", 0))
+                    job.points_deduped = int(points.get("deduped", 0))
+                compacted.append({key: value
+                                  for key, value in state_record.items()
+                                  if key != "v"})
+            else:
+                # Accepted but unfinished when the daemon died: run it
+                # (again); its completed points are cache hits.
+                job.state = JOB_QUEUED
+                self._queue.append(job_id)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._events[job_id] = []
+            if job.state == JOB_QUEUED:
+                self._emit(job, "job.requeued", recovered=True)
+
+    # ------------------------------------------------------------------
+    # scheduler thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            job: Optional[SweepJob] = None
+            drain = False
+            with self._cond:
+                while not self._queue and not self._stop_requested:
+                    if self._inflight:
+                        drain = True
+                        break
+                    self._cond.wait(timeout=0.2)
+                if not drain:
+                    if self._stop_requested and not self._queue:
+                        return
+                    job_id = self._queue.popleft()
+                    job = self._jobs[job_id]
+            if drain:
+                # Idle with leftovers (a cancelled job's in-flight
+                # points): settle them so their results reach the cache.
+                for outcome in self.backend.finish():
+                    self._deliver(outcome)
+                continue
+            assert job is not None
+            if job.cancel_requested:
+                with self._cond:
+                    self._finish_locked(job, JOB_CANCELLED)
+                continue
+            self._execute(job)
+
+    def _execute(self, job: SweepJob) -> None:
+        collector = self.runner.collector
+        with self._cond:
+            job.state = JOB_RUNNING
+            job.started_s = time.time()
+            self._journal.append({"event": "state", "job_id": job.job_id,
+                                  "state": JOB_RUNNING})
+            self._emit(job, "job.running")
+        snap0 = dict(collector.counters) if collector.enabled else {}
+        try:
+            for point in job.spec.points(job.scale):
+                if job.cancel_requested:
+                    break
+                self._step(job, point)
+            if not job.cancel_requested:
+                # Drain everything outstanding -- this job's dispatches
+                # plus any leftovers it subscribed to.
+                for outcome in self.backend.finish():
+                    self._deliver(outcome)
+        except Exception as exc:  # noqa: BLE001 - a job must not kill the loop
+            with self._cond:
+                job.error = f"{type(exc).__name__}: {exc}"
+                self._finish_locked(job, JOB_FAILED)
+            return
+        if collector.enabled:
+            deltas = {
+                name: value - snap0.get(name, 0)
+                for name, value in collector.counters.items()
+                if value != snap0.get(name, 0)
+            }
+        else:
+            deltas = {}
+        report = None
+        if (self.validate and not job.cancel_requested and job.sim_results):
+            from ..validate import run_oracle
+
+            report = run_oracle(job.sim_results, scale=job.scale)
+        with self._cond:
+            job.counters = deltas
+            if report is not None:
+                job.validation = report.to_dict()
+            if job.cancel_requested:
+                state = JOB_CANCELLED
+            elif job.points_failed:
+                state = JOB_FAILED
+                job.error = f"{job.points_failed} point(s) failed"
+            else:
+                state = JOB_DONE
+            self._finish_locked(job, state)
+
+    def _step(self, job: SweepJob, point: PointJob) -> None:
+        """One point: dedup subscription, cache probe, or dispatch."""
+        with self._cond:
+            waiters = self._inflight.get(point.key)
+            if waiters is not None:
+                waiters.append(job.job_id)
+                job.points_deduped += 1
+                self.stats["points.deduped"] += 1
+                return
+        hit = self.runner.cache_lookup(point.benchmark, point.config)
+        if hit is not None:
+            self._resolve(job, point.benchmark, str(point.config),
+                          "cached", hit)
+            return
+        with self._cond:
+            self._inflight[point.key] = [job.job_id]
+        for outcome in self.backend.submit(
+            PointTask(point.benchmark, point.config, point.key)
+        ):
+            self._deliver(outcome)
+
+    def _deliver(self, outcome) -> None:
+        """Route one backend outcome to every job subscribed to its key.
+
+        The backend already performed the cache store and
+        ``observe_result`` under the single-writer discipline; this
+        layer only does job bookkeeping.
+        """
+        with self._cond:
+            subscribers = self._inflight.pop(outcome.task.key, [])
+        status = "failed" if outcome.failure is not None else "fresh"
+        for index, job_id in enumerate(subscribers):
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                continue
+            self._resolve(
+                job, outcome.task.benchmark, str(outcome.task.config),
+                status, outcome.result,
+                error=(outcome.failure.kind
+                       if outcome.failure is not None else None),
+                deduped=index > 0,
+            )
+
+    def _resolve(self, job: SweepJob, benchmark: str, config: str,
+                 status: str, result: Optional[SimResult],
+                 error: Optional[str] = None, deduped: bool = False) -> None:
+        """Record one resolved point on one job and emit its event."""
+        record: Dict[str, Any] = {
+            "benchmark": benchmark,
+            "config": config,
+            "status": status,
+        }
+        if result is not None:
+            record["ipc"] = result.retired_per_cycle
+            record["cycles"] = result.cycles
+        if error is not None:
+            record["error"] = error
+        if deduped:
+            record["deduped"] = True
+        with self._cond:
+            if status == "cached":
+                job.points_cached += 1
+            elif status == "failed":
+                job.points_failed += 1
+            else:
+                job.points_fresh += 1
+            if result is not None:
+                job.sim_results.append(result)
+            job.results.append(record)
+            self._refresh_counters_locked()
+            self._emit(job, "point", resolved=job.points_resolved,
+                       total=job.points_total, **record)
+
+    def _finish_locked(self, job: SweepJob, state: str) -> None:
+        """Terminal transition (lock held): journal, stats, final event."""
+        job.state = state
+        job.finished_s = time.time()
+        stat = {JOB_DONE: "jobs.done", JOB_FAILED: "jobs.failed",
+                JOB_CANCELLED: "jobs.cancelled"}[state]
+        self.stats[stat] += 1
+        self._journal.append({
+            "event": "state",
+            "job_id": job.job_id,
+            "state": state,
+            "error": job.error,
+            "points": {
+                "cached": job.points_cached,
+                "fresh": job.points_fresh,
+                "failed": job.points_failed,
+                "deduped": job.points_deduped,
+            },
+        })
+        self._refresh_counters_locked()
+        self._emit(job, f"job.{state}",
+                   points=job.to_dict(include_results=False)["points"],
+                   error=job.error,
+                   wall_s=(round(job.finished_s - job.started_s, 6)
+                           if job.started_s is not None else None))
+
+    def _refresh_counters_locked(self) -> None:
+        collector = self.runner.collector
+        if collector.enabled:
+            self._counters_view = dict(collector.counters)
+
+    def _emit(self, job: SweepJob, kind: str, **payload: Any) -> None:
+        """Append one event to a job's stream (lock held) and wake waiters."""
+        events = self._events[job.job_id]
+        # Derive seq from the last event, not the list length: truncation
+        # shrinks the list but the stream's numbering must stay monotonic.
+        events.append({
+            "seq": (events[-1]["seq"] + 1) if events else 1,
+            "ts": time.time(),
+            "kind": kind,
+            "job_id": job.job_id,
+            **payload,
+        })
+        if len(events) > MAX_EVENTS_PER_JOB:
+            del events[: len(events) - MAX_EVENTS_PER_JOB]
+        self._cond.notify_all()

@@ -1,0 +1,43 @@
+"""Smoke-run the documented example scripts.
+
+The examples double as user-facing documentation; a refactor that
+breaks their imports or output contract should fail CI, not a reader.
+Each script runs in a subprocess under a temporary working directory
+and cache so it cannot pollute (or be rescued by) the repo state.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(REPO_ROOT, "examples")
+
+
+def run_example(name, tmp_path, timeout_s=240.0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    env["REPRO_ARTIFACT_DIR"] = str(tmp_path / "artifacts")
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        cwd=str(tmp_path), env=env, timeout=timeout_s,
+        capture_output=True, text=True,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        proc = run_example("quickstart.py", tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        # The script prints a static-vs-dynamic comparison.
+        assert "static" in proc.stdout.lower()
+        assert "dynamic" in proc.stdout.lower()
+
+    @pytest.mark.slow
+    def test_window_sweep(self, tmp_path):
+        proc = run_example("window_sweep.py", tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip(), "expected a results table on stdout"

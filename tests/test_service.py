@@ -1,0 +1,589 @@
+"""Simulation service tests: job model, scheduler, journal, HTTP API.
+
+The contracts under test (see DESIGN.md "Service layer"):
+
+* two consecutive identical submits -- the second completes entirely
+  from the result cache (zero re-simulations, zero re-prepares) and the
+  cache it leaves behind is byte-identical to a serial batch sweep of
+  the same grid;
+* admission control is typed: queue-full / job-too-large / scale
+  -mismatch / stopped each carry a machine-readable reason and the HTTP
+  status they map to;
+* a daemon restart replays the journal -- finished jobs reappear for
+  status queries, unfinished jobs re-queue and settle as cache hits
+  instead of duplicating completed points;
+* a point key is in flight at most once daemon-wide: a successor job
+  subscribes to a cancelled job's outstanding points rather than
+  re-dispatching them.
+
+Most tests stub the simulation (same pattern as
+test_parallel_backend.py) so a 3-point job resolves in milliseconds;
+the serial-equivalence acceptance test runs the real pipeline on a
+small grep slice.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.harness.artifacts import default_artifact_root
+from repro.harness.backend import SerialBackend
+from repro.harness.runner import SweepRunner
+from repro.service import (
+    AdmissionError,
+    GridSpec,
+    JobJournal,
+    JobScheduler,
+    ServiceClient,
+    SpecError,
+    UnknownJobError,
+    make_server,
+)
+from repro.service.client import AdmissionRejected, JobNotFound, ServiceError
+from repro.service.jobs import TERMINAL_STATES
+from repro.stats.results import SimResult
+from repro.telemetry import MetricsCollector
+
+
+def fake_result(config, benchmark="grep", cycles=1000):
+    return SimResult(
+        benchmark=benchmark,
+        config=config,
+        cycles=cycles,
+        retired_nodes=4000,
+        discarded_nodes=100,
+        dynamic_blocks=800,
+        mispredicts=10,
+        branch_lookups=100,
+        faults=2,
+        loads=300,
+        stores=200,
+        cache_accesses=500,
+        cache_misses=25,
+        write_buffer_hits=40,
+        issue_words=1000,
+        issued_slots=4100,
+        window_block_cycles=2400,
+        window_samples=800,
+        work_nodes=4000,
+    )
+
+
+@pytest.fixture
+def stub_sim(monkeypatch):
+    """Stub the simulation; returns a list recording every simulate call."""
+    calls = []
+
+    def stub(workload, config, collector=None, max_cycles=None, **kwargs):
+        calls.append(config)
+        return fake_result(config)
+
+    monkeypatch.setattr(SweepRunner, "workload", lambda self, name: None)
+    monkeypatch.setattr(SweepRunner, "prepare_artifacts",
+                        lambda self, name: None)
+    monkeypatch.setattr("repro.harness.runner.simulate", stub)
+    return calls
+
+
+def make_scheduler(tmp_path, monkeypatch, name="svc", **kwargs):
+    """A scheduler over a tmp cache dir (not started)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / name))
+    runner = SweepRunner(benchmarks=["grep"], collector=MetricsCollector())
+    kwargs.setdefault("journal_path", str(tmp_path / name / "journal.jsonl"))
+    return JobScheduler(runner, **kwargs)
+
+
+def run_job(scheduler, spec, timeout_s=60.0):
+    """Submit ``spec`` and long-poll until the job settles."""
+    job_id = scheduler.submit(spec)["job_id"]
+    return wait_job(scheduler, job_id, timeout_s)
+
+
+def wait_job(scheduler, job_id, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    after = 0
+    while time.monotonic() < deadline:
+        events, snap = scheduler.wait_events(job_id, after=after,
+                                             timeout_s=0.5)
+        if events:
+            after = events[-1]["seq"]
+        if snap["state"] in TERMINAL_STATES:
+            return scheduler.job(job_id)
+    raise AssertionError(f"job {job_id} never settled")
+
+
+# ----------------------------------------------------------------------
+class TestGridSpec:
+    def test_defaults_to_every_workload(self):
+        from repro.workloads import WORKLOADS
+
+        spec = GridSpec.from_dict({})
+        assert spec.benchmarks == tuple(sorted(WORKLOADS))
+        assert spec.grid == "smoke"
+
+    @pytest.mark.parametrize("raw, fragment", [
+        ([], "JSON object"),
+        ({"grid": "nope"}, "unknown grid"),
+        ({"benchmarks": []}, "non-empty"),
+        ({"benchmarks": ["no-such-bench"]}, "unknown benchmarks"),
+        ({"scale": 0}, "positive integer"),
+        ({"scale": "big"}, "positive integer"),
+        ({"limit": -1}, "positive integer"),
+        ({"surprise": 1}, "unknown spec fields"),
+    ])
+    def test_rejects_malformed_specs(self, raw, fragment):
+        with pytest.raises(SpecError, match=fragment):
+            GridSpec.from_dict(raw)
+
+    def test_points_are_benchmark_major_and_limited(self):
+        spec = GridSpec.from_dict(
+            {"benchmarks": ["grep", "sort"], "limit": 41}
+        )
+        points = spec.points(scale=1)
+        assert len(points) == 41
+        assert [p.benchmark for p in points] == ["grep"] * 40 + ["sort"]
+        assert len({p.key for p in points}) == 41
+
+    def test_digest_is_deterministic_and_order_insensitive(self):
+        ab = GridSpec.from_dict({"benchmarks": ["grep", "sort"]})
+        ba = GridSpec.from_dict({"benchmarks": ["sort", "grep"]})
+        assert ab.digest(1) == ba.digest(1)  # same point set
+        assert ab.digest(1) != ab.digest(2)  # scale is part of identity
+        assert ab.digest(1) != GridSpec.from_dict(
+            {"benchmarks": ["grep"]}
+        ).digest(1)
+
+    def test_roundtrips_through_to_dict(self):
+        spec = GridSpec.from_dict(
+            {"benchmarks": ["grep"], "grid": "full", "scale": 2, "limit": 7}
+        )
+        assert GridSpec.from_dict(spec.to_dict()) == spec
+
+
+# ----------------------------------------------------------------------
+class TestJobJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "j.jsonl"))
+        journal.append({"event": "accept", "job_id": "a"})
+        journal.append({"event": "state", "job_id": "a", "state": "done"})
+        journal.close()
+        records = JobJournal.replay(journal.path)
+        assert [r["event"] for r in records] == ["accept", "state"]
+
+    def test_replay_skips_truncated_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(str(path))
+        journal.append({"event": "accept", "job_id": "a"})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"event": "x", "v": 999}) + "\n")
+            handle.write('{"event": "state", "job_id": "a", "sta')  # crash
+        records = JobJournal.replay(str(path))
+        assert len(records) == 1 and records[0]["job_id"] == "a"
+
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        assert JobJournal.replay(str(tmp_path / "absent.jsonl")) == []
+
+    def test_rewrite_compacts(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "j.jsonl"))
+        for index in range(10):
+            journal.append({"event": "state", "job_id": "a", "n": index})
+        journal.rewrite([{"event": "accept", "job_id": "a"}])
+        records = JobJournal.replay(journal.path)
+        assert len(records) == 1 and records[0]["event"] == "accept"
+
+
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_queue_full_is_typed_429(self, tmp_path, monkeypatch, stub_sim):
+        scheduler = make_scheduler(tmp_path, monkeypatch,
+                                   max_queued_jobs=1)
+        spec = GridSpec.from_dict({"benchmarks": ["grep"], "limit": 2})
+        scheduler.submit(spec)  # not started: stays queued
+        with pytest.raises(AdmissionError) as excinfo:
+            scheduler.submit(spec)
+        assert excinfo.value.reason == "queue-full"
+        assert excinfo.value.http_status == 429
+        assert excinfo.value.retry_after_s == 5.0
+        assert scheduler.stats["jobs.rejected.queue-full"] == 1
+        scheduler.stop(cancel_pending=True)
+
+    def test_job_too_large_is_typed_429(self, tmp_path, monkeypatch,
+                                        stub_sim):
+        scheduler = make_scheduler(tmp_path, monkeypatch, max_job_points=2)
+        with pytest.raises(AdmissionError) as excinfo:
+            scheduler.submit(GridSpec.from_dict(
+                {"benchmarks": ["grep"], "limit": 3}
+            ))
+        assert excinfo.value.reason == "job-too-large"
+        assert excinfo.value.http_status == 429
+        scheduler.stop()
+
+    def test_scale_mismatch_is_typed_400(self, tmp_path, monkeypatch,
+                                         stub_sim):
+        scheduler = make_scheduler(tmp_path, monkeypatch)
+        with pytest.raises(AdmissionError) as excinfo:
+            scheduler.submit(GridSpec.from_dict(
+                {"benchmarks": ["grep"],
+                 "scale": scheduler.runner.scale + 1}
+            ))
+        assert excinfo.value.reason == "scale-mismatch"
+        assert excinfo.value.http_status == 400
+        scheduler.stop()
+
+    def test_stopped_is_typed_503(self, tmp_path, monkeypatch, stub_sim):
+        scheduler = make_scheduler(tmp_path, monkeypatch)
+        scheduler.stop()
+        with pytest.raises(AdmissionError) as excinfo:
+            scheduler.submit(GridSpec.from_dict({"benchmarks": ["grep"]}))
+        assert excinfo.value.reason == "stopped"
+        assert excinfo.value.http_status == 503
+
+
+# ----------------------------------------------------------------------
+class TestScheduler:
+    def test_second_identical_job_is_all_cache_hits(self, tmp_path,
+                                                    monkeypatch, stub_sim):
+        scheduler = make_scheduler(tmp_path, monkeypatch)
+        scheduler.start()
+        spec = GridSpec.from_dict({"benchmarks": ["grep"], "limit": 3})
+        first = run_job(scheduler, spec)
+        second = run_job(scheduler, spec)
+        scheduler.stop()
+
+        assert first["points"] == {"total": 3, "resolved": 3, "cached": 0,
+                                   "fresh": 3, "failed": 0, "deduped": 0}
+        assert second["points"] == {"total": 3, "resolved": 3, "cached": 3,
+                                    "fresh": 0, "failed": 0, "deduped": 0}
+        assert len(stub_sim) == 3  # the second job re-simulated nothing
+        # Per-job telemetry counter deltas say the same thing.
+        assert first["counters"]["sweep.cache.miss"] == 3
+        assert "sweep.cache.miss" not in second["counters"]
+        assert second["counters"]["sweep.cache.hit"] == 3
+        # Deterministic identity: same grid -> same digest prefix.
+        assert first["job_id"].split("-")[0] == second["job_id"].split("-")[0]
+        assert first["job_id"] != second["job_id"]
+
+    def test_results_carry_point_records(self, tmp_path, monkeypatch,
+                                         stub_sim):
+        scheduler = make_scheduler(tmp_path, monkeypatch)
+        scheduler.start()
+        job = run_job(scheduler, GridSpec.from_dict(
+            {"benchmarks": ["grep"], "limit": 2}
+        ))
+        scheduler.stop()
+        assert len(job["results"]) == 2
+        for record in job["results"]:
+            assert record["benchmark"] == "grep"
+            assert record["status"] == "fresh"
+            assert record["ipc"] > 0 and record["cycles"] == 1000
+
+    def test_cancel_queued_job_settles_immediately(self, tmp_path,
+                                                   monkeypatch, stub_sim):
+        scheduler = make_scheduler(tmp_path, monkeypatch)  # not started
+        job_id = scheduler.submit(GridSpec.from_dict(
+            {"benchmarks": ["grep"], "limit": 2}
+        ))["job_id"]
+        snapshot = scheduler.cancel(job_id)
+        assert snapshot["state"] == "cancelled"
+        assert scheduler.stats["jobs.cancelled"] == 1
+        # Cancelling a terminal job is a no-op, not an error.
+        assert scheduler.cancel(job_id)["state"] == "cancelled"
+        with pytest.raises(UnknownJobError):
+            scheduler.cancel("no-such-job")
+        scheduler.stop()
+
+    def test_event_stream_is_ordered_and_truncation_safe(self, tmp_path,
+                                                         monkeypatch,
+                                                         stub_sim):
+        scheduler = make_scheduler(tmp_path, monkeypatch)
+        scheduler.start()
+        job_id = scheduler.submit(GridSpec.from_dict(
+            {"benchmarks": ["grep"], "limit": 2}
+        ))["job_id"]
+        wait_job(scheduler, job_id)
+        events, _ = scheduler.wait_events(job_id, after=0, timeout_s=0.1)
+        scheduler.stop()
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "job.queued"
+        assert kinds[1] == "job.running"
+        assert kinds.count("point") == 2
+        assert kinds[-1] == "job.done"
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        # ``after`` filters by seq, so a re-poll starts where we left off.
+        tail, _ = scheduler.wait_events(job_id, after=seqs[-2],
+                                        timeout_s=0.1)
+        assert [event["seq"] for event in tail] == [seqs[-1]]
+
+
+# ----------------------------------------------------------------------
+class TestRestartReplay:
+    def test_done_jobs_reappear_and_queued_jobs_resume_cached(
+            self, tmp_path, monkeypatch, stub_sim):
+        journal = str(tmp_path / "svc" / "journal.jsonl")
+        spec = GridSpec.from_dict({"benchmarks": ["grep"], "limit": 3})
+
+        first = make_scheduler(tmp_path, monkeypatch, journal_path=journal)
+        first.start()
+        done = run_job(first, spec)
+        first.stop()
+        assert len(stub_sim) == 3
+
+        # Second daemon incarnation: accept a job, "crash" before
+        # running it (never started; stop without cancelling).
+        second = make_scheduler(tmp_path, monkeypatch, journal_path=journal)
+        assert second.job(done["job_id"])["state"] == "done"
+        pending_id = second.submit(spec)["job_id"]
+        second.stop(cancel_pending=False)
+
+        # Third incarnation replays the journal: the finished job is
+        # visible with its counts, the pending one re-queues and
+        # settles from the cache without re-simulating anything.
+        third = make_scheduler(tmp_path, monkeypatch, journal_path=journal)
+        restored = third.job(done["job_id"])
+        assert restored["state"] == "done"
+        assert restored["points"]["fresh"] == 3
+        assert third.job(pending_id)["state"] == "queued"
+        third.start()
+        resumed = wait_job(third, pending_id)
+        assert resumed["points"]["cached"] == 3
+        assert resumed["points"]["fresh"] == 0
+        assert len(stub_sim) == 3  # no duplicated work across restarts
+
+        # Acceptance sequence numbers survive, so new ids stay unique.
+        new_id = third.submit(spec)["job_id"]
+        assert new_id.endswith("-0003")
+        wait_job(third, new_id)
+        third.stop()
+
+    def test_recovery_compacts_the_journal(self, tmp_path, monkeypatch,
+                                           stub_sim):
+        journal = str(tmp_path / "svc" / "journal.jsonl")
+        spec = GridSpec.from_dict({"benchmarks": ["grep"], "limit": 2})
+        first = make_scheduler(tmp_path, monkeypatch, journal_path=journal)
+        first.start()
+        run_job(first, spec)
+        first.stop()
+        raw = JobJournal.replay(journal)
+        # accept + running + done for one job.
+        assert [r["event"] for r in raw] == ["accept", "state", "state"]
+
+        second = make_scheduler(tmp_path, monkeypatch, journal_path=journal)
+        second.stop()
+        compacted = JobJournal.replay(journal)
+        # The intermediate ``running`` line is compacted away.
+        assert [r["event"] for r in compacted] == ["accept", "state"]
+        assert compacted[1]["state"] == "done"
+
+
+# ----------------------------------------------------------------------
+class GatedBackend:
+    """Wraps a SerialBackend: buffers dispatches, executes on finish().
+
+    ``submit`` blocks (on ``gate``) once ``hold_after`` tasks are in,
+    letting a test cancel the owning job and race a second one in while
+    points are provably still in flight.
+    """
+
+    name = "gated"
+
+    def __init__(self, runner, hold_after=2):
+        self.inner = SerialBackend(runner)
+        self.pending = []
+        self.dispatched = []
+        self.gate = threading.Event()
+        self.hold_after = hold_after
+
+    def submit(self, task):
+        self.dispatched.append(task.key)
+        self.pending.append(task)
+        if len(self.dispatched) == self.hold_after:
+            self.gate.wait(timeout=30.0)
+        return iter(())
+
+    def finish(self):
+        pending, self.pending = self.pending, []
+        for task in pending:
+            for outcome in self.inner.submit(task):
+                yield outcome
+
+    def close(self):
+        self.inner.close()
+
+
+class TestInflightDedup:
+    def test_successor_subscribes_to_cancelled_jobs_points(
+            self, tmp_path, monkeypatch, stub_sim):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "svc"))
+        runner = SweepRunner(benchmarks=["grep"],
+                             collector=MetricsCollector())
+        backend = GatedBackend(runner, hold_after=2)
+        scheduler = JobScheduler(
+            runner, backend=backend,
+            journal_path=str(tmp_path / "svc" / "journal.jsonl"),
+        )
+        scheduler.start()
+        spec = GridSpec.from_dict({"benchmarks": ["grep"], "limit": 2})
+        first_id = scheduler.submit(spec)["job_id"]
+        # Wait until both points are dispatched (the scheduler thread is
+        # now parked inside the gate with both keys in flight).
+        deadline = time.monotonic() + 30.0
+        while len(backend.dispatched) < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        scheduler.cancel(first_id)
+        second_id = scheduler.submit(spec)["job_id"]
+        backend.gate.set()
+
+        second = wait_job(scheduler, second_id)
+        first = scheduler.job(first_id)
+        scheduler.stop()
+
+        assert first["state"] == "cancelled"
+        assert second["state"] == "done"
+        # Every point reached the successor through subscription, not
+        # re-dispatch: each key was dispatched exactly once daemon-wide.
+        assert sorted(backend.dispatched) == sorted(set(backend.dispatched))
+        assert len(backend.dispatched) == 2
+        assert second["points"]["deduped"] == 2
+        assert second["points"]["resolved"] == 2
+        assert scheduler.stats["points.deduped"] == 2
+        assert len(stub_sim) == 2
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture
+def http_service(tmp_path, monkeypatch, stub_sim):
+    """A scheduler + HTTP server + client over a tmp cache dir."""
+    scheduler = make_scheduler(tmp_path, monkeypatch, name="http")
+    scheduler.start()
+    server = make_server(scheduler, port=0, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout_s=30.0)
+    try:
+        yield scheduler, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        scheduler.stop()
+        thread.join(5.0)
+
+
+class TestHTTPAPI:
+    def test_submit_wait_and_cache_hits_over_http(self, http_service):
+        scheduler, client = http_service
+        assert client.health()["ok"] is True
+
+        spec = {"benchmarks": ["grep"], "limit": 2}
+        accepted = client.submit(spec)
+        assert accepted["state"] in ("queued", "running", "done")
+        seen = []
+        final = client.wait(accepted["job_id"], poll_timeout_s=1.0,
+                            deadline_s=60.0, on_event=seen.append)
+        assert final["state"] == "done"
+        assert final["points"]["fresh"] == 2
+        kinds = [event["kind"] for event in seen]
+        assert kinds[0] == "job.queued" and kinds[-1] == "job.done"
+
+        warm = client.wait(client.submit(spec)["job_id"],
+                           poll_timeout_s=1.0, deadline_s=60.0)
+        assert warm["points"]["cached"] == 2
+
+        listed = {job["job_id"] for job in client.jobs()}
+        assert {accepted["job_id"], warm["job_id"]} <= listed
+        metrics = client.metrics()
+        assert metrics["counters"]["service.jobs.accepted"] == 2
+        assert metrics["counters"]["sweep.cache.hit"] == 2
+
+    def test_unknown_job_is_404(self, http_service):
+        _, client = http_service
+        with pytest.raises(JobNotFound):
+            client.job("no-such-job")
+        with pytest.raises(JobNotFound):
+            client.cancel("no-such-job")
+
+    def test_malformed_spec_is_400(self, http_service):
+        _, client = http_service
+        with pytest.raises(ServiceError, match="HTTP 400"):
+            client.submit({"grid": "nope"})
+        with pytest.raises(ServiceError, match="HTTP 400"):
+            client.submit({"surprise": 1})
+
+    def test_queue_full_surfaces_as_typed_rejection(self, http_service):
+        scheduler, client = http_service
+        scheduler.max_queued_jobs = 0
+        try:
+            with pytest.raises(AdmissionRejected) as excinfo:
+                client.submit({"benchmarks": ["grep"], "limit": 1})
+        finally:
+            scheduler.max_queued_jobs = 8
+        assert excinfo.value.reason == "queue-full"
+        assert excinfo.value.retry_after_s == 5.0
+
+
+# ----------------------------------------------------------------------
+class TestServiceBatchEquivalence:
+    """Acceptance: service results == serial batch sweep, byte for byte."""
+
+    def test_service_cache_matches_serial_sweep(self, tmp_path, monkeypatch,
+                                                grep_prepared, capsys):
+        monkeypatch.setenv(
+            "REPRO_ARTIFACT_DIR", os.path.abspath(default_artifact_root())
+        )
+        # Count workload preparations: the warm daemon must do none.
+        import repro.harness.runner as runner_module
+
+        real_prepared = runner_module.prepared
+        prepare_calls = []
+
+        def counting_prepared(workload, scale=1):
+            prepare_calls.append(workload.name)
+            return real_prepared(workload, scale)
+
+        monkeypatch.setattr(runner_module, "prepared", counting_prepared)
+
+        service_dir = tmp_path / "service"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(service_dir))
+        runner = SweepRunner(benchmarks=["grep"],
+                             collector=MetricsCollector())
+        scheduler = JobScheduler(
+            runner, journal_path=str(service_dir / "journal.jsonl")
+        )
+        scheduler.start()
+        # ``sweep`` walks the full grid, so the service job must too for
+        # the caches to be comparable.
+        spec = GridSpec.from_dict(
+            {"benchmarks": ["grep"], "grid": "full", "limit": 4}
+        )
+        cold = run_job(scheduler, spec)
+        prepares_after_cold = len(prepare_calls)
+        warm = run_job(scheduler, spec)
+        scheduler.stop()
+
+        assert cold["points"]["fresh"] == 4
+        assert warm["points"]["cached"] == 4
+        # Zero re-prepares and zero re-simulations on the warm submit.
+        assert len(prepare_calls) == prepares_after_cold
+        assert "sweep.cache.miss" not in warm["counters"]
+        assert warm["counters"]["sweep.cache.hit"] == 4
+
+        batch_dir = tmp_path / "batch"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(batch_dir))
+        assert main(["sweep", "--benchmarks", "grep", "--limit", "4"]) == 0
+        capsys.readouterr()
+
+        service_cache = json.loads(
+            (service_dir / "results.json").read_text()
+        )
+        batch_cache = json.loads((batch_dir / "results.json").read_text())
+        assert len(service_cache) == 4
+        assert json.dumps(service_cache, sort_keys=True) == json.dumps(
+            batch_cache, sort_keys=True
+        )

@@ -4,6 +4,7 @@ import io
 import os
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.interp import run_program
 from repro.interp.trace import Trace
@@ -79,8 +80,94 @@ class TestTraceRoundtrip:
         save_trace(Trace(), buffer)
         raw = bytearray(buffer.getvalue())
         raw[4] = 99  # corrupt the version field
-        with pytest.raises(TraceFormatError):
+        with pytest.raises(TraceFormatError, match="version"):
             load_trace(io.BytesIO(bytes(raw)))
+
+
+class TestTraceTruncation:
+    """A stream that ends early must always raise TraceFormatError.
+
+    Truncation is the common corruption mode (a killed writer, a partial
+    copy); the loader must never surface it as ``struct.error`` or
+    ``EOFError``, and never return a silently short trace.
+    """
+
+    def test_every_prefix_is_rejected(self):
+        raw = serialize(make_trace())
+        assert len(raw) > 40  # the loop below must cover every section
+        for cut in range(len(raw)):
+            with pytest.raises(TraceFormatError, match="truncated|magic"):
+                load_trace(io.BytesIO(raw[:cut]))
+
+    def test_empty_stream_is_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_trace(io.BytesIO(b""))
+
+    def test_undecodable_label_is_a_format_error(self):
+        raw = bytearray(serialize(make_trace()))
+        # The first label ("a", length 1) sits right after the label
+        # count; stamp an invalid UTF-8 byte over it.
+        header = 4 + 4 + 4 + 8 + 8 + 4 + 2
+        raw[header] = 0xFF
+        with pytest.raises(TraceFormatError, match="label"):
+            load_trace(io.BytesIO(bytes(raw)))
+
+
+def serialize(trace: Trace) -> bytes:
+    buffer = io.BytesIO()
+    save_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+@st.composite
+def traces(draw):
+    """A random small trace with consistent parallel arrays."""
+    labels = draw(st.lists(
+        st.text(st.characters(max_codepoint=0x2FF), max_size=8),
+        min_size=1, max_size=5, unique=True,
+    ))
+    trace = Trace()
+    for label in labels:
+        trace.intern(label)
+    n_blocks = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(n_blocks):
+        trace.block_ids.append(
+            draw(st.integers(min_value=0, max_value=len(labels) - 1))
+        )
+        trace.outcomes.append(draw(st.integers(min_value=0, max_value=255)))
+        trace.fault_indices.append(
+            draw(st.integers(min_value=-1, max_value=2**31 - 1))
+        )
+    trace.addresses = draw(st.lists(
+        st.integers(min_value=0, max_value=2**64 - 1), max_size=16
+    ))
+    trace.exit_code = draw(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    trace.retired_nodes = draw(st.integers(min_value=0, max_value=2**64 - 1))
+    trace.discarded_nodes = draw(st.integers(min_value=0, max_value=2**63))
+    return trace
+
+
+class TestTraceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(traces())
+    def test_roundtrip_preserves_every_field(self, trace):
+        loaded = roundtrip(trace)
+        assert loaded.labels == trace.labels
+        assert loaded.block_ids == trace.block_ids
+        assert loaded.outcomes == trace.outcomes
+        assert loaded.fault_indices == trace.fault_indices
+        assert loaded.addresses == trace.addresses
+        assert loaded.exit_code == trace.exit_code
+        assert loaded.retired_nodes == trace.retired_nodes
+        assert loaded.discarded_nodes == trace.discarded_nodes
+
+    @settings(max_examples=60, deadline=None)
+    @given(traces(), st.data())
+    def test_any_truncation_is_a_format_error(self, trace, data):
+        raw = serialize(trace)
+        cut = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        with pytest.raises(TraceFormatError):
+            load_trace(io.BytesIO(raw[:cut]))
 
 
 class TestPreparedDiskCache:
