@@ -14,6 +14,11 @@ Subcommands:
   "Validation & regression gating" section of DESIGN.md)
 * ``bench``    -- time the serial and process backends
   (``--mode service`` benches the daemon: cold vs warm submits)
+* ``profile``  -- profile a sweep under cProfile plus a sampling
+  timer; writes ``BENCH_profile.json`` (hot-function table, cycle
+  attribution, telemetry overhead) and a flamegraph-ready
+  collapsed-stack file (see the "Profiling & metrics" section of
+  DESIGN.md)
 * ``serve``    -- run the long-lived simulation service daemon
 * ``submit``   -- submit a grid job to a running daemon (``--wait``
   streams progress until it finishes)
@@ -22,6 +27,8 @@ Subcommands:
 ``sweep`` and ``report`` accept ``--telemetry`` (live progress plus
 counters/timers) and ``--metrics-out FILE`` (write the aggregated
 ``telemetry.json``); see the "Observability" section of DESIGN.md.
+The global ``--log-json`` flag (or ``REPRO_LOG_JSON=1``) switches every
+diagnostic line to one structured JSON object per line.
 
 Exit codes: 0 success, 1 fatal harness error, 3 some sweep points
 failed (structured ``PointFailure`` records) or a submitted job
@@ -127,6 +134,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-sim",
         description="Melvin & Patt (ISCA 1991) reproduction simulator",
     )
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit diagnostics as structured JSON lines"
+                             " on stderr (same as REPRO_LOG_JSON=1)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="simulate one configuration point")
@@ -273,6 +283,38 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="output path (default: BENCH_sweep.json or"
                             " BENCH_service.json by mode)")
 
+    profile = sub.add_parser(
+        "profile",
+        help="profile a sweep point (default) or the 40-config smoke"
+             " grid under cProfile plus a sampling timer; writes"
+             " BENCH_profile.json (top-N hot functions, phase spans,"
+             " cycle attribution, telemetry overhead) and a"
+             " flamegraph-ready collapsed-stack file",
+    )
+    _add_grid_arguments(profile, default_benchmarks="grep")
+    profile.add_argument("--smoke", action="store_true",
+                         help="profile the full smoke grid instead of one"
+                              " representative point per benchmark")
+    profile.add_argument("--top", type=int, default=15, metavar="N",
+                         help="hot-function table depth (default 15)")
+    profile.add_argument("--interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="sampling period (default 0.005)")
+    profile.add_argument("--overhead-repeats", type=int, default=2,
+                         metavar="N",
+                         help="best-of-N runs for the telemetry-overhead"
+                              " figure (0 skips the measurement;"
+                              " default 2)")
+    profile.add_argument("-o", "--output", default="BENCH_profile.json",
+                         help="profile document path"
+                              " (default BENCH_profile.json)")
+    profile.add_argument("--stacks-out", default="PROFILE_stacks.folded",
+                         metavar="FILE",
+                         help="collapsed-stack output: one 'frame;...;leaf"
+                              " count' line per sampled stack, the input"
+                              " format of flamegraph.pl and speedscope"
+                              " (default PROFILE_stacks.folded)")
+
     serve = sub.add_parser(
         "serve",
         help="run the long-lived simulation service: keeps prepared"
@@ -339,8 +381,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .telemetry import MetricsCollector
+
     config = _config_from_args(args)
-    runner = SweepRunner(scale=args.scale, verbose=True)
+    runner = SweepRunner(scale=args.scale, verbose=True,
+                         collector=MetricsCollector())
     result = runner.run_point(args.benchmark, config)
     print(result.summary())
     print(f"  retired nodes : {result.retired_nodes}")
@@ -351,6 +396,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  issue util    : {result.issue_utilization:.4f}")
     if result.window_samples:
         print(f"  avg window    : {result.avg_window_blocks:.2f} blocks")
+    # Cycle attribution rides in ``extra`` on freshly simulated results
+    # (a cache hit predates this run's collector and has none).
+    buckets = {
+        name[len("attr."):]: int(value)
+        for name, value in sorted(result.extra.items())
+        if name.startswith("attr.")
+    }
+    if buckets:
+        total = sum(buckets.values()) or 1
+        print("  cycle attribution:")
+        for name, value in buckets.items():
+            print(f"    {name:19s}: {value:>10d}"
+                  f" ({100.0 * value / total:5.1f}%)")
     return 0
 
 
@@ -861,9 +919,11 @@ def _bench_backends(args: argparse.Namespace) -> int:
     print(f"  validate    : {validate_s:.3f}s"
           f" ({validate_overhead_pct:.2f}% of serial wall,"
           f" {len(validation.findings)} finding(s))", file=sys.stderr)
+    from .telemetry.perfscope import host_block
+
     document = {
         "schema": "repro.bench/1",
-        "host": {"cpu_count": cpu_count},
+        "host": host_block(),
         "grid": {
             "benchmarks": benchmarks,
             "points": len(tasks),
@@ -908,7 +968,6 @@ def _bench_service(args: argparse.Namespace) -> int:
 
     benchmarks = _benchmarks_from_args(args) or ["grep"]
     spec = {"benchmarks": benchmarks, "grid": "smoke"}
-    cpu_count = os.cpu_count() or 1
 
     clear_prepared_cache()
     with tempfile.TemporaryDirectory() as tmp:
@@ -976,9 +1035,11 @@ def _bench_service(args: argparse.Namespace) -> int:
                     os.environ[name] = value
             clear_prepared_cache()
 
+    from .telemetry.perfscope import host_block
+
     document = {
         "schema": "repro.bench.service/1",
-        "host": {"cpu_count": cpu_count},
+        "host": host_block(),
         "grid": {
             "benchmarks": benchmarks,
             "grid": "smoke",
@@ -1008,6 +1069,137 @@ def _bench_service(args: argparse.Namespace) -> int:
         print(f"bench service: warm submit re-simulated {warm_misses}"
               " point(s); the resident cache is not working", file=sys.stderr)
     return 1 if (failed or warm_misses) else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a sweep under cProfile plus the sampling timer.
+
+    One run, three instruments: cProfile supplies exact call counts and
+    internal times (the top-N table), the :class:`SamplingProfiler`
+    supplies collapsed stacks for flamegraphs, and the enabled
+    ``MetricsCollector`` supplies phase spans and cycle attribution.
+    A separate unprofiled pass (best-of ``--overhead-repeats``) times
+    the same grid with the collector disabled and enabled, so the
+    document carries the measured cost of turning telemetry on.
+
+    The result cache is bypassed throughout: a profile of cache reads
+    would say nothing about the simulator.
+    """
+    import json
+    import time
+
+    from .machine.config import smoke_configuration_space
+    from .stats.aggregate import attribution_breakdown, span_totals
+    from .telemetry import MetricsCollector
+    from .telemetry.perfscope import (
+        DEFAULT_INTERVAL_S,
+        SamplingProfiler,
+        host_block,
+        measure_overhead,
+        profile_call,
+    )
+
+    benchmarks = _benchmarks_from_args(args) or ["grep"]
+    if args.smoke:
+        configs = list(smoke_configuration_space())
+    else:
+        # One representative point: the paper's headline machine
+        # (dynamic, 4-block window, 8-wide issue, memory A, enlarged).
+        configs = [MachineConfig(
+            discipline=Discipline.DYNAMIC, issue_model=8, memory="A",
+            branch_mode=BranchMode.ENLARGED, window_blocks=4,
+        )]
+    interval_s = (
+        args.interval if args.interval is not None else DEFAULT_INTERVAL_S
+    )
+
+    collector = MetricsCollector()
+    runner = SweepRunner(benchmarks=benchmarks, scale=args.scale,
+                         use_cache=False, collector=collector)
+    # Warm the prepared-workload cache outside the profile window so the
+    # stacks show simulation, not one-time compilation and tracing.
+    for name in benchmarks:
+        runner.workload(name)
+
+    def run_grid(target: SweepRunner) -> None:
+        for config in configs:
+            for name in benchmarks:
+                target.run_point(name, config)
+
+    points = len(configs) * len(benchmarks)
+    print(f"profile: {points} point(s) on {','.join(benchmarks)}"
+          f" ({'smoke grid' if args.smoke else 'representative point'},"
+          f" scale {runner.scale})", file=sys.stderr)
+    sampler = SamplingProfiler(interval_s=interval_s)
+    start = time.perf_counter()
+    with sampler:
+        _, hot_functions = profile_call(
+            lambda: run_grid(runner), top_n=args.top
+        )
+    wall_s = time.perf_counter() - start
+
+    phases = span_totals(collector.spans)
+    attribution = attribution_breakdown(collector.counters)
+
+    overhead = None
+    if args.overhead_repeats > 0:
+        plain = SweepRunner(benchmarks=benchmarks, scale=runner.scale,
+                            use_cache=False)
+        disabled_s = measure_overhead(lambda: run_grid(plain),
+                                      repeats=args.overhead_repeats)
+        instrumented = SweepRunner(benchmarks=benchmarks,
+                                   scale=runner.scale, use_cache=False,
+                                   collector=MetricsCollector())
+        enabled_s = measure_overhead(lambda: run_grid(instrumented),
+                                     repeats=args.overhead_repeats)
+        overhead = {
+            "disabled_s": round(disabled_s, 4),
+            "enabled_s": round(enabled_s, 4),
+            "telemetry_overhead_pct": round(
+                100.0 * (enabled_s - disabled_s) / disabled_s, 2
+            ) if disabled_s else 0.0,
+        }
+        print(f"  overhead    : disabled {disabled_s:.3f}s, enabled"
+              f" {enabled_s:.3f}s"
+              f" ({overhead['telemetry_overhead_pct']:+.2f}%)",
+              file=sys.stderr)
+
+    document = {
+        "schema": "repro.bench.profile/1",
+        "host": host_block(),
+        "grid": {
+            "benchmarks": benchmarks,
+            "mode": "smoke" if args.smoke else "point",
+            "configs": len(configs),
+            "points": points,
+            "scale": runner.scale,
+        },
+        "wall_s": round(wall_s, 3),
+        "sampling": {
+            "interval_s": interval_s,
+            "samples": sampler.samples,
+        },
+        "hot_functions": hot_functions,
+        "hot_frames": sampler.hot_frames(args.top),
+        "phases": phases,
+        "attribution": attribution,
+        "overhead": overhead,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    stacks = sampler.collapsed()
+    with open(args.stacks_out, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(stacks) + ("\n" if stacks else ""))
+
+    for row in hot_functions[:5]:
+        print(f"  {row['tottime_s']:8.3f}s  {row['calls']:>9} calls "
+              f" {row['function']} ({row['file']}:{row['line']})",
+              file=sys.stderr)
+    print(f"profiled {points} point(s) in {wall_s:.2f}s"
+          f" ({sampler.samples} samples); wrote {args.output}"
+          f" and {args.stacks_out} ({len(stacks)} stacks)")
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -1147,6 +1339,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
+    if args.log_json:
+        from .telemetry.logging import configure
+
+        configure(True)
     handlers = {
         "run": _cmd_run,
         "trace": _cmd_trace,
@@ -1157,6 +1353,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
+        "profile": _cmd_profile,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "list": _cmd_list,

@@ -314,7 +314,12 @@ class ProcessPoolBackend(ExecutionBackend):
                 )
                 continue
             if snapshot is not None:
+                merge_start = time.perf_counter()
                 self.runner.collector.merge(snapshot)
+                self.runner.collector.add_span(
+                    "phase.merge", time.perf_counter() - merge_start,
+                    benchmark=pending.task.benchmark,
+                )
             if isinstance(outcome, PointFailure):
                 # Worker-side telemetry already counted this failure;
                 # the parent only records it for reporting/exit codes.

@@ -39,7 +39,10 @@ from .errors import (
     classify_error,
     is_transient,
 )
+from ..telemetry.logging import get_logger
 from .runner import SweepRunner
+
+_LOG = get_logger("executor")
 
 
 @dataclass(frozen=True)
@@ -144,6 +147,11 @@ class PointExecutor:
             except Exception as exc:  # noqa: BLE001 - degrade, don't abort
                 if is_transient(exc) and attempts <= policy.retries:
                     collector.count("sweep.point.retried")
+                    _LOG.warning(
+                        "point_retry", benchmark=benchmark,
+                        config=str(config), attempt=attempts,
+                        error=classify_error(exc),
+                    )
                     time.sleep(policy.backoff_s * (2 ** (attempts - 1)))
                     continue
                 return self._record_failure(
@@ -198,6 +206,12 @@ class PointExecutor:
                 wall = time.perf_counter() - start
                 collector.count("sweep.cache.miss")
                 collector.observe("sweep.point.wall_s", wall)
+                # The child's collector is not mailed back on the
+                # isolated path, so the whole attempt lands as one
+                # parent-side simulate-phase span.
+                collector.add_span("phase.simulate", wall,
+                                   benchmark=benchmark, config=str(config),
+                                   isolated=True)
                 collector.record_point(
                     benchmark=benchmark, config=str(config), cached=False,
                     isolated=True, wall_s=wall,
@@ -220,6 +234,9 @@ class PointExecutor:
             message=str(exc), attempts=attempts,
             elapsed_s=round(elapsed, 6),
         )
+        _LOG.error("point_failed", benchmark=benchmark, config=str(config),
+                   kind=kind, attempts=attempts,
+                   elapsed_s=round(elapsed, 3))
         if collector.enabled:
             collector.record_point(
                 benchmark=benchmark, config=str(config), cached=False,

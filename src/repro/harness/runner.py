@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import math
 import os
-import sys
 import time
 from typing import Iterable, List, Optional, Sequence
 
@@ -17,12 +16,16 @@ from ..machine.config import MachineConfig
 from ..machine.simulator import PreparedWorkload, simulate
 from ..stats.results import SimResult
 from ..telemetry.collector import Collector, NULL_COLLECTOR
+from ..telemetry.logging import get_logger
 from ..validate.findings import ValidationFinding
 from ..validate.invariants import check_result
 from ..workloads import WORKLOADS, prepared
 from ..workloads.base import ensure_artifacts
 from .cache import ResultCache, result_key
 from .errors import PointFailure, WorkloadPrepareError
+
+_LOG = get_logger("sweep")
+
 
 def default_benchmarks() -> List[str]:
     """Benchmarks used when the caller does not choose.
@@ -131,7 +134,16 @@ class SweepRunner:
             return
         self._observed_keys.add(key)
         self.results.append(result)
-        found = check_result(result)
+        collector = self.collector
+        if collector.enabled:
+            check_start = time.perf_counter()
+            found = check_result(result)
+            collector.add_span(
+                "phase.validate", time.perf_counter() - check_start,
+                benchmark=result.benchmark, config=str(result.config),
+            )
+        else:
+            found = check_result(result)
         if found:
             self.findings.extend(found)
             self.collector.count("validate.invariant.violations", len(found))
@@ -159,6 +171,7 @@ class SweepRunner:
         """Prepare and simulate one point, bypassing the result cache."""
         collector = self.collector
         if collector.enabled:
+            point = str(config)
             start = time.perf_counter()
             workload = self.workload(benchmark)
             prepared_at = time.perf_counter()
@@ -169,8 +182,12 @@ class SweepRunner:
             collector.observe("sweep.point.prepare_s", prepared_at - start)
             collector.observe("sweep.point.simulate_s", end - prepared_at)
             collector.observe("sweep.point.wall_s", end - start)
+            collector.add_span("phase.prepare", prepared_at - start,
+                               benchmark=benchmark, config=point)
+            collector.add_span("phase.simulate", end - prepared_at,
+                               benchmark=benchmark, config=point)
             collector.record_point(
-                benchmark=benchmark, config=str(config), cached=False,
+                benchmark=benchmark, config=point, cached=False,
                 wall_s=end - start, prepare_s=prepared_at - start,
                 simulate_s=end - prepared_at,
                 ipc=result.retired_per_cycle,
@@ -179,7 +196,9 @@ class SweepRunner:
             result = simulate(self.workload(benchmark), config,
                               max_cycles=self.max_cycles)
         if self.verbose:
-            print(result.summary(), file=sys.stderr)
+            _LOG.info("point", benchmark=benchmark, config=str(config),
+                      ipc=round(result.retired_per_cycle, 4),
+                      cycles=result.cycles)
         return result
 
     def cache_store(self, result: SimResult) -> None:
@@ -273,13 +292,15 @@ def geometric_mean(values: Sequence[float],
         global _ZERO_IPC_WARNED
         if not _ZERO_IPC_WARNED:
             _ZERO_IPC_WARNED = True
-            print(
-                f"warning: {floored} zero/negative {label} value(s) floored"
-                f" at 1e-12 in a geometric mean of {len(values)}; the mean"
-                " hides degraded points (further zero-IPC warnings"
-                " suppressed for this sweep; see the sweep.zero_ipc"
-                " counter)",
-                file=sys.stderr,
+            _LOG.warning(
+                "zero_ipc_floored", label=label, count=floored,
+                of=len(values),
+                note=(
+                    "zero/negative values clamped to 1e-12 in a geometric"
+                    " mean; the mean hides degraded points (further"
+                    " warnings suppressed for this sweep; see the"
+                    " sweep.zero_ipc counter)"
+                ),
             )
     total = 0.0
     for value in values:

@@ -32,6 +32,7 @@ from ..telemetry.collector import (
     NULL_COLLECTOR,
     TID_CONTROL,
     TID_MEM,
+    finalize_attribution,
 )
 from .cache import MemorySystem
 from .config import BranchMode, MachineConfig
@@ -99,6 +100,7 @@ class DynamicEngine:
         window_size = self.window
         collector = self.collector
         tracing = collector.tracing
+        attributing = collector.enabled
         hit_latency = self.config.memory_config.hit_cycles
 
         reg_ready = [0] * 64
@@ -111,6 +113,47 @@ class DynamicEngine:
         word_mem_left = 0
         word_alu_left = 0
         window_retires: deque = deque()
+
+        # Cycle attribution (ATTRIBUTION_BUCKETS).  `acct` is a
+        # monotonic accounting cursor: every cycle in [1, acct] has been
+        # charged to exactly one bucket.  Fetch-gap cycles are classified
+        # by two absolute-cycle markers -- `recover_until` (set at squash
+        # redirects) and `window_until` (set when the window gate holds
+        # fetch) -- applied recovery-first at the next word open.
+        # `window_mem` mirrors `window_retires` and remembers whether a
+        # window entry's last-scheduled node was a memory op, so a
+        # window-gate wait on a straggling load reads as memory-wait.
+        acct = 0
+        b_issued = b_stall = b_mem = b_recover = 0
+        recover_until = 0
+        window_until = 0
+        window_wait_mem = False
+        window_mem: deque = deque()
+
+        def _charge_issue(f: int) -> None:
+            """Charge the issue cycle ``f`` and classify the gap to it."""
+            nonlocal acct, b_issued, b_stall, b_mem, b_recover
+            if f <= acct:
+                return  # already charged (fetch re-covered old cycles)
+            lo = acct
+            hi = f - 1
+            if recover_until > lo:
+                take = (recover_until if recover_until < hi else hi) - lo
+                if take > 0:
+                    b_recover += take
+                    lo += take
+            if window_until > lo:
+                take = (window_until if window_until < hi else hi) - lo
+                if take > 0:
+                    if window_wait_mem:
+                        b_mem += take
+                    else:
+                        b_stall += take
+                    lo += take
+            if hi > lo:
+                b_stall += hi - lo
+            b_issued += 1
+            acct = f
 
         retired_nodes = 0
         discarded_nodes = 0
@@ -141,10 +184,14 @@ class DynamicEngine:
             # block `window_size` older has retired (or been squashed).
             if len(window_retires) >= window_size:
                 freed = window_retires.popleft()
+                freed_mem = window_mem.popleft() if attributing else False
                 if freed + 1 > fetch_cycle:
                     fetch_cycle = freed + 1
                     word_mem_left = 0
                     word_alu_left = 0
+                    if attributing:
+                        window_until = fetch_cycle
+                        window_wait_mem = freed_mem
 
             occupancy = len(window_retires) + 1
             if occupancy > window_size:
@@ -177,6 +224,8 @@ class DynamicEngine:
                         issue_cycle = fetch_cycle
                         fetch_cycle += 1
                         issue_words += 1
+                        if attributing:
+                            _charge_issue(issue_cycle)
                     else:
                         if cls == T_LOAD or cls == T_STORE:
                             if word_mem_left <= 0:
@@ -184,6 +233,8 @@ class DynamicEngine:
                                 word_mem_left = mem_limit
                                 word_alu_left = alu_limit
                                 issue_words += 1
+                                if attributing:
+                                    _charge_issue(fetch_cycle)
                             word_mem_left -= 1
                         else:
                             if word_alu_left <= 0:
@@ -191,6 +242,8 @@ class DynamicEngine:
                                 word_mem_left = mem_limit
                                 word_alu_left = alu_limit
                                 issue_words += 1
+                                if attributing:
+                                    _charge_issue(fetch_cycle)
                             word_alu_left -= 1
                         issue_cycle = fetch_cycle
                     issued_slots += 1
@@ -308,6 +361,10 @@ class DynamicEngine:
                 word_mem_left = 0
                 word_alu_left = 0
                 window_retires.append(fault_time)
+                if attributing:
+                    window_mem.append(False)  # the assert is an ALU op
+                    if fetch_cycle > recover_until:
+                        recover_until = fetch_cycle
                 if fault_time > max_cycle:
                     max_cycle = fault_time
                 continue
@@ -342,6 +399,8 @@ class DynamicEngine:
                     fetch_cycle = branch_exec + REDIRECT_PENALTY
                     word_mem_left = 0
                     word_alu_left = 0
+                    if attributing and fetch_cycle > recover_until:
+                        recover_until = fetch_cycle
 
             retire = block_complete if block_complete > prev_retire else prev_retire
             prev_retire = retire
@@ -352,6 +411,15 @@ class DynamicEngine:
             # the statistics above.
             last_scheduled = max(exec_times) if exec_times else fetch_cycle
             window_retires.append(last_scheduled)
+            if attributing:
+                if exec_times:
+                    straggler = max(
+                        range(len(exec_times)), key=exec_times.__getitem__
+                    )
+                    scls = tmpl.nodes[straggler][0]
+                    window_mem.append(scls == T_LOAD or scls == T_STORE)
+                else:
+                    window_mem.append(False)
             retired_nodes += tmpl.n_datapath
             if retire > max_cycle:
                 max_cycle = retire
@@ -378,10 +446,24 @@ class DynamicEngine:
             )
 
         cache = memsys.cache
+        total_cycles = max(max_cycle, 1)
+        extra: Dict[str, float] = {}
+        if attributing:
+            buckets = {
+                "issued_full": b_issued,
+                "issue_stall": b_stall,
+                "memory_wait": b_mem,
+                "mispredict_recovery": b_recover,
+                "drain_idle": 0,
+            }
+            finalize_attribution(buckets, total_cycles, acct)
+            for name, value in buckets.items():
+                collector.count("cycles.dynamic." + name, value)
+                extra["attr." + name] = float(value)
         return SimResult(
             benchmark=self.benchmark,
             config=self.config,
-            cycles=max(max_cycle, 1),
+            cycles=total_cycles,
             retired_nodes=retired_nodes,
             discarded_nodes=discarded_nodes,
             dynamic_blocks=len(block_ids),
@@ -397,6 +479,7 @@ class DynamicEngine:
             issued_slots=issued_slots,
             window_block_cycles=window_block_cycles,
             window_samples=window_samples,
+            extra=extra,
         )
 
     # ------------------------------------------------------------------

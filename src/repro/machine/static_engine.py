@@ -20,6 +20,7 @@ from ..telemetry.collector import (
     NULL_COLLECTOR,
     TID_CONTROL,
     TID_MEM,
+    finalize_attribution,
 )
 from .cache import MemorySystem
 from .config import MachineConfig
@@ -74,9 +75,18 @@ class StaticEngine:
         predictor = make_predictor(self.config.predictor, self.config.static_hints)
         collector = self.collector
         tracing = collector.tracing
+        attributing = collector.enabled
         hit_latency = self.config.memory_config.hit_cycles
 
         reg_ready = [0] * 64
+        # Cycle attribution (ATTRIBUTION_BUCKETS): `acct` is a monotonic
+        # accounting cursor -- every cycle in [1, acct] has been charged
+        # to exactly one bucket, so the buckets always sum to the cycles
+        # accounted.  `reg_mem[r]` remembers whether r's producer was a
+        # load, which classifies an operand stall as memory-wait.
+        acct = 0
+        b_issued = b_stall = b_mem = b_recover = 0
+        reg_mem = [False] * 64
         cycle = 0  # issue cycle of the most recent word
         retired_nodes = 0
         discarded_nodes = 0
@@ -115,6 +125,26 @@ class StaticEngine:
                         if r > issue:
                             issue = r
                 issue_words += 1
+                if attributing and issue > acct:
+                    gap = issue - 1 - acct
+                    if gap > 0:
+                        # The word waited; charge the wait to memory if
+                        # any binding operand (ready exactly at `issue`)
+                        # was produced by a load.
+                        stall_mem = False
+                        for index in word:
+                            for src in nodes[index][2]:
+                                if reg_ready[src] == issue and reg_mem[src]:
+                                    stall_mem = True
+                                    break
+                            if stall_mem:
+                                break
+                        if stall_mem:
+                            b_mem += gap
+                        else:
+                            b_stall += gap
+                    b_issued += 1
+                    acct = issue
                 for index in word:
                     cls, dest, _ = nodes[index]
                     if cls == T_LOAD:
@@ -146,6 +176,8 @@ class StaticEngine:
                             fault_exec = issue
                     if dest >= 0:
                         reg_ready[dest] = done
+                        if attributing:
+                            reg_mem[dest] = cls == T_LOAD
                     if cls != T_SYSCALL:
                         issued_datapath += 1
                         if tracing:
@@ -167,6 +199,9 @@ class StaticEngine:
                 faults += 1
                 discarded_nodes += issued_datapath
                 cycle = fault_exec + REDIRECT_PENALTY
+                if attributing and cycle > acct:
+                    b_recover += cycle - acct
+                    acct = cycle
                 if cycle > max_cycle:
                     max_cycle = cycle
                 if tracing:
@@ -202,6 +237,9 @@ class StaticEngine:
                     )
                     discarded_nodes += self._squashed_word_nodes(wrong_target)
                     cycle = branch_exec + REDIRECT_PENALTY
+                    if attributing and cycle > acct:
+                        b_recover += cycle - acct
+                        acct = cycle
 
         # Cross-engine invariant (see DynamicEngine.run): retired work
         # must match the functional trace exactly.
@@ -212,10 +250,24 @@ class StaticEngine:
             )
 
         cache = memsys.cache
+        total_cycles = max(max_cycle, 1)
+        extra: Dict[str, float] = {}
+        if attributing:
+            buckets = {
+                "issued_full": b_issued,
+                "issue_stall": b_stall,
+                "memory_wait": b_mem,
+                "mispredict_recovery": b_recover,
+                "drain_idle": 0,
+            }
+            finalize_attribution(buckets, total_cycles, acct)
+            for name, value in buckets.items():
+                collector.count("cycles.static." + name, value)
+                extra["attr." + name] = float(value)
         return SimResult(
             benchmark=self.benchmark,
             config=self.config,
-            cycles=max(max_cycle, 1),
+            cycles=total_cycles,
             retired_nodes=retired_nodes,
             discarded_nodes=discarded_nodes,
             dynamic_blocks=len(block_ids),
@@ -229,6 +281,7 @@ class StaticEngine:
             write_buffer_hits=memsys.wb_hits,
             issue_words=issue_words,
             issued_slots=issued_slots,
+            extra=extra,
         )
 
     # ------------------------------------------------------------------

@@ -107,7 +107,23 @@ class ServiceClient:
         return self._request("GET", "/healthz")
 
     def metrics(self) -> Dict[str, Any]:
-        return self._request("GET", "/metrics")
+        """The JSON counter snapshot (``/metrics.json``)."""
+        return self._request("GET", "/metrics.json")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition (``/metrics``)."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc}"
+            ) from None
 
     def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
         """Submit a grid spec; returns the accepted job snapshot."""

@@ -15,8 +15,11 @@ Routes (all JSON):
 ``GET /jobs/{id}/events?after=N&timeout=S`` long-poll progress events
 ``POST /jobs/{id}/cancel``                  request cancellation
 ``GET /healthz``                            liveness + queue depths
-``GET /metrics``                            telemetry counter snapshot
+``GET /metrics``                            Prometheus text exposition
+``GET /metrics.json``                       telemetry counter snapshot
 ==========================================  ===============================
+
+(``/metrics`` is plain text for scrapers; every other route is JSON.)
 
 Errors: 400 malformed spec, 404 unknown job, 429/503 typed admission
 rejections (body carries the machine-readable ``reason``; queue-full
@@ -27,13 +30,16 @@ from __future__ import annotations
 
 import json
 import re
-import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..telemetry.logging import get_logger
+from ..telemetry.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from .jobs import GridSpec, SpecError
 from .scheduler import AdmissionError, JobScheduler, UnknownJobError
+
+_LOG = get_logger("http")
 
 #: Longest long-poll a single request may hold (clients re-poll).
 MAX_POLL_S = 60.0
@@ -57,9 +63,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not self.server.quiet:  # type: ignore[attr-defined]
-            sys.stderr.write(
-                "service: %s %s\n" % (self.address_string(), format % args)
-            )
+            _LOG.info("request", client=self.address_string(),
+                      line=format % args)
 
     def _send(self, status: int, payload: Dict[str, Any],
               headers: Optional[Dict[str, str]] = None) -> None:
@@ -69,6 +74,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, body_text: str,
+                   content_type: str) -> None:
+        body = body_text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -95,6 +109,9 @@ class _Handler(BaseHTTPRequestHandler):
             if path == "/healthz":
                 self._send(200, self.scheduler.health())
             elif path == "/metrics":
+                self._send_text(200, self.scheduler.metrics_text(),
+                                _PROM_CONTENT_TYPE)
+            elif path == "/metrics.json":
                 self._send(200, self.scheduler.metrics())
             elif path == "/jobs":
                 self._send(200, {"jobs": self.scheduler.jobs()})

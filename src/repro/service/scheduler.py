@@ -39,6 +39,8 @@ from ..harness.backend import ExecutionBackend, PointTask, make_backend
 from ..harness.executor import ExecutionPolicy
 from ..harness.runner import SweepRunner
 from ..stats.results import SimResult
+from ..telemetry import prometheus
+from ..telemetry.logging import get_logger
 from .jobs import (
     GridSpec,
     JOB_CANCELLED,
@@ -57,6 +59,8 @@ from .jobs import (
 #: Hard ceiling a job's event list may grow to; earlier point events are
 #: dropped (the job's ``results`` list keeps every record regardless).
 MAX_EVENTS_PER_JOB = 10_000
+
+_LOG = get_logger("service")
 
 
 class AdmissionError(Exception):
@@ -129,8 +133,11 @@ class JobScheduler:
             "points.deduped": 0,
         }
         #: scheduler-thread refresh of the collector's counters, so
-        #: ``/metrics`` reads never race collector writes.
+        #: ``/metrics`` reads never race collector writes.  Histograms
+        #: and spans are refreshed at job boundaries only (they copy
+        #: sample lists, which would be quadratic per point).
         self._counters_view: Dict[str, int] = {}
+        self._histograms_view: Dict[str, List[float]] = {}
 
         self._journal = JobJournal(
             journal_path if journal_path is not None
@@ -221,6 +228,9 @@ class JobScheduler:
             self._admit(job)
             self.stats["jobs.accepted"] += 1
             self._cond.notify_all()
+            _LOG.info("job_accepted", job_id=job.job_id,
+                      points=job.points_total, scale=scale,
+                      queue_depth=len(self._queue))
             return job.to_dict(include_results=False)
 
     def _admit(self, job: SweepJob) -> None:
@@ -317,7 +327,7 @@ class JobScheduler:
             }
 
     def metrics(self) -> Dict[str, Any]:
-        """Counter snapshot for ``/metrics``.
+        """Counter snapshot for ``/metrics.json``.
 
         Collector counters come from the scheduler thread's last
         refresh (never a live read of a dict another thread is
@@ -332,6 +342,33 @@ class JobScheduler:
                 "counters": dict(sorted(counters.items())),
                 "service": self.health(),
             }
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: Prometheus text exposition (0.0.4).
+
+        Counters and latency histograms come from scheduler-thread
+        snapshot views (counters per point resolution, histograms per
+        job boundary); queue depth, in-flight points and uptime ride as
+        gauges so a scraper sees service pressure without parsing the
+        JSON health document.
+        """
+        with self._cond:
+            counters = dict(self._counters_view)
+            for name, value in self.stats.items():
+                counters[f"service.{name}"] = value
+            histograms = {
+                name: list(values)
+                for name, values in self._histograms_view.items()
+            }
+            gauges = {
+                "service.queue.depth": float(len(self._queue)),
+                "service.points.inflight": float(len(self._inflight)),
+                "service.uptime_seconds": round(
+                    time.time() - self.started_at, 3
+                ),
+                "service.stopping": float(self._stop_requested),
+            }
+        return prometheus.render_exposition(counters, gauges, histograms)
 
     # ------------------------------------------------------------------
     # journal recovery
@@ -443,13 +480,22 @@ class JobScheduler:
 
     def _execute(self, job: SweepJob) -> None:
         collector = self.runner.collector
+        log = _LOG.bind(job_id=job.job_id)
         with self._cond:
             job.state = JOB_RUNNING
             job.started_s = time.time()
+            queue_wait_s = job.started_s - job.created_s
             self._journal.append({"event": "state", "job_id": job.job_id,
                                   "state": JOB_RUNNING})
-            self._emit(job, "job.running")
+            self._emit(job, "job.running",
+                       queue_wait_s=round(queue_wait_s, 6))
+        if collector.enabled:
+            collector.observe("service.job.queue_wait_s", queue_wait_s)
+        log.info("job_running", queue_wait_s=round(queue_wait_s, 3),
+                 points=job.points_total)
         snap0 = dict(collector.counters) if collector.enabled else {}
+        spans0 = len(collector.spans) if collector.enabled else 0
+        run_start = time.perf_counter()
         try:
             for point in job.spec.points(job.scale):
                 if job.cancel_requested:
@@ -461,9 +507,11 @@ class JobScheduler:
                 for outcome in self.backend.finish():
                     self._deliver(outcome)
         except Exception as exc:  # noqa: BLE001 - a job must not kill the loop
+            log.error("job_crashed", error=f"{type(exc).__name__}: {exc}")
             with self._cond:
                 job.error = f"{type(exc).__name__}: {exc}"
                 self._finish_locked(job, JOB_FAILED)
+                self._refresh_histograms_locked()
             return
         if collector.enabled:
             deltas = {
@@ -471,6 +519,22 @@ class JobScheduler:
                 for name, value in collector.counters.items()
                 if value != snap0.get(name, 0)
             }
+            collector.add_span("job.run",
+                               time.perf_counter() - run_start,
+                               job_id=job.job_id)
+            # Aggregate the phase spans this job produced and stream
+            # them over the job's event feed, one event per phase.
+            phase_totals: Dict[str, List[float]] = {}
+            for span in collector.spans[spans0:]:
+                entry = phase_totals.setdefault(span["name"], [0.0, 0])
+                entry[0] += span["dur_s"]
+                entry[1] += 1
+            with self._cond:
+                for name in sorted(phase_totals):
+                    total_s, count = phase_totals[name]
+                    self._emit(job, "span", name=name,
+                               total_s=round(total_s, 6), count=count)
+                self._refresh_histograms_locked()
         else:
             deltas = {}
         report = None
@@ -589,11 +653,24 @@ class JobScheduler:
                    error=job.error,
                    wall_s=(round(job.finished_s - job.started_s, 6)
                            if job.started_s is not None else None))
+        _LOG.info("job_" + state, job_id=job.job_id,
+                  cached=job.points_cached, fresh=job.points_fresh,
+                  failed=job.points_failed, deduped=job.points_deduped,
+                  error=job.error)
 
     def _refresh_counters_locked(self) -> None:
         collector = self.runner.collector
         if collector.enabled:
             self._counters_view = dict(collector.counters)
+
+    def _refresh_histograms_locked(self) -> None:
+        """Scheduler-thread only: histograms copy whole sample lists."""
+        collector = self.runner.collector
+        if collector.enabled:
+            self._histograms_view = {
+                name: list(values)
+                for name, values in collector.histograms.items()
+            }
 
     def _emit(self, job: SweepJob, kind: str, **payload: Any) -> None:
         """Append one event to a job's stream (lock held) and wake waiters."""

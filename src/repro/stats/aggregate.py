@@ -16,6 +16,11 @@ from .results import SimResult
 #: Version tag of the ``telemetry.json`` document layout.
 TELEMETRY_SCHEMA = "repro.telemetry/1"
 
+#: Counter-name prefix under which the engines publish cycle
+#: attribution (``cycles.<engine>.<bucket>``; see
+#: ``repro.telemetry.collector.ATTRIBUTION_BUCKETS``).
+_ATTRIBUTION_PREFIX = "cycles."
+
 
 def group_by(results: Iterable[SimResult],
              key: Callable[[SimResult], str]) -> Dict[str, List[SimResult]]:
@@ -140,6 +145,48 @@ def histogram_stats(values: Sequence[float]) -> Dict[str, float]:
     }
 
 
+def attribution_breakdown(counters: Dict[str, int],
+                          ) -> Dict[str, Dict[str, Any]]:
+    """Cycle attribution per engine from ``cycles.*`` counters.
+
+    Returns ``{engine: {buckets: {bucket: cycles}, total_cycles,
+    shares: {bucket: fraction}}}`` -- empty when no engine published
+    attribution (collector disabled, or only cache hits served).
+    """
+    engines: Dict[str, Dict[str, int]] = {}
+    for name, value in counters.items():
+        if not name.startswith(_ATTRIBUTION_PREFIX):
+            continue
+        _, engine, bucket = name.split(".", 2)
+        engines.setdefault(engine, {})[bucket] = value
+    breakdown: Dict[str, Dict[str, Any]] = {}
+    for engine, buckets in sorted(engines.items()):
+        total = sum(buckets.values())
+        breakdown[engine] = {
+            "buckets": dict(sorted(buckets.items())),
+            "total_cycles": total,
+            "shares": {
+                bucket: round(value / total, 4) if total else 0.0
+                for bucket, value in sorted(buckets.items())
+            },
+        }
+    return breakdown
+
+
+def span_totals(spans: Sequence[Dict[str, Any]],
+                ) -> Dict[str, Dict[str, Any]]:
+    """Fold raw span records into ``{name: {total_s, count}}``."""
+    totals: Dict[str, List[float]] = {}
+    for span in spans:
+        entry = totals.setdefault(span["name"], [0.0, 0])
+        entry[0] += span["dur_s"]
+        entry[1] += 1
+    return {
+        name: {"total_s": round(entry[0], 6), "count": int(entry[1])}
+        for name, entry in sorted(totals.items())
+    }
+
+
 def telemetry_report(collector: Collector,
                      context: Optional[Dict[str, Any]] = None,
                      validation: Optional[Dict[str, Any]] = None,
@@ -154,7 +201,12 @@ def telemetry_report(collector: Collector,
     point with its per-point timings.  Points that failed under
     fault-tolerant execution carry ``failed: true`` and an ``error``
     kind, and are additionally surfaced in the ``failures`` list so a
-    partial grid is visible at the top level.  ``context`` (when given)
+    partial grid is visible at the top level.  ``phases`` folds the
+    named phase spans (``phase.prepare`` / ``phase.simulate`` /
+    ``phase.validate`` / ``phase.merge``) into per-phase totals;
+    ``attribution`` is the per-engine cycle-attribution breakdown of
+    :func:`attribution_breakdown` (empty unless fresh simulations ran
+    with the collector enabled).  ``context`` (when given)
     records run-level facts such as the execution backend and worker
     count; a parallel sweep's document is the parent-side merge of every
     worker's collector snapshot, so the schema is identical across
@@ -176,6 +228,8 @@ def telemetry_report(collector: Collector,
         },
         "points": points,
         "failures": [point for point in points if point.get("failed")],
+        "phases": span_totals(collector.spans),
+        "attribution": attribution_breakdown(collector.counters),
     }
     if context:
         document["context"] = dict(context)

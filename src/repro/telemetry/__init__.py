@@ -1,10 +1,13 @@
 """Observability subsystem: counters, timers, per-cycle pipeline traces.
 
 See DESIGN.md section "Observability" for the collector API, the
-event/counter naming scheme, and the ``telemetry.json`` schema.
+event/counter naming scheme, and the ``telemetry.json`` schema, and
+section "Profiling & metrics" for spans, cycle attribution, the
+sampling profiler, and the Prometheus exposition.
 """
 
 from .collector import (
+    ATTRIBUTION_BUCKETS,
     Collector,
     EVENT_NAMES,
     MetricsCollector,
@@ -20,9 +23,12 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .logging import StructuredLogger, get_logger
+from .perfscope import SamplingProfiler, host_block, profile_call
 from .progress import ProgressLine
 
 __all__ = [
+    "ATTRIBUTION_BUCKETS",
     "Collector",
     "EVENT_NAMES",
     "MetricsCollector",
@@ -35,5 +41,10 @@ __all__ = [
     "jsonl_lines",
     "write_chrome_trace",
     "write_jsonl",
+    "StructuredLogger",
+    "get_logger",
+    "SamplingProfiler",
+    "host_block",
+    "profile_call",
     "ProgressLine",
 ]

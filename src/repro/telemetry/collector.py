@@ -47,7 +47,45 @@ TID_CONTROL = 2
 #: An event record: (ts_cycle, dur_cycles, name, tid, args-or-None).
 Event = Tuple[int, int, str, int, Optional[Dict[str, Any]]]
 
+#: The closed cycle-attribution taxonomy (see DESIGN.md "Profiling &
+#: metrics"): every simulated cycle of either engine lands in exactly
+#: one bucket, so the buckets of one run sum to its total cycles.
+ATTRIBUTION_BUCKETS = (
+    "issued_full",          # a word issued this cycle
+    "issue_stall",          # fetch ready, operands/window were not
+    "memory_wait",          # stalled on a memory-produced operand / block
+    "mispredict_recovery",  # wrong-path issue + redirect after squash
+    "drain_idle",           # tail: in-flight work completing after issue
+)
+
 _EMPTY_MAP: Any = MappingProxyType({})
+
+
+def finalize_attribution(buckets: Dict[str, int], total_cycles: int,
+                         accounted: int) -> None:
+    """Close an engine's cycle-attribution books so buckets sum exactly.
+
+    ``accounted`` is the engine's accounting cursor: how many cycles it
+    charged during the run.  The usual case (cursor behind the total)
+    charges the tail -- in-flight work completing after the last issue
+    -- to ``drain_idle``.  A cursor *past* the total only happens when a
+    trailing redirect charged fetch cycles that never materialised in
+    the final cycle count; the overshoot is un-charged from the
+    speculative buckets first so every bucket stays non-negative.
+    """
+    tail = total_cycles - accounted
+    if tail >= 0:
+        buckets["drain_idle"] += tail
+        return
+    need = -tail
+    for name in ("drain_idle", "mispredict_recovery", "issue_stall",
+                 "memory_wait", "issued_full"):
+        have = buckets[name]
+        take = have if have < need else need
+        buckets[name] = have - take
+        need -= take
+        if not need:
+            return
 
 
 class _NullTimer:
@@ -81,6 +119,28 @@ class _Timer:
 
     def __exit__(self, *exc: object) -> None:
         self._collector.add_time(self._name, time.perf_counter() - self._start)
+
+
+class _SpanTimer:
+    """Context manager recording one named span into a collector."""
+
+    __slots__ = ("_collector", "_name", "_attrs", "_start")
+
+    def __init__(self, collector: "MetricsCollector", name: str,
+                 attrs: Dict[str, Any]):
+        self._collector = collector
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._collector.add_span(
+            self._name, time.perf_counter() - self._start, **self._attrs
+        )
 
 
 class Collector:
@@ -118,6 +178,21 @@ class Collector:
     def record_point(self, **fields: Any) -> None:
         """Record one sweep-point summary (benchmark, config, timings)."""
 
+    def add_span(self, name: str, dur_s: float, **attrs: Any) -> None:
+        """Record one finished named span of ``dur_s`` wall seconds.
+
+        Spans are the phase-attribution primitive: ``phase.prepare``,
+        ``phase.simulate``, ``phase.validate`` and ``phase.merge``
+        spans threaded through the harness add up to a sweep's wall
+        time the way cycle-attribution buckets add up to a simulation's
+        cycles.  Attributes carry correlation (benchmark, config,
+        job id).
+        """
+
+    def span(self, name: str, **attrs: Any) -> "_NullTimer":
+        """Context manager timing a block into :meth:`add_span`."""
+        return _NULL_TIMER
+
     # ---- cross-process merge (no-ops on the null object) -------------
     def snapshot(self) -> Dict[str, Any]:
         """A plain-data copy of everything recorded so far.
@@ -152,6 +227,10 @@ class Collector:
     def points(self) -> List[Dict[str, Any]]:
         return []
 
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        return []
+
 
 #: Shared null collector: the default everywhere telemetry is optional.
 NULL_COLLECTOR = Collector()
@@ -160,7 +239,7 @@ NULL_COLLECTOR = Collector()
 class MetricsCollector(Collector):
     """Collector recording counters, histograms, timers and sweep points."""
 
-    __slots__ = ("_counters", "_histograms", "_timers", "_points")
+    __slots__ = ("_counters", "_histograms", "_timers", "_points", "_spans")
 
     enabled = True
     tracing = False
@@ -170,6 +249,7 @@ class MetricsCollector(Collector):
         self._histograms: Dict[str, List[float]] = {}
         self._timers: Dict[str, List[float]] = {}  # name -> [total_s, count]
         self._points: List[Dict[str, Any]] = []
+        self._spans: List[Dict[str, Any]] = []
 
     def count(self, name: str, n: int = 1) -> None:
         self._counters[name] = self._counters.get(name, 0) + n
@@ -191,6 +271,15 @@ class MetricsCollector(Collector):
     def record_point(self, **fields: Any) -> None:
         self._points.append(fields)
 
+    def add_span(self, name: str, dur_s: float, **attrs: Any) -> None:
+        span: Dict[str, Any] = {"name": name, "dur_s": dur_s}
+        if attrs:
+            span.update(attrs)
+        self._spans.append(span)
+
+    def span(self, name: str, **attrs: Any) -> _SpanTimer:
+        return _SpanTimer(self, name, attrs)
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "counters": dict(self._counters),
@@ -202,6 +291,7 @@ class MetricsCollector(Collector):
                 name: list(entry) for name, entry in self._timers.items()
             },
             "points": [dict(point) for point in self._points],
+            "spans": [dict(span) for span in self._spans],
         }
 
     def merge(self, snap: Dict[str, Any]) -> None:
@@ -217,6 +307,7 @@ class MetricsCollector(Collector):
                 entry[0] += total_s
                 entry[1] += count
         self._points.extend(snap.get("points", []))
+        self._spans.extend(snap.get("spans", []))
 
     @property
     def counters(self) -> Dict[str, int]:
@@ -233,6 +324,10 @@ class MetricsCollector(Collector):
     @property
     def points(self) -> List[Dict[str, Any]]:
         return self._points
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        return self._spans
 
 
 class TraceCollector(MetricsCollector):

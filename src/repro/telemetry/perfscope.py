@@ -1,0 +1,206 @@
+"""Perfscope: wall-clock profiling primitives for the harness.
+
+ROADMAP's 10x-engine campaign needs to know *where* a sweep's seconds
+go before touching the inner loops.  This module supplies the three
+instruments the ``profile`` CLI verb combines:
+
+* :class:`SamplingProfiler` -- a background thread that samples the
+  profiled thread's Python stack at a fixed interval and folds the
+  samples into collapsed-stack counts (``a;b;c 42``), the input format
+  of every flamegraph renderer.  Sampling observes the program as it
+  runs, so its numbers are free of call-accounting overhead.
+* :func:`profile_call` -- runs a callable under :mod:`cProfile` and
+  returns a deterministic top-N hot-function table (exact call counts
+  and cumulative times, at the cost of tracing overhead).
+* :func:`host_block` -- the machine-identity block every ``BENCH_*``
+  document embeds, so perf trajectories across machines compare like
+  with like.
+
+None of this imports anything outside the stdlib, and nothing here runs
+unless the ``profile`` verb (or a test) asks for it.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import platform
+import pstats
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: Default sampling period: 5 ms keeps a 10-second run at ~2000 samples
+#: -- enough resolution for a flamegraph, negligible observer cost.
+DEFAULT_INTERVAL_S = 0.005
+
+
+class SamplingProfiler:
+    """Samples one thread's Python stack into collapsed-stack counts.
+
+    Usage::
+
+        prof = SamplingProfiler()
+        with prof:
+            run_sweep()
+        lines = prof.collapsed()   # ["main;simulate;run 1234", ...]
+
+    The sampler targets the thread that *enters* the context manager
+    (via :func:`sys._current_frames`), so wrap only the code under
+    study.  Frames are folded root-first as ``module:function`` joined
+    with ``;`` -- the folded format ``flamegraph.pl`` and speedscope
+    ingest directly.
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S):
+        self.interval_s = interval_s
+        self._counts: Dict[str, int] = {}
+        self._samples = 0
+        self._target_ident: Optional[int] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def start(self, target_ident: Optional[int] = None) -> None:
+        if self._thread is not None:
+            raise RuntimeError("SamplingProfiler already running")
+        self._target_ident = (
+            target_ident if target_ident is not None
+            else threading.get_ident()
+        )
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="perfscope-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        ident = self._target_ident
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(ident)
+            if frame is None:
+                continue
+            # Fold leaf-to-root, then reverse: flamegraph stacks read
+            # root-first.
+            parts: List[str] = []
+            while frame is not None:
+                code = frame.f_code
+                module = os.path.splitext(
+                    os.path.basename(code.co_filename))[0]
+                parts.append(f"{module}:{code.co_name}")
+                frame = frame.f_back
+            stack = ";".join(reversed(parts))
+            self._counts[stack] = self._counts.get(stack, 0) + 1
+            self._samples += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        """Total samples taken (0 means the run was too short to see)."""
+        return self._samples
+
+    def collapsed(self) -> List[str]:
+        """Folded stack lines, most-sampled first (ties lexicographic)."""
+        ordered = sorted(
+            self._counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [f"{stack} {count}" for stack, count in ordered]
+
+    def hot_frames(self, top_n: int = 10) -> List[Dict[str, Any]]:
+        """Leaf-frame sample shares: where the program actually *was*."""
+        leaves: Dict[str, int] = {}
+        for stack, count in self._counts.items():
+            leaf = stack.rsplit(";", 1)[-1]
+            leaves[leaf] = leaves.get(leaf, 0) + count
+        total = self._samples or 1
+        ordered = sorted(
+            leaves.items(), key=lambda item: (-item[1], item[0])
+        )[:top_n]
+        return [
+            {"frame": frame, "samples": count,
+             "share": round(count / total, 4)}
+            for frame, count in ordered
+        ]
+
+
+def profile_call(fn: Callable[[], T],
+                 top_n: int = 15) -> Tuple[T, List[Dict[str, Any]]]:
+    """Run ``fn`` under cProfile; return its result and a hot table.
+
+    The table rows are ``{function, file, line, calls, tottime_s,
+    cumtime_s}`` sorted by internal time (the frames burning CPU
+    themselves, not waiting on callees), top ``top_n``.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows: List[Dict[str, Any]] = []
+    for (filename, lineno, funcname), (cc, nc, tottime, cumtime, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append({
+            "function": funcname,
+            "file": os.path.basename(filename),
+            "line": lineno,
+            "calls": nc,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+    rows.sort(key=lambda row: (-row["tottime_s"], row["function"]))
+    return result, rows[:top_n]
+
+
+def host_block() -> Dict[str, Any]:
+    """Machine identity for ``BENCH_*`` documents.
+
+    Captures what makes perf numbers (in)comparable across machines:
+    platform triple, Python implementation/version, CPU count, and any
+    ``REPRO_*`` environment knobs that alter harness behaviour.
+    """
+    repro_env = {
+        name: value for name, value in sorted(os.environ.items())
+        if name.startswith("REPRO_")
+    }
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "python_impl": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "repro_env": repro_env,
+    }
+
+
+def measure_overhead(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall seconds for ``fn`` (overhead gating).
+
+    Best-of is the standard noise-rejection for micro-benches: the
+    minimum is the run least disturbed by the OS.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

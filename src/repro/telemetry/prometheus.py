@@ -1,0 +1,164 @@
+"""Prometheus text exposition (format 0.0.4) for the sweep service.
+
+The service's ``/metrics`` endpoint speaks the plain-text format every
+Prometheus-compatible scraper understands::
+
+    # TYPE repro_service_jobs_accepted counter
+    repro_service_jobs_accepted 2
+    # TYPE repro_job_queue_wait_seconds histogram
+    repro_job_queue_wait_seconds_bucket{le="0.1"} 4
+    ...
+
+Rendering happens at exposition time from plain snapshot data (dict of
+counters, dict of histogram sample lists, dict of gauges) that the
+scheduler refreshes under its lock -- this module never touches a live
+collector, so it cannot race the scheduler thread.
+
+Only the exposition subset the service needs is implemented: counters,
+gauges, and cumulative histograms with fixed ``le`` buckets.  Metric
+names are sanitized (dots and dashes become underscores) and prefixed
+``repro_`` so the sweep daemon's series namespace is unmistakable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Sequence
+
+#: MIME type of the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default latency buckets (seconds): sub-ms queue hops through
+#: multi-minute jobs, the usual log-ish ladder.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+_PREFIX = "repro_"
+
+
+def sanitize(name: str) -> str:
+    """A dotted collector name as a legal Prometheus metric name."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return _PREFIX + text
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_counters(counters: Dict[str, int]) -> List[str]:
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = sanitize(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    return lines
+
+
+def render_gauges(gauges: Dict[str, float]) -> List[str]:
+    lines: List[str] = []
+    for name in sorted(gauges):
+        metric = sanitize(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    return lines
+
+
+def render_histogram(name: str, samples: Sequence[float],
+                     buckets: Iterable[float] = DEFAULT_BUCKETS,
+                     ) -> List[str]:
+    """One histogram family from raw samples.
+
+    Prometheus histograms are cumulative: each ``le`` bucket counts all
+    samples at or below its bound, ``+Inf`` counts everything, and
+    ``_sum`` / ``_count`` close the family.
+    """
+    metric = sanitize(name)
+    if not metric.endswith("_seconds"):
+        metric += "_seconds"
+    lines = [f"# TYPE {metric} histogram"]
+    bounds = sorted(set(buckets))
+    for bound in bounds:
+        covered = sum(1 for sample in samples if sample <= bound)
+        lines.append(
+            f'{metric}_bucket{{le="{_format_value(bound)}"}} {covered}'
+        )
+    lines.append(f'{metric}_bucket{{le="+Inf"}} {len(samples)}')
+    lines.append(f"{metric}_sum {_format_value(float(sum(samples)))}")
+    lines.append(f"{metric}_count {len(samples)}")
+    return lines
+
+
+def render_exposition(counters: Dict[str, int],
+                      gauges: Dict[str, float],
+                      histograms: Dict[str, List[float]],
+                      buckets: Iterable[float] = DEFAULT_BUCKETS) -> str:
+    """The full ``/metrics`` body; ends with the mandatory newline."""
+    lines: List[str] = []
+    lines.extend(render_counters(counters))
+    lines.extend(render_gauges(gauges))
+    for name in sorted(histograms):
+        lines.extend(render_histogram(name, histograms[name], buckets))
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse an exposition body back into families (tests / debugging).
+
+    Returns ``{metric_name: {"type": ..., "samples": {label_sig: value}}}``
+    where ``label_sig`` is the raw ``{...}`` text (or ``""``).  Raises
+    ``ValueError`` on any line that is not a comment, blank, or a
+    well-formed sample -- which is what makes it useful as a validity
+    check in tests.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                families.setdefault(
+                    parts[2], {"type": parts[3], "samples": {}}
+                )["type"] = parts[3]
+            continue
+        # sample line: name[{labels}] value
+        if "{" in line:
+            name_part, rest = line.split("{", 1)
+            labels, value_part = rest.rsplit("}", 1)
+            label_sig = "{" + labels + "}"
+        else:
+            pieces = line.split()
+            if len(pieces) != 2:
+                raise ValueError(f"malformed sample line: {raw!r}")
+            name_part, value_part = pieces
+            label_sig = ""
+        name = name_part.strip()
+        if not name or not all(
+                ch.isalnum() or ch in "_:" for ch in name):
+            raise ValueError(f"bad metric name in line: {raw!r}")
+        value = float(value_part.strip().replace("+Inf", "inf"))
+        # _bucket/_sum/_count samples belong to their histogram family.
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                break
+        family = families.setdefault(base, {"type": "untyped", "samples": {}})
+        family["samples"][name + label_sig] = value
+    return families

@@ -11,6 +11,7 @@ from repro.machine.config import BranchMode, Discipline, MachineConfig
 from repro.machine.simulator import simulate
 from repro.stats.aggregate import histogram_stats, telemetry_report
 from repro.telemetry import (
+    ATTRIBUTION_BUCKETS,
     EVENT_NAMES,
     Collector,
     MetricsCollector,
@@ -306,6 +307,137 @@ class TestTelemetryReport:
         assert parsed["histograms"]["sweep.point.wall_s"]["count"] == 1
         assert parsed["timers"]["sweep.total_s"]["count"] == 1
         assert parsed["points"][0]["benchmark"] == "sort"
+
+
+class TestSpans:
+    def test_add_span_records_attributes(self):
+        collector = MetricsCollector()
+        collector.add_span("phase.prepare", 0.25, benchmark="sort")
+        assert collector.spans == [
+            {"name": "phase.prepare", "dur_s": 0.25, "benchmark": "sort"}
+        ]
+
+    def test_span_context_manager_times(self):
+        collector = MetricsCollector()
+        with collector.span("phase.simulate", benchmark="grep"):
+            pass
+        (span,) = collector.spans
+        assert span["name"] == "phase.simulate"
+        assert span["benchmark"] == "grep"
+        assert span["dur_s"] >= 0.0
+
+    def test_null_collector_span_is_noop(self):
+        NULL_COLLECTOR.add_span("x", 1.0)
+        with NULL_COLLECTOR.span("y"):
+            pass
+        assert NULL_COLLECTOR.spans == []
+
+    def test_snapshot_merge_round_trip(self):
+        worker = MetricsCollector()
+        worker.count("sweep.cache.miss")
+        worker.add_span("phase.simulate", 0.5, benchmark="sort")
+        snap = json.loads(json.dumps(worker.snapshot()))
+        parent = MetricsCollector()
+        parent.merge(snap)
+        parent.merge(snap)
+        assert parent.counters["sweep.cache.miss"] == 2
+        assert len(parent.spans) == 2
+        assert parent.spans[0]["name"] == "phase.simulate"
+
+
+#: Attribution must hold on every engine/mode combination, including
+#: the sequential (issue model 1) dynamic path and both branch schemes.
+_ATTR_CONFIGS = [
+    DYN_CONFIG,
+    STATIC_CONFIG,
+    MachineConfig(discipline=Discipline.DYNAMIC, issue_model=1,
+                  memory="A", branch_mode=BranchMode.SINGLE,
+                  window_blocks=1),
+    MachineConfig(discipline=Discipline.STATIC, issue_model=8,
+                  memory="A", branch_mode=BranchMode.ENLARGED),
+]
+_ATTR_IDS = ["dyn8", "static4", "dyn-seq", "static-enlarged"]
+
+
+class TestCycleAttribution:
+    @pytest.mark.parametrize("config", _ATTR_CONFIGS, ids=_ATTR_IDS)
+    def test_buckets_sum_exactly_to_cycles(self, grep_prepared, config):
+        collector = MetricsCollector()
+        result = simulate(grep_prepared, config, collector=collector)
+        buckets = {
+            name[len("attr."):]: value
+            for name, value in result.extra.items()
+            if name.startswith("attr.")
+        }
+        assert set(buckets) == set(ATTRIBUTION_BUCKETS)
+        assert all(value >= 0 for value in buckets.values())
+        assert sum(buckets.values()) == result.cycles
+        engine = ("dynamic" if config.discipline is Discipline.DYNAMIC
+                  else "static")
+        for name in ATTRIBUTION_BUCKETS:
+            assert (collector.counters[f"cycles.{engine}.{name}"]
+                    == buckets[name]), name
+
+    def test_disabled_collector_attaches_nothing(self, grep_prepared):
+        result = simulate(grep_prepared, DYN_CONFIG)
+        assert not any(name.startswith("attr.") for name in result.extra)
+
+    def test_disabled_collector_sees_no_writes(self, grep_prepared):
+        """Zero-cost-when-disabled tripwire: a disabled collector must
+        never receive a single write call from either engine."""
+
+        class Tripwire(Collector):
+            enabled = False
+            tracing = False
+
+            def count(self, *args, **kwargs):
+                raise AssertionError("count() on the disabled path")
+
+            def observe(self, *args, **kwargs):
+                raise AssertionError("observe() on the disabled path")
+
+            def event(self, *args, **kwargs):
+                raise AssertionError("event() on the disabled path")
+
+            def record_point(self, *args, **kwargs):
+                raise AssertionError("record_point() on the disabled path")
+
+            def add_span(self, *args, **kwargs):
+                raise AssertionError("add_span() on the disabled path")
+
+        simulate(grep_prepared, DYN_CONFIG, collector=Tripwire())
+        simulate(grep_prepared, STATIC_CONFIG, collector=Tripwire())
+
+    def test_attribution_does_not_change_timing(self, grep_prepared):
+        plain = simulate(grep_prepared, DYN_CONFIG)
+        counted = simulate(grep_prepared, DYN_CONFIG,
+                           collector=MetricsCollector())
+        for field in _COMPARED_FIELDS:
+            assert getattr(plain, field) == getattr(counted, field), field
+
+
+class TestReportSections:
+    def test_phases_and_attribution_in_report(self):
+        collector = MetricsCollector()
+        collector.add_span("phase.simulate", 0.5, benchmark="sort")
+        collector.add_span("phase.simulate", 0.25, benchmark="grep")
+        collector.add_span("phase.prepare", 0.1, benchmark="sort")
+        collector.count("cycles.dynamic.issued_full", 75)
+        collector.count("cycles.dynamic.issue_stall", 25)
+        report = json.loads(json.dumps(telemetry_report(collector)))
+        assert report["phases"]["phase.simulate"] == {
+            "total_s": 0.75, "count": 2,
+        }
+        assert report["phases"]["phase.prepare"]["count"] == 1
+        attribution = report["attribution"]["dynamic"]
+        assert attribution["total_cycles"] == 100
+        assert attribution["buckets"]["issued_full"] == 75
+        assert attribution["shares"]["issue_stall"] == pytest.approx(0.25)
+
+    def test_empty_collector_report_sections(self):
+        report = telemetry_report(MetricsCollector())
+        assert report["phases"] == {}
+        assert report["attribution"] == {}
 
 
 class TestProgressLine:
