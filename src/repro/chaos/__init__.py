@@ -1,0 +1,42 @@
+"""Deterministic fault injection (DESIGN.md §14).
+
+Only the plan and engine layers are re-exported here; the run harness
+(`repro.chaos.harness`) pulls in the whole sweep/service stack and must be
+imported explicitly (the CLI does so lazily) to keep `repro.chaos` a leaf
+that `machine.*` and `harness.errors` can depend on without cycles.
+"""
+from .inject import (
+    ChaosCrash,
+    ChaosEngine,
+    ChaosError,
+    ChaosIOError,
+    activate,
+    current,
+    deactivate,
+)
+from .plan import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    PLAN_SCHEMA,
+    FaultPlan,
+    FaultRule,
+    PlanError,
+    smoke_plan,
+)
+
+__all__ = [
+    "ChaosCrash",
+    "ChaosEngine",
+    "ChaosError",
+    "ChaosIOError",
+    "activate",
+    "current",
+    "deactivate",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "PLAN_SCHEMA",
+    "FaultPlan",
+    "FaultRule",
+    "PlanError",
+    "smoke_plan",
+]

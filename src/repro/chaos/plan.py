@@ -1,0 +1,225 @@
+"""Declarative, seeded fault plans for deterministic chaos runs.
+
+A :class:`FaultPlan` is a JSON-serializable schedule of :class:`FaultRule`
+entries.  Each rule names an injection *site* (a choke point instrumented in
+the harness/service code), the fault *kind* to inject there, and *when* to
+fire: either an explicit tuple of 1-based per-site hit indices (the smoke
+schedules use only these, which makes runs exactly reproducible) or a
+probability evaluated against the plan's seeded RNG.
+
+The plan layer is deliberately stdlib-only and import-free of the rest of
+the package so that any module can depend on it without cycles.
+"""
+from __future__ import annotations
+
+import errno
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+PLAN_SCHEMA = "repro.chaos.plan/1"
+
+# Every fault kind the engine knows how to inject.
+FAULT_KINDS = (
+    "io-error",     # raise an OSError (errno configurable; default ENOSPC)
+    "corrupt",      # hand the caller corrupted bytes / force the corrupt path
+    "torn-write",   # persist only a prefix of the record, then drop the handle
+    "crash",        # raise ChaosCrash (worker died mid-point)
+    "hang",         # sleep past the point timeout (clock-free for the sim)
+    "delay",        # sleep a short, bounded time (latency, not failure)
+    "budget",       # clamp the engine cycle watchdog to a tiny budget
+    "http-503",     # answer the HTTP request with an injected 503
+    "conn-reset",   # shut the client socket down mid-request
+)
+
+# The site catalogue: which kinds are meaningful where.  Sites are the
+# stable public names used in plans, telemetry and DESIGN.md §14.
+FAULT_SITES: Dict[str, Tuple[str, ...]] = {
+    "artifacts.write": ("io-error", "delay"),
+    "artifacts.read": ("corrupt", "delay"),
+    "cache.read": ("corrupt", "delay"),
+    "cache.write": ("io-error", "delay"),
+    "checkpoint.write": ("io-error", "delay"),
+    "journal.append": ("torn-write", "io-error", "delay"),
+    "point.simulate": ("crash", "hang", "delay"),
+    "engine.budget": ("budget",),
+    "backend.dispatch": ("delay",),
+    "http.request": ("http-503", "conn-reset", "delay"),
+}
+
+
+class PlanError(ValueError):
+    """A fault plan or rule failed validation."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: inject `kind` at `site` on selected hits."""
+
+    site: str
+    kind: str
+    hits: Tuple[int, ...] = ()
+    p: float = 0.0
+    max_injections: int = 0
+    delay_s: float = 0.0
+    budget: int = 0
+    errno_name: str = "ENOSPC"
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise PlanError(f"unknown fault site {self.site!r}")
+        if self.kind not in FAULT_SITES[self.site]:
+            raise PlanError(
+                f"kind {self.kind!r} is not valid at site {self.site!r}"
+                f" (allowed: {', '.join(FAULT_SITES[self.site])})"
+            )
+        if not self.hits and not self.p:
+            raise PlanError(
+                f"rule {self.site}/{self.kind} fires never: give hits or p"
+            )
+        for hit in self.hits:
+            if not isinstance(hit, int) or hit < 1:
+                raise PlanError(f"hit indices are 1-based ints, got {hit!r}")
+        if not 0.0 <= self.p <= 1.0:
+            raise PlanError(f"p must be in [0, 1], got {self.p!r}")
+        if self.delay_s < 0:
+            raise PlanError(f"delay_s must be >= 0, got {self.delay_s!r}")
+        if self.kind == "budget" and self.budget < 1:
+            raise PlanError("budget faults need budget >= 1")
+        if not hasattr(errno, self.errno_name):
+            raise PlanError(f"unknown errno name {self.errno_name!r}")
+
+    def limit(self) -> int:
+        """Maximum number of times this rule may fire."""
+        if self.max_injections:
+            return self.max_injections
+        return len(self.hits) or 1
+
+    def errno_value(self) -> int:
+        return getattr(errno, self.errno_name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {"site": self.site, "kind": self.kind}
+        if self.hits:
+            document["hits"] = list(self.hits)
+        if self.p:
+            document["p"] = self.p
+        if self.max_injections:
+            document["max_injections"] = self.max_injections
+        if self.delay_s:
+            document["delay_s"] = self.delay_s
+        if self.budget:
+            document["budget"] = self.budget
+        if self.errno_name != "ENOSPC":
+            document["errno"] = self.errno_name
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "FaultRule":
+        if not isinstance(document, dict):
+            raise PlanError(f"fault rule must be an object, got {document!r}")
+        known = {"site", "kind", "hits", "p", "max_injections",
+                 "delay_s", "budget", "errno"}
+        unknown = set(document) - known
+        if unknown:
+            raise PlanError(f"unknown rule fields: {sorted(unknown)}")
+        try:
+            return cls(
+                site=document["site"],
+                kind=document["kind"],
+                hits=tuple(document.get("hits", ())),
+                p=float(document.get("p", 0.0)),
+                max_injections=int(document.get("max_injections", 0)),
+                delay_s=float(document.get("delay_s", 0.0)),
+                budget=int(document.get("budget", 0)),
+                errno_name=document.get("errno", "ENOSPC"),
+            )
+        except KeyError as exc:
+            raise PlanError(f"fault rule missing field {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, PlanError):
+                raise
+            raise PlanError(f"bad fault rule {document!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded schedule of fault rules."""
+
+    seed: int
+    rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
+    name: str = "custom"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": PLAN_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(document, dict):
+            raise PlanError(f"fault plan must be an object, got {document!r}")
+        schema = document.get("schema")
+        if schema != PLAN_SCHEMA:
+            raise PlanError(
+                f"unsupported plan schema {schema!r} (want {PLAN_SCHEMA!r})"
+            )
+        rules = document.get("rules", [])
+        if not isinstance(rules, list):
+            raise PlanError("plan rules must be a list")
+        try:
+            seed = int(document["seed"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanError("plan needs an integer seed") from exc
+        return cls(
+            seed=seed,
+            rules=tuple(FaultRule.from_dict(rule) for rule in rules),
+            name=str(document.get("name", "custom")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            document = json.loads(text)
+        except ValueError as exc:
+            raise PlanError(f"plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(document)
+
+
+def smoke_plan(seed: int, mode: str) -> FaultPlan:
+    """The built-in schedule behind `repro chaos --smoke`.
+
+    Hit indices were chosen against the execution order of the smoke grid
+    so every rule actually fires and every injected fault lands on a path
+    the stack can recover from (the convergence contract in DESIGN.md §14).
+    """
+    if mode not in ("sweep", "service"):
+        raise PlanError(f"unknown chaos mode {mode!r}")
+    rules = [
+        FaultRule("artifacts.read", "corrupt", hits=(1,)),
+        FaultRule("artifacts.write", "io-error", hits=(2,)),
+        FaultRule("cache.read", "corrupt", hits=(3, 17)),
+        FaultRule("cache.write", "io-error", hits=(5,)),
+        FaultRule("point.simulate", "crash", hits=(7,)),
+        FaultRule("point.simulate", "hang", hits=(12,), delay_s=6.5),
+        FaultRule("point.simulate", "delay", hits=(25,), delay_s=0.05),
+        FaultRule("engine.budget", "budget", hits=(20,), budget=64),
+        FaultRule("backend.dispatch", "delay", hits=(1, 15), delay_s=0.02),
+    ]
+    if mode == "sweep":
+        rules.append(FaultRule("checkpoint.write", "io-error", hits=(2,)))
+    else:
+        rules += [
+            FaultRule("journal.append", "torn-write", hits=(3,)),
+            FaultRule("journal.append", "io-error", hits=(4,)),
+            FaultRule("http.request", "http-503", hits=(2,)),
+            FaultRule("http.request", "conn-reset", hits=(4,)),
+            FaultRule("http.request", "delay", hits=(6,), delay_s=0.02),
+        ]
+    return FaultPlan(seed=seed, rules=tuple(rules), name=f"smoke-{mode}")

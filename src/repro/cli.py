@@ -375,6 +375,45 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="with --wait: exit non-zero unless every"
                              " point was served from the result cache"
                              " (CI warm-path assertion)")
+    submit.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry transient failures (retryable"
+                             " admission rejections, 5xx, connection"
+                             " drops) up to N times with capped jittered"
+                             " backoff honoring Retry-After (default 0)")
+    submit.add_argument("--backoff", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="base retry backoff; doubles per attempt,"
+                             " capped at 10s (default 0.25)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection drill: run the smoke grid"
+             " twice (fault-free, then under a seeded FaultPlan) and"
+             " assert convergence -- byte-identical result cache, same"
+             " terminal job states, no partial files (see DESIGN.md"
+             " 'Fault injection & chaos testing')",
+    )
+    _add_grid_arguments(chaos, default_benchmarks="grep")
+    chaos.add_argument("--mode", choices=("sweep", "service"),
+                       default="sweep",
+                       help="exercise the sweep harness (cold+warm"
+                            " passes) or the service daemon (cold run,"
+                            " crash-restart replay, warm submit)")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="use the built-in smoke FaultPlan (>= 8 fault"
+                            " sites, >= 6 fault kinds; coverage is"
+                            " asserted)")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="FaultPlan seed (default 7)")
+    chaos.add_argument("--plan", default=None, metavar="FILE",
+                       help="load a FaultPlan JSON document instead of"
+                            " the built-in smoke plan")
+    chaos.add_argument("--limit", type=int, default=None,
+                       help="keep only the first N grid points")
+    chaos.add_argument("--plan-out", default=None, metavar="FILE",
+                       help="write the effective FaultPlan JSON before"
+                            " running (repro artifact for CI uploads)")
+    _add_telemetry_arguments(chaos)
 
     sub.add_parser("list", help="list benchmarks and configuration axes")
     return parser
@@ -687,6 +726,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             # A killed or crashing sweep must still leave a resumable
             # manifest behind, and pool workers must not outlive it.
             backend.close()
+            if runner.cache is not None:
+                try:
+                    # Dirty entries survive a failed mid-sweep flush
+                    # (ENOSPC and friends); this terminal retry is their
+                    # last chance to land before the process exits.
+                    runner.cache.flush()
+                except OSError as exc:
+                    print(f"warning: final cache flush failed: {exc}",
+                          file=sys.stderr)
             checkpoint.save()
             if progress is not None:
                 progress.finish()
@@ -1256,7 +1304,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from .service import AdmissionRejected, JobFailed, ServiceClient
     from .service import ServiceError
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, retries=args.retries,
+                           backoff_s=args.backoff)
     spec = {"grid": args.grid}
     benchmarks = _benchmarks_from_args(args)
     if benchmarks is not None:
@@ -1323,6 +1372,88 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection drill: two arms, then the convergence contract.
+
+    Exit codes: 0 when the faulted arm converged with the fault-free
+    one (and, under ``--smoke``, the plan's coverage floor held), 3 on
+    divergence or missed coverage (problems on stderr), 1 on a fatal
+    harness error or an unloadable plan.
+    """
+    import json
+
+    from .chaos.plan import FaultPlan, PlanError, smoke_plan
+    from .telemetry import MetricsCollector
+
+    if args.plan is not None and args.smoke:
+        print("fatal: --plan and --smoke are mutually exclusive",
+              file=sys.stderr)
+        return 1
+    if args.plan is not None:
+        try:
+            with open(args.plan, "r", encoding="utf-8") as handle:
+                plan = FaultPlan.from_json(handle.read())
+        except (OSError, ValueError, PlanError) as exc:
+            print(f"fatal: cannot load fault plan {args.plan}: {exc}",
+                  file=sys.stderr)
+            return 1
+    else:
+        plan = smoke_plan(args.seed, args.mode)
+    if args.plan_out:
+        # Written before the run so a wedged or killed drill still
+        # leaves the plan behind for reproduction.
+        with open(args.plan_out, "w", encoding="utf-8") as handle:
+            handle.write(plan.to_json())
+        print(f"wrote {args.plan_out}")
+
+    benchmarks = _benchmarks_from_args(args) or ["grep"]
+    telemetry = args.telemetry or bool(args.metrics_out)
+    collector = MetricsCollector() if telemetry else None
+
+    from .chaos.harness import run_chaos
+    from .telemetry.collector import NULL_COLLECTOR
+
+    try:
+        report = run_chaos(
+            args.mode, plan, benchmarks=tuple(benchmarks),
+            scale=args.scale if args.scale is not None else 1,
+            limit=args.limit,
+            collector=collector if collector is not None else NULL_COLLECTOR,
+        )
+    except Exception as exc:  # noqa: BLE001 - deterministic exit code 1
+        print(f"fatal: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    print(json.dumps(report.to_dict(), indent=2))
+    if args.metrics_out:
+        _write_metrics(collector, args.metrics_out,
+                       context={"mode": args.mode, "plan": plan.name,
+                                "seed": plan.seed})
+
+    problems = list(report.problems)
+    if args.smoke:
+        # The smoke drill's value is breadth: a plan edit that silently
+        # drops coverage must fail CI, not shrink the drill.
+        if len(report.sites) < 8:
+            problems.append(
+                f"smoke coverage: only {len(report.sites)} fault sites"
+                " injected (need >= 8)"
+            )
+        if len(report.kinds) < 6:
+            problems.append(
+                f"smoke coverage: only {len(report.kinds)} fault kinds"
+                " injected (need >= 6)"
+            )
+    if problems:
+        for problem in problems:
+            print(f"chaos: {problem}", file=sys.stderr)
+        return 3
+    print(f"chaos: converged ({sum(report.injected.values())} faults"
+          f" injected across {len(report.sites)} sites,"
+          f" {sum(report.recovered.values())} recoveries)")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("benchmarks:", ", ".join(sorted(WORKLOADS)))
     print("issue models:")
@@ -1356,6 +1487,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": _cmd_profile,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "chaos": _cmd_chaos,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

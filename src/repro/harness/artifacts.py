@@ -39,11 +39,16 @@ import json
 import os
 from typing import Any, Dict, Optional
 
+from ..chaos.inject import current as chaos_current
 from ..interp.trace_io import load_trace_file, save_trace_file
 from ..machine.simulator import PreparedWorkload
 from ..program.parser import parse_program
 from ..program.printer import format_program
+from ..telemetry.collector import Collector, NULL_COLLECTOR
+from ..telemetry.logging import get_logger
 from .cache import atomic_write_json
+
+_LOG = get_logger("artifacts")
 
 #: Bump to invalidate prepared artifacts after preparation-semantics
 #: changes (the value is hashed into every artifact digest).
@@ -95,8 +100,32 @@ class ArtifactStore:
     without an import cycle.
     """
 
-    def __init__(self, root: Optional[str] = None):
+    def __init__(self, root: Optional[str] = None,
+                 collector: Collector = NULL_COLLECTOR):
         self.root = root if root is not None else default_artifact_root()
+        self.collector = collector
+
+    # ------------------------------------------------------------------
+    def _quarantine(self, directory: str, benchmark: str) -> None:
+        """Move a corrupt artifact directory aside for post-mortem."""
+        pen = os.path.join(self.root, ".quarantine")
+        base = os.path.basename(directory)
+        try:
+            os.makedirs(pen, exist_ok=True)
+            target = os.path.join(pen, base)
+            suffix = 0
+            while os.path.exists(target):
+                suffix += 1
+                target = os.path.join(pen, f"{base}.{suffix}")
+            os.replace(directory, target)
+        except OSError:
+            return
+        self.collector.count("artifacts.quarantined")
+        _LOG.warning("artifacts_quarantined", benchmark=benchmark,
+                     directory=directory, moved_to=target)
+        eng = chaos_current()
+        if eng is not None:
+            eng.mark_recovered("artifacts.read")
 
     # ------------------------------------------------------------------
     def directory(self, workload: Any, scale: int) -> str:
@@ -139,6 +168,12 @@ class ArtifactStore:
         directory = self.directory(workload, scale)
         if self._manifest(directory) is None:
             return None
+        eng = chaos_current()
+        if eng is not None:
+            rule = eng.act("artifacts.read", ("corrupt", "delay"))
+            if rule is not None and rule.kind == "corrupt":
+                self._quarantine(directory, workload.name)
+                return None
         try:
             with open(os.path.join(directory, "single.asm"),
                       encoding="utf-8") as handle:
@@ -153,6 +188,7 @@ class ArtifactStore:
                 os.path.join(directory, "enlarged.trace")
             )
         except Exception:  # noqa: BLE001 - any corruption means re-prepare
+            self._quarantine(directory, workload.name)
             return None
         return PreparedWorkload(
             workload.name, single, enlarged, single_trace, enlarged_trace
@@ -166,6 +202,9 @@ class ArtifactStore:
         written directory never satisfies a later :meth:`load`.
         """
         directory = self.directory(workload, scale)
+        eng = chaos_current()
+        if eng is not None:
+            eng.act("artifacts.write", ("io-error", "delay"))
         os.makedirs(directory, exist_ok=True)
         with open(os.path.join(directory, "single.asm"), "w",
                   encoding="utf-8") as handle:

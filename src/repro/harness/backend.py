@@ -49,6 +49,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..chaos.inject import current as chaos_current
 from ..machine.config import MachineConfig
 from ..stats.results import SimResult
 from .errors import PointFailure, WorkloadPrepareError
@@ -115,6 +116,11 @@ class SerialBackend(ExecutionBackend):
         self.executor = PointExecutor(runner, policy)
 
     def submit(self, task: PointTask) -> Iterator[PointOutcome]:
+        eng = chaos_current()
+        if eng is not None:
+            # Dispatch only tolerates latency: a raised fault here would
+            # abort the whole sweep, not one point.
+            eng.act("backend.dispatch", ("delay",))
         outcome = self.executor.execute(task.benchmark, task.config)
         if isinstance(outcome, PointFailure):
             yield PointOutcome(task, failure=outcome)
@@ -138,6 +144,7 @@ class _WorkerJob:
     retries: int
     backoff_s: float
     max_cycles: Optional[int]
+    retry_kinds: Tuple[str, ...] = ()
 
 
 def _pool_point(job: _WorkerJob) -> Tuple[object, Optional[dict]]:
@@ -158,6 +165,7 @@ def _pool_point(job: _WorkerJob) -> Tuple[object, Optional[dict]]:
     executor = PointExecutor(runner, ExecutionPolicy(
         timeout_s=job.timeout_s, retries=job.retries,
         backoff_s=job.backoff_s, isolate=False, max_cycles=job.max_cycles,
+        retry_kinds=job.retry_kinds,
     ))
     outcome = executor.execute(job.benchmark, job.config)
     snapshot = collector.snapshot() if collector is not None else None
@@ -192,6 +200,9 @@ class ProcessPoolBackend(ExecutionBackend):
 
     # ------------------------------------------------------------------
     def submit(self, task: PointTask) -> Iterator[PointOutcome]:
+        eng = chaos_current()
+        if eng is not None:
+            eng.act("backend.dispatch", ("delay",))
         self._queue.append(_Pending(task))
         yield from self._pump(block=False)
 
@@ -283,6 +294,7 @@ class ProcessPoolBackend(ExecutionBackend):
             retries=policy.retries,
             backoff_s=policy.backoff_s,
             max_cycles=self.runner.max_cycles,
+            retry_kinds=policy.retry_kinds,
         )
 
     # ------------------------------------------------------------------

@@ -9,21 +9,27 @@ scale) key.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from typing import Any, Dict, Optional
 
+from ..chaos.inject import current as chaos_current
 from ..machine.config import MachineConfig
 from ..stats.results import SimResult
 from ..telemetry.collector import Collector, NULL_COLLECTOR
+from ..telemetry.logging import get_logger
 
 #: Bump when simulator behaviour changes enough to invalidate old results.
 CACHE_VERSION = 7
 
+_LOG = get_logger("cache")
+
 
 def atomic_write_json(path: str, payload: Any,
-                      indent: Optional[int] = None) -> None:
+                      indent: Optional[int] = None,
+                      sort_keys: bool = False) -> None:
     """Crash-safe JSON write: unique temp file, fsync, ``os.replace``.
 
     A killed writer can never leave a truncated file at ``path`` -- the
@@ -31,7 +37,12 @@ def atomic_write_json(path: str, payload: Any,
     into place -- and the unique temp name keeps concurrent writers
     (e.g. two sweeps sharing a cache directory) from trampling each
     other's in-flight data.  ``indent`` is forwarded to ``json.dump``
-    for documents meant to be committed and diffed (golden baselines).
+    for documents meant to be committed and diffed (golden baselines);
+    ``sort_keys`` pins byte layout independent of insertion order.
+
+    After the replace the containing directory is fsynced (best effort:
+    not every filesystem allows opening a directory) so the rename itself
+    survives a power cut, not just the file contents.
     """
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
@@ -40,7 +51,7 @@ def atomic_write_json(path: str, payload: Any,
     )
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=indent)
+            json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
             if indent is not None:
                 handle.write("\n")
             handle.flush()
@@ -52,6 +63,16 @@ def atomic_write_json(path: str, payload: Any,
         except OSError:
             pass
         raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 _RESULT_FIELDS = (
     "cycles",
@@ -97,6 +118,50 @@ class ResultCache:
         self._data: Dict[str, dict] = {}
         self._loaded = False
         self._dirty = 0
+        self._write_failed = False
+
+    # ------------------------------------------------------------------
+    def _quarantine_file(self) -> None:
+        """Move a corrupt cache file aside for post-mortem, don't delete."""
+        directory = os.path.dirname(self.path) or "."
+        pen = os.path.join(directory, ".quarantine")
+        base = os.path.basename(self.path)
+        try:
+            os.makedirs(pen, exist_ok=True)
+            target = os.path.join(pen, base)
+            suffix = 0
+            while os.path.exists(target):
+                suffix += 1
+                target = os.path.join(pen, f"{base}.{suffix}")
+            os.replace(self.path, target)
+        except OSError:
+            return
+        self.collector.count("cache.quarantined")
+        _LOG.warning("cache_file_quarantined", path=self.path, moved_to=target)
+        eng = chaos_current()
+        if eng is not None:
+            eng.mark_recovered("cache.read")
+
+    def _quarantine_entry(self, key: str, raw: Any) -> None:
+        """Preserve a corrupt cache entry in a sidecar before dropping it."""
+        directory = os.path.dirname(self.path) or "."
+        pen = os.path.join(directory, ".quarantine")
+        digest = hashlib.sha1(key.encode("utf-8")).hexdigest()[:12]
+        try:
+            os.makedirs(pen, exist_ok=True)
+            target = os.path.join(pen, f"entry-{digest}.json")
+            suffix = 0
+            while os.path.exists(target):
+                suffix += 1
+                target = os.path.join(pen, f"entry-{digest}.{suffix}.json")
+            atomic_write_json(target, {"key": key, "raw": raw}, indent=2)
+        except OSError:
+            return
+        self.collector.count("cache.quarantined")
+        _LOG.warning("cache_entry_quarantined", key=key, moved_to=target)
+        eng = chaos_current()
+        if eng is not None:
+            eng.mark_recovered("cache.read")
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
@@ -110,15 +175,17 @@ class ResultCache:
             self._data = {}
             return
         except ValueError:
-            # A truncated or garbled cache file: start fresh rather than
-            # failing the whole sweep.
+            # A truncated or garbled cache file: quarantine it for
+            # post-mortem and start fresh rather than failing the sweep.
             self.collector.count("cache.corrupt")
+            self._quarantine_file()
             self._data = {}
             return
         if isinstance(data, dict):
             self._data = data
         else:
             self.collector.count("cache.corrupt")
+            self._quarantine_file()
             self._data = {}
 
     def get(self, benchmark: str, config: MachineConfig,
@@ -126,15 +193,21 @@ class ResultCache:
         """Fetch a cached result, rebuilding the SimResult object.
 
         A corrupted entry (wrong shape, missing fields -- e.g. written by
-        an older code version or truncated on disk) is dropped and
-        counted under the ``cache.corrupt`` telemetry counter, so the
-        caller transparently recomputes instead of crashing.
+        an older code version or truncated on disk) is quarantined into a
+        ``.quarantine/`` sidecar, dropped from the live cache, and counted
+        under ``cache.corrupt``, so the caller transparently recomputes
+        instead of crashing.
         """
         self._load()
         key = result_key(benchmark, config, scale)
         raw = self._data.get(key)
         if raw is None:
             return None
+        eng = chaos_current()
+        if eng is not None:
+            rule = eng.act("cache.read", ("corrupt", "delay"))
+            if rule is not None and rule.kind == "corrupt":
+                raw = {"_chaos": "corrupted entry"}
         try:
             return SimResult(
                 benchmark=benchmark,
@@ -143,6 +216,7 @@ class ResultCache:
             )
         except (KeyError, TypeError):
             self.collector.count("cache.corrupt")
+            self._quarantine_entry(key, raw)
             del self._data[key]
             self._dirty += 1
             return None
@@ -158,10 +232,30 @@ class ResultCache:
         self.flush()
 
     def flush(self) -> None:
-        """Persist dirty entries via a crash-safe atomic replace."""
+        """Persist dirty entries via a crash-safe atomic replace.
+
+        On a write failure the dirty count is retained so the next put or
+        terminal flush retries; keys are sorted so the byte layout is
+        independent of insertion order (quarantined-then-recomputed
+        entries land at the same offsets as never-corrupted ones).
+        """
         if not self._dirty:
             return
-        atomic_write_json(self.path, self._data)
+        eng = chaos_current()
+        try:
+            if eng is not None:
+                eng.act("cache.write", ("io-error", "delay"))
+            atomic_write_json(self.path, self._data, sort_keys=True)
+        except OSError as exc:
+            self._write_failed = True
+            _LOG.warning("cache_flush_failed", path=self.path,
+                         error=f"{type(exc).__name__}: {exc}")
+            raise
+        if self._write_failed:
+            self._write_failed = False
+            _LOG.info("cache_flush_recovered", path=self.path)
+            if eng is not None:
+                eng.mark_recovered("cache.write")
         self._dirty = 0
 
     def __len__(self) -> int:

@@ -22,8 +22,12 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence
 
+from ..chaos.inject import current as chaos_current
+from ..telemetry.logging import get_logger
 from .cache import atomic_write_json
 from .errors import PointFailure
+
+_LOG = get_logger("checkpoint")
 
 #: Manifest layout version.
 CHECKPOINT_VERSION = 1
@@ -61,6 +65,7 @@ class SweepCheckpoint:
         self.failures: Dict[str, PointFailure] = {}
         self._save_interval = max(1, save_interval)
         self._since_save = 0
+        self._write_failed = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -118,8 +123,14 @@ class SweepCheckpoint:
 
     # ------------------------------------------------------------------
     def save(self) -> None:
-        """Write the manifest atomically (temp file + ``os.replace``)."""
-        atomic_write_json(self.path, {
+        """Write the manifest atomically (temp file + ``os.replace``).
+
+        A failed write is tolerated: the manifest is an accelerator, not
+        the source of truth (the result cache is), so the sweep keeps
+        going and the retained ``_since_save`` count retries the write at
+        the next completed point.
+        """
+        document = {
             "version": CHECKPOINT_VERSION,
             "benchmarks": self.benchmarks,
             "scale": self.scale,
@@ -130,7 +141,22 @@ class SweepCheckpoint:
                 {"key": key, "failure": failure.to_dict()}
                 for key, failure in sorted(self.failures.items())
             ],
-        })
+        }
+        eng = chaos_current()
+        try:
+            if eng is not None:
+                eng.act("checkpoint.write", ("io-error", "delay"))
+            atomic_write_json(self.path, document)
+        except OSError as exc:
+            self._write_failed = True
+            _LOG.warning("checkpoint_save_failed", path=self.path,
+                         error=f"{type(exc).__name__}: {exc}")
+            return
+        if self._write_failed:
+            self._write_failed = False
+            _LOG.info("checkpoint_save_recovered", path=self.path)
+            if eng is not None:
+                eng.mark_recovered("checkpoint.write")
         self._since_save = 0
 
     def remove(self) -> None:

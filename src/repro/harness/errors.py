@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict
 
+from ..chaos.inject import ChaosCrash
 from ..machine.errors import (  # noqa: F401  (re-exported taxonomy members)
     EngineDivergence,
     SimulationError,
@@ -113,7 +114,7 @@ _KIND_TABLE = (
     ("prepare", (WorkloadPrepareError, WorkloadMismatch)),
     ("cache", (CacheCorruption,)),
     ("transient", (TransientSimulationError,)),
-    ("worker-crash", (WorkerCrashed,)),
+    ("worker-crash", (WorkerCrashed, ChaosCrash)),
 )
 
 #: the closed vocabulary of failure kinds (plus the fallback).
@@ -139,7 +140,11 @@ def is_transient(exc: BaseException) -> bool:
     """
     if isinstance(exc, RemoteFailure):
         return exc.transient
-    return isinstance(exc, (TransientSimulationError, OSError))
+    if isinstance(exc, WorkloadPrepareError):
+        # The wrapper hides the cause's class; an I/O flake during
+        # preparation is just as retryable as one during simulation.
+        return is_transient(exc.cause)
+    return isinstance(exc, (TransientSimulationError, ChaosCrash, OSError))
 
 
 @dataclass

@@ -27,8 +27,9 @@ import multiprocessing
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
+from ..chaos.inject import current as chaos_current
 from ..machine.config import MachineConfig
 from ..stats.results import SimResult
 from .errors import (
@@ -59,6 +60,10 @@ class ExecutionPolicy:
     isolate: bool = False
     #: engine watchdog override (None: REPRO_MAX_CYCLES or the default).
     max_cycles: Optional[int] = None
+    #: failure kinds (classify_error names) granted retries on top of the
+    #: transient set -- e.g. ("timeout", "hang") under the chaos harness,
+    #: where those are injected and recoverable rather than systematic.
+    retry_kinds: Tuple[str, ...] = ()
 
 
 def _isolated_worker(conn, benchmark: str, config: MachineConfig,
@@ -145,7 +150,9 @@ class PointExecutor:
                 else:
                     result = runner.simulate_point(benchmark, config)
             except Exception as exc:  # noqa: BLE001 - degrade, don't abort
-                if is_transient(exc) and attempts <= policy.retries:
+                retryable = (is_transient(exc)
+                             or classify_error(exc) in policy.retry_kinds)
+                if retryable and attempts <= policy.retries:
                     collector.count("sweep.point.retried")
                     _LOG.warning(
                         "point_retry", benchmark=benchmark,
@@ -158,6 +165,10 @@ class PointExecutor:
                     benchmark, config, exc, attempts,
                     time.perf_counter() - start,
                 )
+            if attempts > 1:
+                eng = chaos_current()
+                if eng is not None:
+                    eng.mark_recovered("executor.retry")
             try:
                 runner.cache_store(result)
             except Exception:  # noqa: BLE001 - a cache write must not

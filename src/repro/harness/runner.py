@@ -12,6 +12,7 @@ import os
 import time
 from typing import Iterable, List, Optional, Sequence
 
+from ..chaos.inject import current as chaos_current
 from ..machine.config import MachineConfig
 from ..machine.simulator import PreparedWorkload, simulate
 from ..stats.results import SimResult
@@ -169,6 +170,9 @@ class SweepRunner:
     def simulate_point(self, benchmark: str,
                        config: MachineConfig) -> SimResult:
         """Prepare and simulate one point, bypassing the result cache."""
+        eng = chaos_current()
+        if eng is not None:
+            eng.act("point.simulate", ("crash", "hang", "delay"))
         collector = self.collector
         if collector.enabled:
             point = str(config)

@@ -11,21 +11,45 @@ typed exception so callers can map outcomes to exit codes:
   than ``done``;
 * :class:`ServiceError` -- anything else (connection refused, bad
   response, HTTP 500s).
+
+Retry policy (``retries > 0``): transient failures -- retryable
+admission rejections (``queue-full``, ``stopped``, ``journal-error``),
+5xx responses and connection-level errors -- are retried with capped
+exponential backoff plus seeded jitter.  The daemon's ``Retry-After``
+hint, surfaced as ``retry_after_s`` on the exception, overrides the
+exponential base when present.  ``rng`` and ``sleep`` are injectable so
+tests control both the jitter and the clock.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..chaos.inject import current as chaos_current
 from .jobs import TERMINAL_STATES
+
+#: Admission reasons worth retrying: pressure and transient daemon
+#: states, never spec errors (those recur deterministically).
+RETRYABLE_REASONS = frozenset({
+    "queue-full",
+    "stopped",
+    "journal-error",
+    "injected-503",
+})
 
 
 class ServiceError(Exception):
     """Transport- or protocol-level failure talking to the daemon."""
+
+    #: whether a retry-enabled client may re-attempt the request.
+    retryable = False
+    #: the daemon's Retry-After hint in seconds, when one was sent.
+    retry_after_s: Optional[float] = None
 
 
 class AdmissionRejected(ServiceError):
@@ -53,18 +77,76 @@ class JobFailed(ServiceError):
         self.job = job
 
 
+def _parse_retry_after(headers: Any) -> Optional[float]:
+    """The Retry-After header as seconds, when present and numeric."""
+    if headers is None:
+        return None
+    raw = headers.get("Retry-After")
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        return None
+
+
 class ServiceClient:
     """Minimal JSON-over-HTTP client for one service daemon."""
 
     def __init__(self, base_url: str = "http://127.0.0.1:8737",
-                 timeout_s: float = 30.0):
+                 timeout_s: float = 30.0, retries: int = 0,
+                 backoff_s: float = 0.25, max_backoff_s: float = 10.0,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
 
     # ------------------------------------------------------------------
+    def _retry_delay(self, attempt: int,
+                     retry_after_s: Optional[float]) -> float:
+        """Capped backoff honoring the daemon's Retry-After hint."""
+        if retry_after_s is not None:
+            base = retry_after_s
+        else:
+            base = self.backoff_s * (2 ** (attempt - 1))
+        capped = min(base, self.max_backoff_s)
+        return capped + self._rng.uniform(0.0, self.backoff_s / 2)
+
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
                  timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                payload = self._request_once(method, path, body, timeout_s)
+            except JobNotFound:
+                raise
+            except AdmissionRejected as exc:
+                if (attempt >= self.retries
+                        or exc.reason not in RETRYABLE_REASONS):
+                    raise
+                delay_hint = exc.retry_after_s
+            except ServiceError as exc:
+                if attempt >= self.retries or not exc.retryable:
+                    raise
+                delay_hint = exc.retry_after_s
+            else:
+                if attempt:
+                    eng = chaos_current()
+                    if eng is not None:
+                        eng.mark_recovered("http.request")
+                return payload
+            attempt += 1
+            self._sleep(self._retry_delay(attempt, delay_hint))
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None,
+                      timeout_s: Optional[float] = None) -> Dict[str, Any]:
         data = json.dumps(body).encode("utf-8") if body is not None else None
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
@@ -90,14 +172,31 @@ class ServiceClient:
                     payload.get("message", f"rejected ({exc.code})"),
                     payload.get("retry_after_s"),
                 ) from None
-            raise ServiceError(
+            error = ServiceError(
                 f"HTTP {exc.code} on {method} {path}:"
                 f" {payload.get('error', exc.reason)}"
-            ) from None
+            )
+            if exc.code >= 500:
+                error.retryable = True
+                error.retry_after_s = _parse_retry_after(exc.headers)
+            raise error from None
         except urllib.error.URLError as exc:
-            raise ServiceError(
+            # Connection refused / reset mid-request: the daemon may be
+            # restarting; retry-enabled callers re-attempt.
+            error = ServiceError(
                 f"cannot reach service at {self.base_url}: {exc.reason}"
-            ) from None
+            )
+            error.retryable = True
+            raise error from None
+        except ConnectionError as exc:
+            # urllib only wraps errors from sending the request; a reset
+            # while *reading* the response (http.client's
+            # RemoteDisconnected) escapes raw.  Same remedy: retry.
+            error = ServiceError(
+                f"connection to {self.base_url} dropped mid-request: {exc}"
+            )
+            error.retryable = True
+            raise error from None
         if not isinstance(payload, dict):
             raise ServiceError(f"malformed response from {method} {path}")
         return payload

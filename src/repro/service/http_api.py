@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import json
 import re
+import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..chaos.inject import current as chaos_current
 from ..telemetry.logging import get_logger
 from ..telemetry.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from .jobs import GridSpec, SpecError
@@ -101,8 +103,43 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, ValueError):
             raise SpecError("request body is not valid JSON") from None
 
+    def _chaos_fault(self) -> bool:
+        """Chaos injection at request entry (before any dispatch).
+
+        Injecting *before* the scheduler sees the request keeps every
+        faulted request idempotent to retry -- a 503'd or reset POST
+        never half-submitted a job.  Returns True when the request was
+        consumed by the fault.
+        """
+        eng = chaos_current()
+        if eng is None:
+            return False
+        rule = eng.act("http.request", ("http-503", "conn-reset", "delay"))
+        if rule is None or rule.kind == "delay":
+            return False  # delay already slept inside act(); proceed
+        # Either fault consumes the request without reading its body, so
+        # the connection cannot be reused for a follow-up request.
+        self.close_connection = True
+        if rule.kind == "http-503":
+            # Admission-shaped body so clients map it onto their typed,
+            # retryable rejection path.
+            self._send(503, {
+                "error": "admission",
+                "reason": "injected-503",
+                "message": "chaos: injected 503",
+                "retry_after_s": 0.05,
+            }, {"Retry-After": "0"})
+        else:  # conn-reset
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        return True
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self._chaos_fault():
+            return
         parsed = urlparse(self.path)
         path, query = parsed.path, parse_qs(parsed.query)
         try:
@@ -141,6 +178,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self._chaos_fault():
+            return
         path = urlparse(self.path).path
         try:
             if path == "/jobs":

@@ -27,12 +27,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..chaos.inject import current as chaos_current
 from ..harness.cache import result_key
 from ..machine.config import (
     MachineConfig,
     full_configuration_space,
     smoke_configuration_space,
 )
+from ..telemetry.collector import Collector, NULL_COLLECTOR
+from ..telemetry.logging import get_logger
+
+_LOG = get_logger("journal")
 
 #: Journal layout version (a line with another version is ignored).
 JOURNAL_VERSION = 1
@@ -254,14 +259,40 @@ class JobJournal:
         if self._handle is None:
             directory = os.path.dirname(self.path) or "."
             os.makedirs(directory, exist_ok=True)
+            heal = False
+            try:
+                with open(self.path, "rb") as probe:
+                    probe.seek(-1, os.SEEK_END)
+                    heal = probe.read(1) != b"\n"
+            except (OSError, ValueError):
+                pass  # absent or empty journal: nothing to heal
             self._handle = open(self.path, "a", encoding="utf-8")
+            if heal:
+                # The previous writer died mid-record.  Terminate the
+                # torn tail so this writer's first record starts on a
+                # fresh line instead of gluing onto the fragment (which
+                # would garble a well-formed record too).
+                self._handle.write("\n")
+                self._handle.flush()
+                _LOG.warning("journal_torn_tail_healed", path=self.path)
         return self._handle
 
     def append(self, record: Dict[str, Any]) -> None:
         record = dict(record)
         record["v"] = JOURNAL_VERSION
+        line = json.dumps(record, sort_keys=True) + "\n"
+        eng = chaos_current()
+        if eng is not None:
+            rule = eng.act("journal.append", ("torn-write", "io-error",
+                                              "delay"))
+            if rule is not None and rule.kind == "torn-write":
+                handle = self._open()
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                self.close()  # the writer "died" mid-record
+                return
         handle = self._open()
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.write(line)
         handle.flush()
 
     def close(self) -> None:
@@ -271,24 +302,43 @@ class JobJournal:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def replay(path: str) -> List[Dict[str, Any]]:
-        """All well-formed journal records at ``path``, in write order."""
+    def replay(path: str,
+               collector: Collector = NULL_COLLECTOR) -> List[Dict[str, Any]]:
+        """All well-formed journal records at ``path``, in write order.
+
+        A truncated final line (the usual crash artefact) is skipped and
+        counted under ``journal.torn_tail``; an unparsable line anywhere
+        else means on-disk damage and counts under ``journal.garbled``.
+        Both are logged -- replay never raises on bad records.
+        """
         records: List[Dict[str, Any]] = []
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        continue  # truncated tail of a crashed write
-                    if (isinstance(record, dict)
-                            and record.get("v") == JOURNAL_VERSION):
-                        records.append(record)
+                raw_lines = handle.readlines()
         except OSError:
             return []
+        for index, line in enumerate(raw_lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if index == len(raw_lines) - 1:
+                    collector.count("journal.torn_tail")
+                    _LOG.warning("journal_torn_tail", path=path,
+                                 line=index + 1)
+                else:
+                    collector.count("journal.garbled")
+                    _LOG.warning("journal_garbled_record", path=path,
+                                 line=index + 1)
+                eng = chaos_current()
+                if eng is not None:
+                    eng.mark_recovered("journal.append")
+                continue
+            if (isinstance(record, dict)
+                    and record.get("v") == JOURNAL_VERSION):
+                records.append(record)
         return records
 
     def rewrite(self, records: Sequence[Dict[str, Any]]) -> None:

@@ -35,6 +35,7 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from ..chaos.inject import current as chaos_current
 from ..harness.backend import ExecutionBackend, PointTask, make_backend
 from ..harness.executor import ExecutionPolicy
 from ..harness.runner import SweepRunner
@@ -127,6 +128,7 @@ class JobScheduler:
             "jobs.rejected.job-too-large": 0,
             "jobs.rejected.scale-mismatch": 0,
             "jobs.rejected.stopped": 0,
+            "jobs.rejected.journal-error": 0,
             "jobs.done": 0,
             "jobs.failed": 0,
             "jobs.cancelled": 0,
@@ -201,6 +203,7 @@ class JobScheduler:
                 raise AdmissionError(
                     "stopped", "the service is shutting down",
                     http_status=503,
+                    retry_after_s=10.0,
                 )
             if len(points) > self.max_job_points:
                 self.stats["jobs.rejected.job-too-large"] += 1
@@ -209,6 +212,7 @@ class JobScheduler:
                     f"job has {len(points)} points; this daemon admits at"
                     f" most {self.max_job_points} per job",
                     http_status=429,
+                    retry_after_s=60.0,
                 )
             if len(self._queue) >= self.max_queued_jobs:
                 self.stats["jobs.rejected.queue-full"] += 1
@@ -225,7 +229,22 @@ class JobScheduler:
                 spec=spec, seq=self._seq, scale=scale,
                 points_total=len(points),
             )
-            self._admit(job)
+            try:
+                self._admit(job)
+            except OSError as exc:
+                # Journal-first admission: nothing was registered, so
+                # reject and roll the sequence number back -- job ids
+                # must not burn sequence slots on unacknowledged jobs.
+                self._seq -= 1
+                self.stats["jobs.rejected.journal-error"] += 1
+                _LOG.error("journal_append_rejected", job_id=job.job_id,
+                           error=f"{type(exc).__name__}: {exc}")
+                raise AdmissionError(
+                    "journal-error",
+                    f"cannot journal acceptance: {exc}",
+                    http_status=503,
+                    retry_after_s=1.0,
+                ) from exc
             self.stats["jobs.accepted"] += 1
             self._cond.notify_all()
             _LOG.info("job_accepted", job_id=job.job_id,
@@ -234,11 +253,13 @@ class JobScheduler:
             return job.to_dict(include_results=False)
 
     def _admit(self, job: SweepJob) -> None:
-        """Register one queued job (lock held): journal, queue, event."""
-        self._jobs[job.job_id] = job
-        self._order.append(job.job_id)
-        self._events[job.job_id] = []
-        self._queue.append(job.job_id)
+        """Register one queued job (lock held): journal, queue, event.
+
+        Journal-first: until the accept record is durably appended,
+        nothing is registered -- a failed append leaves no half-admitted
+        job behind (the caller translates the OSError into a retryable
+        503 rejection).
+        """
         self._journal.append({
             "event": "accept",
             "job_id": job.job_id,
@@ -247,6 +268,10 @@ class JobScheduler:
             "points_total": job.points_total,
             "spec": job.spec.to_dict(),
         })
+        self._jobs[job.job_id] = job
+        self._order.append(job.job_id)
+        self._events[job.job_id] = []
+        self._queue.append(job.job_id)
         self._emit(job, "job.queued", queue_depth=len(self._queue))
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
@@ -381,7 +406,8 @@ class JobScheduler:
         duplicating work.  The journal is compacted afterwards so it
         does not grow across restart cycles.
         """
-        records = JobJournal.replay(self._journal.path)
+        records = JobJournal.replay(self._journal.path,
+                                    collector=self.runner.collector)
         if not records:
             return
         final_state: Dict[str, Dict[str, Any]] = {}
@@ -485,8 +511,9 @@ class JobScheduler:
             job.state = JOB_RUNNING
             job.started_s = time.time()
             queue_wait_s = job.started_s - job.created_s
-            self._journal.append({"event": "state", "job_id": job.job_id,
-                                  "state": JOB_RUNNING})
+            self._journal_append_safe({"event": "state",
+                                       "job_id": job.job_id,
+                                       "state": JOB_RUNNING})
             self._emit(job, "job.running",
                        queue_wait_s=round(queue_wait_s, 6))
         if collector.enabled:
@@ -537,6 +564,7 @@ class JobScheduler:
                 self._refresh_histograms_locked()
         else:
             deltas = {}
+        self._flush_cache_safe()
         report = None
         if (self.validate and not job.cancel_requested and job.sim_results):
             from ..validate import run_oracle
@@ -554,6 +582,39 @@ class JobScheduler:
             else:
                 state = JOB_DONE
             self._finish_locked(job, state)
+
+    def _journal_append_safe(self, record: Dict[str, Any]) -> None:
+        """Append a non-admission record, tolerating journal I/O failure.
+
+        Acceptance appends are load-bearing (they gate admission); state
+        records are best-effort -- losing one costs a replay-time
+        re-queue that settles as cache hits, never lost work.
+        """
+        try:
+            self._journal.append(record)
+        except OSError as exc:
+            _LOG.warning("journal_append_failed",
+                         job_id=record.get("job_id"),
+                         event=record.get("event"),
+                         error=f"{type(exc).__name__}: {exc}")
+            eng = chaos_current()
+            if eng is not None:
+                eng.mark_recovered("journal.append")
+
+    def _flush_cache_safe(self) -> None:
+        """Terminal cache flush (scheduler thread): retry a failed write.
+
+        ``ResultCache.flush`` is a no-op unless a previous write failed
+        and left dirty entries behind; this second chance keeps a
+        transient I/O error from losing the job's last results.
+        """
+        cache = self.runner.cache
+        if cache is None:
+            return
+        try:
+            cache.flush()
+        except OSError:
+            self.runner.collector.count("sweep.cache.store_error")
 
     def _step(self, job: SweepJob, point: PointJob) -> None:
         """One point: dedup subscription, cache probe, or dispatch."""
@@ -635,7 +696,7 @@ class JobScheduler:
         stat = {JOB_DONE: "jobs.done", JOB_FAILED: "jobs.failed",
                 JOB_CANCELLED: "jobs.cancelled"}[state]
         self.stats[stat] += 1
-        self._journal.append({
+        self._journal_append_safe({
             "event": "state",
             "job_id": job.job_id,
             "state": state,

@@ -15,10 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional
 
+from ..chaos.inject import current as chaos_current
 from ..enlarge.plan import EnlargeConfig
 from ..lang.frontend import compile_source
 from ..machine.simulator import PreparedWorkload, prepare_workload
 from ..program.program import Program
+from ..telemetry.collector import Collector, NULL_COLLECTOR
+from ..telemetry.logging import get_logger
+
+_LOG = get_logger("workloads")
 
 #: fd -> byte stream
 Inputs = Mapping[int, bytes]
@@ -64,7 +69,8 @@ class Workload:
 _PREPARED_CACHE: Dict[tuple, PreparedWorkload] = {}
 
 
-def prepared(workload: Workload, scale: int = 1) -> PreparedWorkload:
+def prepared(workload: Workload, scale: int = 1,
+             collector: Collector = NULL_COLLECTOR) -> PreparedWorkload:
     """Cached workload preparation (in-process, then on-disk, then fresh).
 
     Only the default enlargement configuration is cached; custom configs
@@ -79,11 +85,23 @@ def prepared(workload: Workload, scale: int = 1) -> PreparedWorkload:
     if hit is not None:
         return hit
 
-    store = ArtifactStore()
+    store = ArtifactStore(collector=collector)
     loaded = store.load(workload, scale)
     if loaded is None:
         loaded = workload.prepare(scale=scale)
-        store.save(workload, scale, loaded)
+        try:
+            store.save(workload, scale, loaded)
+        except OSError as exc:
+            # The prepared workload is in memory and fully usable; a
+            # failed persist costs a re-prepare next process, not this
+            # point.
+            _LOG.warning("artifact_save_failed", benchmark=workload.name,
+                         scale=scale,
+                         error=f"{type(exc).__name__}: {exc}")
+            collector.count("artifacts.write_error")
+            eng = chaos_current()
+            if eng is not None:
+                eng.mark_recovered("artifacts.write")
     _PREPARED_CACHE[key] = loaded
     return loaded
 
