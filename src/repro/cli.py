@@ -191,6 +191,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "cache, failures in sweep.state.json)",
     )
     _add_grid_arguments(sweep)
+    sweep.add_argument("--grid", choices=("full", "smoke", "cache"),
+                       default="full",
+                       help="configuration grid: the paper's 560-point"
+                            " space (full), the 40-point validation slice"
+                            " (smoke), or the per-workload cache-geometry"
+                            " ladder (cache; honours each workload's"
+                            " cache_memories)")
     sweep.add_argument("--limit", type=int, default=None,
                        help="stop after N uncached points (for budgeting)")
     _add_telemetry_arguments(sweep)
@@ -357,9 +364,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="submit one grid job to a running service daemon",
     )
     _add_grid_arguments(submit)
-    submit.add_argument("--grid", choices=("smoke", "full"), default="smoke",
+    submit.add_argument("--grid", choices=("smoke", "full", "cache"),
+                        default="smoke",
                         help="configuration grid to fan out (default:"
-                             " smoke, 40 configs)")
+                             " smoke, 40 configs; cache is the"
+                             " per-workload cache-geometry ladder)")
     submit.add_argument("--limit", type=int, default=None,
                         help="submit only the first N points of the grid")
     submit.add_argument("--url", default="http://127.0.0.1:8737",
@@ -604,7 +613,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .harness.checkpoint import SweepCheckpoint, default_checkpoint_path
     from .harness.executor import ExecutionPolicy
     from .harness.runner import reset_zero_ipc_warning
-    from .machine.config import full_configuration_space
+    from .machine.config import (
+        cache_configuration_space,
+        full_configuration_space,
+        smoke_configuration_space,
+    )
     from .telemetry import MetricsCollector, ProgressLine
 
     if args.jobs < 1:
@@ -631,8 +644,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_cycles=args.max_cycles,
     )
     backend = make_backend(runner, policy, jobs=args.jobs)
-    configs = list(full_configuration_space())
-    total = len(configs) * len(runner.benchmarks)
+    grid = getattr(args, "grid", "full")
+    if grid == "cache":
+        # The cache-geometry ladder differs per benchmark (workloads may
+        # pin their own memory letters), so tasks are planned name-major
+        # here instead of through the shared-config plan_tasks() path.
+        task_list = [
+            (name, config, result_key(name, config, runner.scale))
+            for name in runner.benchmarks
+            for config in cache_configuration_space(name)
+        ]
+        total = len(task_list)
+    else:
+        space = (smoke_configuration_space if grid == "smoke"
+                 else full_configuration_space)
+        configs = list(space())
+        total = len(configs) * len(runner.benchmarks)
 
     checkpoint_path = default_checkpoint_path()
     checkpoint = None
@@ -686,11 +713,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"[{done}/{total}] {outcome.result.summary()}",
                   file=sys.stderr)
 
-    tasks = plan_tasks(
-        configs, runner.benchmarks,
-        lambda name, config: result_key(name, config, runner.scale),
-        benchmark_major=args.jobs > 1,
-    )
+    if grid == "cache":
+        tasks = iter(task_list)
+    else:
+        tasks = plan_tasks(
+            configs, runner.benchmarks,
+            lambda name, config: result_key(name, config, runner.scale),
+            benchmark_major=args.jobs > 1,
+        )
     try:
         try:
             for name, config, key in tasks:

@@ -20,7 +20,7 @@ from ..telemetry.collector import Collector, NULL_COLLECTOR
 from ..telemetry.logging import get_logger
 from ..validate.findings import ValidationFinding
 from ..validate.invariants import check_result
-from ..workloads import WORKLOADS, prepared
+from ..workloads import PAPER_WORKLOAD_NAMES, WORKLOADS, prepared
 from ..workloads.base import ensure_artifacts
 from .cache import ResultCache, result_key
 from .errors import PointFailure, WorkloadPrepareError
@@ -31,8 +31,11 @@ _LOG = get_logger("sweep")
 def default_benchmarks() -> List[str]:
     """Benchmarks used when the caller does not choose.
 
-    Overridable via the ``REPRO_BENCH_WORKLOADS`` environment variable
-    (comma-separated names).
+    The paper's five, so figure pipelines and recorded baselines keep
+    their composition; the widening benchmarks (hashjoin, jsontok,
+    crc32) are opted into explicitly.  Overridable via the
+    ``REPRO_BENCH_WORKLOADS`` environment variable (comma-separated
+    names).
     """
     raw = os.environ.get("REPRO_BENCH_WORKLOADS")
     if raw:
@@ -41,7 +44,7 @@ def default_benchmarks() -> List[str]:
         if unknown:
             raise ValueError(f"unknown benchmarks: {unknown}")
         return names
-    return list(WORKLOADS)
+    return list(PAPER_WORKLOAD_NAMES)
 
 
 def default_scale() -> int:

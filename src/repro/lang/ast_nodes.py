@@ -137,13 +137,19 @@ class Index(Expr):
 
 
 class Call(Expr):
-    __slots__ = ("name", "args", "func")
+    """A call: direct (``name`` set, ``func`` resolved by sema) or
+    indirect through a function-pointer value (``callee`` set by the
+    parser for postfix calls, or by sema when ``name`` resolves to a
+    function-pointer variable)."""
+
+    __slots__ = ("name", "args", "func", "callee")
 
     def __init__(self, name: str, args: List[Expr], line: int = 0, column: int = 0):
         super().__init__(line, column)
         self.name = name
         self.args = args
-        self.func = None  # resolved by sema to a FunctionDecl
+        self.func = None  # resolved by sema to a FunctionInfo (direct calls)
+        self.callee: Optional[Expr] = None  # callee expression (indirect calls)
 
 
 class SizeOf(Expr):
@@ -178,7 +184,7 @@ class VarDecl(Stmt):
         self,
         name: str,
         ctype: CType,
-        init,  # Expr, list of Expr (array), or None
+        init,  # Expr, (possibly nested) list of Expr (array), or None
         line: int = 0,
         column: int = 0,
     ):

@@ -38,7 +38,7 @@ from ..program.program import GLOBAL_BASE, Program
 from . import ast_nodes as ast
 from .ctypes import CType
 from .sema import SemaResult
-from .symbols import Symbol
+from .symbols import FunctionInfo, Symbol
 
 #: Top of the simulated stack; also the size of simulated memory.
 STACK_TOP = 0x200000
@@ -163,7 +163,12 @@ class GlobalLayout:
             elif isinstance(init, bytes):
                 data[offset:offset + len(init)] = init
             elif isinstance(init, list):
-                esize = symbol.ctype.element.size()
+                # Flattened (row-major) scalars: scale by the innermost
+                # element size, not the outer dimension's row size.
+                element = symbol.ctype.element
+                while element.is_array:
+                    element = element.element
+                esize = element.size()
                 for i, value in enumerate(init):
                     raw = wrap32(value) & 0xFFFFFFFF
                     data[offset + i * esize:offset + (i + 1) * esize] = (
@@ -544,7 +549,7 @@ class FunctionCodegen:
             return self._gen_assign(expr, need_value=False)
         if isinstance(expr, ast.IncDec):
             return self._gen_incdec(expr, need_value=False)
-        if isinstance(expr, ast.Call) and expr.func.return_type.is_void:
+        if isinstance(expr, ast.Call) and expr.ctype.is_void:
             return self._gen_call(expr, need_value=False)
         return self._gen_expr(expr)
 
@@ -570,6 +575,10 @@ class FunctionCodegen:
             return self._gen_incdec(expr, need_value=True)
         if isinstance(expr, (ast.Index, ast.Member)):
             lvalue = self._gen_lvalue(expr)
+            if expr.ctype.is_array:
+                # An array-typed element (inner row of a multi-dimensional
+                # array, or an array member) decays to its address.
+                return self._lvalue_to_address(lvalue)
             return self._load_lvalue(lvalue)
         if isinstance(expr, ast.Call):
             result = self._gen_call(expr, need_value=True)
@@ -586,6 +595,9 @@ class FunctionCodegen:
 
     def _gen_identifier(self, expr: ast.Identifier) -> Value:
         symbol = expr.symbol
+        if isinstance(symbol, FunctionInfo):
+            # A function name as a value: its function id (see sema).
+            return Value(imm=self.sema.fp_targets[symbol.name])
         if symbol.ctype.is_array:
             # Arrays decay to their address.
             if symbol.kind == "global":
@@ -727,6 +739,9 @@ class FunctionCodegen:
             self._emit(nd.alu(AluOp.SEQ, dest, Reg(operand.reg), Imm(0)))
             return Value(reg=dest, is_scratch=True)
         if op == "*":
+            if expr.ctype.is_function:
+                # ``*f`` on a function pointer yields the same value.
+                return self._gen_expr(expr.operand)
             return self._load_lvalue(self._gen_lvalue(expr))
         if op == "&":
             return self._gen_address_of(expr.operand)
@@ -739,7 +754,16 @@ class FunctionCodegen:
         return Value(reg=dest, is_scratch=True)
 
     def _gen_address_of(self, expr: ast.Expr) -> Value:
-        lvalue = self._gen_lvalue(expr)
+        if (
+            isinstance(expr, ast.Identifier)
+            and isinstance(expr.symbol, FunctionInfo)
+        ):
+            # ``&f`` and ``f`` are the same function-pointer value.
+            return self._gen_identifier(expr)
+        return self._lvalue_to_address(self._gen_lvalue(expr))
+
+    def _lvalue_to_address(self, lvalue: LValue) -> Value:
+        """Materialise a memory lvalue's address into a register value."""
         if lvalue.kind == "reg":
             raise CodegenError("address of register variable")  # sema prevents
         if lvalue.scratch is not None:
@@ -974,6 +998,8 @@ class FunctionCodegen:
 
     # -- calls ------------------------------------------------------------
     def _gen_call(self, expr: ast.Call, need_value: bool) -> Optional[Value]:
+        if expr.callee is not None:
+            return self._gen_indirect_call(expr, need_value)
         info = expr.func
         if info.is_builtin:
             return self._gen_builtin_call(expr, need_value)
@@ -995,6 +1021,67 @@ class FunctionCodegen:
         for reg in spilled:
             self._emit(nd.load(reg, SP, _SPILL_AREA + 4 * (reg - SCRATCH_FIRST)))
         if need_value and not info.return_type.is_void:
+            reg = self._alloc_scratch()
+            self._emit(nd.mov(reg, RV))
+            return Value(reg=reg, is_scratch=True)
+        return None
+
+    def _gen_indirect_call(self, expr: ast.Call, need_value: bool) -> Optional[Value]:
+        """Lower a call through a function-pointer value.
+
+        The ISA's CALL terminator only takes a static label, so the
+        callee's function id is dispatched through a compare-and-branch
+        chain over the signature-compatible address-taken functions
+        (mirroring how ``switch`` is lowered).  An id matching no
+        candidate exits with code 127.
+        """
+        callee_type = expr.callee.ctype
+        fn = callee_type.pointee if callee_type.is_function_pointer else callee_type
+        candidates = []
+        for name in self.sema.fp_targets:
+            info = self.sema.functions[name]
+            if info.return_type == fn.ret and tuple(info.param_types) == fn.params:
+                candidates.append(name)
+
+        callee = self._materialize(self._gen_expr(expr.callee))
+        arg_values = [self._gen_expr(arg) for arg in expr.args]
+        for index, value in enumerate(arg_values):
+            self._emit(nd.alu(AluOp.MOV, ARG_REGS[index], value.operand()))
+        for value in arg_values:
+            self._release(value)
+        # Spill live scratch around the dispatch; the callee id itself is
+        # dead once dispatch picks an arm, so it stays unspilled.
+        spilled = sorted(
+            reg for reg in self._live_scratch
+            if not (callee.is_scratch and reg == callee.reg)
+        )
+        for reg in spilled:
+            self._emit(nd.store(Reg(reg), SP, _SPILL_AREA + 4 * (reg - SCRATCH_FIRST)))
+
+        join = self._new_label("ijoin")
+        test = self._alloc_scratch()
+        for name in candidates:
+            fid = self.sema.fp_targets[name]
+            self._emit(nd.alu(AluOp.SEQ, test, Reg(callee.reg), Imm(fid)))
+            hit = self._new_label("icall")
+            miss = self._new_label("inext")
+            self._close(nd.branch(test, hit, miss))
+            self._start(hit)
+            link = self._new_label("ret")
+            self._close(nd.call(f"f_{name}", link))
+            self._start(link)
+            self._goto(join)
+            self._start(miss)
+        # No candidate matched: a corrupt or foreign function id.
+        self._emit(nd.movi(test, 127))
+        self._close(nd.syscall(SyscallOp.EXIT, None, (test,)))
+        self._release_reg(test)
+        self._release(callee)
+
+        self._start(join)
+        for reg in spilled:
+            self._emit(nd.load(reg, SP, _SPILL_AREA + 4 * (reg - SCRATCH_FIRST)))
+        if need_value and not fn.ret.is_void:
             reg = self._alloc_scratch()
             self._emit(nd.mov(reg, RV))
             return Value(reg=reg, is_scratch=True)

@@ -1,4 +1,5 @@
-"""Mini-C's small type system: void, char, int, pointers, arrays, structs."""
+"""Mini-C's small type system: void, char, int, pointers, arrays,
+structs, and function types (only reachable through pointers)."""
 
 from __future__ import annotations
 
@@ -57,11 +58,13 @@ class CType:
     """An immutable Mini-C type.
 
     ``base`` is one of ``"void"``, ``"char"``, ``"int"``; ``pointee`` is
-    set for pointer types, ``element``/``length`` for array types, and
-    ``struct`` for struct types.
+    set for pointer types, ``element``/``length`` for array types,
+    ``struct`` for struct types, and ``ret``/``params`` for function
+    types (which carry no storage themselves -- values of them exist
+    only behind pointers).
     """
 
-    __slots__ = ("base", "pointee", "element", "length", "struct")
+    __slots__ = ("base", "pointee", "element", "length", "struct", "ret", "params")
 
     def __init__(
         self,
@@ -70,12 +73,16 @@ class CType:
         element: Optional["CType"] = None,
         length: int = 0,
         struct: Optional[StructLayout] = None,
+        ret: Optional["CType"] = None,
+        params: Optional[Tuple["CType", ...]] = None,
     ):
         self.base = base
         self.pointee = pointee
         self.element = element
         self.length = length
         self.struct = struct
+        self.ret = ret
+        self.params = params
 
     # Constructors -----------------------------------------------------
     @staticmethod
@@ -103,6 +110,11 @@ class CType:
     @staticmethod
     def struct_(layout: StructLayout) -> "CType":
         return CType(struct=layout)
+
+    @staticmethod
+    def function(ret: "CType", params: Tuple["CType", ...]) -> "CType":
+        """A function signature type; only pointers to it have storage."""
+        return CType(ret=ret, params=tuple(params))
 
     # Predicates -------------------------------------------------------
     @property
@@ -132,6 +144,14 @@ class CType:
     @property
     def is_struct(self) -> bool:
         return self.struct is not None
+
+    @property
+    def is_function(self) -> bool:
+        return self.ret is not None
+
+    @property
+    def is_function_pointer(self) -> bool:
+        return self.is_pointer and self.pointee.is_function
 
     @property
     def is_scalar(self) -> bool:
@@ -179,6 +199,10 @@ class CType:
             return self.pointee == other.pointee
         if self.is_array and other.is_array:
             return self.element == other.element and self.length == other.length
+        if self.is_function or other.is_function:
+            if not (self.is_function and other.is_function):
+                return False
+            return self.ret == other.ret and self.params == other.params
         if self.is_struct or other.is_struct:
             return self.struct is other.struct  # struct types are nominal
         return self.base == other.base and not (
@@ -192,6 +216,8 @@ class CType:
             return hash(("arr", self.element, self.length))
         if self.is_struct:
             return hash(("struct", id(self.struct)))
+        if self.is_function:
+            return hash(("fn", self.ret, self.params))
         return hash(self.base)
 
     def __repr__(self) -> str:
@@ -201,6 +227,9 @@ class CType:
             return f"{self.element!r}[{self.length}]"
         if self.is_struct:
             return f"struct {self.struct.tag}"
+        if self.is_function:
+            args = ", ".join(repr(p) for p in self.params)
+            return f"{self.ret!r}({args})"
         return self.base or "?"
 
 

@@ -66,7 +66,7 @@ class Lexer:
                 while self.pos < len(self.source) and self.source[self.pos] != "\n":
                     self._advance()
             elif ch == "/" and self._peek(1) == "*":
-                start_line = self.line
+                start_line, start_column = self.line, self.column
                 self._advance(2)
                 while self.pos < len(self.source):
                     if self.source[self.pos] == "*" and self._peek(1) == "/":
@@ -74,7 +74,7 @@ class Lexer:
                         break
                     self._advance()
                 else:
-                    raise LexError("unterminated comment", start_line, 0)
+                    raise LexError("unterminated comment", start_line, start_column)
             else:
                 return
 

@@ -1,0 +1,48 @@
+"""Recursive-descent parser for Mini-C, assembled from grammar mixins.
+
+The parser is split by grammar layer, the way the related parser
+codebases structure theirs:
+
+* :mod:`.base` -- token cursor, error helpers, types and declarators;
+* :mod:`.declarations` -- translation unit, structs, globals, functions;
+* :mod:`.statements` -- blocks, control flow, ``switch``;
+* :mod:`.expressions` -- the precedence ladder down to primaries.
+
+:class:`Parser` composes the mixins over :class:`ParserBase`;
+:func:`parse_source` remains the stable public entry point.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import ast_nodes as ast
+from ..lexer import tokenize
+from ..tokens import Token
+from .base import ParserBase
+from .declarations import DeclarationMixin
+from .expressions import _ASSIGN_OPS, _BINARY_LEVELS, ExpressionMixin
+from .statements import StatementMixin
+
+__all__ = [
+    "DeclarationMixin",
+    "ExpressionMixin",
+    "Parser",
+    "ParserBase",
+    "StatementMixin",
+    "parse_source",
+    "_ASSIGN_OPS",
+    "_BINARY_LEVELS",
+]
+
+
+class Parser(DeclarationMixin, StatementMixin, ExpressionMixin, ParserBase):
+    """Parses a token stream into a :class:`~repro.lang.ast_nodes.TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]):
+        ParserBase.__init__(self, tokens)
+
+
+def parse_source(source: str) -> ast.TranslationUnit:
+    """Lex and parse Mini-C source text."""
+    return Parser(tokenize(source)).parse_translation_unit()

@@ -1,0 +1,210 @@
+"""Parser foundation: token cursor, error helpers, types and declarators.
+
+:class:`ParserBase` owns the token stream state shared by every mixin
+(:mod:`.declarations`, :mod:`.statements`, :mod:`.expressions`) and the
+grammar fragments they all need: type specifiers and declarators,
+including the function-pointer declarator ``int (*f)(int, int)`` and
+chained array suffixes ``[N][M]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ctypes import CType
+from ..errors import ParseError
+from ..tokens import Token, TokenType
+
+#: Calls pass arguments in registers r1..r6; function-pointer types are
+#: capped to the same arity so every signature is callable.
+_MAX_FP_PARAMS = 6
+
+
+class ParserBase:
+    """Token cursor and the type/declarator grammar.
+
+    The concrete :class:`~repro.lang.parser.Parser` is assembled from
+    this base plus the declaration/statement/expression mixins; each
+    mixin calls across to the others through ``self``.
+    """
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        #: struct tag -> layout; filled by top-level struct declarations
+        self.struct_tags = {}
+
+    # ------------------------------------------------------------------
+    # Token utilities
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(message, token.line, token.column)
+
+    def _check_punct(self, text: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.PUNCT and token.value == text
+
+    def _check_keyword(self, text: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.KEYWORD and token.value == text
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._check_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        if not self._check_punct(text):
+            raise self._error(f"expected {text!r}, found {self._peek().value!r}")
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> Token:
+        if not self._check_keyword(text):
+            raise self._error(f"expected {text!r}, found {self._peek().value!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise self._error(f"expected identifier, found {token.value!r}")
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def _at_type(self) -> bool:
+        token = self._peek()
+        return token.type is TokenType.KEYWORD and token.value in (
+            "int", "char", "void", "struct"
+        )
+
+    def _parse_type(self) -> CType:
+        token = self._peek()
+        if not self._at_type():
+            raise self._error(f"expected a type, found {token.value!r}")
+        self._advance()
+        if token.value == "int":
+            ctype = CType.int_()
+        elif token.value == "char":
+            ctype = CType.char()
+        elif token.value == "struct":
+            tag_token = self._expect_ident()
+            layout = self.struct_tags.get(str(tag_token.value))
+            if layout is None:
+                raise self._error(
+                    f"unknown struct tag {tag_token.value!r}", tag_token
+                )
+            ctype = CType.struct_(layout)
+        else:
+            ctype = CType.void()
+        while self._accept_punct("*"):
+            ctype = CType.pointer(ctype)
+        return ctype
+
+    def _parse_array_suffix(self, ctype: CType) -> CType:
+        """Parse trailing ``[N]`` suffixes onto a declarator type."""
+        for length in reversed(self._parse_array_lengths()):
+            ctype = CType.array(ctype, length)
+        return ctype
+
+    def _parse_array_lengths(self) -> List[int]:
+        """Raw ``[N]`` suffix lengths, outermost dimension first."""
+        lengths: List[int] = []
+        while self._accept_punct("["):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER:
+                raise self._error("array length must be an integer literal")
+            self._advance()
+            self._expect_punct("]")
+            if int(token.value) <= 0:
+                raise self._error("array length must be positive", token)
+            lengths.append(int(token.value))
+        return lengths
+
+    # ------------------------------------------------------------------
+    # Declarators
+    # ------------------------------------------------------------------
+    def _at_fp_declarator(self) -> bool:
+        """True at the ``(`` of a ``(*name)(...)`` declarator."""
+        return self._check_punct("(") and self._peek(1).value == "*"
+
+    def _parse_declarator(self, base: CType) -> Tuple[Token, CType]:
+        """One declarator after per-declarator ``*``s have been applied.
+
+        Either a plain ``name[N]...`` or a function-pointer declarator
+        ``(*name)(params)`` / ``(*name[N])(params)`` (an array of
+        function pointers).  Returns the name token and the full type.
+        """
+        if self._at_fp_declarator():
+            return self._parse_fp_declarator(base)
+        name_token = self._expect_ident()
+        return name_token, self._parse_array_suffix(base)
+
+    def _parse_fp_declarator(self, return_type: CType) -> Tuple[Token, CType]:
+        open_token = self._expect_punct("(")
+        self._expect_punct("*")
+        name_token = self._expect_ident()
+        lengths = self._parse_array_lengths()
+        self._expect_punct(")")
+        params = self._parse_fp_param_types()
+        if return_type.is_struct:
+            raise self._error(
+                f"function pointer {name_token.value!r} returns a struct "
+                "by value; return a pointer instead",
+                open_token,
+            )
+        ctype = CType.pointer(CType.function(return_type, params))
+        for length in reversed(lengths):
+            ctype = CType.array(ctype, length)
+        return name_token, ctype
+
+    def _parse_fp_param_types(self) -> Tuple[CType, ...]:
+        """The ``(int, int)`` parameter-type list of a function pointer.
+
+        Parameter names are accepted and ignored; ``(void)`` and ``()``
+        both mean no parameters.
+        """
+        open_token = self._expect_punct("(")
+        params: List[CType] = []
+        if self._check_punct(")"):
+            self._advance()
+            return tuple(params)
+        if self._check_keyword("void") and self._peek(1).value == ")":
+            self._advance()
+            self._expect_punct(")")
+            return tuple(params)
+        while True:
+            ptoken = self._peek()
+            ptype = self._parse_type()
+            if self._peek().type is TokenType.IDENT:
+                self._advance()
+            ptype = self._parse_array_suffix(ptype).decay()
+            if ptype.is_void:
+                raise self._error("parameter has void type", ptoken)
+            if ptype.is_struct:
+                raise self._error(
+                    "parameter is a struct by value; pass a pointer instead",
+                    ptoken,
+                )
+            params.append(ptype)
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        if len(params) > _MAX_FP_PARAMS:
+            raise self._error(
+                f"function pointer has more than {_MAX_FP_PARAMS} parameters",
+                open_token,
+            )
+        return tuple(params)

@@ -1,0 +1,185 @@
+"""Top-level declarations: structs, functions, globals, initialisers."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .. import ast_nodes as ast
+from ..ctypes import CType
+from ..tokens import Token, TokenType
+
+
+class DeclarationMixin:
+    """Translation-unit structure and variable declarations.
+
+    Relies on :class:`~repro.lang.parser.base.ParserBase` for the token
+    cursor and declarator grammar, and on the statement/expression
+    mixins for function bodies and initialiser expressions.
+    """
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        """Parse the whole program."""
+        globals_: List[ast.VarDecl] = []
+        functions: List[ast.FunctionDecl] = []
+        structs: List[ast.StructDecl] = []
+        while self._peek().type is not TokenType.EOF:
+            if (
+                self._check_keyword("struct")
+                and self._peek(1).type is TokenType.IDENT
+                and self._peek(2).value == "{"
+            ):
+                structs.append(self._parse_struct_decl())
+                continue
+            base_type = self._parse_type()
+            if self._at_fp_declarator():
+                name_token, ctype = self._parse_fp_declarator(base_type)
+                globals_.append(self._parse_global_var_tail(name_token, ctype))
+                continue
+            name_token = self._expect_ident()
+            if self._check_punct("("):
+                functions.append(self._parse_function(base_type, name_token))
+            else:
+                globals_.append(self._parse_global_var(base_type, name_token))
+        return ast.TranslationUnit(globals_, functions, structs)
+
+    def _parse_struct_decl(self) -> ast.StructDecl:
+        """``struct Tag { member declarations } ;``
+
+        The tag is registered (incomplete) before the body is parsed so
+        members may contain ``struct Tag *`` self-references; by-value
+        self-members are rejected because the layout is still incomplete
+        when their size is needed.
+        """
+        from ..ctypes import StructLayout
+
+        self._expect_keyword("struct")
+        tag_token = self._expect_ident()
+        tag = str(tag_token.value)
+        if tag in self.struct_tags:
+            raise self._error(f"redefinition of struct {tag!r}", tag_token)
+        layout = StructLayout(tag)
+        self.struct_tags[tag] = layout
+        self._expect_punct("{")
+        members = []
+        while not self._check_punct("}"):
+            member_base = self._parse_type()
+            while True:
+                ctype = member_base
+                while self._accept_punct("*"):
+                    ctype = CType.pointer(ctype)
+                member_token, ctype = self._parse_declarator(ctype)
+                if ctype.is_void:
+                    raise self._error(
+                        f"member {member_token.value!r} has void type",
+                        member_token,
+                    )
+                if ctype.is_struct and not ctype.struct.is_complete:
+                    raise self._error(
+                        f"member {member_token.value!r} has incomplete type "
+                        f"struct {ctype.struct.tag} (use a pointer)",
+                        member_token,
+                    )
+                members.append((str(member_token.value), ctype))
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(";")
+        self._expect_punct("}")
+        self._expect_punct(";")
+        try:
+            layout.fill(members)
+        except ValueError as exc:
+            raise self._error(str(exc), tag_token) from None
+        return ast.StructDecl(tag, layout, tag_token.line, tag_token.column)
+
+    def _parse_function(self, return_type: CType, name_token: Token) -> ast.FunctionDecl:
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        if not self._check_punct(")"):
+            if self._check_keyword("void") and self._peek(1).value == ")":
+                self._advance()
+            else:
+                while True:
+                    ptype = self._parse_type()
+                    if self._at_fp_declarator():
+                        ptoken, ptype = self._parse_fp_declarator(ptype)
+                        ptype = ptype.decay()
+                    else:
+                        ptoken = self._expect_ident()
+                        ptype = self._parse_array_suffix(ptype).decay()
+                    params.append(
+                        ast.Param(str(ptoken.value), ptype, ptoken.line, ptoken.column)
+                    )
+                    if not self._accept_punct(","):
+                        break
+        self._expect_punct(")")
+        if self._accept_punct(";"):
+            body: Optional[ast.Block] = None
+        else:
+            body = self._parse_block()
+        return ast.FunctionDecl(
+            str(name_token.value),
+            return_type,
+            params,
+            body,
+            name_token.line,
+            name_token.column,
+        )
+
+    def _parse_global_var(self, base_type: CType, name_token: Token) -> ast.VarDecl:
+        return self._parse_global_var_tail(
+            name_token, self._parse_array_suffix(base_type)
+        )
+
+    def _parse_global_var_tail(self, name_token: Token,
+                               ctype: CType) -> ast.VarDecl:
+        init = None
+        if self._accept_punct("="):
+            init = self._parse_initializer()
+        self._expect_punct(";")
+        return ast.VarDecl(
+            str(name_token.value), ctype, init, name_token.line, name_token.column
+        )
+
+    def _parse_initializer(self):
+        """A scalar expression or a (possibly nested) brace list.
+
+        Nested lists initialise multi-dimensional arrays:
+        ``{{1, 2}, {3, 4}}``.
+        """
+        if self._accept_punct("{"):
+            elements: List[object] = []
+            if not self._check_punct("}"):
+                while True:
+                    if self._check_punct("{"):
+                        elements.append(self._parse_initializer())
+                    else:
+                        elements.append(self._parse_expression())
+                    if not self._accept_punct(","):
+                        break
+            self._expect_punct("}")
+            return elements
+        return self._parse_expression()
+
+    def _parse_local_decl(self) -> ast.Stmt:
+        base_type = self._parse_type()
+        decls: List[ast.Stmt] = []
+        first_token = self._peek()
+        while True:
+            ctype = base_type
+            while self._accept_punct("*"):
+                ctype = CType.pointer(ctype)
+            name_token, ctype = self._parse_declarator(ctype)
+            init = None
+            if self._accept_punct("="):
+                init = self._parse_initializer()
+            decls.append(
+                ast.VarDecl(
+                    str(name_token.value), ctype, init, name_token.line, name_token.column
+                )
+            )
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(decls, first_token.line, first_token.column)

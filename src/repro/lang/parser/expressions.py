@@ -1,0 +1,155 @@
+"""Expression grammar: the precedence ladder and postfix/primary forms."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import ast_nodes as ast
+from ..tokens import TokenType
+
+#: Binary operators by precedence level, loosest first.
+_BINARY_LEVELS = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+
+
+class ExpressionMixin:
+    """Expression-level productions (assignment down to primaries)."""
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(str(token.value), left, value, token.line, token.column)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if not self._check_punct("?"):
+            return cond
+        token = self._advance()
+        then_value = self._parse_expression()
+        self._expect_punct(":")
+        else_value = self._parse_conditional()
+        return ast.Conditional(cond, then_value, else_value,
+                               token.line, token.column)
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while True:
+            token = self._peek()
+            if token.type is not TokenType.PUNCT or token.value not in ops:
+                return left
+            # Don't mistake a compound assignment for its binary prefix.
+            self._advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(str(token.value), left, right, token.line, token.column)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.PUNCT:
+            if token.value in ("-", "~", "!", "*", "&"):
+                self._advance()
+                operand = self._parse_unary()
+                return ast.Unary(str(token.value), operand, token.line, token.column)
+            if token.value in ("++", "--"):
+                self._advance()
+                target = self._parse_unary()
+                return ast.IncDec(
+                    str(token.value), target, True, token.line, token.column
+                )
+            if token.value == "+":
+                self._advance()
+                return self._parse_unary()
+        if self._check_keyword("sizeof"):
+            self._advance()
+            self._expect_punct("(")
+            target_type = self._parse_type()
+            target_type = self._parse_array_suffix(target_type)
+            self._expect_punct(")")
+            return ast.SizeOf(target_type, token.line, token.column)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if self._check_punct("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect_punct("]")
+                expr = ast.Index(expr, index, token.line, token.column)
+            elif token.type is TokenType.PUNCT and token.value in (".", "->"):
+                self._advance()
+                name_token = self._expect_ident()
+                expr = ast.Member(expr, str(name_token.value),
+                                  token.value == "->",
+                                  token.line, token.column)
+            elif token.type is TokenType.PUNCT and token.value in ("++", "--"):
+                self._advance()
+                expr = ast.IncDec(str(token.value), expr, False, token.line, token.column)
+            elif self._check_punct("("):
+                # Indirect call through a computed callee: ``(*f)(...)``,
+                # ``handlers[i](...)``.  Direct named calls are produced
+                # by :meth:`_parse_primary`.
+                self._advance()
+                call = ast.Call("", self._parse_call_args(),
+                                token.line, token.column)
+                call.callee = expr
+                expr = call
+            else:
+                return expr
+
+    def _parse_call_args(self) -> List[ast.Expr]:
+        """Argument list after the opening ``(`` of a call."""
+        args: List[ast.Expr] = []
+        if not self._check_punct(")"):
+            while True:
+                args.append(self._parse_expression())
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        return args
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.IntLiteral(int(token.value), token.line, token.column)
+        if token.type is TokenType.CHAR:
+            self._advance()
+            return ast.IntLiteral(int(token.value), token.line, token.column)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.StringLiteral(str(token.value), token.line, token.column)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._check_punct("("):
+                self._advance()
+                return ast.Call(str(token.value), self._parse_call_args(),
+                                token.line, token.column)
+            return ast.Identifier(str(token.value), token.line, token.column)
+        if self._accept_punct("("):
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise self._error(f"unexpected token {token.value!r}")

@@ -1,0 +1,161 @@
+"""Statement grammar: blocks, control flow, switch."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .. import ast_nodes as ast
+from ..tokens import TokenType
+
+
+class StatementMixin:
+    """Statement-level productions.
+
+    Local declarations are parsed by the declaration mixin
+    (:meth:`~repro.lang.parser.declarations.DeclarationMixin._parse_local_decl`);
+    conditions and expression statements come from the expression mixin.
+    """
+
+    def _parse_block(self) -> ast.Block:
+        open_token = self._expect_punct("{")
+        statements: List[ast.Stmt] = []
+        while not self._check_punct("}"):
+            if self._peek().type is TokenType.EOF:
+                raise self._error("unterminated block", open_token)
+            statements.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Block(statements, open_token.line, open_token.column)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if self._check_punct("{"):
+            return self._parse_block()
+        if self._at_type():
+            return self._parse_local_decl()
+        if token.type is TokenType.KEYWORD:
+            keyword = token.value
+            if keyword == "if":
+                return self._parse_if()
+            if keyword == "while":
+                return self._parse_while()
+            if keyword == "do":
+                return self._parse_do_while()
+            if keyword == "for":
+                return self._parse_for()
+            if keyword == "switch":
+                return self._parse_switch()
+            if keyword == "return":
+                self._advance()
+                value = None if self._check_punct(";") else self._parse_expression()
+                self._expect_punct(";")
+                return ast.Return(value, token.line, token.column)
+            if keyword == "break":
+                self._advance()
+                self._expect_punct(";")
+                return ast.Break(token.line, token.column)
+            if keyword == "continue":
+                self._advance()
+                self._expect_punct(";")
+                return ast.Continue(token.line, token.column)
+        if self._accept_punct(";"):
+            return ast.Block([], token.line, token.column)
+        expr = self._parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(expr, token.line, token.column)
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect_keyword("if")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        then_body = self._parse_statement()
+        else_body = None
+        if self._check_keyword("else"):
+            self._advance()
+            else_body = self._parse_statement()
+        return ast.If(cond, then_body, else_body, token.line, token.column)
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.While(cond, body, token.line, token.column)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        token = self._expect_keyword("do")
+        body = self._parse_statement()
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhile(cond, body, token.line, token.column)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect_keyword("for")
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check_punct(";"):
+            if self._at_type():
+                # Local declarations consume their own terminating ';'.
+                init = self._parse_local_decl()
+            else:
+                init_token = self._peek()
+                init = ast.ExprStmt(
+                    self._parse_expression(), init_token.line, init_token.column
+                )
+                self._expect_punct(";")
+        else:
+            self._advance()
+        cond = None if self._check_punct(";") else self._parse_expression()
+        self._expect_punct(";")
+        step = None if self._check_punct(")") else self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.For(init, cond, step, body, token.line, token.column)
+
+    def _parse_switch(self) -> ast.Switch:
+        token = self._expect_keyword("switch")
+        self._expect_punct("(")
+        subject = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[ast.SwitchCase] = []
+        while not self._check_punct("}"):
+            case_token = self._peek()
+            if self._check_keyword("case"):
+                self._advance()
+                value = self._parse_case_constant()
+                self._expect_punct(":")
+            elif self._check_keyword("default"):
+                self._advance()
+                self._expect_punct(":")
+                value = None
+            else:
+                raise self._error("expected 'case' or 'default' in switch")
+            body: List[ast.Stmt] = []
+            while not (
+                self._check_punct("}")
+                or self._check_keyword("case")
+                or self._check_keyword("default")
+            ):
+                if self._peek().type is TokenType.EOF:
+                    raise self._error("unterminated switch", case_token)
+                body.append(self._parse_statement())
+            cases.append(
+                ast.SwitchCase(value, body, case_token.line, case_token.column)
+            )
+        self._expect_punct("}")
+        return ast.Switch(subject, cases, token.line, token.column)
+
+    def _parse_case_constant(self) -> int:
+        """Case labels are integer or character literals (possibly negated)."""
+        negate = self._accept_punct("-")
+        token = self._peek()
+        if token.type not in (TokenType.NUMBER, TokenType.CHAR):
+            raise self._error("case label must be an integer constant")
+        self._advance()
+        value = int(token.value)
+        return -value if negate else value

@@ -4,6 +4,11 @@ Resolves identifiers, checks types (permissively, in the spirit of early
 C), marks address-taken locals, interns string literals and verifies
 control-flow statement placement.  Expressions are annotated in place with
 their computed :class:`~repro.lang.ctypes.CType`.
+
+Function pointers: a defined function's name used as a value denotes a
+small integer *function id* (assigned here, in first-use order, starting
+at 1).  Codegen lowers indirect calls to a compare-and-branch dispatch
+over the signature-compatible targets in :attr:`SemaResult.fp_targets`.
 """
 
 from __future__ import annotations
@@ -32,10 +37,18 @@ class SemaResult:
         #: per-function evaluated constant initialisers for globals:
         #: name -> int | bytes | list[int]
         self.global_inits: Dict[str, object] = {}
+        #: functions whose address was taken: name -> function id (>= 1),
+        #: in first-use order.  Indirect calls can only reach these.
+        self.fp_targets: Dict[str, int] = {}
 
 
 class Analyzer:
-    """Single-pass semantic analyser over a translation unit."""
+    """Semantic analyser over a translation unit.
+
+    Declarations are collected first (so global initialisers and bodies
+    may reference any function), then global initialisers are evaluated,
+    then bodies are analysed.
+    """
 
     def __init__(self) -> None:
         self.result = SemaResult()
@@ -53,63 +66,116 @@ class Analyzer:
         for func in unit.functions:
             self._declare_function(func)
         if "main" not in self.result.functions:
-            raise SemanticError("program has no main() function")
+            raise SemanticError("program has no main() function", 1, 1)
+        # Initialisers run after the function pass so they may name
+        # functions (function-pointer globals hold function ids).
+        for decl in unit.globals:
+            if decl.init is not None:
+                self.result.global_inits[decl.name] = (
+                    self._evaluate_global_init(decl)
+                )
         for func in unit.functions:
             if func.body is not None:
                 self._analyze_function(func)
         return self.result
+
+    @staticmethod
+    def _err(message: str, node: ast.AstNode) -> SemanticError:
+        """A :class:`SemanticError` carrying the node's source location."""
+        return SemanticError(message, node.line, node.column)
 
     # ------------------------------------------------------------------
     # Declarations
     # ------------------------------------------------------------------
     def _declare_global(self, decl: ast.VarDecl) -> None:
         if decl.ctype.is_void:
-            raise SemanticError(f"variable {decl.name!r} has void type", decl.line)
+            raise self._err(f"variable {decl.name!r} has void type", decl)
         symbol = Symbol(decl.name, decl.ctype, "global")
         symbol.addr_taken = True  # globals always live in memory
-        self.result.global_scope.declare(symbol, decl.line)
+        self.result.global_scope.declare(symbol, decl.line, decl.column)
         decl.symbol = symbol
-        if decl.init is not None:
-            self.result.global_inits[decl.name] = self._evaluate_global_init(decl)
 
     def _evaluate_global_init(self, decl: ast.VarDecl):
         init = decl.init
         ctype = decl.ctype
         if isinstance(init, list):
             if not ctype.is_array:
-                raise SemanticError(
-                    f"brace initialiser on non-array {decl.name!r}", decl.line
+                raise self._err(
+                    f"brace initialiser on non-array {decl.name!r}", decl
                 )
-            if len(init) > ctype.length:
-                raise SemanticError(
-                    f"too many initialisers for {decl.name!r}", decl.line
-                )
-            return [self._const_int(e) for e in init]
+            return self._flatten_array_init(ctype, init, decl)
         if isinstance(init, ast.StringLiteral):
             data = init.value.encode("latin-1") + b"\x00"
             if ctype.is_array and ctype.element.is_char:
                 if len(data) > ctype.length:
-                    raise SemanticError(
-                        f"string too long for {decl.name!r}", decl.line
+                    raise self._err(
+                        f"string too long for {decl.name!r}", decl
                     )
                 return data
             if ctype.is_pointer and ctype.pointee.is_char:
                 label = self._intern_string(init)
                 return ("string_ref", label)
-            raise SemanticError(
+            raise self._err(
                 f"string initialiser on incompatible type for {decl.name!r}",
-                decl.line,
+                decl,
             )
         if ctype.is_array:
-            raise SemanticError(
-                f"scalar initialiser on array {decl.name!r}", decl.line
+            raise self._err(
+                f"scalar initialiser on array {decl.name!r}", decl
             )
         return self._const_int(init)
+
+    def _flatten_array_init(self, ctype: CType, init: list,
+                            decl: ast.VarDecl) -> List[int]:
+        """Flatten a (possibly nested) brace list to row-major scalars.
+
+        Each dimension may be partially initialised; missing trailing
+        elements are zero-filled so inner rows keep their layout.
+        """
+        if len(init) > ctype.length:
+            raise self._err(f"too many initialisers for {decl.name!r}", decl)
+        if not ctype.element.is_array:
+            values: List[int] = []
+            for item in init:
+                if isinstance(item, list):
+                    raise self._err(
+                        f"too many braces in initialiser for {decl.name!r}",
+                        decl,
+                    )
+                values.append(self._const_int(item))
+            values.extend([0] * (ctype.length - len(values)))
+            return values
+        flat: List[int] = []
+        for item in init:
+            if not isinstance(item, list):
+                raise self._err(
+                    f"initialiser for multi-dimensional array {decl.name!r} "
+                    "needs nested braces",
+                    decl,
+                )
+            flat.extend(self._flatten_array_init(ctype.element, item, decl))
+        row_scalars = self._scalar_count(ctype.element)
+        flat.extend([0] * ((ctype.length - len(init)) * row_scalars))
+        return flat
+
+    @staticmethod
+    def _scalar_count(ctype: CType) -> int:
+        count = 1
+        while ctype.is_array:
+            count *= ctype.length
+            ctype = ctype.element
+        return count
 
     def _const_int(self, expr: ast.Expr) -> int:
         """Evaluate a constant integer expression for a global initialiser."""
         if isinstance(expr, ast.IntLiteral):
             return expr.value
+        if isinstance(expr, ast.Identifier):
+            # A function name in a constant initialiser denotes its id
+            # (the runtime value of every function pointer).
+            info = self.result.functions.get(expr.name)
+            if info is not None and not info.is_builtin:
+                return self._function_id(info, expr)
         if isinstance(expr, ast.Unary) and expr.op == "-":
             return -self._const_int(expr.operand)
         if isinstance(expr, ast.Unary) and expr.op == "~":
@@ -129,44 +195,44 @@ class Analyzer:
             }
             if expr.op in ops:
                 return ops[expr.op]()
-        raise SemanticError(
-            "global initialiser must be a constant expression", expr.line
+        raise self._err(
+            "global initialiser must be a constant expression", expr
         )
 
     def _declare_function(self, func: ast.FunctionDecl) -> None:
         if func.name in BUILTINS:
-            raise SemanticError(
-                f"{func.name!r} is a built-in function", func.line
+            raise self._err(
+                f"{func.name!r} is a built-in function", func
             )
         if len(func.params) > _MAX_REG_ARGS:
-            raise SemanticError(
+            raise self._err(
                 f"function {func.name!r} has more than {_MAX_REG_ARGS} parameters",
-                func.line,
+                func,
             )
         if func.return_type.is_struct:
-            raise SemanticError(
+            raise self._err(
                 f"function {func.name!r} returns a struct by value; "
                 "return a pointer instead",
-                func.line,
+                func,
             )
         for param in func.params:
             if param.ctype.is_struct:
-                raise SemanticError(
+                raise self._err(
                     f"parameter {param.name!r} is a struct by value; "
                     "pass a pointer instead",
-                    param.line,
+                    param,
                 )
         param_types = tuple(p.ctype for p in func.params)
         existing = self.result.functions.get(func.name)
         if existing is not None:
             if existing.defined and func.body is not None:
-                raise SemanticError(f"redefinition of {func.name!r}()", func.line)
+                raise self._err(f"redefinition of {func.name!r}()", func)
             if (
                 existing.param_types != param_types
                 or existing.return_type != func.return_type
             ):
-                raise SemanticError(
-                    f"conflicting declaration of {func.name!r}()", func.line
+                raise self._err(
+                    f"conflicting declaration of {func.name!r}()", func
                 )
             existing.defined = existing.defined or func.body is not None
             return
@@ -183,11 +249,11 @@ class Analyzer:
         self._scope_stack.push()
         for param in func.params:
             if param.ctype.is_void:
-                raise SemanticError(
-                    f"parameter {param.name!r} has void type", param.line
+                raise self._err(
+                    f"parameter {param.name!r} has void type", param
                 )
             param.symbol = self._scope_stack.declare_local(
-                param.name, param.ctype, "param", param.line
+                param.name, param.ctype, "param", param.line, param.column
             )
         self._analyze_block(func.body)
         self._scope_stack.pop()
@@ -241,13 +307,13 @@ class Analyzer:
             for case in stmt.cases:
                 if case.value is None:
                     if seen_default:
-                        raise SemanticError(
-                            "multiple default labels in switch", case.line
+                        raise self._err(
+                            "multiple default labels in switch", case
                         )
                     seen_default = True
                 elif case.value in seen_values:
-                    raise SemanticError(
-                        f"duplicate case label {case.value}", case.line
+                    raise self._err(
+                        f"duplicate case label {case.value}", case
                     )
                 else:
                     seen_values.add(case.value)
@@ -263,41 +329,41 @@ class Analyzer:
             ret_type = self._current_function.return_type
             if stmt.value is not None:
                 if ret_type.is_void:
-                    raise SemanticError(
-                        "void function returns a value", stmt.line
+                    raise self._err(
+                        "void function returns a value", stmt
                     )
                 self._require_scalar(
                     self._analyze_expression(stmt.value), stmt.value
                 )
             elif not ret_type.is_void:
-                raise SemanticError(
-                    "non-void function returns without a value", stmt.line
+                raise self._err(
+                    "non-void function returns without a value", stmt
                 )
         elif isinstance(stmt, ast.Break):
             if self._break_depth == 0:
-                raise SemanticError("break outside a loop or switch", stmt.line)
+                raise self._err("break outside a loop or switch", stmt)
         elif isinstance(stmt, ast.Continue):
             if self._loop_depth == 0:
-                raise SemanticError("continue outside a loop", stmt.line)
+                raise self._err("continue outside a loop", stmt)
         else:  # pragma: no cover - parser produces no other kinds
-            raise SemanticError(f"unhandled statement {type(stmt).__name__}")
+            raise self._err(f"unhandled statement {type(stmt).__name__}", stmt)
 
     def _analyze_local_decl(self, decl: ast.VarDecl) -> None:
         if decl.ctype.is_void:
-            raise SemanticError(f"variable {decl.name!r} has void type", decl.line)
+            raise self._err(f"variable {decl.name!r} has void type", decl)
         symbol = self._scope_stack.declare_local(
-            decl.name, decl.ctype, "local", decl.line
+            decl.name, decl.ctype, "local", decl.line, decl.column
         )
         decl.symbol = symbol
         if decl.init is not None:
             if isinstance(decl.init, (list, ast.StringLiteral)) and decl.ctype.is_array:
-                raise SemanticError(
+                raise self._err(
                     "local array initialisers are not supported; assign elementwise",
-                    decl.line,
+                    decl,
                 )
             if isinstance(decl.init, list):
-                raise SemanticError(
-                    "brace initialiser on non-array local", decl.line
+                raise self._err(
+                    "brace initialiser on non-array local", decl
                 )
             self._require_scalar(self._analyze_expression(decl.init), decl.init)
 
@@ -316,11 +382,7 @@ class Analyzer:
             expr.symbol = self._intern_string(expr)
             return CType.pointer(CType.char())
         if isinstance(expr, ast.Identifier):
-            symbol = self._scope_stack.lookup(expr.name)
-            if symbol is None:
-                raise SemanticError(f"undefined identifier {expr.name!r}", expr.line)
-            expr.symbol = symbol
-            return symbol.ctype
+            return self._analyze_identifier(expr)
         if isinstance(expr, ast.SizeOf):
             return _INT
         if isinstance(expr, ast.Call):
@@ -346,7 +408,9 @@ class Analyzer:
             target_type = self._analyze_expression(expr.target)
             self._require_lvalue(expr.target)
             if not target_type.is_scalar:
-                raise SemanticError("++/-- requires a scalar operand", expr.line)
+                raise self._err("++/-- requires a scalar operand", expr)
+            if target_type.is_function_pointer:
+                raise self._err("++/-- on a function pointer", expr)
             return target_type
         if isinstance(expr, ast.Member):
             return self._analyze_member(expr)
@@ -357,51 +421,125 @@ class Analyzer:
                 return base.element
             if base.is_pointer:
                 if base.pointee.is_void:
-                    raise SemanticError("cannot index a void pointer", expr.line)
+                    raise self._err("cannot index a void pointer", expr)
+                if base.pointee.is_function:
+                    raise self._err("cannot index a function pointer", expr)
                 return base.pointee
-            raise SemanticError("indexing a non-pointer value", expr.line)
-        raise SemanticError(
-            f"unhandled expression {type(expr).__name__}", expr.line
+            raise self._err("indexing a non-pointer value", expr)
+        raise self._err(
+            f"unhandled expression {type(expr).__name__}", expr
         )  # pragma: no cover
+
+    def _analyze_identifier(self, expr: ast.Identifier) -> CType:
+        symbol = self._scope_stack.lookup(expr.name)
+        if symbol is not None:
+            expr.symbol = symbol
+            return symbol.ctype
+        # A function name used as a value is a function pointer.
+        info = self.result.functions.get(expr.name)
+        if info is not None:
+            if info.is_builtin:
+                raise self._err(
+                    f"built-in {expr.name!r} cannot be used as a value", expr
+                )
+            self._function_id(info, expr)
+            expr.symbol = info
+            return CType.pointer(
+                CType.function(info.return_type, tuple(info.param_types))
+            )
+        raise self._err(f"undefined identifier {expr.name!r}", expr)
+
+    def _function_id(self, info: FunctionInfo, node: ast.AstNode) -> int:
+        """Register (and return) the function id backing ``&info``."""
+        if not info.defined:
+            raise self._err(
+                f"function {info.name!r} used as a value but never defined",
+                node,
+            )
+        if info.name not in self.result.fp_targets:
+            self.result.fp_targets[info.name] = len(self.result.fp_targets) + 1
+        return self.result.fp_targets[info.name]
 
     def _analyze_member(self, expr: ast.Member) -> CType:
         object_type = self._analyze_expression(expr.object)
         if expr.is_arrow:
             decayed = object_type.decay()
             if not decayed.is_pointer or not decayed.pointee.is_struct:
-                raise SemanticError(
-                    "'->' requires a pointer to a struct", expr.line
+                raise self._err(
+                    "'->' requires a pointer to a struct", expr
                 )
             layout = decayed.pointee.struct
         else:
             if not object_type.is_struct:
-                raise SemanticError("'.' requires a struct value", expr.line)
+                raise self._err("'.' requires a struct value", expr)
             layout = object_type.struct
         entry = layout.member(expr.name)
         if entry is None:
-            raise SemanticError(
-                f"struct {layout.tag} has no member {expr.name!r}", expr.line
+            raise self._err(
+                f"struct {layout.tag} has no member {expr.name!r}", expr
             )
         return entry[1]
 
     def _analyze_call(self, expr: ast.Call) -> CType:
+        if expr.callee is None:
+            # A named call: a visible variable of function-pointer type
+            # shadows any function of the same name (C scoping).
+            symbol = self._scope_stack.lookup(expr.name)
+            if symbol is not None:
+                if symbol.ctype.decay().is_function_pointer:
+                    ident = ast.Identifier(expr.name, expr.line, expr.column)
+                    self._analyze_expression(ident)
+                    expr.callee = ident
+                else:
+                    raise self._err(
+                        f"called object {expr.name!r} is not a function",
+                        expr,
+                    )
+        if expr.callee is not None:
+            return self._analyze_indirect_call(expr)
         info = self.result.functions.get(expr.name)
         if info is None:
-            raise SemanticError(f"call to undefined function {expr.name!r}", expr.line)
+            raise self._err(f"call to undefined function {expr.name!r}", expr)
         expr.func = info
         if len(expr.args) != len(info.param_types):
-            raise SemanticError(
+            raise self._err(
                 f"{expr.name}() expects {len(info.param_types)} arguments, "
                 f"got {len(expr.args)}",
-                expr.line,
+                expr,
             )
         for arg in expr.args:
             arg_type = self._analyze_expression(arg)
             if not arg_type.decay().is_scalar:
-                raise SemanticError(
-                    f"argument to {expr.name}() is not a scalar", arg.line
+                raise self._err(
+                    f"argument to {expr.name}() is not a scalar", arg
                 )
         return info.return_type
+
+    def _analyze_indirect_call(self, expr: ast.Call) -> CType:
+        callee_type = expr.callee.ctype
+        if callee_type is None:
+            callee_type = self._analyze_expression(expr.callee)
+        decayed = callee_type.decay()
+        if decayed.is_function_pointer:
+            fn = decayed.pointee
+        elif callee_type.is_function:
+            fn = callee_type
+        else:
+            raise self._err("calling a non-function value", expr.callee)
+        if len(expr.args) != len(fn.params):
+            raise self._err(
+                f"function-pointer call expects {len(fn.params)} arguments, "
+                f"got {len(expr.args)}",
+                expr,
+            )
+        for arg in expr.args:
+            arg_type = self._analyze_expression(arg)
+            if not arg_type.decay().is_scalar:
+                raise self._err(
+                    "argument to function-pointer call is not a scalar", arg
+                )
+        expr.func = None
+        return fn.ret
 
     def _analyze_unary(self, expr: ast.Unary) -> CType:
         operand_type = self._analyze_expression(expr.operand)
@@ -415,15 +553,21 @@ class Analyzer:
         if op == "*":
             decayed = operand_type.decay()
             if not decayed.is_pointer:
-                raise SemanticError("dereference of a non-pointer", expr.line)
+                raise self._err("dereference of a non-pointer", expr)
             if decayed.pointee.is_void:
-                raise SemanticError("dereference of a void pointer", expr.line)
+                raise self._err("dereference of a void pointer", expr)
             return decayed.pointee
         if op == "&":
+            if (
+                isinstance(expr.operand, ast.Identifier)
+                and isinstance(expr.operand.symbol, FunctionInfo)
+            ):
+                # ``&f`` and ``f`` are the same function-pointer value.
+                return operand_type
             self._require_lvalue(expr.operand)
             self._mark_addr_taken(expr.operand)
             return CType.pointer(operand_type.decay() if operand_type.is_array else operand_type)
-        raise SemanticError(f"unhandled unary operator {op!r}", expr.line)
+        raise self._err(f"unhandled unary operator {op!r}", expr)
 
     def _analyze_binary(self, expr: ast.Binary) -> CType:
         left = self._analyze_expression(expr.left).decay()
@@ -438,6 +582,8 @@ class Analyzer:
             self._require_scalar(right, expr.right)
             return _INT
         if op in ("+", "-"):
+            if left.is_function_pointer or right.is_function_pointer:
+                raise self._err("arithmetic on a function pointer", expr)
             if left.is_pointer and right.is_arith:
                 return left
             if op == "+" and left.is_arith and right.is_pointer:
@@ -456,20 +602,26 @@ class Analyzer:
         target_type = self._analyze_expression(expr.target)
         self._require_lvalue(expr.target)
         if target_type.is_array:
-            raise SemanticError("cannot assign to an array", expr.line)
+            raise self._err("cannot assign to an array", expr)
         if target_type.is_struct:
-            raise SemanticError(
+            raise self._err(
                 "cannot assign whole structs; copy members or use pointers",
-                expr.line,
+                expr,
             )
+        if target_type.is_function:
+            raise self._err("cannot assign to a function", expr)
         value_type = self._analyze_expression(expr.value).decay()
         self._require_scalar(value_type, expr.value)
         if expr.op != "=":
+            if target_type.is_function_pointer:
+                raise self._err(
+                    "compound assignment on a function pointer", expr
+                )
             base_op = expr.op[:-1]
             if base_op in ("+", "-"):
                 if target_type.is_pointer and not value_type.is_arith:
-                    raise SemanticError(
-                        "pointer compound assignment needs an integer", expr.line
+                    raise self._err(
+                        "pointer compound assignment needs an integer", expr
                     )
                 if target_type.is_arith:
                     self._require_arith(value_type, expr.value)
@@ -495,6 +647,10 @@ class Analyzer:
 
     def _require_lvalue(self, expr: ast.Expr) -> None:
         if isinstance(expr, ast.Identifier):
+            if isinstance(expr.symbol, FunctionInfo):
+                raise self._err(
+                    f"cannot assign to function {expr.name!r}", expr
+                )
             return
         if isinstance(expr, ast.Unary) and expr.op == "*":
             return
@@ -502,23 +658,21 @@ class Analyzer:
             return
         if isinstance(expr, ast.Member):
             return
-        raise SemanticError("expression is not assignable", expr.line)
+        raise self._err("expression is not assignable", expr)
 
     def _mark_addr_taken(self, expr: ast.Expr) -> None:
-        if isinstance(expr, ast.Identifier) and expr.symbol is not None:
+        if isinstance(expr, ast.Identifier) and isinstance(expr.symbol, Symbol):
             expr.symbol.addr_taken = True
         elif isinstance(expr, ast.Member) and not expr.is_arrow:
             self._mark_addr_taken(expr.object)
 
-    @staticmethod
-    def _require_arith(ctype: CType, expr: ast.Expr) -> None:
+    def _require_arith(self, ctype: CType, expr: ast.Expr) -> None:
         if not ctype.decay().is_arith:
-            raise SemanticError("expected an arithmetic value", expr.line)
+            raise self._err("expected an arithmetic value", expr)
 
-    @staticmethod
-    def _require_scalar(ctype: CType, expr: ast.Expr) -> None:
+    def _require_scalar(self, ctype: CType, expr: ast.Expr) -> None:
         if not ctype.decay().is_scalar:
-            raise SemanticError("expected a scalar value", expr.line)
+            raise self._err("expected a scalar value", expr)
 
 
 def analyze(unit: ast.TranslationUnit) -> SemaResult:

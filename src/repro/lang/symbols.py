@@ -85,9 +85,9 @@ class Scope:
         self.parent = parent
         self.symbols: Dict[str, Symbol] = {}
 
-    def declare(self, symbol: Symbol, line: int = 0) -> None:
+    def declare(self, symbol: Symbol, line: int = 0, column: int = 0) -> None:
         if symbol.name in self.symbols:
-            raise SemanticError(f"redefinition of {symbol.name!r}", line)
+            raise SemanticError(f"redefinition of {symbol.name!r}", line, column)
         self.symbols[symbol.name] = symbol
 
     def lookup(self, name: str) -> Optional[Symbol]:
@@ -116,11 +116,12 @@ class ScopeStack:
             raise RuntimeError("cannot pop the global scope")
         self.scopes.pop()
 
-    def declare_local(self, name: str, ctype: CType, kind: str, line: int = 0) -> Symbol:
+    def declare_local(self, name: str, ctype: CType, kind: str,
+                      line: int = 0, column: int = 0) -> Symbol:
         symbol = Symbol(name, ctype, kind)
         self._counter += 1
         symbol.unique_name = f"{name}.{self._counter}"
-        self.scopes[-1].declare(symbol, line)
+        self.scopes[-1].declare(symbol, line, column)
         self.all_locals.append(symbol)
         return symbol
 

@@ -10,7 +10,9 @@ from .config import (
     MEMORY_CONFIGS,
     MachineConfig,
     MemoryConfig,
+    PAPER_MEMORIES,
     WINDOW_SIZES,
+    cache_configuration_space,
     full_configuration_space,
     scheduling_disciplines,
 )
@@ -51,11 +53,13 @@ __all__ = [
     "MachineConfig",
     "MemorySystem",
     "MemoryConfig",
+    "PAPER_MEMORIES",
     "PreparedWorkload",
     "StaticEngine",
     "WINDOW_SIZES",
     "WorkloadMismatch",
     "build_templates",
+    "cache_configuration_space",
     "full_configuration_space",
     "prepare_workload",
     "scheduling_disciplines",

@@ -107,7 +107,10 @@ class MemoryConfig:
         )
 
 
-#: The paper's seven memory configurations, keyed by letter.
+#: The paper's seven memory configurations (A-G), plus two cache-geometry
+#: extension points (H, I) that fill out the 1-cycle-hit capacity ladder
+#: 1K (D) / 4K (H) / 16K (E) / 64K (I) for the per-workload cache sweeps.
+#: The extensions are excluded from the paper's 560-point space.
 MEMORY_CONFIGS: Dict[str, MemoryConfig] = {
     "A": MemoryConfig("A", 1, 1, None),
     "B": MemoryConfig("B", 2, 2, None),
@@ -116,7 +119,12 @@ MEMORY_CONFIGS: Dict[str, MemoryConfig] = {
     "E": MemoryConfig("E", 1, 10, 16 * 1024),
     "F": MemoryConfig("F", 2, 10, 1024),
     "G": MemoryConfig("G", 2, 10, 16 * 1024),
+    "H": MemoryConfig("H", 1, 10, 4 * 1024),
+    "I": MemoryConfig("I", 1, 10, 64 * 1024),
 }
+
+#: Memory letters used by the paper's study.
+PAPER_MEMORIES = ("A", "B", "C", "D", "E", "F", "G")
 
 #: Horizontal-axis order used by the paper's Figure 4 (1-cycle memories
 #: with decreasing locality, then 2-cycle, then 3-cycle).
@@ -199,7 +207,7 @@ def scheduling_disciplines() -> Tuple[Tuple[Discipline, int, BranchMode], ...]:
 def full_configuration_space() -> Iterator[MachineConfig]:
     """All 560 configurations of the paper's study."""
     for (discipline, window, mode), issue, memory in itertools.product(
-        scheduling_disciplines(), PAPER_ISSUE_MODELS, MEMORY_CONFIGS
+        scheduling_disciplines(), PAPER_ISSUE_MODELS, PAPER_MEMORIES
     ):
         yield MachineConfig(
             discipline=discipline,
@@ -231,6 +239,53 @@ def smoke_configuration_space() -> Iterator[MachineConfig]:
     """
     for (discipline, window, mode), issue, memory in itertools.product(
         scheduling_disciplines(), SMOKE_ISSUE_MODELS, SMOKE_MEMORIES
+    ):
+        yield MachineConfig(
+            discipline=discipline,
+            issue_model=issue,
+            memory=memory,
+            branch_mode=mode,
+            window_blocks=window,
+        )
+
+
+#: Default cache-capacity ladder for the per-workload geometry sweeps:
+#: every 1-cycle-hit cached memory, smallest first.
+CACHE_SWEEP_MEMORIES = ("D", "H", "E", "I")
+
+#: Issue models kept by the cache-geometry grid: the narrowest
+#: non-sequential model and a mid-width one, so cache effects are read
+#: at two different compute pressures.
+CACHE_SWEEP_ISSUE_MODELS = (2, 6)
+
+#: Discipline/branch lines kept by the cache-geometry grid.
+CACHE_SWEEP_LINES = (
+    (Discipline.STATIC, 1, BranchMode.ENLARGED),
+    (Discipline.DYNAMIC, 4, BranchMode.ENLARGED),
+    (Discipline.DYNAMIC, 256, BranchMode.ENLARGED),
+)
+
+
+def cache_configuration_space(
+    benchmark: Optional[str] = None,
+) -> Iterator[MachineConfig]:
+    """The cache-geometry grid: capacity ladder x width x discipline.
+
+    With ``benchmark`` given, a workload registered with its own
+    ``cache_memories`` restricts the capacity ladder to those letters;
+    otherwise (and for ``None``) the full :data:`CACHE_SWEEP_MEMORIES`
+    ladder is used.  At most 24 points per benchmark -- sized for CI.
+    """
+    letters: Tuple[str, ...] = CACHE_SWEEP_MEMORIES
+    if benchmark is not None:
+        # Imported lazily: the workload registry imports this module.
+        from ..workloads import WORKLOADS
+
+        workload = WORKLOADS.get(benchmark)
+        if workload is not None and workload.cache_memories:
+            letters = workload.cache_memories
+    for (discipline, window, mode), issue, memory in itertools.product(
+        CACHE_SWEEP_LINES, CACHE_SWEEP_ISSUE_MODELS, letters
     ):
         yield MachineConfig(
             discipline=discipline,

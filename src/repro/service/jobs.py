@@ -31,6 +31,7 @@ from ..chaos.inject import current as chaos_current
 from ..harness.cache import result_key
 from ..machine.config import (
     MachineConfig,
+    cache_configuration_space,
     full_configuration_space,
     smoke_configuration_space,
 )
@@ -55,10 +56,13 @@ JOB_CANCELLED = "cancelled"
 JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED, JOB_CANCELLED)
 TERMINAL_STATES = frozenset({JOB_DONE, JOB_FAILED, JOB_CANCELLED})
 
-#: The configuration grids a job may ask for.
+#: The configuration grids a job may ask for.  The ``cache`` grid is
+#: per-benchmark (workloads may pin their own memory letters), so its
+#: space function takes the benchmark name; the shared grids ignore it.
 GRIDS = {
-    "smoke": smoke_configuration_space,
-    "full": full_configuration_space,
+    "smoke": lambda benchmark=None: smoke_configuration_space(),
+    "full": lambda benchmark=None: full_configuration_space(),
+    "cache": cache_configuration_space,
 }
 
 
@@ -147,10 +151,10 @@ class GridSpec:
         first point, so grouping keeps at most one prepare in flight and
         every later point of that benchmark rides the warm workload.
         """
-        configs = list(GRIDS[self.grid]())
+        space = GRIDS[self.grid]
         out: List[PointJob] = []
         for name in self.benchmarks:
-            for config in configs:
+            for config in space(name):
                 out.append(PointJob(name, config,
                                     result_key(name, config, scale)))
         if self.limit is not None:

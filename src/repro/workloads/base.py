@@ -13,7 +13,7 @@ load the artifacts themselves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from ..chaos.inject import current as chaos_current
 from ..enlarge.plan import EnlargeConfig
@@ -40,12 +40,16 @@ class Workload:
             or ``eval``; scale grows the input proportionally.
         reference: Python oracle computing the expected fd-1 output for a
             given input set (used by the test suite, not the simulator).
+        cache_memories: memory letters this workload's cache-geometry
+            sweep should visit; empty means the default ladder
+            (:data:`repro.machine.config.CACHE_SWEEP_MEMORIES`).
     """
 
     name: str
     source: str
     make_inputs: Callable[[str, int], Inputs]
     reference: Callable[[Inputs], bytes]
+    cache_memories: Tuple[str, ...] = ()
 
     def compile(self) -> Program:
         """Compile the benchmark's Mini-C source."""

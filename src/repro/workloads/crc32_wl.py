@@ -1,0 +1,98 @@
+"""The ``crc32`` benchmark: table-driven checksum (cf. cksum/zlib).
+
+Computes the standard reflected CRC-32 (polynomial ``0xEDB88320``, the
+one zlib and gzip use) over the whole input and prints it as eight
+lowercase hex digits.  The kernel is *slicing-by-2*: a two-row table
+``int table[2][256]`` -- the suite's multi-dimensional-array workload --
+lets the tight loop retire two input bytes per iteration with four loads
+and a handful of ALU nodes.
+
+The ISA has no logical right shift, so ``(x >> n) & mask`` idioms
+recover it from the arithmetic one.  The 2K table plus the streamed
+input make the 1K cache (D) thrash and the 4K one (H) fit, which is
+exactly the knee the cache-geometry ladder is meant to show.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+from .base import Workload
+from .stdio_rt import STDIO_RUNTIME
+from .textgen import text_blob
+
+SOURCE = STDIO_RUNTIME + r"""
+int table[2][256];
+char data[65536];
+
+void make_table() {
+    int n;
+    int k;
+    int c;
+    for (n = 0; n < 256; n++) {
+        c = n;
+        for (k = 0; k < 8; k++) {
+            if (c & 1) {
+                c = -306674912 ^ ((c >> 1) & 2147483647);
+            } else {
+                c = (c >> 1) & 2147483647;
+            }
+        }
+        table[0][n] = c;
+    }
+    for (n = 0; n < 256; n++) {
+        c = table[0][n];
+        table[1][n] = ((c >> 8) & 16777215) ^ table[0][c & 255];
+    }
+}
+
+int main() {
+    int len;
+    int crc;
+    int i;
+    int b0;
+    int b1;
+
+    make_table();
+    len = read_fd_all(0, data, 65536);
+    crc = -1;
+    i = 0;
+    while (i + 1 < len) {
+        b0 = data[i];
+        b1 = data[i + 1];
+        crc = crc ^ (b0 | (b1 << 8));
+        crc = table[1][crc & 255]
+            ^ table[0][(crc >> 8) & 255]
+            ^ ((crc >> 16) & 65535);
+        i = i + 2;
+    }
+    if (i < len) {
+        crc = table[0][(crc ^ data[i]) & 255] ^ ((crc >> 8) & 16777215);
+    }
+    crc = ~crc;
+    for (i = 28; i >= 0; i = i - 4) {
+        b0 = (crc >> i) & 15;
+        if (b0 < 10) outc(48 + b0);
+        else outc(87 + b0);
+    }
+    outc(10);
+    flushout();
+    return 0;
+}
+"""
+
+
+def make_inputs(kind: str, scale: int = 1) -> Dict[int, bytes]:
+    """A text blob; roughly 8K bytes per scale step (caps at the buffer)."""
+    seed = 91 if kind == "train" else 92
+    return {0: text_blob(seed * 19, 160 * scale)[:65536]}
+
+
+def reference(inputs: Dict[int, bytes]) -> bytes:
+    checksum = zlib.crc32(inputs[0][:65536]) & 0xFFFFFFFF
+    return f"{checksum:08x}\n".encode("latin-1")
+
+
+WORKLOAD = Workload("crc32", SOURCE, make_inputs, reference,
+                    cache_memories=("D", "H", "E"))

@@ -1,0 +1,156 @@
+"""The ``hashjoin`` benchmark: hash-table build/probe join.
+
+The first input line is the number of build rows N; the next N lines are
+``key value`` pairs inserted into a chained hash table (newest first);
+every following line is a probe key.  Each probe walks its bucket's
+chain -- the pointer-chasing access pattern that gives hash joins their
+memory-bound reputation -- and accumulates ``key * value`` of every
+matching entry into a running modular sum.  The output is the match
+count and the sum.
+
+The entry pool (2048 x 12 bytes) plus the bucket heads put the working
+set near 25K, so the cache-geometry ladder D/H/E/I (1K..64K) spans
+thrash-to-fit for this benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .base import Workload
+from .stdio_rt import STDIO_RUNTIME
+from .textgen import make_rng
+
+#: Largest number of build rows the static entry pool can hold; build
+#: rows beyond it are dropped (mirrored by the oracle).
+POOL_CAPACITY = 2048
+
+_AGG_MODULUS = 1000003
+
+SOURCE = STDIO_RUNTIME + r"""
+struct Entry {
+    int key;
+    int val;
+    struct Entry *next;
+};
+
+struct Entry pool[2048];
+struct Entry *head[256];
+int pool_used;
+
+int read_int() {
+    int c = nextc();
+    int value = 0;
+    int seen = 0;
+    while (c == 32 || c == 10 || c == 13 || c == 9) c = nextc();
+    if (c < 0) return -1;
+    while (c >= 48 && c <= 57) {
+        value = value * 10 + (c - 48);
+        seen = 1;
+        c = nextc();
+    }
+    if (!seen) return -1;
+    return value;
+}
+
+void print_int(int n) {
+    char buf[12];
+    int i = 0;
+    if (n == 0) { outc(48); return; }
+    while (n > 0) { buf[i++] = 48 + n % 10; n = n / 10; }
+    while (i > 0) { i--; outc(buf[i]); }
+}
+
+int hash_key(int key) {
+    return ((key * 31) ^ (key >> 3)) & 255;
+}
+
+void insert(int key, int val) {
+    struct Entry *e;
+    int h;
+    if (pool_used >= 2048) return;
+    e = &pool[pool_used++];
+    e->key = key;
+    e->val = val;
+    h = hash_key(key);
+    e->next = head[h];
+    head[h] = e;
+}
+
+int main() {
+    int n;
+    int i;
+    int key;
+    int val;
+    int matches = 0;
+    int agg = 0;
+    struct Entry *e;
+
+    n = read_int();
+    if (n < 0) return 1;
+    for (i = 0; i < n; i++) {
+        key = read_int();
+        val = read_int();
+        if (key < 0 || val < 0) return 1;
+        insert(key, val);
+    }
+    key = read_int();
+    while (key >= 0) {
+        e = head[hash_key(key)];
+        while (e) {
+            if (e->key == key) {
+                matches++;
+                agg = (agg + key * e->val) % 1000003;
+            }
+            e = e->next;
+        }
+        key = read_int();
+    }
+    print_int(matches);
+    outc(32);
+    print_int(agg);
+    outc(10);
+    flushout();
+    return 0;
+}
+"""
+
+
+def make_inputs(kind: str, scale: int = 1) -> Dict[int, bytes]:
+    """Build rows over a key universe; probes hit roughly 3 times in 4."""
+    seed = 71 if kind == "train" else 72
+    rng = make_rng(seed * 13)
+    universe = 160 * scale
+    rows: List[Tuple[int, int]] = [
+        (rng.randrange(universe) * 7 + 3, rng.randrange(997))
+        for _ in range(120 * scale)
+    ]
+    probes = [rng.randrange(universe) * 7 + 3 for _ in range(300 * scale)]
+    lines = [str(len(rows))]
+    lines.extend(f"{key} {val}" for key, val in rows)
+    lines.extend(str(key) for key in probes)
+    return {0: ("\n".join(lines) + "\n").encode("latin-1")}
+
+
+def reference(inputs: Dict[int, bytes]) -> bytes:
+    numbers = inputs[0].split()
+    n = int(numbers[0])
+    rows = [
+        (int(numbers[1 + 2 * i]), int(numbers[2 + 2 * i]))
+        for i in range(n)
+    ][:POOL_CAPACITY]
+    probes = [int(token) for token in numbers[1 + 2 * n:]]
+    table: Dict[int, List[int]] = {}
+    for key, val in rows:
+        table.setdefault(key, []).append(val)
+    matches = 0
+    agg = 0
+    for key in probes:
+        for val in table.get(key, ()):
+            matches += 1
+            agg = (agg + key * val) % _AGG_MODULUS
+    return f"{matches} {agg}\n".encode("latin-1")
+
+
+WORKLOAD = Workload("hashjoin", SOURCE, make_inputs, reference,
+                    cache_memories=("D", "H", "E", "I"))

@@ -1,0 +1,219 @@
+"""The ``jsontok`` benchmark: a JSON-ish tokenizer.
+
+Scans the input and emits one tag character per token: structural
+punctuation is echoed as itself, strings become ``s``, numbers ``n``,
+the keywords ``true``/``false``/``null`` become ``k``, other bare words
+``w`` and unknown bytes ``?``.  A newline is emitted every 40 tags, and
+the final line is ``#`` followed by the token count.
+
+The scanner is driven by a 128-entry *function-pointer dispatch table*
+indexed by character class -- each handler consumes one token and
+returns the next unconsumed character -- making this the suite's
+data-dependent indirect-branch workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Workload
+from .stdio_rt import STDIO_RUNTIME
+from .textgen import make_rng, words
+
+_TAGS_PER_LINE = 40
+
+SOURCE = STDIO_RUNTIME + r"""
+int (*dispatch[128])(int);
+int ntok;
+
+void print_int(int n) {
+    char buf[12];
+    int i = 0;
+    if (n == 0) { outc(48); return; }
+    while (n > 0) { buf[i++] = 48 + n % 10; n = n / 10; }
+    while (i > 0) { i--; outc(buf[i]); }
+}
+
+void emit_tag(int tag) {
+    outc(tag);
+    ntok++;
+    if (ntok % 40 == 0) outc(10);
+}
+
+int h_ws(int c) {
+    return nextc();
+}
+
+int h_punct(int c) {
+    emit_tag(c);
+    return nextc();
+}
+
+int h_string(int c) {
+    c = nextc();
+    while (c >= 0 && c != 34) {
+        if (c == 92) nextc();
+        c = nextc();
+    }
+    emit_tag(115);
+    return nextc();
+}
+
+int h_number(int c) {
+    c = nextc();
+    while (c >= 48 && c <= 57) c = nextc();
+    emit_tag(110);
+    return c;
+}
+
+int h_word(int c) {
+    char buf[16];
+    int len = 0;
+    while (c >= 97 && c <= 122) {
+        if (len < 15) buf[len++] = c;
+        c = nextc();
+    }
+    buf[len] = 0;
+    if (len == 4 && buf[0] == 116 && buf[1] == 114 && buf[2] == 117
+            && buf[3] == 101) {
+        emit_tag(107);          /* true */
+    } else if (len == 5 && buf[0] == 102 && buf[1] == 97 && buf[2] == 108
+            && buf[3] == 115 && buf[4] == 101) {
+        emit_tag(107);          /* false */
+    } else if (len == 4 && buf[0] == 110 && buf[1] == 117 && buf[2] == 108
+            && buf[3] == 108) {
+        emit_tag(107);          /* null */
+    } else {
+        emit_tag(119);
+    }
+    return c;
+}
+
+int h_other(int c) {
+    emit_tag(63);
+    return nextc();
+}
+
+void init_dispatch() {
+    int i;
+    for (i = 0; i < 128; i++) dispatch[i] = h_other;
+    dispatch[32] = h_ws;
+    dispatch[9] = h_ws;
+    dispatch[10] = h_ws;
+    dispatch[13] = h_ws;
+    for (i = 48; i < 58; i++) dispatch[i] = h_number;
+    dispatch[45] = h_number;     /* leading minus */
+    for (i = 97; i < 123; i++) dispatch[i] = h_word;
+    dispatch[34] = h_string;
+    dispatch[123] = h_punct;     /* { */
+    dispatch[125] = h_punct;     /* } */
+    dispatch[91] = h_punct;      /* [ */
+    dispatch[93] = h_punct;      /* ] */
+    dispatch[58] = h_punct;      /* : */
+    dispatch[44] = h_punct;      /* , */
+}
+
+int main() {
+    int c;
+    init_dispatch();
+    c = nextc();
+    while (c >= 0) {
+        c = dispatch[c & 127](c);
+    }
+    if (ntok % 40 != 0) outc(10);
+    outc(35);
+    print_int(ntok);
+    outc(10);
+    flushout();
+    return 0;
+}
+"""
+
+
+def _gen_value(rng, depth: int) -> str:
+    """One JSON-ish value; nesting bottoms out at depth 0."""
+    kinds = ["int", "string", "keyword"]
+    if depth > 0:
+        kinds += ["object", "array"]
+    kind = rng.choice(kinds)
+    if kind == "int":
+        return str(rng.randrange(-999, 10000))
+    if kind == "string":
+        return '"' + " ".join(words(rng, rng.randrange(1, 4))) + '"'
+    if kind == "keyword":
+        return rng.choice(["true", "false", "null", "nan"])
+    if kind == "array":
+        items = [_gen_value(rng, depth - 1)
+                 for _ in range(rng.randrange(2, 6))]
+        return "[" + ", ".join(items) + "]"
+    pairs = [
+        f'"{key}": {_gen_value(rng, depth - 1)}'
+        for key in words(rng, rng.randrange(2, 5))
+    ]
+    return "{" + ", ".join(pairs) + "}"
+
+
+def make_inputs(kind: str, scale: int = 1) -> Dict[int, bytes]:
+    """A stream of nested JSON-ish documents, one per line."""
+    seed = 81 if kind == "train" else 82
+    rng = make_rng(seed * 17)
+    docs = [_gen_value(rng, 3) for _ in range(12 * scale)]
+    return {0: ("\n".join(docs) + "\n").encode("latin-1")}
+
+
+def reference(inputs: Dict[int, bytes]) -> bytes:
+    data = inputs[0]
+    tags: List[str] = []
+    pos = 0
+
+    def nextc() -> int:
+        nonlocal pos
+        if pos >= len(data):
+            return -1
+        byte = data[pos]
+        pos += 1
+        return byte
+
+    c = nextc()
+    while c >= 0:
+        if c in (32, 9, 10, 13):
+            c = nextc()
+        elif c in (123, 125, 91, 93, 58, 44):
+            tags.append(chr(c))
+            c = nextc()
+        elif c == 34:
+            c = nextc()
+            while c >= 0 and c != 34:
+                if c == 92:
+                    nextc()
+                c = nextc()
+            tags.append("s")
+            c = nextc()
+        elif 48 <= c <= 57 or c == 45:
+            c = nextc()
+            while 48 <= c <= 57:
+                c = nextc()
+            tags.append("n")
+        elif 97 <= c <= 122:
+            word = []
+            while 97 <= c <= 122:
+                word.append(chr(c))
+                c = nextc()
+            tags.append("k" if "".join(word[:15]) in ("true", "false", "null")
+                        else "w")
+        else:
+            tags.append("?")
+            c = nextc()
+
+    out = []
+    for index, tag in enumerate(tags):
+        out.append(tag)
+        if (index + 1) % _TAGS_PER_LINE == 0:
+            out.append("\n")
+    if len(tags) % _TAGS_PER_LINE != 0:
+        out.append("\n")
+    out.append(f"#{len(tags)}\n")
+    return "".join(out).encode("latin-1")
+
+
+WORKLOAD = Workload("jsontok", SOURCE, make_inputs, reference)

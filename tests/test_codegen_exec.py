@@ -439,3 +439,176 @@ class TestSwitchErrors:
 
         with pytest.raises(ParseError):
             run("int main() { int x; switch (1) { case x: ; } return 0; }")
+
+
+class TestFunctionPointers:
+    def test_call_through_variable(self):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int main() {
+            int (*f)(int, int);
+            f = add;
+            return f(30, 12);
+        }
+        """
+        assert exit_code(source) == 42
+
+    def test_address_of_and_deref_call(self):
+        source = """
+        int twice(int x) { return x * 2; }
+        int main() {
+            int (*f)(int);
+            f = &twice;
+            return (*f)(21);
+        }
+        """
+        assert exit_code(source) == 42
+
+    def test_reassignment_switches_target(self):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int sub(int a, int b) { return a - b; }
+        int main() {
+            int (*op)(int, int);
+            int r;
+            op = add;
+            r = op(10, 3);
+            op = sub;
+            return r * 10 + op(10, 3);
+        }
+        """
+        assert exit_code(source) == 137
+
+    def test_global_table_with_static_init(self):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int sub(int a, int b) { return a - b; }
+        int mul(int a, int b) { return a * b; }
+        int (*ops[4])(int, int) = {add, sub, mul};
+        int main() {
+            int r = 0;
+            int i;
+            for (i = 0; i < 3; i++) r += ops[i](7, 3);
+            return r;
+        }
+        """
+        # (7+3) + (7-3) + (7*3) = 35
+        assert exit_code(source) == 35
+
+    def test_pointer_as_argument(self):
+        source = """
+        int inc(int x) { return x + 1; }
+        int apply(int (*f)(int), int seed) { return f(f(seed)); }
+        int main() { return apply(inc, 40); }
+        """
+        assert exit_code(source) == 42
+
+    def test_null_pointer_call_exits_127(self):
+        source = """
+        int id(int x) { return x; }
+        int main() {
+            int (*f)(int);
+            f = 0;
+            return f(1);
+        }
+        """
+        assert exit_code(source) == 127
+
+    def test_unoptimized_matches(self):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int sub(int a, int b) { return a - b; }
+        int (*ops[2])(int, int) = {add, sub};
+        int main() {
+            int r = 0;
+            int i;
+            for (i = 0; i < 2; i++) r = r * 100 + ops[i](5, 2);
+            return r;
+        }
+        """
+        assert exit_code(source, optimize=True) == exit_code(source, optimize=False)
+
+
+class TestMultiDimArrays:
+    def test_write_then_read(self):
+        source = """
+        int main() {
+            int m[3][4];
+            int i;
+            int j;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            return m[2][3];
+        }
+        """
+        assert exit_code(source) == 23
+
+    def test_global_nested_initializer(self):
+        source = """
+        int t[2][3] = {{1, 2, 3}, {4, 5, 6}};
+        int main() { return t[0][0] + t[0][2] + t[1][1] + t[1][2]; }
+        """
+        assert exit_code(source) == 15
+
+    def test_partial_rows_zero_padded(self):
+        source = """
+        int t[3][3] = {{1}, {2, 3}};
+        int main() {
+            return t[0][0] + t[0][1] * 10
+                 + t[1][0] + t[1][2] * 10
+                 + t[2][0] + t[2][1] + t[2][2];
+        }
+        """
+        assert exit_code(source) == 3
+
+    def test_three_dimensions(self):
+        source = """
+        int cube[2][2][2];
+        int main() {
+            int i;
+            for (i = 0; i < 8; i++)
+                cube[i / 4][(i / 2) % 2][i % 2] = i;
+            return cube[1][0][1] * 10 + cube[0][1][0];
+        }
+        """
+        assert exit_code(source) == 52
+
+    def test_char_matrix(self):
+        source = """
+        char grid[2][4];
+        int main() {
+            grid[1][2] = 200;
+            return grid[1][2] - 150 + grid[0][3];
+        }
+        """
+        # char loads zero-extend: 200 stays 200.
+        assert exit_code(source) == 50
+
+    def test_row_pointer_arithmetic(self):
+        source = """
+        int t[2][3] = {{1, 2, 3}, {4, 5, 6}};
+        int main() {
+            int *row = t[1];
+            return row[0] + *(row + 2);
+        }
+        """
+        assert exit_code(source) == 10
+
+    def test_unoptimized_matches(self):
+        source = """
+        int t[4][4];
+        int main() {
+            int i;
+            int j;
+            int s = 0;
+            for (i = 0; i < 4; i++)
+                for (j = 0; j < 4; j++)
+                    t[i][j] = i ^ j;
+            for (i = 0; i < 4; i++)
+                for (j = 0; j < 4; j++)
+                    s += t[j][i];
+            return s;
+        }
+        """
+        assert exit_code(source, optimize=True) == exit_code(source, optimize=False)

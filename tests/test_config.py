@@ -10,6 +10,8 @@ from repro.machine.config import (
     MEMORY_CONFIGS,
     MachineConfig,
     PAPER_ISSUE_MODELS,
+    PAPER_MEMORIES,
+    cache_configuration_space,
     full_configuration_space,
     scheduling_disciplines,
 )
@@ -55,8 +57,16 @@ class TestMemoryConfigs:
         for letter in "DEFG":
             assert MEMORY_CONFIGS[letter].miss_cycles == 10
 
-    def test_figure4_order_covers_all(self):
-        assert sorted(FIGURE4_MEMORY_ORDER) == sorted(MEMORY_CONFIGS)
+    def test_figure4_order_covers_all_paper_memories(self):
+        assert sorted(FIGURE4_MEMORY_ORDER) == sorted(PAPER_MEMORIES)
+
+    def test_extension_memories_present_but_not_in_paper_space(self):
+        assert MEMORY_CONFIGS["H"].cache_bytes == 4 * 1024
+        assert MEMORY_CONFIGS["I"].cache_bytes == 64 * 1024
+        for letter in "HI":
+            assert MEMORY_CONFIGS[letter].hit_cycles == 1
+            assert MEMORY_CONFIGS[letter].miss_cycles == 10
+            assert letter not in PAPER_MEMORIES
 
 
 class TestMachineConfig:
@@ -92,3 +102,26 @@ class TestConfigurationSpace:
         points = list(full_configuration_space())
         assert len(points) == 560
         assert len({str(p) for p in points}) == 560
+
+    def test_paper_space_excludes_extension_memories(self):
+        assert {p.memory for p in full_configuration_space()} == set(PAPER_MEMORIES)
+
+    def test_cache_space_default_ladder(self):
+        points = list(cache_configuration_space())
+        assert len(points) == 24
+        assert {p.memory for p in points} == {"D", "H", "E", "I"}
+        assert all(not p.memory_config.is_perfect for p in points)
+        assert all(p.memory_config.hit_cycles == 1 for p in points)
+
+    def test_cache_space_respects_workload_override(self):
+        from repro.workloads import WORKLOADS
+
+        for name, workload in WORKLOADS.items():
+            letters = {p.memory for p in cache_configuration_space(name)}
+            if workload.cache_memories:
+                assert letters == set(workload.cache_memories)
+            else:
+                assert letters == {"D", "H", "E", "I"}
+        # Unknown benchmarks fall back to the default ladder.
+        assert {p.memory for p in cache_configuration_space("nosuch")} == \
+            {"D", "H", "E", "I"}

@@ -160,3 +160,122 @@ class TestErrors:
     def test_array_length_must_be_literal(self):
         with pytest.raises(ParseError):
             parse_source("int main() { int a[n]; }")
+
+
+class TestFunctionPointerDeclarators:
+    def test_global_fp(self):
+        unit = parse_source("int (*handler)(int, int); int main() { return 0; }")
+        decl = unit.globals[0]
+        assert decl.ctype.is_function_pointer
+        fn = decl.ctype.pointee
+        assert fn.is_function and len(fn.params) == 2
+
+    def test_fp_array(self):
+        unit = parse_source("int (*ops[4])(int); int main() { return 0; }")
+        decl = unit.globals[0]
+        assert decl.ctype.is_array and decl.ctype.length == 4
+        assert decl.ctype.element.is_function_pointer
+
+    def test_fp_param_decays(self):
+        unit = parse_source(
+            "int apply(int (*f)(int), int x) { return f(x); }"
+            " int main() { return 0; }"
+        )
+        param = unit.functions[0].params[0]
+        assert param.ctype.is_function_pointer
+
+    def test_void_param_list_means_empty(self):
+        unit = parse_source("int (*f)(void); int main() { return 0; }")
+        assert unit.globals[0].ctype.pointee.params == ()
+
+    def test_param_names_ignored(self):
+        unit = parse_source("int (*f)(int a, int b); int main() { return 0; }")
+        assert len(unit.globals[0].ctype.pointee.params) == 2
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int (*f(int); int main() { return 0; }",     # missing ')' after name
+            "int (*)(int); int main() { return 0; }",     # missing name
+            "int (*f)(int,); int main() { return 0; }",   # trailing comma
+            "int (*f)(void x); int main() { return 0; }", # named void param
+            "int (*f)(int a[); int main() { return 0; }", # malformed array param
+            "struct S { int x; }; struct S (*f)(int); int main() { return 0; }",
+            "int (*f)(int, int, int, int, int, int, int); int main() { return 0; }",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse_source(source)
+
+
+class TestMultiDimDeclarators:
+    def test_two_dimensional_global(self):
+        unit = parse_source("int grid[3][5]; int main() { return 0; }")
+        ctype = unit.globals[0].ctype
+        assert ctype.is_array and ctype.length == 3
+        assert ctype.element.is_array and ctype.element.length == 5
+
+    def test_nested_initializer_shape(self):
+        unit = parse_source(
+            "int t[2][2] = {{1, 2}, {3}}; int main() { return 0; }"
+        )
+        init = unit.globals[0].init
+        assert isinstance(init, list) and len(init) == 2
+        assert isinstance(init[0], list) and len(init[0]) == 2
+        assert isinstance(init[1], list) and len(init[1]) == 1
+
+    def test_chained_index_is_left_nested(self):
+        expr = parse_expr("m[1][2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.array, ast.Index)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int m[2][0]; int main() { return 0; }",
+            "int m[2][n]; int main() { return 0; }",
+            "int m[2][]; int main() { return 0; }",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse_source(source)
+
+
+class TestDiagnosticLocations:
+    """No front-end diagnostic may report the 0:0 non-location."""
+
+    BAD_PROGRAMS = [
+        # lexer
+        "int main() { return 'ab'; }",
+        "int main() { /* unterminated",
+        'int main() { return "open; }',
+        "int main() { return 1 $ 2; }",
+        # parser
+        "int main() { return 1 + ; }",
+        "int main() { int a[-2]; }",
+        "int (*f(int); int main() { return 0; }",
+        "int m[2][]; int main() { return 0; }",
+        "main() { }",
+        # sema
+        "int main() { return x; }",
+        "int main() { int x; int x; return 0; }",
+        "int f() { return 0; } int main() { f(1); return 0; }",
+        "int main() { int (*f)(int); f = f + 1; return 0; }",
+        "int f(int x) { return x; } int main() { f[0]; return 0; }",
+        "int t[2] = {1, 2, 3}; int main() { return 0; }",
+        "int g() { return 0; }",  # no main
+    ]
+
+    @pytest.mark.parametrize("source", BAD_PROGRAMS)
+    def test_error_carries_location(self, source):
+        from repro.lang import compile_source
+        from repro.lang.errors import CompileError
+
+        with pytest.raises(CompileError) as info:
+            compile_source(source)
+        err = info.value
+        assert err.line > 0, f"no line for: {err}"
+        assert err.column > 0, f"no column for: {err}"
+        assert str(err).startswith(f"{err.line}:{err.column}:")
