@@ -61,6 +61,8 @@ from .machine.config import (
     MachineConfig,
     WINDOW_SIZES,
 )
+from .machine.predictor import PREDICTOR_KINDS
+from .predict import VALUE_PREDICTOR_KINDS
 from .program.printer import format_program
 from .workloads import WORKLOADS
 
@@ -79,6 +81,15 @@ def _add_config_arguments(command: argparse.ArgumentParser) -> None:
                          choices=sorted(MEMORY_CONFIGS))
     command.add_argument("--branch", default="single",
                          choices=[mode.value for mode in BranchMode])
+    command.add_argument("--predictor", default="twobit",
+                         choices=PREDICTOR_KINDS,
+                         help="branch predictor scheme (default: the"
+                              " paper's 2-bit BTB)")
+    command.add_argument("--value-predictor", default="none",
+                         choices=VALUE_PREDICTOR_KINDS,
+                         help="load-value predictor for speculative"
+                              " operand delivery (dynamic machines only;"
+                              " default: none)")
     command.add_argument("--no-static-hints", action="store_true")
     command.add_argument("--scale", type=int, default=None)
 
@@ -91,6 +102,8 @@ def _config_from_args(args: argparse.Namespace) -> MachineConfig:
         branch_mode=BranchMode(args.branch),
         window_blocks=args.window if args.discipline == "dynamic" else 1,
         static_hints=not args.no_static_hints,
+        predictor=args.predictor,
+        value_predictor=args.value_predictor,
     )
 
 
@@ -191,13 +204,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "cache, failures in sweep.state.json)",
     )
     _add_grid_arguments(sweep)
-    sweep.add_argument("--grid", choices=("full", "smoke", "cache"),
+    sweep.add_argument("--grid", choices=("full", "smoke", "cache", "spec"),
                        default="full",
                        help="configuration grid: the paper's 560-point"
                             " space (full), the 40-point validation slice"
-                            " (smoke), or the per-workload cache-geometry"
+                            " (smoke), the per-workload cache-geometry"
                             " ladder (cache; honours each workload's"
-                            " cache_memories)")
+                            " cache_memories), or the 68-point value/"
+                            "branch speculation grid (spec)")
     sweep.add_argument("--limit", type=int, default=None,
                        help="stop after N uncached points (for budgeting)")
     _add_telemetry_arguments(sweep)
@@ -247,9 +261,15 @@ def _build_parser() -> argparse.ArgumentParser:
              " golden-baseline regression gating (--record / --check)",
     )
     _add_grid_arguments(validate)
+    validate.add_argument("--grid", choices=("full", "smoke", "spec"),
+                          default=None,
+                          help="configuration grid to validate (default:"
+                               " full; spec is the value/branch"
+                               " speculation grid)")
     validate.add_argument("--smoke", action="store_true",
                           help="validate the 40-config smoke grid instead"
-                               " of the full 560-config space")
+                               " of the full 560-config space (same as"
+                               " --grid smoke)")
     validate.add_argument("--record", action="store_true",
                           help="write the grid's golden baseline (refused"
                                " when the oracle itself finds errors)")
@@ -364,11 +384,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="submit one grid job to a running service daemon",
     )
     _add_grid_arguments(submit)
-    submit.add_argument("--grid", choices=("smoke", "full", "cache"),
+    submit.add_argument("--grid", choices=("smoke", "full", "cache", "spec"),
                         default="smoke",
                         help="configuration grid to fan out (default:"
                              " smoke, 40 configs; cache is the"
-                             " per-workload cache-geometry ladder)")
+                             " per-workload cache-geometry ladder; spec"
+                             " is the value/branch speculation grid)")
     submit.add_argument("--limit", type=int, default=None,
                         help="submit only the first N points of the grid")
     submit.add_argument("--url", default="http://127.0.0.1:8737",
@@ -442,6 +463,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  faults        : {result.faults}")
     print(f"  cache hit rate: {result.cache_hit_rate:.4f}")
     print(f"  issue util    : {result.issue_utilization:.4f}")
+    print(f"  branch acc    : {result.branch_accuracy:.4f}"
+          f" ({result.mispredicts} mispredicts"
+          f" / {result.branch_lookups} lookups)")
+    if result.config.value_predictor != "none":
+        print(f"  value acc     : {result.value_accuracy:.4f}"
+              f" ({result.value_confirmed} confirmed,"
+              f" {result.value_squashed} squashed"
+              f" / {result.value_predictions} delivered;"
+              f" {result.value_replays} replays)")
     if result.window_samples:
         print(f"  avg window    : {result.avg_window_blocks:.2f} blocks")
     # Cycle attribution rides in ``extra`` on freshly simulated results
@@ -617,6 +647,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_configuration_space,
         full_configuration_space,
         smoke_configuration_space,
+        spec_configuration_space,
     )
     from .telemetry import MetricsCollector, ProgressLine
 
@@ -656,8 +687,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ]
         total = len(task_list)
     else:
-        space = (smoke_configuration_space if grid == "smoke"
-                 else full_configuration_space)
+        space = {
+            "smoke": smoke_configuration_space,
+            "spec": spec_configuration_space,
+        }.get(grid, full_configuration_space)
         configs = list(space())
         total = len(configs) * len(runner.benchmarks)
 
@@ -824,19 +857,25 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from .machine.config import (
         full_configuration_space,
         smoke_configuration_space,
+        spec_configuration_space,
     )
     from .telemetry import MetricsCollector, ProgressLine
     from .validate import default_baseline_path, record_baseline, run_oracle
 
+    grid = args.grid or ("smoke" if args.smoke else "full")
+    if args.smoke and args.grid not in (None, "smoke"):
+        print("fatal: --smoke conflicts with --grid", file=sys.stderr)
+        return 1
     benchmarks = _benchmarks_from_args(args)
     telemetry = args.telemetry or bool(args.metrics_out)
     collector = MetricsCollector() if telemetry else None
     runner = SweepRunner(benchmarks=benchmarks, scale=args.scale,
                          collector=collector, validate=True)
-    configs = list(
-        smoke_configuration_space() if args.smoke
-        else full_configuration_space()
-    )
+    space = {
+        "smoke": smoke_configuration_space,
+        "spec": spec_configuration_space,
+    }.get(grid, full_configuration_space)
+    configs = list(space())
     total = len(configs) * len(runner.benchmarks)
     progress = ProgressLine(total) if telemetry else None
     done = 0
@@ -856,7 +895,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         return 1
 
     baseline = args.baseline or default_baseline_path(
-        runner.benchmarks, args.smoke
+        runner.benchmarks, grid=grid
     )
     report = run_oracle(
         runner.results,
@@ -878,7 +917,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     if args.metrics_out:
         _write_metrics(
             collector, args.metrics_out,
-            context={"grid": "smoke" if args.smoke else "full"},
+            context={"grid": grid},
             validation=report.to_dict(),
         )
     return 0 if report.ok else 4
@@ -932,7 +971,8 @@ def _bench_backends(args: argparse.Namespace) -> int:
     for name in benchmarks:
         probe.prepare_artifacts(name)
 
-    def timed(jobs_n: int) -> tuple:
+    def timed(jobs_n: int, task_list=None) -> tuple:
+        task_list = tasks if task_list is None else task_list
         clear_prepared_cache()
         with tempfile.TemporaryDirectory() as cache_dir:
             previous = os.environ.get("REPRO_CACHE_DIR")
@@ -945,7 +985,7 @@ def _bench_backends(args: argparse.Namespace) -> int:
                 results = []
                 start = time.perf_counter()
                 try:
-                    for name, config, key in tasks:
+                    for name, config, key in task_list:
                         for outcome in backend.submit(
                             PointTask(name, config, key)
                         ):
@@ -968,7 +1008,9 @@ def _bench_backends(args: argparse.Namespace) -> int:
             "backend": backend.name,
             "jobs": jobs_n,
             "wall_s": round(wall_s, 3),
-            "points_per_s": round(len(tasks) / wall_s, 3) if wall_s else 0.0,
+            "points_per_s": (
+                round(len(task_list) / wall_s, 3) if wall_s else 0.0
+            ),
             "failures": failures,
         }, results
 
@@ -997,6 +1039,37 @@ def _bench_backends(args: argparse.Namespace) -> int:
     print(f"  validate    : {validate_s:.3f}s"
           f" ({validate_overhead_pct:.2f}% of serial wall,"
           f" {len(validation.findings)} finding(s))", file=sys.stderr)
+    # Time value speculation's simulation cost: the same dynamic
+    # configurations with and without a stride predictor, so the delta
+    # isolates the speculation machinery (predictor tables, verify,
+    # squash/replay bookkeeping) from everything else.
+    import dataclasses
+
+    dynamic_tasks = [
+        (name, config, key) for name, config, key in plan_tasks(
+            [c for c in configs
+             if c.discipline is not Discipline.STATIC],
+            benchmarks,
+            lambda name, config: result_key(name, config, scale),
+            benchmark_major=True,
+        )
+    ][: args.points]
+    stride_tasks = []
+    for name, config, _ in dynamic_tasks:
+        config = dataclasses.replace(config, value_predictor="stride")
+        stride_tasks.append(
+            (name, config, result_key(name, config, scale))
+        )
+    plain, _ = timed(1, dynamic_tasks)
+    value_spec, _ = timed(1, stride_tasks)
+    value_spec_overhead_pct = (
+        100.0 * (value_spec["wall_s"] - plain["wall_s"])
+        / plain["wall_s"] if plain["wall_s"] else 0.0
+    )
+    print(f"  value spec  : {value_spec['wall_s']:.2f}s stride vs"
+          f" {plain['wall_s']:.2f}s none"
+          f" ({value_spec_overhead_pct:+.2f}% over"
+          f" {len(stride_tasks)} dynamic points)", file=sys.stderr)
     from .telemetry.perfscope import host_block
 
     document = {
@@ -1015,6 +1088,14 @@ def _bench_backends(args: argparse.Namespace) -> int:
             "findings": len(validation.findings),
         },
         "validate_overhead_pct": round(validate_overhead_pct, 3),
+        "value_spec": {
+            "predictor": "stride",
+            "dynamic_points": len(stride_tasks),
+            "wall_none_s": plain["wall_s"],
+            "wall_stride_s": value_spec["wall_s"],
+            "failures": value_spec["failures"],
+        },
+        "value_spec_overhead_pct": round(value_spec_overhead_pct, 3),
     }
     output = args.output or "BENCH_sweep.json"
     with open(output, "w", encoding="utf-8") as handle:

@@ -52,7 +52,8 @@ _LOG = get_logger("artifacts")
 
 #: Bump to invalidate prepared artifacts after preparation-semantics
 #: changes (the value is hashed into every artifact digest).
-PREPARE_CACHE_VERSION = 1
+#: 2: traces record the per-load value stream (value prediction).
+PREPARE_CACHE_VERSION = 2
 
 #: Bump when the on-disk artifact layout or manifest schema changes.
 ARTIFACT_VERSION = 1

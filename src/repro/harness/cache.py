@@ -94,15 +94,34 @@ _RESULT_FIELDS = (
     "work_nodes",
 )
 
+#: Value-speculation counters: written only for points simulated with a
+#: value predictor and decoded with a zero default, so paper-grid
+#: entries (``value_predictor="none"``) keep their pre-speculation byte
+#: layout and pre-existing caches stay valid verbatim.
+_VALUE_FIELDS = (
+    "value_predictions",
+    "value_confirmed",
+    "value_squashed",
+    "value_replays",
+)
+
 
 def result_key(benchmark: str, config: MachineConfig, scale: int) -> str:
-    """Stable cache key for one simulation point."""
-    return (
+    """Stable cache key for one simulation point.
+
+    The ``|v...`` value-predictor suffix appears only when the axis is
+    active: every pre-existing key (and committed baseline) for
+    ``value_predictor="none"`` points stays byte-identical.
+    """
+    key = (
         f"v{CACHE_VERSION}|{benchmark}|{scale}|{config.discipline.value}"
         f"|w{config.window_blocks}|i{config.issue_model}|m{config.memory}"
         f"|{config.branch_mode.value}|h{int(config.static_hints)}"
         f"|p{config.predictor}"
     )
+    if config.value_predictor != "none":
+        key += f"|v{config.value_predictor}"
+    return key
 
 
 class ResultCache:
@@ -213,6 +232,7 @@ class ResultCache:
                 benchmark=benchmark,
                 config=config,
                 **{field: raw[field] for field in _RESULT_FIELDS},
+                **{field: raw.get(field, 0) for field in _VALUE_FIELDS},
             )
         except (KeyError, TypeError):
             self.collector.count("cache.corrupt")
@@ -225,9 +245,11 @@ class ResultCache:
         """Store a result and flush to disk."""
         self._load()
         key = result_key(result.benchmark, result.config, scale)
-        self._data[key] = {
-            field: getattr(result, field) for field in _RESULT_FIELDS
-        }
+        entry = {field: getattr(result, field) for field in _RESULT_FIELDS}
+        if result.config.value_predictor != "none":
+            for field in _VALUE_FIELDS:
+                entry[field] = getattr(result, field)
+        self._data[key] = entry
         self._dirty += 1
         self.flush()
 

@@ -186,6 +186,40 @@ def figure6_data(runner: SweepRunner,
 
 
 # ----------------------------------------------------------------------
+# Value speculation (beyond the paper): IPC per value-predictor kind
+# ----------------------------------------------------------------------
+def value_speculation_data(runner: SweepRunner,
+                           issue_models: Sequence[int] = (2, 8),
+                           memory: str = "C",
+                           kinds: Sequence[str] = (
+                               "none", "last", "stride", "context",
+                               "perfect",
+                           )) -> Dict[str, List[float]]:
+    """Geometric-mean IPC per value-predictor kind, dyn256/enlarged.
+
+    Memory C (constant 3-cycle loads) is the slowest perfect memory in
+    the grid -- the regime where hiding load latency behind a predicted
+    operand pays the most, so the branch-only vs branch+value gap is
+    clearest there.
+    """
+    data: Dict[str, List[float]] = {}
+    for kind in kinds:
+        data[kind] = [
+            runner.mean_ipc(MachineConfig(
+                discipline=Discipline.DYNAMIC,
+                issue_model=model,
+                memory=memory,
+                branch_mode=BranchMode.ENLARGED,
+                window_blocks=256,
+                value_predictor=kind,
+            ))
+            for model in issue_models
+        ]
+    data["_issue_models"] = list(issue_models)
+    return data
+
+
+# ----------------------------------------------------------------------
 # Section 3.1: static ALU:memory node ratio
 # ----------------------------------------------------------------------
 def static_ratio_data(runner: SweepRunner) -> Dict[str, float]:

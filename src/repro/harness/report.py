@@ -11,6 +11,7 @@ from .figures import (
     figure5_data,
     figure6_data,
     static_ratio_data,
+    value_speculation_data,
 )
 from .plot import ascii_chart
 from .runner import SweepRunner
@@ -112,6 +113,7 @@ def generate_report(runner: Optional[SweepRunner] = None,
         + "\n"
     )
 
+    sections.append(value_speculation_section(runner))
     sections.append(_verdicts(fig2, fig3, fig6))
     ablations = _ablation_section()
     if ablations:
@@ -120,6 +122,69 @@ def generate_report(runner: Optional[SweepRunner] = None,
     if partial:
         sections.append(partial)
     return "\n".join(sections)
+
+
+def _speculation_accuracy_line(runner: SweepRunner) -> str:
+    """Aggregate branch/value accuracy at the widest spec-grid point."""
+    from ..machine.config import BranchMode, Discipline, MachineConfig
+
+    branch = {"lookups": 0, "mispredicts": 0}
+    value: Dict[str, List[int]] = {}
+    for kind in ("last", "stride", "context"):
+        totals = [0, 0]  # delivered, confirmed
+        for name in runner.benchmarks:
+            result = runner.run_point(name, MachineConfig(
+                discipline=Discipline.DYNAMIC, issue_model=8, memory="C",
+                branch_mode=BranchMode.ENLARGED, window_blocks=256,
+                value_predictor=kind,
+            ))
+            totals[0] += result.value_predictions
+            totals[1] += result.value_confirmed
+            if kind == "last":
+                branch["lookups"] += result.branch_lookups
+                branch["mispredicts"] += result.mispredicts
+        value[kind] = totals
+    branch_acc = (1.0 - branch["mispredicts"] / branch["lookups"]
+                  if branch["lookups"] else 1.0)
+    value_accs = ", ".join(
+        f"{kind} {confirmed / delivered:.3f}" if delivered else f"{kind} n/a"
+        for kind, (delivered, confirmed) in value.items()
+    )
+    return (
+        f"Aggregate prediction accuracy at issue model 8 (memory C):"
+        f" branch {branch_acc:.3f}; value — {value_accs}"
+        " (confirmed / delivered; the confidence gate holds delivery"
+        " back until a site has proven itself)."
+    )
+
+
+def value_speculation_section(runner: SweepRunner) -> str:
+    """The beyond-the-paper value-speculation table and speedup note."""
+    data = value_speculation_data(runner)
+    models = [str(m) for m in data["_issue_models"]]
+    branch_only = data["none"][-1]
+    best_real = max(data["last"][-1], data["stride"][-1],
+                    data["context"][-1])
+    oracle = data["perfect"][-1]
+    return (
+        "## Value speculation (beyond the paper)\n\n"
+        "Speculative operand delivery on the dyn-256/enlarged machine\n"
+        "with 3-cycle loads (memory C): a confident load-value\n"
+        "prediction lets dependents issue one cycle after the load, and\n"
+        "verification squashes and replays the dependent subtree when\n"
+        "the prediction was wrong.  Geometric-mean IPC per predictor\n"
+        "kind over the issue models:\n\n"
+        + _md_table(models, {k: v for k, v in data.items()
+                             if not k.startswith("_")})
+        + f"\n\nAt issue model {models[-1]}, the best realistic value"
+        f" predictor reaches {best_real / branch_only:.2f}x the"
+        f" branch-only machine ({best_real:.3f} vs {branch_only:.3f}"
+        f" IPC); the perfect-value oracle shows"
+        f" {oracle / branch_only:.2f}x headroom.  Branch speculation"
+        " alone leaves this latency on the table: the two mechanisms"
+        " compose.\n\n"
+        + _speculation_accuracy_line(runner) + "\n"
+    )
 
 
 def partial_grid_note(failures) -> str:

@@ -194,6 +194,7 @@ class Interpreter:
             fault_index = -1
             fault_target: Optional[str] = None
             addresses: List[int] = [] if trace is not None else None
+            lvalues: List[int] = [] if trace is not None else None
 
             for t in cblock.body:
                 op = t[0]
@@ -292,6 +293,8 @@ class Interpreter:
                     else:
                         cached = buffer.get(address) if buffer else None
                         regs[t[1]] = mem[address] if cached is None else cached
+                    if lvalues is not None:
+                        lvalues.append(regs[t[1]])
                 elif op == _OP_STORE:
                     address = regs[t[3]] + t[4]
                     if addresses is not None:
@@ -321,7 +324,7 @@ class Interpreter:
                 # recorded address, then discard all architectural effects.
                 if addresses is not None:
                     self._speculative_finish(
-                        cblock, fault_index, regs, buffer, addresses
+                        cblock, fault_index, regs, buffer, addresses, lvalues
                     )
                 regs[:] = snapshot
                 if trace is not None:
@@ -329,6 +332,7 @@ class Interpreter:
                     trace.outcomes.append(OTHER)
                     trace.fault_indices.append(fault_index)
                     trace.addresses.extend(addresses)
+                    trace.load_values.extend(lvalues)
                     trace.discarded_nodes += cblock.datapath_size
                 label = fault_target
                 continue
@@ -365,6 +369,7 @@ class Interpreter:
                         trace.outcomes.append(OTHER)
                         trace.fault_indices.append(-1)
                         trace.addresses.extend(addresses)
+                        trace.load_values.extend(lvalues)
                         trace.retired_nodes += cblock.datapath_size
                         trace.exit_code = regs[args[0]] if args else 0
                     exit_code = regs[args[0]] if args else 0
@@ -404,6 +409,7 @@ class Interpreter:
                 trace.outcomes.append(outcome)
                 trace.fault_indices.append(-1)
                 trace.addresses.extend(addresses)
+                trace.load_values.extend(lvalues)
                 trace.retired_nodes += cblock.datapath_size
             label = next_label
 
@@ -421,12 +427,15 @@ class Interpreter:
 
     def _speculative_finish(self, cblock: _CompiledBlock, fault_index: int,
                             regs: List[int], buffer: Dict[int, int],
-                            addresses: List[int]) -> None:
+                            addresses: List[int],
+                            lvalues: List[int]) -> None:
         """Execute the post-fault tail of a block for address recording.
 
         Values may be garbage (they are discarded); faults inside the tail
         are swallowed, out-of-range addresses recorded as-is, and loads of
-        unmapped memory produce zero.
+        unmapped memory produce zero.  Loads also record their (garbage)
+        value so the load-value stream keeps its one-entry-per-load
+        cursor discipline.
         """
         mem = self.memory._bytes
         mem_size = self.memory.size
@@ -458,6 +467,7 @@ class Interpreter:
                             regs[t[1]] = mem[address]
                     else:
                         regs[t[1]] = 0
+                    lvalues.append(regs[t[1]])
                 elif op == _OP_STORE:
                     address = (regs[t[3]] + t[4]) & _MASK
                     addresses.append(address)
@@ -467,6 +477,8 @@ class Interpreter:
             except Exception:  # noqa: BLE001 - wrong-path garbage is fine
                 if op == _OP_LOAD or op == _OP_STORE:
                     addresses.append(GLOBAL_BASE)
+                    if op == _OP_LOAD:
+                        lvalues.append(0)
 
 
 def _wrap(v: int) -> int:

@@ -4,8 +4,10 @@ A trace records, per dynamic basic block instance:
 
 * which block ran (as an index into an interned label table),
 * its control outcome (taken / not-taken / other),
-* whether an embedded assert signalled (and which one), and
-* the address of every memory node in the block, in node order.
+* whether an embedded assert signalled (and which one),
+* the address of every memory node in the block, in node order, and
+* the value loaded by every load node, in load order (the stream that
+  drives value-prediction verification and the ``perfect`` oracle).
 
 Because a faulted block's remaining memory nodes are executed
 *speculatively* by the interpreter (matching what issued hardware would
@@ -34,6 +36,7 @@ class Trace:
         "outcomes",
         "fault_indices",
         "addresses",
+        "load_values",
         "exit_code",
         "retired_nodes",
         "discarded_nodes",
@@ -47,6 +50,9 @@ class Trace:
         #: -1 when no assert signalled, else the body index of the assert
         self.fault_indices: List[int] = []
         self.addresses: List[int] = []
+        #: one entry per load (in load order, faulted-block tails
+        #: included), mirroring ``addresses``' single-cursor discipline
+        self.load_values: List[int] = []
         self.exit_code: int = 0
         #: datapath nodes architecturally retired (excludes faulted blocks)
         self.retired_nodes: int = 0

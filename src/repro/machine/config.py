@@ -149,12 +149,19 @@ class MachineConfig:
     static_hints: bool = True
     #: ablation axis beyond the paper: see repro.machine.predictor
     predictor: str = "twobit"
+    #: data-speculation axis beyond the paper: see repro.predict
+    value_predictor: str = "none"
 
     def __post_init__(self) -> None:
+        from ..predict import VALUE_PREDICTOR_KINDS
         from .predictor import PREDICTOR_KINDS
 
         if self.predictor not in PREDICTOR_KINDS:
             raise ValueError(f"unknown predictor kind {self.predictor!r}")
+        if self.value_predictor not in VALUE_PREDICTOR_KINDS:
+            raise ValueError(
+                f"unknown value predictor kind {self.value_predictor!r}"
+            )
         if self.issue_model not in ISSUE_MODELS:
             raise ValueError(f"unknown issue model {self.issue_model}")
         if self.memory not in MEMORY_CONFIGS:
@@ -162,6 +169,13 @@ class MachineConfig:
         if self.discipline is Discipline.DYNAMIC:
             if self.window_blocks < 1:
                 raise ValueError("window must be at least one block")
+        elif self.value_predictor != "none":
+            # Like perfect branch prediction, speculative operand
+            # delivery is a dynamic-machine study: the static engine has
+            # no out-of-order wakeup for a predicted value to accelerate.
+            raise ValueError(
+                "value prediction is studied on dynamic machines"
+            )
         if (
             self.branch_mode is BranchMode.PERFECT
             and self.discipline is not Discipline.DYNAMIC
@@ -189,7 +203,15 @@ class MachineConfig:
         return f"{base}/{self.branch_mode.value}"
 
     def __str__(self) -> str:
-        return f"{self.discipline_key()}/{self.issue}/{self.memory}"
+        base = f"{self.discipline_key()}/{self.issue}/{self.memory}"
+        # Non-default speculation axes are spelled out so spec-grid
+        # findings and summaries stay distinguishable; paper-grid points
+        # keep their historical names.
+        if self.predictor != "twobit":
+            base += f"/p:{self.predictor}"
+        if self.value_predictor != "none":
+            base += f"/v:{self.value_predictor}"
+        return base
 
 
 def scheduling_disciplines() -> Tuple[Tuple[Discipline, int, BranchMode], ...]:
@@ -293,4 +315,70 @@ def cache_configuration_space(
             memory=memory,
             branch_mode=mode,
             window_blocks=window,
+        )
+
+
+#: Discipline/branch lines kept by the speculation grid: the small and
+#: large enlarged windows (where data speculation competes with branch
+#: recovery) plus the large perfect-branch window (where the "value
+#: speculation never hurts under perfect branches" order is read).
+SPEC_SWEEP_LINES = (
+    (Discipline.DYNAMIC, 4, BranchMode.ENLARGED),
+    (Discipline.DYNAMIC, 256, BranchMode.ENLARGED),
+    (Discipline.DYNAMIC, 256, BranchMode.PERFECT),
+)
+
+#: Issue models kept by the speculation grid (narrow and wide, matching
+#: the smoke grid so cross-grid comparisons line up).
+SPEC_ISSUE_MODELS = (2, 8)
+
+#: Memory configurations kept by the speculation grid: the 1-cycle
+#: perfect memory (value prediction can only hide operand waits) and
+#: the 3-cycle one (the latency actually worth hiding).
+SPEC_MEMORIES = ("A", "C")
+
+#: The full value-predictor chain, weakest first (``dominance.value``).
+SPEC_VALUE_PREDICTORS = ("none", "last", "stride", "context", "perfect")
+
+#: Branch predictors promoted into the supported family between
+#: "realistic" (the paper's 2-bit BTB) and "perfect": the spec grid
+#: carries each at value_predictor=none on the large enlarged window.
+SPEC_BRANCH_PREDICTORS = ("gshare", "perceptron")
+
+
+def spec_configuration_space(
+    benchmark: Optional[str] = None,
+) -> Iterator[MachineConfig]:
+    """The speculation grid: the value-predictor chain x the harness axes.
+
+    68 points per benchmark: every :data:`SPEC_SWEEP_LINES` line crossed
+    with two issue models, two memories and the five-kind value-predictor
+    chain (60 points), plus the promoted branch-predictor family
+    (gshare, perceptron) on the large enlarged window at
+    ``value_predictor="none"`` (8 points).  ``benchmark`` is accepted for
+    signature parity with the per-benchmark ``cache`` grid and ignored.
+    """
+    del benchmark  # shared grid: same points for every workload
+    for (discipline, window, mode), issue, memory, kind in itertools.product(
+        SPEC_SWEEP_LINES, SPEC_ISSUE_MODELS, SPEC_MEMORIES,
+        SPEC_VALUE_PREDICTORS,
+    ):
+        yield MachineConfig(
+            discipline=discipline,
+            issue_model=issue,
+            memory=memory,
+            branch_mode=mode,
+            window_blocks=window,
+            value_predictor=kind,
+        )
+    for predictor, issue, memory in itertools.product(
+        SPEC_BRANCH_PREDICTORS, SPEC_ISSUE_MODELS, SPEC_MEMORIES
+    ):
+        yield MachineConfig(
+            discipline=Discipline.DYNAMIC,
+            issue_model=issue,
+            memory=memory,
+            branch_mode=BranchMode.ENLARGED,
+            window_blocks=256,
+            predictor=predictor,
         )

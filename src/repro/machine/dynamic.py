@@ -35,6 +35,7 @@ from ..telemetry.collector import (
     TID_MEM,
     finalize_attribution,
 )
+from ..predict import make_value_predictor
 from .cache import MemorySystem
 from .config import BranchMode, MachineConfig
 from .errors import EngineDivergence, SimulationHang, resolve_max_cycles
@@ -77,6 +78,9 @@ class DynamicEngine:
         self.alu_limit = issue.alu_slots
         self.window = config.window_blocks
         self.perfect = config.branch_mode is BranchMode.PERFECT
+        #: data speculation: deliver confident load-value predictions to
+        #: dependents early; verify on real completion (DESIGN.md §16).
+        self.value_spec = config.value_predictor != "none"
         #: watchdog: raise SimulationHang past this simulated cycle.
         self.max_cycles = resolve_max_cycles(max_cycles)
         #: verify engine accounting against the functional trace.
@@ -110,6 +114,36 @@ class DynamicEngine:
         alu_used: Dict[int, int] = {}
         mem_used: Dict[int, int] = {}
 
+        # Value speculation (DESIGN.md §16).  A confident prediction for
+        # a load delivers its value one cycle after issue; verification
+        # happens at the load's real completion.  A *wrong* delivered
+        # value poisons the destination register: `spec_avail[reg]` is
+        # when the wrong value became available, `spec_verify[reg]` when
+        # the squash resolves it, and any dependent that would have
+        # consumed the poisoned value before its verify burns a wasted
+        # function-unit slot and replays -- propagating the poison one
+        # level down the dependent subtree.
+        value_spec = self.value_spec
+        vp = None
+        vp_perfect = False
+        load_values: List[int] = []
+        val_cursor = 0
+        spec_avail: Dict[int, int] = {}
+        spec_verify: Dict[int, int] = {}
+        vr_replays = 0
+        replay_nodes: set = set()
+        if value_spec:
+            vp = make_value_predictor(self.config.value_predictor)
+            vp_perfect = vp.perfect
+            load_values = trace.load_values
+            if not load_values and any(
+                node[0] == T_LOAD for t in tmpl_of for node in t.nodes
+            ):
+                raise ValueError(
+                    "value prediction needs a trace with recorded load"
+                    " values; re-prepare the workload's artifacts"
+                )
+
         fetch_cycle = 0
         word_mem_left = 0
         word_alu_left = 0
@@ -121,19 +155,21 @@ class DynamicEngine:
         # by two absolute-cycle markers -- `recover_until` (set at squash
         # redirects) and `window_until` (set when the window gate holds
         # fetch) -- applied recovery-first at the next word open.
-        # `window_mem` mirrors `window_retires` and remembers whether a
-        # window entry's last-scheduled node was a memory op, so a
-        # window-gate wait on a straggling load reads as memory-wait.
+        # `window_mem` mirrors `window_retires` and remembers what kind
+        # of node a window entry's straggler was (0 = ALU, 1 = memory
+        # op, 2 = value-squash replay), so a window-gate wait on a
+        # straggling load reads as memory-wait and a wait on a replayed
+        # dependent reads as value-recovery.
         acct = 0
-        b_issued = b_stall = b_mem = b_recover = 0
+        b_issued = b_stall = b_mem = b_recover = b_value = 0
         recover_until = 0
         window_until = 0
-        window_wait_mem = False
+        window_wait_kind = 0
         window_mem: deque = deque()
 
         def _charge_issue(f: int) -> None:
             """Charge the issue cycle ``f`` and classify the gap to it."""
-            nonlocal acct, b_issued, b_stall, b_mem, b_recover
+            nonlocal acct, b_issued, b_stall, b_mem, b_recover, b_value
             if f <= acct:
                 return  # already charged (fetch re-covered old cycles)
             lo = acct
@@ -146,7 +182,9 @@ class DynamicEngine:
             if window_until > lo:
                 take = (window_until if window_until < hi else hi) - lo
                 if take > 0:
-                    if window_wait_mem:
+                    if window_wait_kind == 2:
+                        b_value += take
+                    elif window_wait_kind == 1:
                         b_mem += take
                     else:
                         b_stall += take
@@ -190,14 +228,14 @@ class DynamicEngine:
             # block `window_size` older has retired (or been squashed).
             if len(window_retires) >= window_size:
                 freed = window_retires.popleft()
-                freed_mem = window_mem.popleft() if attributing else False
+                freed_kind = window_mem.popleft() if attributing else 0
                 if freed + 1 > fetch_cycle:
                     fetch_cycle = freed + 1
                     word_mem_left = 0
                     word_alu_left = 0
                     if attributing:
                         window_until = fetch_cycle
-                        window_wait_mem = freed_mem
+                        window_wait_kind = freed_kind
 
             occupancy = len(window_retires) + 1
             if occupancy > window_size:
@@ -216,6 +254,8 @@ class DynamicEngine:
             branch_exec = -1
             block_complete = 0
             del exec_times[:]
+            if value_spec:
+                replay_nodes.clear()
             # Each basic block is issued as its own unit of work: a new
             # issue word opens at every block boundary.  Small blocks
             # therefore waste issue slots -- the issue-bandwidth problem
@@ -336,6 +376,97 @@ class DynamicEngine:
                 if done > block_complete:
                     block_complete = done
 
+                # ---- value speculation ------------------------------
+                if value_spec:
+                    poisoned = False
+                    if spec_verify and cls != T_STORE and cls != T_SYSCALL:
+                        # Did this node start on a wrong speculative
+                        # operand before its verify?  Then it burned a
+                        # slot on the wrong value and replays at `t`
+                        # (the verified-operand time already charged
+                        # above); the wasted early result propagates
+                        # the poison one level down.
+                        spec_ready = issue_cycle + 1
+                        uses_spec = False
+                        for src in srcs:
+                            sa = spec_avail.get(src)
+                            if sa is None:
+                                r = reg_ready[src]
+                            else:
+                                r = sa
+                                uses_spec = True
+                            if r > spec_ready:
+                                spec_ready = r
+                        if uses_spec and spec_ready < ready:
+                            if cls == T_LOAD:
+                                w = spec_ready
+                                while mem_used.get(w, 0) >= mem_limit:
+                                    w += 1
+                                if w < ready:
+                                    mem_used[w] = mem_used.get(w, 0) + 1
+                            else:
+                                w = spec_ready
+                                while alu_used.get(w, 0) >= alu_limit:
+                                    w += 1
+                                if w < ready:
+                                    alu_used[w] = alu_used.get(w, 0) + 1
+                            if w < ready:
+                                vr_replays += 1
+                                discarded_nodes += 1
+                                replay_nodes.add(index)
+                                poisoned = True
+                                if dest >= 0:
+                                    spec_avail[dest] = w + 1
+                                    spec_verify[dest] = done
+                                if tracing:
+                                    collector.event(
+                                        "value.replay", w, 1, TID_MEM
+                                        if cls == T_LOAD else 0,
+                                        {"block": tmpl.label,
+                                         "node": index},
+                                    )
+                    if cls == T_LOAD:
+                        actual = load_values[val_cursor]
+                        val_cursor += 1
+                        if vp_perfect:
+                            vp.lookups += 1
+                            predicted: Optional[int] = actual
+                        else:
+                            predicted = vp.predict(
+                                "%s#%d" % (tmpl.label, index)
+                            )
+                        if predicted is not None:
+                            # The predicted value is in hand one cycle
+                            # after issue -- always strictly before the
+                            # real completion `done` (t >= issue+1 and
+                            # lat >= 1, so done >= issue+2).
+                            spec_done = issue_cycle + 1
+                            if predicted == actual:
+                                reg_ready[dest] = spec_done
+                                poisoned = False
+                            else:
+                                spec_avail[dest] = spec_done
+                                spec_verify[dest] = done
+                                poisoned = True
+                            if tracing:
+                                collector.event(
+                                    "value.verify", done, 0, TID_MEM,
+                                    {"block": tmpl.label, "node": index,
+                                     "confirmed": predicted == actual},
+                                )
+                        if vp_perfect:
+                            vp.update("", actual, actual)
+                        else:
+                            vp.update(
+                                "%s#%d" % (tmpl.label, index),
+                                actual, predicted,
+                            )
+                    # A clean (non-speculative) write supersedes any
+                    # stale poison on the destination register.
+                    if dest >= 0 and not poisoned and spec_avail:
+                        if spec_avail.pop(dest, None) is not None:
+                            del spec_verify[dest]
+
             # ---- end of block: faults, branches, retirement ---------
             if fault_time >= 0:
                 # The whole block is discarded.  Nodes that reached a
@@ -368,7 +499,7 @@ class DynamicEngine:
                 word_alu_left = 0
                 window_retires.append(fault_time)
                 if attributing:
-                    window_mem.append(False)  # the assert is an ALU op
+                    window_mem.append(0)  # the assert is an ALU op
                     if fetch_cycle > recover_until:
                         recover_until = fetch_cycle
                 if fault_time > max_cycle:
@@ -423,9 +554,14 @@ class DynamicEngine:
                         range(len(exec_times)), key=exec_times.__getitem__
                     )
                     scls = tmpl.nodes[straggler][0]
-                    window_mem.append(scls == T_LOAD or scls == T_STORE)
+                    if value_spec and straggler in replay_nodes:
+                        window_mem.append(2)
+                    elif scls == T_LOAD or scls == T_STORE:
+                        window_mem.append(1)
+                    else:
+                        window_mem.append(0)
                 else:
-                    window_mem.append(False)
+                    window_mem.append(0)
             retired_nodes += tmpl.n_datapath
             if retire > max_cycle:
                 max_cycle = retire
@@ -460,12 +596,20 @@ class DynamicEngine:
                 "issue_stall": b_stall,
                 "memory_wait": b_mem,
                 "mispredict_recovery": b_recover,
+                "value_recovery": b_value,
                 "drain_idle": 0,
             }
             finalize_attribution(buckets, total_cycles, acct)
             for name, value in buckets.items():
                 collector.count("cycles.dynamic." + name, value)
                 extra["attr." + name] = float(value)
+            collector.count("branch.lookups", predictor.lookups)
+            collector.count("branch.mispredicts", predictor.mispredicts)
+            if value_spec:
+                collector.count("value.predictions", vp.predictions)
+                collector.count("value.confirmed", vp.confirmed)
+                collector.count("value.squashed", vp.squashed)
+                collector.count("value.replays", vr_replays)
         return SimResult(
             benchmark=self.benchmark,
             config=self.config,
@@ -485,6 +629,10 @@ class DynamicEngine:
             issued_slots=issued_slots,
             window_block_cycles=window_block_cycles,
             window_samples=window_samples,
+            value_predictions=vp.predictions if vp is not None else 0,
+            value_confirmed=vp.confirmed if vp is not None else 0,
+            value_squashed=vp.squashed if vp is not None else 0,
+            value_replays=vr_replays,
             extra=extra,
         )
 

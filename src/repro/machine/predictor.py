@@ -14,7 +14,20 @@ always-taken/not-taken, and a two-level gshare scheme.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import zlib
+from typing import Dict, List, Optional
+
+
+def _label_hash(label: str) -> int:
+    """Deterministic label hash for table indexing.
+
+    Python's ``hash(str)`` is salted per process (PYTHONHASHSEED), which
+    made BTB/table placement -- and therefore collision patterns and
+    mispredict counts -- vary from run to run.  CRC32 is stable across
+    processes, platforms and seeds, so simulations are reproducible and
+    committed baselines can pin mispredict counts exactly.
+    """
+    return zlib.crc32(label.encode())
 
 #: 2-bit counter states: 0,1 predict not-taken; 2,3 predict taken.
 _STRONG_NOT = 0
@@ -39,12 +52,17 @@ class BranchPredictor:
         self.use_static_hints = use_static_hints
         self._tags: Dict[int, str] = {}
         self._counters: Dict[int, int] = {}
+        self._slot_cache: Dict[str, int] = {}
         self.lookups = 0
         self.mispredicts = 0
 
     # ------------------------------------------------------------------
     def _slot(self, label: str) -> int:
-        return hash(label) % self.entries
+        slot = self._slot_cache.get(label)
+        if slot is None:
+            slot = _label_hash(label) % self.entries
+            self._slot_cache[label] = slot
+        return slot
 
     def predict(self, label: str, static_hint: Optional[bool] = None) -> bool:
         """Predicted direction for the branch at ``label``."""
@@ -149,9 +167,14 @@ class GSharePredictor(BranchPredictor):
         self.history_bits = history_bits
         self._history = 0
         self._table: Dict[int, int] = {}
+        self._hash_cache: Dict[str, int] = {}
 
     def _index(self, label: str) -> int:
-        return (hash(label) ^ self._history) % self.entries
+        raw = self._hash_cache.get(label)
+        if raw is None:
+            raw = _label_hash(label)
+            self._hash_cache[label] = raw
+        return (raw ^ self._history) % self.entries
 
     def predict(self, label: str, static_hint: Optional[bool] = None) -> bool:
         self.lookups += 1
@@ -181,6 +204,76 @@ class GSharePredictor(BranchPredictor):
         self._history = ((self._history << 1) | int(taken)) & mask
 
 
+class PerceptronPredictor(BranchPredictor):
+    """Perceptron branch prediction (Jimenez & Lin, HPCA 2001).
+
+    Each branch hashes to a weight vector; the prediction is the sign of
+    the dot product of the weights with the global history (plus a bias
+    term).  Training bumps weights only on a mispredict or when the
+    output magnitude is below the threshold ``theta``, the standard
+    |history|-scaled cutoff.  Long-history correlation makes this the
+    strongest realistic scheme in the family, used to quantify how far
+    "more sophisticated techniques" (the paper's words) close the gap to
+    perfect prediction.
+    """
+
+    def __init__(self, entries: int = 512, history_bits: int = 16,
+                 use_static_hints: bool = True):
+        super().__init__(entries=entries, use_static_hints=use_static_hints)
+        self.history_bits = history_bits
+        #: Jimenez & Lin's empirically best threshold: 1.93 * h + 14.
+        self.theta = int(1.93 * history_bits + 14)
+        self._limit = (1 << 7) - 1  # 8-bit signed weights
+        #: global history as +/-1 values, most recent last.
+        self._history: List[int] = [1] * history_bits
+        #: slot -> [bias, w_1 .. w_h]
+        self._weights: Dict[int, List[int]] = {}
+
+    def _output(self, slot: int) -> int:
+        weights = self._weights.get(slot)
+        if weights is None:
+            weights = [0] * (self.history_bits + 1)
+            self._weights[slot] = weights
+        total = weights[0]
+        history = self._history
+        for i in range(self.history_bits):
+            if history[i] > 0:
+                total += weights[i + 1]
+            else:
+                total -= weights[i + 1]
+        return total
+
+    def predict(self, label: str, static_hint: Optional[bool] = None) -> bool:
+        self.lookups += 1
+        return self.peek(label, static_hint)
+
+    def peek(self, label: str, static_hint: Optional[bool] = None) -> bool:
+        slot = self._slot(label)
+        if slot not in self._weights and self.use_static_hints \
+                and static_hint is not None:
+            return static_hint
+        return self._output(slot) >= 0
+
+    def update(self, label: str, taken: bool, predicted: bool) -> None:
+        if taken != predicted:
+            self.mispredicts += 1
+        slot = self._slot(label)
+        output = self._output(slot)
+        weights = self._weights[slot]
+        if taken != (output >= 0) or abs(output) <= self.theta:
+            limit = self._limit
+            sign = 1 if taken else -1
+            w = weights[0] + sign
+            weights[0] = max(-limit, min(limit, w))
+            history = self._history
+            for i in range(self.history_bits):
+                w = weights[i + 1] + (sign if history[i] > 0 else -sign)
+                weights[i + 1] = max(-limit, min(limit, w))
+        history = self._history
+        history.pop(0)
+        history.append(1 if taken else -1)
+
+
 #: Names accepted by MachineConfig.predictor.
 PREDICTOR_KINDS = (
     "twobit",
@@ -189,6 +282,7 @@ PREDICTOR_KINDS = (
     "taken",
     "nottaken",
     "gshare",
+    "perceptron",
 )
 
 
@@ -206,4 +300,6 @@ def make_predictor(kind: str, use_static_hints: bool) -> BranchPredictor:
         return FixedPredictor(False)
     if kind == "gshare":
         return GSharePredictor(use_static_hints=use_static_hints)
+    if kind == "perceptron":
+        return PerceptronPredictor(use_static_hints=use_static_hints)
     raise ValueError(f"unknown predictor kind {kind!r}")

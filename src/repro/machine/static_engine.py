@@ -264,12 +264,17 @@ class StaticEngine:
                 "issue_stall": b_stall,
                 "memory_wait": b_mem,
                 "mispredict_recovery": b_recover,
+                # Static machines never value-speculate; the zero keeps
+                # the attribution taxonomy closed across engines.
+                "value_recovery": 0,
                 "drain_idle": 0,
             }
             finalize_attribution(buckets, total_cycles, acct)
             for name, value in buckets.items():
                 collector.count("cycles.static." + name, value)
                 extra["attr." + name] = float(value)
+            collector.count("branch.lookups", predictor.lookups)
+            collector.count("branch.mispredicts", predictor.mispredicts)
         return SimResult(
             benchmark=self.benchmark,
             config=self.config,

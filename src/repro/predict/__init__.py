@@ -1,0 +1,36 @@
+"""Speculation subsystem: value prediction for the dynamic engine.
+
+See :mod:`repro.predict.value` for the predictor family and DESIGN.md
+§16 for how the dynamic engine consumes it (speculative operand
+delivery with verify/squash/replay).
+"""
+
+from .value import (
+    CONFIDENCE_MAX,
+    CONFIDENCE_THRESHOLD,
+    CONTEXT_HISTORY,
+    ContextPredictor,
+    DEFAULT_ENTRIES,
+    LastValuePredictor,
+    PerfectValuePredictor,
+    StridePredictor,
+    VALUE_PREDICTOR_KINDS,
+    ValuePredictor,
+    load_site,
+    make_value_predictor,
+)
+
+__all__ = [
+    "CONFIDENCE_MAX",
+    "CONFIDENCE_THRESHOLD",
+    "CONTEXT_HISTORY",
+    "ContextPredictor",
+    "DEFAULT_ENTRIES",
+    "LastValuePredictor",
+    "PerfectValuePredictor",
+    "StridePredictor",
+    "VALUE_PREDICTOR_KINDS",
+    "ValuePredictor",
+    "load_site",
+    "make_value_predictor",
+]

@@ -34,6 +34,7 @@ from ..machine.config import (
     cache_configuration_space,
     full_configuration_space,
     smoke_configuration_space,
+    spec_configuration_space,
 )
 from ..telemetry.collector import Collector, NULL_COLLECTOR
 from ..telemetry.logging import get_logger
@@ -63,6 +64,7 @@ GRIDS = {
     "smoke": lambda benchmark=None: smoke_configuration_space(),
     "full": lambda benchmark=None: full_configuration_space(),
     "cache": cache_configuration_space,
+    "spec": spec_configuration_space,
 }
 
 

@@ -90,6 +90,7 @@ EMPTY_SUMMARY: Dict[str, float] = {
     "mean_redundancy": 0.0,
     "aggregate_ipc": 0.0,
     "branch_accuracy": 1.0,
+    "value_accuracy": 1.0,
     "cache_hit_rate": 1.0,
     "discard_fraction": 0.0,
 }
@@ -111,6 +112,8 @@ def summarize(results: Sequence[SimResult]) -> Dict[str, float]:
     total_mispredicts = sum(r.mispredicts for r in results)
     total_cache = sum(r.cache_accesses for r in results)
     total_misses = sum(r.cache_misses for r in results)
+    total_value = sum(r.value_predictions for r in results)
+    total_confirmed = sum(r.value_confirmed for r in results)
     return {
         "results": float(len(results)),
         "geomean_ipc": geometric_mean_ipc(results),
@@ -118,6 +121,9 @@ def summarize(results: Sequence[SimResult]) -> Dict[str, float]:
         "aggregate_ipc": total_retired / total_cycles if total_cycles else 0.0,
         "branch_accuracy": (
             1.0 - total_mispredicts / total_lookups if total_lookups else 1.0
+        ),
+        "value_accuracy": (
+            total_confirmed / total_value if total_value else 1.0
         ),
         "cache_hit_rate": (
             1.0 - total_misses / total_cache if total_cache else 1.0
@@ -173,6 +179,29 @@ def attribution_breakdown(counters: Dict[str, int],
     return breakdown
 
 
+def accuracy_summary(counters: Dict[str, int]) -> Dict[str, float]:
+    """Prediction-accuracy ratios derived from the engines' counters.
+
+    ``branch.accuracy`` is correct lookups over ``branch.lookups``;
+    ``value.accuracy`` is ``value.confirmed`` over delivered
+    ``value.predictions``.  Each key is present only when its
+    denominator counter was published, so a grid without value
+    speculation reports no ``value.accuracy`` rather than a fake 1.0.
+    """
+    accuracy: Dict[str, float] = {}
+    lookups = counters.get("branch.lookups", 0)
+    if lookups:
+        accuracy["branch.accuracy"] = round(
+            1.0 - counters.get("branch.mispredicts", 0) / lookups, 6
+        )
+    predictions = counters.get("value.predictions", 0)
+    if predictions:
+        accuracy["value.accuracy"] = round(
+            counters.get("value.confirmed", 0) / predictions, 6
+        )
+    return accuracy
+
+
 def span_totals(spans: Sequence[Dict[str, Any]],
                 ) -> Dict[str, Dict[str, Any]]:
     """Fold raw span records into ``{name: {total_s, count}}``."""
@@ -206,7 +235,10 @@ def telemetry_report(collector: Collector,
     ``phase.validate`` / ``phase.merge``) into per-phase totals;
     ``attribution`` is the per-engine cycle-attribution breakdown of
     :func:`attribution_breakdown` (empty unless fresh simulations ran
-    with the collector enabled).  ``context`` (when given)
+    with the collector enabled); ``accuracy`` is
+    :func:`accuracy_summary` over the same counters
+    (``branch.accuracy`` / ``value.accuracy``).  ``context`` (when
+    given)
     records run-level facts such as the execution backend and worker
     count; a parallel sweep's document is the parent-side merge of every
     worker's collector snapshot, so the schema is identical across
@@ -230,6 +262,7 @@ def telemetry_report(collector: Collector,
         "failures": [point for point in points if point.get("failed")],
         "phases": span_totals(collector.spans),
         "attribution": attribution_breakdown(collector.counters),
+        "accuracy": accuracy_summary(collector.counters),
     }
     if context:
         document["context"] = dict(context)

@@ -47,6 +47,14 @@ class SimResult:
     #: for this benchmark and input (constant across configurations, as
     #: the paper notes).  Zero when not supplied.
     work_nodes: int = 0
+    #: value speculation (dynamic machines with a value predictor; all
+    #: zero otherwise): confident predictions delivered, how many the
+    #: verify step confirmed vs squashed, and dependent executions the
+    #: squashes wasted and replayed.
+    value_predictions: int = 0
+    value_confirmed: int = 0
+    value_squashed: int = 0
+    value_replays: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -87,6 +95,13 @@ class SimResult:
         return 1.0 - self.mispredicts / self.branch_lookups
 
     @property
+    def value_accuracy(self) -> float:
+        """Fraction of delivered value predictions that were confirmed."""
+        if self.value_predictions == 0:
+            return 1.0
+        return self.value_confirmed / self.value_predictions
+
+    @property
     def issue_utilization(self) -> float:
         """Fraction of issue slots that carried a datapath node.
 
@@ -121,10 +136,13 @@ class SimResult:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (
+        line = (
             f"{self.benchmark:10s} {str(self.config):34s} "
             f"IPC={self.retired_per_cycle:6.3f} "
             f"cycles={self.cycles:>10d} "
             f"redundancy={self.redundancy:6.3f} "
             f"bracc={self.branch_accuracy:5.3f}"
         )
+        if self.config.value_predictor != "none":
+            line += f" vacc={self.value_accuracy:5.3f}"
+        return line

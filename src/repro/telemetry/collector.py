@@ -36,6 +36,8 @@ EVENT_NAMES = frozenset({
     "branch.resolve",     # conditional branch resolved (args: mispredict)
     "block.fault",        # enlarged-block assert fired, block discarded
     "block.retire",       # block retired (dur = issue..complete span)
+    "value.verify",       # load-value prediction verified (args: confirmed)
+    "value.replay",       # dependent burned a slot on a squashed value
 })
 
 #: Trace-event thread lanes (Chrome ``tid``): which resource an event
@@ -55,6 +57,7 @@ ATTRIBUTION_BUCKETS = (
     "issue_stall",          # fetch ready, operands/window were not
     "memory_wait",          # stalled on a memory-produced operand / block
     "mispredict_recovery",  # wrong-path issue + redirect after squash
+    "value_recovery",       # window held by a value-squash replay straggler
     "drain_idle",           # tail: in-flight work completing after issue
 )
 
@@ -78,9 +81,11 @@ def finalize_attribution(buckets: Dict[str, int], total_cycles: int,
         buckets["drain_idle"] += tail
         return
     need = -tail
-    for name in ("drain_idle", "mispredict_recovery", "issue_stall",
-                 "memory_wait", "issued_full"):
-        have = buckets[name]
+    for name in ("drain_idle", "mispredict_recovery", "value_recovery",
+                 "issue_stall", "memory_wait", "issued_full"):
+        have = buckets.get(name)
+        if have is None:
+            continue  # engines without the bucket (static: no value axis)
         take = have if have < need else need
         buckets[name] = have - take
         need -= take

@@ -14,7 +14,15 @@ two points that differ in exactly one axis:
 * ``dominance.memory``  -- faster perfect memories win: A >= B >= C
   (1-, 2- and 3-cycle constant latency);
 * ``dominance.branch``  -- perfect prediction >= realistic prediction
-  on the same enlarged program (dyn4/dyn256).
+  on the same enlarged program (dyn4/dyn256), whichever realistic
+  predictor scheme (2-bit, gshare, perceptron) produced the point;
+* ``dominance.value``   -- more capable value predictors never lose at
+  equal geometry: the oracle dominates everything, ``stride`` and
+  ``context`` each dominate ``last``, and any predictor beats no
+  speculation.  ``stride`` and ``context`` are deliberately *not*
+  ordered against each other: arithmetic sequences favour the stride
+  table, repeating non-arithmetic patterns favour the FCM, and measured
+  grids show each winning on different workloads.
 
 A violation emits one ``error`` finding naming both points; nothing is
 raised, so findings flow into ``telemetry.json`` and the sweep's exit
@@ -42,6 +50,15 @@ DOMINANCE_RULES = (
     "dominance.issue",
     "dominance.memory",
     "dominance.branch",
+    "dominance.value",
+)
+
+#: The value-predictor partial order as weakest-first chains sharing
+#: endpoints: ``stride`` and ``context`` are incomparable, so each gets
+#: its own chain from ``none`` up to the ``perfect`` oracle.
+_VALUE_CHAINS = (
+    ("none", "last", "stride", "perfect"),
+    ("none", "last", "context", "perfect"),
 )
 
 #: Perfect-memory chain, fastest first (Figure 4's left-hand group).
@@ -52,9 +69,13 @@ _PERFECT_MEMORY_ORDER = tuple(
     if memory.is_perfect
 )
 
-#: One point's coordinates: (benchmark, line, issue index, memory letter)
-#: where ``line`` is ``config.discipline_key()``.
-_Coord = Tuple[str, str, int, str]
+#: One point's coordinates: (benchmark, line, issue index, memory
+#: letter, branch-predictor kind, value-predictor kind) where ``line``
+#: is ``config.discipline_key()``.  The predictor axes keep spec-grid
+#: points (gshare/perceptron variants, value-speculation sweeps) from
+#: colliding with -- and silently replacing -- paper-grid points in the
+#: index.
+_Coord = Tuple[str, str, int, str, str, str]
 
 
 def _index(results: Iterable[SimResult]) -> Dict[_Coord, SimResult]:
@@ -63,7 +84,8 @@ def _index(results: Iterable[SimResult]) -> Dict[_Coord, SimResult]:
     for result in results:
         config = result.config
         coord = (result.benchmark, config.discipline_key(),
-                 config.issue_model, config.memory)
+                 config.issue_model, config.memory,
+                 config.predictor, config.value_predictor)
         indexed[coord] = result
     return indexed
 
@@ -127,6 +149,8 @@ def check_dominance(results: Iterable[SimResult],
     lines = sorted({coord[1] for coord in indexed})
     issues = sorted({coord[2] for coord in indexed})
     memories = sorted({coord[3] for coord in indexed})
+    predictors = sorted({coord[4] for coord in indexed})
+    value_predictors = sorted({coord[5] for coord in indexed})
 
     # ---- dominance.window: dyn256 >= dyn4 >= dyn1 --------------------
     for benchmark in benchmarks:
@@ -138,62 +162,102 @@ def check_dominance(results: Iterable[SimResult],
             )
             for issue in issues:
                 for memory in memories:
-                    chain = [
-                        (benchmark, f"dyn{window}/{mode.value}", issue, memory)
-                        for window in windows
-                    ]
-                    for stronger, weaker in _chain_pairs(indexed, chain):
-                        if not _dominates(stronger, weaker, tol):
-                            findings.append(_violation(
-                                "dominance.window", stronger, weaker, tol,
-                                "window",
-                            ))
+                    for pred in predictors:
+                        for vp in value_predictors:
+                            chain = [
+                                (benchmark, f"dyn{window}/{mode.value}",
+                                 issue, memory, pred, vp)
+                                for window in windows
+                            ]
+                            for stronger, weaker in _chain_pairs(
+                                indexed, chain
+                            ):
+                                if not _dominates(stronger, weaker, tol):
+                                    findings.append(_violation(
+                                        "dominance.window", stronger,
+                                        weaker, tol, "window",
+                                    ))
 
     # ---- dominance.issue: wider models win ---------------------------
     for benchmark in benchmarks:
         for line in lines:
             for memory in memories:
-                chain = [
-                    (benchmark, line, issue, memory) for issue in issues
-                ]
-                for stronger, weaker in _chain_pairs(indexed, chain):
-                    if not _dominates(stronger, weaker, tol):
-                        findings.append(_violation(
-                            "dominance.issue", stronger, weaker, tol,
-                            "issue model",
-                        ))
+                for pred in predictors:
+                    for vp in value_predictors:
+                        chain = [
+                            (benchmark, line, issue, memory, pred, vp)
+                            for issue in issues
+                        ]
+                        for stronger, weaker in _chain_pairs(indexed, chain):
+                            if not _dominates(stronger, weaker, tol):
+                                findings.append(_violation(
+                                    "dominance.issue", stronger, weaker,
+                                    tol, "issue model",
+                                ))
 
     # ---- dominance.memory: perfect A >= B >= C -----------------------
     for benchmark in benchmarks:
         for line in lines:
             for issue in issues:
-                chain = [
-                    (benchmark, line, issue, memory)
-                    for memory in reversed(_PERFECT_MEMORY_ORDER)
-                ]
-                for stronger, weaker in _chain_pairs(indexed, chain):
-                    if not _dominates(stronger, weaker, tol):
-                        findings.append(_violation(
-                            "dominance.memory", stronger, weaker, tol,
-                            "memory",
-                        ))
+                for pred in predictors:
+                    for vp in value_predictors:
+                        chain = [
+                            (benchmark, line, issue, memory, pred, vp)
+                            for memory in reversed(_PERFECT_MEMORY_ORDER)
+                        ]
+                        for stronger, weaker in _chain_pairs(indexed, chain):
+                            if not _dominates(stronger, weaker, tol):
+                                findings.append(_violation(
+                                    "dominance.memory", stronger, weaker,
+                                    tol, "memory",
+                                ))
 
     # ---- dominance.branch: perfect prediction >= realistic -----------
+    # Perfect-mode points carry the default predictor kind (the axis is
+    # inert under oracle prediction), so each realistic scheme compares
+    # against its own-kind perfect point when present, else the default.
     for benchmark in benchmarks:
         for window in (4, 256):
             for issue in issues:
                 for memory in memories:
-                    perfect = indexed.get(
-                        (benchmark, f"dyn{window}/perfect", issue, memory)
-                    )
-                    realistic = indexed.get(
-                        (benchmark, f"dyn{window}/enlarged", issue, memory)
-                    )
-                    if perfect is None or realistic is None:
-                        continue
-                    if not _dominates(perfect, realistic, tol):
-                        findings.append(_violation(
-                            "dominance.branch", perfect, realistic, tol,
-                            "branch handling",
-                        ))
+                    for pred in predictors:
+                        for vp in value_predictors:
+                            perfect = indexed.get((
+                                benchmark, f"dyn{window}/perfect", issue,
+                                memory, pred, vp,
+                            )) or indexed.get((
+                                benchmark, f"dyn{window}/perfect", issue,
+                                memory, "twobit", vp,
+                            ))
+                            realistic = indexed.get((
+                                benchmark, f"dyn{window}/enlarged", issue,
+                                memory, pred, vp,
+                            ))
+                            if perfect is None or realistic is None:
+                                continue
+                            if not _dominates(perfect, realistic, tol):
+                                findings.append(_violation(
+                                    "dominance.branch", perfect,
+                                    realistic, tol, "branch handling",
+                                ))
+
+    # ---- dominance.value: stronger value predictors never lose -------
+    for benchmark in benchmarks:
+        for line in lines:
+            for issue in issues:
+                for memory in memories:
+                    for pred in predictors:
+                        for kinds in _VALUE_CHAINS:
+                            chain = [
+                                (benchmark, line, issue, memory, pred, vp)
+                                for vp in kinds
+                            ]
+                            for stronger, weaker in _chain_pairs(
+                                indexed, chain
+                            ):
+                                if not _dominates(stronger, weaker, tol):
+                                    findings.append(_violation(
+                                        "dominance.value", stronger,
+                                        weaker, tol, "value predictor",
+                                    ))
     return findings

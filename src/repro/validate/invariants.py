@@ -36,6 +36,7 @@ INVARIANT_RULES = (
     "invariant.window",
     "invariant.redundancy",
     "invariant.branch",
+    "invariant.value",
     "invariant.work",
 )
 
@@ -127,10 +128,13 @@ def check_result(result: SimResult,
 
     # ---- discard provenance ------------------------------------------
     # Redundant (discarded) work only exists where speculation went
-    # wrong: a mispredicted branch or a signalling enlarged-block
-    # assert.  In particular a perfectly predicted single-block run must
-    # show zero redundancy.
-    if result.discarded_nodes and not (result.mispredicts or result.faults):
+    # wrong: a mispredicted branch, a signalling enlarged-block assert,
+    # or a squashed value prediction replaying dependents.  In
+    # particular a perfectly predicted single-block run without value
+    # speculation must show zero redundancy.
+    if result.discarded_nodes and not (
+        result.mispredicts or result.faults or result.value_squashed
+    ):
         findings.append(_finding(
             result, "invariant.redundancy",
             "discarded nodes without any mispredict or fault",
@@ -155,6 +159,38 @@ def check_result(result: SimResult,
             result, "invariant.branch",
             "perfect prediction recorded mispredicts",
             result.mispredicts, 0,
+        ))
+
+    # ---- value-speculation accounting --------------------------------
+    # Every delivered prediction is settled exactly once by the verify
+    # step, replays only exist downstream of a squash, the oracle never
+    # squashes, and a machine without a value predictor records nothing.
+    settled = result.value_confirmed + result.value_squashed
+    if settled != result.value_predictions:
+        findings.append(_finding(
+            result, "invariant.value",
+            "confirmed + squashed disagrees with delivered predictions",
+            settled, result.value_predictions,
+        ))
+    if result.value_replays and not result.value_squashed:
+        findings.append(_finding(
+            result, "invariant.value",
+            "dependent replays recorded without any squashed prediction",
+            result.value_replays, 0,
+        ))
+    if config.value_predictor == "perfect" and result.value_squashed:
+        findings.append(_finding(
+            result, "invariant.value",
+            "the perfect value oracle recorded squashes",
+            result.value_squashed, 0,
+        ))
+    if config.value_predictor == "none" and (
+        result.value_predictions or result.value_replays
+    ):
+        findings.append(_finding(
+            result, "invariant.value",
+            "value-speculation counters without a value predictor",
+            result.value_predictions or result.value_replays, 0,
         ))
 
     # ---- retired-work agreement --------------------------------------
