@@ -109,9 +109,9 @@ _VALUE_FIELDS = (
 def result_key(benchmark: str, config: MachineConfig, scale: int) -> str:
     """Stable cache key for one simulation point.
 
-    The ``|v...`` value-predictor suffix appears only when the axis is
-    active: every pre-existing key (and committed baseline) for
-    ``value_predictor="none"`` points stays byte-identical.
+    The ``|v...`` value-predictor and ``|opt`` optimal-schedule suffixes
+    appear only when those axes are active: every pre-existing key (and
+    committed baseline) for default-axis points stays byte-identical.
     """
     key = (
         f"v{CACHE_VERSION}|{benchmark}|{scale}|{config.discipline.value}"
@@ -121,6 +121,8 @@ def result_key(benchmark: str, config: MachineConfig, scale: int) -> str:
     )
     if config.value_predictor != "none":
         key += f"|v{config.value_predictor}"
+    if config.optimal_schedule:
+        key += "|opt"
     return key
 
 

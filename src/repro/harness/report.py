@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from .figures import (
@@ -114,6 +115,7 @@ def generate_report(runner: Optional[SweepRunner] = None,
     )
 
     sections.append(value_speculation_section(runner))
+    sections.append(schedule_gap_section(runner))
     sections.append(_verdicts(fig2, fig3, fig6))
     ablations = _ablation_section()
     if ablations:
@@ -185,6 +187,86 @@ def value_speculation_section(runner: SweepRunner) -> str:
         " compose.\n\n"
         + _speculation_accuracy_line(runner) + "\n"
     )
+
+
+def schedule_gap_section(runner: SweepRunner) -> str:
+    """The beyond-the-paper list-vs-optimal static scheduling study.
+
+    Per benchmark: the exact solver's certified gap over the enlarged
+    program's blocks (static words the greedy list scheduler leaves on
+    the table), the measured machine-level IPC effect at a sched-grid
+    point, and per innermost loop the modulo-scheduling II against its
+    MII lower bound.
+    """
+    from ..machine.config import (
+        BranchMode,
+        Discipline,
+        ISSUE_MODELS,
+        MEMORY_CONFIGS,
+        MachineConfig,
+    )
+    from ..optsched import analyze_program
+
+    issue = ISSUE_MODELS[5]
+    memory = MEMORY_CONFIGS["A"]
+    rows = [
+        "| benchmark | blocks | closed | list words | optimal | lower"
+        " bound | gap | IPC (list) | IPC (optimal) |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    loop_rows = [
+        "| benchmark | loop block | nodes | ResMII | RecMII | MII | II"
+        " | serial | status |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for name in runner.benchmarks:
+        workload = runner.workload(name)
+        analysis = analyze_program(workload.enlarged, issue, memory)
+        base = MachineConfig(
+            discipline=Discipline.STATIC, issue_model=5, memory="A",
+            branch_mode=BranchMode.ENLARGED,
+        )
+        listed = runner.run_point(name, base)
+        optimal = runner.run_point(
+            name, dataclasses.replace(base, optimal_schedule=True)
+        )
+        rows.append(
+            f"| {name} | {len(analysis.blocks)}"
+            f" | {analysis.closed_blocks} | {analysis.list_words}"
+            f" | {analysis.optimal_words} | {analysis.lower_bound_words}"
+            f" | {analysis.gap_percent:.1f}%"
+            f" | {listed.retired_per_cycle:.3f}"
+            f" | {optimal.retired_per_cycle:.3f} |"
+        )
+        for loop in analysis.loops:
+            status = ("II = MII (optimal)" if loop.closed
+                      else "pipelined" if loop.pipelined else "fallback")
+            loop_rows.append(
+                f"| {name} | `{loop.label}` | {loop.node_count}"
+                f" | {loop.res_mii} | {loop.rec_mii} | {loop.mii}"
+                f" | {loop.ii} | {loop.list_makespan} | {status} |"
+            )
+    body = (
+        "## Optimal static scheduling (beyond the paper)\n\n"
+        "The exact solver (repro.optsched) re-packs every static block\n"
+        "with a certificate `makespan == lower bound`, quantifying what\n"
+        "the greedy critical-path list scheduler leaves on the table at\n"
+        "issue model 5 / memory A.  Word gaps are static (per block\n"
+        "visit weights differ), so the machine-level IPC columns use\n"
+        "the measured sched-grid points:\n\n"
+        + "\n".join(rows)
+    )
+    if len(loop_rows) > 2:
+        body += (
+            "\n\nInnermost single-block loops, modulo-scheduled: II is\n"
+            "the smallest initiation interval a kernel was found for,\n"
+            "MII = max(ResMII, RecMII) its certified lower bound, and\n"
+            "`serial` the list schedule's makespan (the no-overlap II).\n"
+            "The engine replays one block at a time, so these kernels\n"
+            "are reported as analysis rather than wired into timing:\n\n"
+            + "\n".join(loop_rows)
+        )
+    return body + "\n"
 
 
 def partial_grid_note(failures) -> str:

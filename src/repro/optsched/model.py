@@ -1,0 +1,154 @@
+"""Constraint model for exact basic-block scheduling.
+
+One :class:`ScheduleProblem` is the complete constraint formulation the
+solver works on: decision variables are the issue cycle of each node
+(slots within a cycle are interchangeable, so a per-node *slot* variable
+would add symmetry without information); constraints are
+
+* precedence edges with latencies -- the exact relation the list
+  scheduler honours (flow dependences weighted by the shared
+  :mod:`repro.sched.latency` table, anti/output register dependences,
+  the conservative memory-ordering relation, terminator-last), imported
+  verbatim from :func:`repro.sched.build_dependences`;
+* per-cycle slot capacity from the issue model -- memory nodes against
+  ``mem_slots``, datapath nodes against ``alu_slots``, syscalls free
+  (they occupy no datapath slot), and the sequential model's single
+  slot of any class (which a syscall *does* consume), mirroring the
+  list scheduler's accounting exactly.
+
+The model also computes the two certified lower bounds the
+branch-and-bound search is anchored on: the latency-weighted critical
+path and the slot-capacity (resource) bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, Tuple
+
+from ..isa.node import Node
+from ..isa.ops import NodeKind
+from ..machine.config import IssueModel, MemoryConfig
+from ..sched.list_scheduler import build_dependences
+
+#: Slot classes a node can occupy (see the issue-model accounting).
+CLASS_MEM = 0
+CLASS_ALU = 1
+CLASS_FREE = 2  # syscall: no datapath slot on multi-issue models
+
+
+def slot_class(node: Node) -> int:
+    """Which issue-slot budget this node draws from."""
+    if node.kind is NodeKind.SYSCALL:
+        return CLASS_FREE
+    if node.is_memory:
+        return CLASS_MEM
+    return CLASS_ALU
+
+
+class ScheduleProblem:
+    """One block's scheduling constraints, ready for the exact solver."""
+
+    __slots__ = (
+        "nodes", "preds", "succs", "classes", "issue",
+        "est", "tail", "n_mem", "n_alu",
+    )
+
+    def __init__(self, nodes: Sequence[Node], issue: IssueModel,
+                 memory: MemoryConfig):
+        self.nodes = list(nodes)
+        self.issue = issue
+        self.preds: List[List[Tuple[int, int]]] = build_dependences(
+            self.nodes, memory
+        )
+        count = len(self.nodes)
+        self.succs: List[List[Tuple[int, int]]] = [[] for _ in range(count)]
+        for index, plist in enumerate(self.preds):
+            for pred, latency in plist:
+                self.succs[pred].append((index, latency))
+        self.classes = [slot_class(node) for node in self.nodes]
+        self.n_mem = sum(1 for c in self.classes if c == CLASS_MEM)
+        self.n_alu = sum(1 for c in self.classes if c == CLASS_ALU)
+        # Longest latency-weighted path from sources (earliest start) and
+        # to sinks (the node's tail).  Dependence edges always point
+        # backward in program order, so index order is topological.
+        self.est = [0] * count
+        for index in range(count):
+            best = 0
+            for pred, latency in self.preds[index]:
+                candidate = self.est[pred] + latency
+                if candidate > best:
+                    best = candidate
+            self.est[index] = best
+        self.tail = [0] * count
+        for index in range(count - 1, -1, -1):
+            best = 0
+            for succ, latency in self.succs[index]:
+                candidate = latency + self.tail[succ]
+                if candidate > best:
+                    best = candidate
+            self.tail[index] = best
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.nodes)
+
+    def capacity(self, cls: int) -> int:
+        """Per-cycle slot budget of one class (a large value = unbounded)."""
+        if self.issue.sequential:
+            return 1
+        if cls == CLASS_MEM:
+            return self.issue.mem_slots
+        if cls == CLASS_ALU:
+            return self.issue.alu_slots
+        return len(self.nodes) or 1  # syscalls are free on multi-issue
+
+    def critical_path_bound(self) -> int:
+        """Makespan lower bound from the latency-weighted critical path."""
+        if not self.nodes:
+            return 0
+        return max(e + 1 for e in self.est)
+
+    def resource_bound(self) -> int:
+        """Makespan lower bound from issue-slot capacity."""
+        if not self.nodes:
+            return 0
+        if self.issue.sequential:
+            # Every node (syscalls included) consumes the single slot.
+            return len(self.nodes)
+        bound = 1
+        if self.n_mem:
+            bound = max(bound, -(-self.n_mem // self.issue.mem_slots))
+        if self.n_alu:
+            bound = max(bound, -(-self.n_alu // self.issue.alu_slots))
+        return bound
+
+    def lower_bound(self) -> int:
+        """The certified makespan lower bound the search starts from."""
+        return max(self.critical_path_bound(), self.resource_bound())
+
+
+def block_signature(nodes: Sequence[Node]) -> str:
+    """Content digest over everything scheduling depends on.
+
+    Branch targets are deliberately excluded: the dependence relation and
+    slot classes never consult them, so two blocks differing only in
+    control-flow targets schedule identically and share a memo entry.
+    """
+    hasher = hashlib.sha256()
+    for node in nodes:
+        parts = [
+            node.kind.value,
+            node.op.value if node.op is not None else "",
+            str(node.dest if node.dest is not None else ""),
+            repr(node.src1) if node.src1 is not None else "",
+            repr(node.src2) if node.src2 is not None else "",
+            str(node.base if node.base is not None else ""),
+            str(node.offset),
+            str(node.width.value) if node.width is not None else "",
+            ",".join(str(arg) for arg in node.args),
+        ]
+        hasher.update("|".join(parts).encode("utf-8"))
+        hasher.update(b";")
+    return hasher.hexdigest()[:24]

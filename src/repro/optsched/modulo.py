@@ -1,0 +1,281 @@
+"""Modulo software pipelining of innermost single-block loops.
+
+An innermost loop in this ISA is a block whose conditional terminator
+targets its own label.  For each such block the analysis computes the
+paper-standard minimum initiation interval ``MII = max(ResMII,
+RecMII)`` -- ``ResMII`` from per-iteration issue-slot demand,
+``RecMII`` from loop-carried dependence cycles -- then searches II
+upward from MII, solving the kernel as the same constraint problem
+*modulo II*: precedence edges as in straight-line scheduling, carried
+(distance-1) edges relaxed by one II per iteration crossed, and slot
+capacities enforced per residue class ``cycle mod II``.
+
+Carried edges reuse :func:`repro.sched.build_dependences` verbatim on a
+doubled copy of the block (iteration ``k`` concatenated with iteration
+``k+1``): every edge crossing the copy boundary is a distance-1 carried
+dependence under exactly the conservative register/memory rules the
+list scheduler and the exact block solver already share.  ``RecMII``
+and the kernel search use the *same* conservative relation, so MII is
+a certified lower bound within this dependence model.
+
+The engine replays blocks one trace entry at a time and cannot overlap
+iterations, so modulo schedules are reported as analysis (the
+``schedule`` verb and the EXPERIMENTS gap table: II achieved vs MII
+per loop), not wired into timing runs; the fallback when the budget
+exhausts is the list schedule, whose makespan is itself a valid
+(serial) initiation interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..isa.ops import NodeKind
+from ..machine.config import IssueModel, MemoryConfig
+from ..program.block import BasicBlock
+from ..program.program import Program
+from ..sched.list_scheduler import build_dependences, schedule_block
+from .model import CLASS_FREE, ScheduleProblem
+from .solver import Budget, _Exhausted
+
+#: Default per-loop step budget for the kernel search.
+DEFAULT_LOOP_BUDGET = 150_000
+
+
+@dataclass
+class LoopPipeline:
+    """Modulo-scheduling verdict for one innermost loop block."""
+
+    label: str
+    node_count: int
+    #: per-iteration resource bound on II.
+    res_mii: int
+    #: loop-carried recurrence bound on II.
+    rec_mii: int
+    #: ``max(res_mii, rec_mii, 1)``: the certified lower bound.
+    mii: int
+    #: initiation interval achieved (== list makespan on fallback).
+    ii: int
+    #: the list scheduler's serial makespan (the fallback II).
+    list_makespan: int
+    #: True iff ``ii == mii`` (the kernel is certified optimal).
+    closed: bool
+    #: True when a pipelined kernel (ii < list makespan) was found.
+    pipelined: bool
+    #: candidate placements explored.
+    steps: int
+
+
+def is_innermost_loop(block: BasicBlock) -> bool:
+    """A single-block loop: a conditional branch back to its own label."""
+    term = block.terminator
+    return term.kind is NodeKind.BRANCH and block.label in (
+        term.target, term.alt_target
+    )
+
+
+def carried_edges(block: BasicBlock,
+                  memory: MemoryConfig) -> List[Tuple[int, int, int]]:
+    """Distance-1 loop-carried dependences ``(from, to, latency)``.
+
+    Computed by running the shared dependence builder over two
+    concatenated copies of the block and keeping exactly the edges that
+    cross the iteration boundary.
+    """
+    nodes = list(block.nodes())
+    count = len(nodes)
+    doubled = build_dependences(nodes + nodes, memory)
+    edges: List[Tuple[int, int, int]] = []
+    for index in range(count, 2 * count):
+        for pred, latency in doubled[index]:
+            if pred < count:
+                edges.append((pred, index - count, latency))
+    return edges
+
+
+def _recurrence_mii(problem: ScheduleProblem,
+                    carried: List[Tuple[int, int, int]]) -> int:
+    """RecMII: the heaviest distance-1 dependence cycle.
+
+    For a carried edge ``u -> v`` the cycle closes along the longest
+    intra-iteration path ``v -> u`` (edges always point forward in
+    index order, so a simple ascending DP suffices).
+    """
+    best = 0
+    count = problem.count
+    for source, target, latency in carried:
+        if target > source:
+            continue  # no intra path back: no simple cycle via this edge
+        if target == source:
+            best = max(best, latency)
+            continue
+        dist = [-1] * count
+        dist[target] = 0
+        for index in range(target + 1, source + 1):
+            reach = -1
+            for pred, lat in problem.preds[index]:
+                if pred >= target and dist[pred] >= 0:
+                    candidate = dist[pred] + lat
+                    if candidate > reach:
+                        reach = candidate
+            dist[index] = reach
+        if dist[source] >= 0:
+            best = max(best, latency + dist[source])
+    return best
+
+
+def _decide_kernel(problem: ScheduleProblem,
+                   carried: List[Tuple[int, int, int]], ii: int,
+                   budget: Budget) -> Optional[List[int]]:
+    """A kernel at initiation interval ``ii``, or None within the window.
+
+    Each node is tried over the ``ii`` cycles starting at its earliest
+    intra-iteration start (Rau's window); carried edges add exact
+    bounds against already-placed nodes.  Slot capacity is enforced per
+    residue class ``cycle mod ii``.
+    """
+    count = problem.count
+    classes = problem.classes
+    preds = problem.preds
+    capacity = [problem.capacity(cls) for cls in (0, 1, 2)]
+    used = [[0, 0, 0] for _ in range(ii)]
+    sequential = problem.issue.sequential
+    # Carried edges indexed by whichever endpoint is placed *later* in
+    # index order; the other endpoint's cycle is known at that moment.
+    lower_by_later: List[List[Tuple[int, int]]] = [[] for _ in range(count)]
+    upper_by_later: List[List[Tuple[int, int]]] = [[] for _ in range(count)]
+    for source, target, latency in carried:
+        # cycle[target] + ii >= cycle[source] + latency
+        if target >= source:
+            lower_by_later[target].append((source, latency))
+        else:
+            upper_by_later[source].append((target, latency))
+    cycles = [-1] * count
+    choice = [0] * count
+
+    def fits(cls: int, slot: int) -> bool:
+        slot_use = used[slot]
+        if sequential:
+            return slot_use[0] + slot_use[1] + slot_use[2] < 1
+        if cls == CLASS_FREE:
+            return True
+        return slot_use[cls] < capacity[cls]
+
+    index = 0
+    while 0 <= index < count:
+        cls = classes[index]
+        if cycles[index] < 0:
+            earliest = 0
+            for pred, latency in preds[index]:
+                candidate = cycles[pred] + latency
+                if candidate > earliest:
+                    earliest = candidate
+            for other, latency in lower_by_later[index]:
+                candidate = cycles[other] + latency - ii
+                if candidate > earliest:
+                    earliest = candidate
+            choice[index] = max(choice[index], earliest)
+        latest = problem.est[index] + ii - 1
+        for other, latency in upper_by_later[index]:
+            bound = cycles[other] + ii - latency
+            if bound < latest:
+                latest = bound
+        placed = False
+        cycle = choice[index]
+        while cycle <= latest:
+            if not budget.step():
+                raise _Exhausted()
+            if fits(cls, cycle % ii):
+                cycles[index] = cycle
+                used[cycle % ii][cls] += 1
+                choice[index] = cycle + 1
+                placed = True
+                break
+            cycle += 1
+        if placed:
+            index += 1
+            continue
+        choice[index] = 0
+        index -= 1
+        if index >= 0:
+            used[cycles[index] % ii][classes[index]] -= 1
+            cycles[index] = -1
+    if index < 0:
+        return None
+    return cycles
+
+
+def _verify_kernel(problem: ScheduleProblem,
+                   carried: List[Tuple[int, int, int]],
+                   cycles: List[int], ii: int) -> None:
+    """Assert a found kernel satisfies every modulo constraint."""
+    for index, cycle in enumerate(cycles):
+        for pred, latency in problem.preds[index]:
+            assert cycle >= cycles[pred] + latency, "kernel precedence"
+    for source, target, latency in carried:
+        assert cycles[target] + ii >= cycles[source] + latency, (
+            "carried dependence violated"
+        )
+    used = [[0, 0, 0] for _ in range(ii)]
+    for index, cycle in enumerate(cycles):
+        used[cycle % ii][problem.classes[index]] += 1
+    for slot_use in used:
+        if problem.issue.sequential:
+            assert sum(slot_use) <= 1, "kernel sequential capacity"
+        else:
+            assert slot_use[0] <= problem.capacity(0), "kernel mem capacity"
+            assert slot_use[1] <= problem.capacity(1), "kernel alu capacity"
+
+
+def pipeline_loop(block: BasicBlock, issue: IssueModel,
+                  memory: MemoryConfig,
+                  budget_steps: int = DEFAULT_LOOP_BUDGET) -> LoopPipeline:
+    """Modulo-schedule one innermost loop block, budget-bounded."""
+    nodes = list(block.nodes())
+    problem = ScheduleProblem(nodes, issue, memory)
+    carried = carried_edges(block, memory)
+    res_mii = problem.resource_bound()
+    rec_mii = _recurrence_mii(problem, carried)
+    mii = max(res_mii, rec_mii, 1)
+    list_makespan = len(schedule_block(block, issue, memory).words)
+    budget = Budget(budget_steps)
+
+    ii = list_makespan
+    pipelined = False
+    candidate = mii
+    while candidate < list_makespan:
+        try:
+            cycles = _decide_kernel(problem, carried, candidate, budget)
+        except _Exhausted:
+            break
+        if cycles is not None:
+            _verify_kernel(problem, carried, cycles, candidate)
+            ii = candidate
+            pipelined = True
+            break
+        candidate += 1
+    return LoopPipeline(
+        label=block.label,
+        node_count=len(nodes),
+        res_mii=res_mii,
+        rec_mii=rec_mii,
+        mii=mii,
+        ii=ii,
+        list_makespan=list_makespan,
+        closed=ii == mii,
+        pipelined=pipelined,
+        steps=budget.spent,
+    )
+
+
+def pipeline_program(program: Program, issue: IssueModel,
+                     memory: MemoryConfig,
+                     budget_steps: int = DEFAULT_LOOP_BUDGET,
+                     ) -> List[LoopPipeline]:
+    """Modulo-schedule every innermost single-block loop of a program."""
+    return [
+        pipeline_loop(block, issue, memory, budget_steps=budget_steps)
+        for block in program
+        if is_innermost_loop(block)
+    ]

@@ -1,0 +1,237 @@
+"""Exact block scheduling by budgeted branch-and-bound.
+
+The optimiser answers a sequence of *decision problems*: "does a
+schedule of makespan ``T`` exist?" starting at the certified lower
+bound of :class:`repro.optsched.model.ScheduleProblem` and walking up
+to the list scheduler's makespan (the seeded upper bound).  Each UNSAT
+answer is a proof that raises the certified bound by one, so the first
+SAT answer -- or reaching the list makespan with everything below it
+refuted -- closes the block with a certificate ``makespan ==
+lower_bound``.  By construction the returned schedule is never worse
+than the list schedule.
+
+The decision search assigns issue cycles in program (= topological)
+order, so every predecessor is placed when a node is tried and its
+earliest feasible cycle is exact, with DPLL-style pruning: the
+latency-weighted tail bounds each node's latest cycle, per-cycle slot
+capacities bound the candidates, and an aggregate free-slot count per
+class refutes branches whose remaining work cannot fit.  Exploration
+order is fully deterministic (index order, ascending cycles, no
+``hash()`` anywhere) and metered by a deterministic step budget -- a
+counter of candidate placements, not wall clock -- so identical inputs
+explore identical trees on every interpreter and ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..isa.node import Node
+from ..machine.config import IssueModel, MemoryConfig
+from ..program.block import BasicBlock
+from ..sched.list_scheduler import ScheduledBlock, schedule_block
+from .model import CLASS_FREE, ScheduleProblem
+
+#: Default per-block step budget (candidate placements tried).  Chosen
+#: so real Mini-C blocks close in well under a second while a
+#: pathological block degrades to the list schedule instead of hanging.
+DEFAULT_BLOCK_BUDGET = 250_000
+
+
+class Budget:
+    """Deterministic exploration meter shared across decision calls."""
+
+    __slots__ = ("remaining", "spent")
+
+    def __init__(self, steps: int):
+        self.remaining = steps
+        self.spent = 0
+
+    def step(self) -> bool:
+        """Consume one step; False once the budget is exhausted."""
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        self.spent += 1
+        return True
+
+
+class _Exhausted(Exception):
+    """Internal: the step budget ran out mid-search."""
+
+
+@dataclass
+class BlockSolution:
+    """One block's solved schedule plus its optimality certificate."""
+
+    schedule: ScheduledBlock
+    #: the greedy list scheduler's makespan (the seeded upper bound).
+    list_makespan: int
+    #: makespan of the returned schedule (== len(schedule.words)).
+    makespan: int
+    #: highest certified lower bound (critical-path/resource seed plus
+    #: one per UNSAT proof).
+    lower_bound: int
+    #: True iff the search closed: ``makespan == lower_bound``.
+    closed: bool
+    #: candidate placements explored before returning.
+    steps: int
+
+    @property
+    def gap(self) -> int:
+        """List-vs-returned makespan gap in cycles (>= 0)."""
+        return self.list_makespan - self.makespan
+
+
+def _decide(problem: ScheduleProblem, horizon: int,
+            budget: Budget) -> Optional[List[int]]:
+    """SAT: a cycle per node within ``horizon`` cycles; None: UNSAT.
+
+    Raises :class:`_Exhausted` when the budget runs out undecided.
+    """
+    count = problem.count
+    classes = problem.classes
+    preds = problem.preds
+    tail = problem.tail
+    # A node's window is [exact earliest from placed preds, horizon-1-tail];
+    # an empty static window refutes the horizon without any search.
+    latest = [horizon - 1 - tail[index] for index in range(count)]
+    for index in range(count):
+        if problem.est[index] > latest[index]:
+            return None
+    capacity = [problem.capacity(cls) for cls in (0, 1, 2)]
+    used = [[0, 0, 0] for _ in range(horizon)]
+    sequential = problem.issue.sequential
+    cycles = [-1] * count
+    choice = [0] * count  # next candidate cycle to try per node
+
+    def fits(cls: int, cycle: int) -> bool:
+        slot_use = used[cycle]
+        if sequential:
+            return slot_use[0] + slot_use[1] + slot_use[2] < 1
+        if cls == CLASS_FREE:
+            return True
+        return slot_use[cls] < capacity[cls]
+
+    index = 0
+    while 0 <= index < count:
+        cls = classes[index]
+        if cycles[index] < 0:
+            earliest = 0
+            for pred, latency in preds[index]:
+                candidate = cycles[pred] + latency
+                if candidate > earliest:
+                    earliest = candidate
+            choice[index] = max(choice[index], earliest)
+        placed = False
+        cycle = choice[index]
+        while cycle <= latest[index]:
+            if not budget.step():
+                raise _Exhausted()
+            if fits(cls, cycle):
+                cycles[index] = cycle
+                used[cycle][cls] += 1
+                choice[index] = cycle + 1  # resume point on backtrack
+                placed = True
+                break
+            cycle += 1
+        if placed:
+            index += 1
+            continue
+        # Window exhausted: backtrack to the previous node.
+        choice[index] = 0
+        index -= 1
+        if index >= 0:
+            used[cycles[index]][classes[index]] -= 1
+            cycles[index] = -1
+    if index < 0:
+        return None
+    return cycles
+
+
+def _verify(problem: ScheduleProblem, cycles: Sequence[int],
+            horizon: int) -> None:
+    """Assert a SAT assignment actually satisfies every constraint."""
+    capacity = [problem.capacity(cls) for cls in (0, 1, 2)]
+    used = [[0, 0, 0] for _ in range(horizon)]
+    for index, cycle in enumerate(cycles):
+        assert 0 <= cycle < horizon, "cycle outside horizon"
+        for pred, latency in problem.preds[index]:
+            assert cycle >= cycles[pred] + latency, "precedence violated"
+        used[cycle][problem.classes[index]] += 1
+    for cycle_use in used:
+        if problem.issue.sequential:
+            assert sum(cycle_use) <= 1, "sequential capacity violated"
+        else:
+            assert cycle_use[0] <= capacity[0], "mem capacity violated"
+            assert cycle_use[1] <= capacity[1], "alu capacity violated"
+
+
+def _words_from_cycles(cycles: Sequence[int], horizon: int) -> List[List[int]]:
+    """Issue words from a cycle assignment, program order within a word.
+
+    Ascending index order inside each word keeps same-cycle memory
+    accesses in program order when the engine replays them (write-buffer
+    and cache state see the sequence the functional trace recorded).
+    """
+    words: List[List[int]] = [[] for _ in range(horizon)]
+    for index, cycle in enumerate(cycles):
+        words[cycle].append(index)
+    return words
+
+
+def solve_block(block: BasicBlock, issue: IssueModel, memory: MemoryConfig,
+                budget_steps: int = DEFAULT_BLOCK_BUDGET) -> BlockSolution:
+    """Optimally schedule one block, certified, budget-bounded.
+
+    The list schedule seeds the upper bound, so the returned schedule is
+    *never* worse than the list scheduler's; on every block the search
+    closes, ``makespan == lower_bound`` (the acceptance certificate).
+    A budget exhaustion falls back to the list schedule and reports the
+    highest bound proven before the meter ran out.
+    """
+    listed = schedule_block(block, issue, memory)
+    nodes = list(block.nodes())
+    problem = ScheduleProblem(nodes, issue, memory)
+    upper = len(listed.words)
+    bound = problem.lower_bound()
+    budget = Budget(budget_steps)
+
+    best_cycles: Optional[List[int]] = None
+    best_horizon = upper
+    closed = False
+    horizon = bound
+    while horizon < upper:
+        try:
+            cycles = _decide(problem, horizon, budget)
+        except _Exhausted:
+            break
+        if cycles is not None:
+            _verify(problem, cycles, horizon)
+            best_cycles = cycles
+            best_horizon = horizon
+            closed = True
+            break
+        bound = horizon + 1  # UNSAT proof: no schedule this short exists
+        horizon += 1
+    if not closed and bound == upper:
+        closed = True  # every shorter makespan refuted: the list won
+
+    if best_cycles is not None:
+        words = _words_from_cycles(best_cycles, best_horizon)
+        schedule = ScheduledBlock(
+            listed.label, words, listed.mem_rank, listed.node_count
+        )
+        makespan = best_horizon
+    else:
+        schedule = listed
+        makespan = upper
+    return BlockSolution(
+        schedule=schedule,
+        list_makespan=upper,
+        makespan=makespan,
+        lower_bound=bound,
+        closed=closed,
+        steps=budget.spent,
+    )

@@ -1,0 +1,102 @@
+"""Content-addressed memoization of solved block schedules.
+
+Exact scheduling is pure: the solution depends only on the block's
+nodes, the issue model's slot shape, and the memory latency the shared
+dependence relation bakes into flow edges.  The store keys each solved
+block by exactly that triple -- ``(block signature, issue parameters,
+hit cycles)`` -- so a block re-solved under any benchmark, grid, or
+enlargement reuses the earlier search, and bumping
+``SCHEDULE_STORE_VERSION`` retires every stale entry at once.
+
+Entries live under ``default_artifact_root()/schedules/v<N>/`` as one
+JSON file per key, written with the crash-safe
+:func:`repro.harness.cache.atomic_write_json`.  A corrupt or
+wrong-shape entry is treated as a miss and overwritten, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from ..harness.artifacts import default_artifact_root
+from ..harness.cache import atomic_write_json
+from ..isa.node import Node
+from ..machine.config import IssueModel, MemoryConfig
+from ..telemetry.logging import get_logger
+from .model import block_signature
+
+#: Bump when the solver, the dependence relation, or the latency table
+#: changes enough to invalidate memoized schedules.
+SCHEDULE_STORE_VERSION = 1
+
+_LOG = get_logger("optsched.store")
+
+#: Fields every stored entry must carry to be trusted.
+_ENTRY_FIELDS = ("words", "list_makespan", "makespan", "lower_bound",
+                 "closed", "steps")
+
+
+def schedule_key(nodes: Sequence[Node], issue: IssueModel,
+                 memory: MemoryConfig) -> str:
+    """Digest of everything a block's optimal schedule depends on."""
+    raw = "|".join((
+        f"v{SCHEDULE_STORE_VERSION}",
+        block_signature(nodes),
+        f"seq{int(issue.sequential)}",
+        f"a{issue.alu_slots}",
+        f"m{issue.mem_slots}",
+        f"hit{memory.hit_cycles}",
+    ))
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:32]
+
+
+class ScheduleStore:
+    """On-disk memo of :class:`repro.optsched.solver.BlockSolution` data."""
+
+    def __init__(self, root: Optional[str] = None):
+        base = root if root is not None else default_artifact_root()
+        self.directory = os.path.join(
+            base, "schedules", f"v{SCHEDULE_STORE_VERSION}"
+        )
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key: str) -> Optional[Dict]:
+        """A previously stored entry, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if any(field not in entry for field in _ENTRY_FIELDS):
+            _LOG.warning("schedule_entry_malformed", path=path)
+            return None
+        words = entry["words"]
+        if not isinstance(words, list) or not all(
+            isinstance(word, list) and all(isinstance(i, int) for i in word)
+            for word in words
+        ):
+            _LOG.warning("schedule_words_malformed", path=path)
+            return None
+        return entry
+
+    def save(self, key: str, words: List[List[int]], list_makespan: int,
+             makespan: int, lower_bound: int, closed: bool,
+             steps: int) -> None:
+        """Persist one solved block (crash-safe, last writer wins)."""
+        entry = {
+            "words": words,
+            "list_makespan": list_makespan,
+            "makespan": makespan,
+            "lower_bound": lower_bound,
+            "closed": closed,
+            "steps": steps,
+        }
+        atomic_write_json(self._path(key), entry)

@@ -1,6 +1,21 @@
-"""Static scheduling: list scheduler and latency model."""
+"""Static scheduling: list scheduler, shared dependences, latency model."""
 
-from .latency import node_latency
-from .list_scheduler import ScheduledBlock, schedule_block, schedule_program
+from .latency import BASE_LATENCIES, latency_table, node_latency
+from .list_scheduler import (
+    ScheduledBlock,
+    build_dependences,
+    may_alias,
+    schedule_block,
+    schedule_program,
+)
 
-__all__ = ["ScheduledBlock", "node_latency", "schedule_block", "schedule_program"]
+__all__ = [
+    "BASE_LATENCIES",
+    "ScheduledBlock",
+    "build_dependences",
+    "latency_table",
+    "may_alias",
+    "node_latency",
+    "schedule_block",
+    "schedule_program",
+]

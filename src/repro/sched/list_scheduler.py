@@ -51,8 +51,13 @@ class ScheduledBlock:
         self.node_count = node_count
 
 
-def _may_alias(a: Node, a_version: int, b: Node, b_version: int) -> bool:
-    """Conservative static alias test between two memory nodes."""
+def may_alias(a: Node, a_version: int, b: Node, b_version: int) -> bool:
+    """Conservative static alias test between two memory nodes.
+
+    ``a_version`` / ``b_version`` count redefinitions of the node's base
+    register at the point the node executes: offsets are only comparable
+    while both accesses see the *same* definition of a shared base.
+    """
     if a.base in _SEGMENT_BASES and b.base in _SEGMENT_BASES and a.base != b.base:
         return False
     if a.base == b.base and a_version == b_version:
@@ -62,8 +67,16 @@ def _may_alias(a: Node, a_version: int, b: Node, b_version: int) -> bool:
     return True
 
 
-def _build_dependences(nodes: Sequence[Node], memory: MemoryConfig):
-    """Edges ``preds[i] = [(j, latency), ...]`` meaning i waits on j."""
+def build_dependences(nodes: Sequence[Node], memory: MemoryConfig):
+    """Edges ``preds[i] = [(j, latency), ...]`` meaning i waits on j.
+
+    This relation -- flow/anti/output register dependences, the
+    conservative memory ordering built on :func:`may_alias`, and the
+    terminator-last edges -- is shared verbatim by the greedy list
+    scheduler below and the exact solver in :mod:`repro.optsched`, so
+    both schedulers solve the *same* constraint set and their makespans
+    are directly comparable.
+    """
     preds: List[List[Tuple[int, int]]] = [[] for _ in nodes]
     last_writer: Dict[int, int] = {}
     writer_version: Dict[int, int] = {}
@@ -85,7 +98,7 @@ def _build_dependences(nodes: Sequence[Node], memory: MemoryConfig):
                 other_store = other.kind is NodeKind.STORE
                 if not is_store and not other_store:
                     continue  # load/load need no ordering
-                if _may_alias(node, version, other, other_version):
+                if may_alias(node, version, other, other_version):
                     # Store results land in the write buffer one cycle
                     # after execution; a dependent load sees them then.
                     latency = 1 if other_store else 0
@@ -116,7 +129,7 @@ def schedule_block(block: BasicBlock, issue: IssueModel,
     """Pack one block into issue words by critical-path list scheduling."""
     nodes = list(block.nodes())
     count = len(nodes)
-    preds = _build_dependences(nodes, memory)
+    preds = build_dependences(nodes, memory)
     succs: List[List[Tuple[int, int]]] = [[] for _ in nodes]
     indegree = [0] * count
     for index, plist in enumerate(preds):

@@ -33,6 +33,7 @@ from ..machine.config import (
     MachineConfig,
     cache_configuration_space,
     full_configuration_space,
+    sched_configuration_space,
     smoke_configuration_space,
     spec_configuration_space,
 )
@@ -65,6 +66,7 @@ GRIDS = {
     "full": lambda benchmark=None: full_configuration_space(),
     "cache": cache_configuration_space,
     "spec": spec_configuration_space,
+    "sched": sched_configuration_space,
 }
 
 

@@ -8,6 +8,7 @@ from .aggregate import (
     group_by,
     histogram_stats,
     mean_redundancy,
+    schedule_summary,
     speedup_matrix,
     summarize,
     telemetry_report,
@@ -23,6 +24,7 @@ __all__ = [
     "group_by",
     "histogram_stats",
     "mean_redundancy",
+    "schedule_summary",
     "speedup_matrix",
     "summarize",
     "telemetry_report",

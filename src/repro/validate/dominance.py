@@ -22,7 +22,11 @@ two points that differ in exactly one axis:
   speculation.  ``stride`` and ``context`` are deliberately *not*
   ordered against each other: arithmetic sequences favour the stride
   table, repeating non-arithmetic patterns favour the FCM, and measured
-  grids show each winning on different workloads.
+  grids show each winning on different workloads;
+* ``dominance.sched``   -- the exact static scheduler never loses to
+  the greedy list scheduler at equal configuration: the optimal
+  schedule is seeded with the list schedule as its upper bound, so a
+  loss would indicate a solver or engine bug, not a modelling choice.
 
 A violation emits one ``error`` finding naming both points; nothing is
 raised, so findings flow into ``telemetry.json`` and the sweep's exit
@@ -51,6 +55,7 @@ DOMINANCE_RULES = (
     "dominance.memory",
     "dominance.branch",
     "dominance.value",
+    "dominance.sched",
 )
 
 #: The value-predictor partial order as weakest-first chains sharing
@@ -70,12 +75,13 @@ _PERFECT_MEMORY_ORDER = tuple(
 )
 
 #: One point's coordinates: (benchmark, line, issue index, memory
-#: letter, branch-predictor kind, value-predictor kind) where ``line``
-#: is ``config.discipline_key()``.  The predictor axes keep spec-grid
-#: points (gshare/perceptron variants, value-speculation sweeps) from
+#: letter, branch-predictor kind, value-predictor kind, optimal-schedule
+#: flag) where ``line`` is ``config.discipline_key()``.  The predictor
+#: and scheduler axes keep spec-/sched-grid points (gshare/perceptron
+#: variants, value-speculation sweeps, exact-schedule runs) from
 #: colliding with -- and silently replacing -- paper-grid points in the
 #: index.
-_Coord = Tuple[str, str, int, str, str, str]
+_Coord = Tuple[str, str, int, str, str, str, bool]
 
 
 def _index(results: Iterable[SimResult]) -> Dict[_Coord, SimResult]:
@@ -85,7 +91,8 @@ def _index(results: Iterable[SimResult]) -> Dict[_Coord, SimResult]:
         config = result.config
         coord = (result.benchmark, config.discipline_key(),
                  config.issue_model, config.memory,
-                 config.predictor, config.value_predictor)
+                 config.predictor, config.value_predictor,
+                 config.optimal_schedule)
         indexed[coord] = result
     return indexed
 
@@ -151,6 +158,7 @@ def check_dominance(results: Iterable[SimResult],
     memories = sorted({coord[3] for coord in indexed})
     predictors = sorted({coord[4] for coord in indexed})
     value_predictors = sorted({coord[5] for coord in indexed})
+    scheds = sorted({coord[6] for coord in indexed})
 
     # ---- dominance.window: dyn256 >= dyn4 >= dyn1 --------------------
     for benchmark in benchmarks:
@@ -166,7 +174,7 @@ def check_dominance(results: Iterable[SimResult],
                         for vp in value_predictors:
                             chain = [
                                 (benchmark, f"dyn{window}/{mode.value}",
-                                 issue, memory, pred, vp)
+                                 issue, memory, pred, vp, False)
                                 for window in windows
                             ]
                             for stronger, weaker in _chain_pairs(
@@ -184,16 +192,20 @@ def check_dominance(results: Iterable[SimResult],
             for memory in memories:
                 for pred in predictors:
                     for vp in value_predictors:
-                        chain = [
-                            (benchmark, line, issue, memory, pred, vp)
-                            for issue in issues
-                        ]
-                        for stronger, weaker in _chain_pairs(indexed, chain):
-                            if not _dominates(stronger, weaker, tol):
-                                findings.append(_violation(
-                                    "dominance.issue", stronger, weaker,
-                                    tol, "issue model",
-                                ))
+                        for opt in scheds:
+                            chain = [
+                                (benchmark, line, issue, memory, pred, vp,
+                                 opt)
+                                for issue in issues
+                            ]
+                            for stronger, weaker in _chain_pairs(
+                                indexed, chain
+                            ):
+                                if not _dominates(stronger, weaker, tol):
+                                    findings.append(_violation(
+                                        "dominance.issue", stronger,
+                                        weaker, tol, "issue model",
+                                    ))
 
     # ---- dominance.memory: perfect A >= B >= C -----------------------
     for benchmark in benchmarks:
@@ -201,16 +213,20 @@ def check_dominance(results: Iterable[SimResult],
             for issue in issues:
                 for pred in predictors:
                     for vp in value_predictors:
-                        chain = [
-                            (benchmark, line, issue, memory, pred, vp)
-                            for memory in reversed(_PERFECT_MEMORY_ORDER)
-                        ]
-                        for stronger, weaker in _chain_pairs(indexed, chain):
-                            if not _dominates(stronger, weaker, tol):
-                                findings.append(_violation(
-                                    "dominance.memory", stronger, weaker,
-                                    tol, "memory",
-                                ))
+                        for opt in scheds:
+                            chain = [
+                                (benchmark, line, issue, memory, pred, vp,
+                                 opt)
+                                for memory in reversed(_PERFECT_MEMORY_ORDER)
+                            ]
+                            for stronger, weaker in _chain_pairs(
+                                indexed, chain
+                            ):
+                                if not _dominates(stronger, weaker, tol):
+                                    findings.append(_violation(
+                                        "dominance.memory", stronger,
+                                        weaker, tol, "memory",
+                                    ))
 
     # ---- dominance.branch: perfect prediction >= realistic -----------
     # Perfect-mode points carry the default predictor kind (the axis is
@@ -224,14 +240,14 @@ def check_dominance(results: Iterable[SimResult],
                         for vp in value_predictors:
                             perfect = indexed.get((
                                 benchmark, f"dyn{window}/perfect", issue,
-                                memory, pred, vp,
+                                memory, pred, vp, False,
                             )) or indexed.get((
                                 benchmark, f"dyn{window}/perfect", issue,
-                                memory, "twobit", vp,
+                                memory, "twobit", vp, False,
                             ))
                             realistic = indexed.get((
                                 benchmark, f"dyn{window}/enlarged", issue,
-                                memory, pred, vp,
+                                memory, pred, vp, False,
                             ))
                             if perfect is None or realistic is None:
                                 continue
@@ -249,7 +265,8 @@ def check_dominance(results: Iterable[SimResult],
                     for pred in predictors:
                         for kinds in _VALUE_CHAINS:
                             chain = [
-                                (benchmark, line, issue, memory, pred, vp)
+                                (benchmark, line, issue, memory, pred, vp,
+                                 False)
                                 for vp in kinds
                             ]
                             for stronger, weaker in _chain_pairs(
@@ -259,5 +276,29 @@ def check_dominance(results: Iterable[SimResult],
                                     findings.append(_violation(
                                         "dominance.value", stronger,
                                         weaker, tol, "value predictor",
+                                    ))
+
+    # ---- dominance.sched: exact schedules never lose to greedy -------
+    # A certified-optimal schedule is never longer than the list
+    # schedule on any block, so at equal configuration the optimal
+    # machine's IPC must be at least the list machine's.
+    for benchmark in benchmarks:
+        for line in lines:
+            for issue in issues:
+                for memory in memories:
+                    for pred in predictors:
+                        for vp in value_predictors:
+                            chain = [
+                                (benchmark, line, issue, memory, pred, vp,
+                                 opt)
+                                for opt in (False, True)
+                            ]
+                            for stronger, weaker in _chain_pairs(
+                                indexed, chain
+                            ):
+                                if not _dominates(stronger, weaker, tol):
+                                    findings.append(_violation(
+                                        "dominance.sched", stronger,
+                                        weaker, tol, "static scheduler",
                                     ))
     return findings

@@ -1,0 +1,496 @@
+"""Exact-scheduler tests: certificates, modulo pipelining, wiring.
+
+Covers the repro.optsched subsystem end to end: the constraint model's
+lower bounds, the branch-and-bound solver's optimality certificate
+(``makespan == lower_bound`` on closed blocks) and never-worse-than-list
+guarantee, modulo scheduling of self-loop blocks, the schedule memo
+store, the ``optimal_schedule`` configuration axis (validation, cache
+keys, grid, dominance rule), and the shared latency table both
+schedulers consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import AluOp, Imm, Reg, alu, branch, load, movi, ret, store
+from repro.isa.ops import NodeKind
+from repro.machine.config import (
+    BranchMode,
+    Discipline,
+    ISSUE_MODELS,
+    MEMORY_CONFIGS,
+    MachineConfig,
+    sched_configuration_space,
+)
+from repro.optsched import (
+    ScheduleProblem,
+    ScheduleStore,
+    analyze_program,
+    carried_edges,
+    is_innermost_loop,
+    optimal_schedule_program,
+    pipeline_loop,
+    schedule_key,
+    solve_block,
+)
+from repro.program import BasicBlock
+from repro.sched import (
+    BASE_LATENCIES,
+    build_dependences,
+    latency_table,
+    node_latency,
+    schedule_block,
+)
+
+ISSUE8 = ISSUE_MODELS[8]
+ISSUE5 = ISSUE_MODELS[5]
+ISSUE2 = ISSUE_MODELS[2]
+SEQ = ISSUE_MODELS[1]
+MEM_A = MEMORY_CONFIGS["A"]
+MEM_C = MEMORY_CONFIGS["C"]
+
+
+def block(body, term=None, label="blk"):
+    return BasicBlock(label, body, term or ret())
+
+
+def placement_of(words):
+    return {index: cycle for cycle, word in enumerate(words)
+            for index in word}
+
+
+# ----------------------------------------------------------------------
+class TestLatencyTable:
+    """Satellite: one latency table feeds both schedulers."""
+
+    def test_table_covers_every_node_kind(self):
+        assert set(BASE_LATENCIES) == set(NodeKind)
+        for memory in (MEM_A, MEM_C):
+            assert set(latency_table(memory)) == set(NodeKind)
+
+    def test_load_latency_tracks_memory(self):
+        assert node_latency(NodeKind.LOAD, MEM_A) == MEM_A.hit_cycles
+        assert node_latency(NodeKind.LOAD, MEM_C) == MEM_C.hit_cycles
+        assert latency_table(MEM_C)[NodeKind.LOAD] == MEM_C.hit_cycles
+
+    def test_schedulers_share_the_relation(self):
+        # The solver's flow-edge latencies come from build_dependences,
+        # which reads the same table as the list scheduler: a load
+        # consumer is separated by exactly hit_cycles in both schedules.
+        body = [load(1, 10, 0), alu(AluOp.ADD, 2, Reg(1), Imm(1))]
+        for memory in (MEM_A, MEM_C):
+            listed = schedule_block(block(body), ISSUE8, memory)
+            solved = solve_block(block(body), ISSUE8, memory)
+            for words in (listed.words, solved.schedule.words):
+                cycles = placement_of(words)
+                assert cycles[1] - cycles[0] == memory.hit_cycles
+
+
+# ----------------------------------------------------------------------
+class TestSolver:
+    def test_closed_block_certifies_makespan(self):
+        solution = solve_block(
+            block([movi(1, 1), movi(2, 2), alu(AluOp.ADD, 3, Reg(1), Reg(2))]),
+            ISSUE8, MEM_A,
+        )
+        assert solution.closed
+        assert solution.makespan == solution.lower_bound
+        assert solution.makespan <= solution.list_makespan
+
+    def test_every_node_scheduled_exactly_once(self):
+        body = [movi(i + 1, i) for i in range(10)]
+        solution = solve_block(block(body), ISSUE5, MEM_A)
+        seen = sorted(i for word in solution.schedule.words for i in word)
+        assert seen == list(range(len(body) + 1))  # + terminator
+
+    def test_terminator_can_share_the_last_word(self):
+        # The list scheduler's ready-set snapshot forces the terminator
+        # one cycle late; the exact solver recovers that cycle.
+        solution = solve_block(block([movi(1, 1), movi(2, 2)]), ISSUE8, MEM_A)
+        assert solution.list_makespan == 2
+        assert solution.makespan == 1
+        assert solution.closed
+
+    def test_words_keep_program_order(self):
+        body = [movi(i + 1, i) for i in range(6)]
+        solution = solve_block(block(body), ISSUE8, MEM_A)
+        for word in solution.schedule.words:
+            assert word == sorted(word)
+
+    def test_slot_capacity_respected(self):
+        body = [load(i + 1, 10, 8 * i) for i in range(8)]
+        solution = solve_block(block(body), ISSUE5, MEM_A)
+        for word in solution.schedule.words:
+            mems = sum(1 for i in word if i < 8)
+            assert mems <= ISSUE5.mem_slots
+
+    def test_sequential_model_is_one_node_per_word(self):
+        body = [movi(1, 1), movi(2, 2), movi(3, 3)]
+        solution = solve_block(block(body), SEQ, MEM_A)
+        assert all(len(word) <= 1 for word in solution.schedule.words)
+        assert solution.makespan == len(body) + 1  # resource bound, closed
+        assert solution.closed
+
+    def test_budget_exhaustion_falls_back_to_list(self):
+        blk = block([movi(1, 1), movi(2, 2)])
+        solution = solve_block(blk, ISSUE8, MEM_A, budget_steps=0)
+        assert not solution.closed
+        assert solution.makespan == solution.list_makespan
+        listed = schedule_block(blk, ISSUE8, MEM_A)
+        assert solution.schedule.words == listed.words
+        assert solution.lower_bound < solution.makespan
+
+    def test_mem_rank_preserved(self):
+        body = [movi(1, 1), load(2, 10, 0), store(Reg(2), 10, 4)]
+        solution = solve_block(block(body), ISSUE5, MEM_A)
+        listed = schedule_block(block(body), ISSUE5, MEM_A)
+        assert solution.schedule.mem_rank == listed.mem_rank
+
+    def test_lower_bounds(self):
+        # Critical path: movi -> add -> add chain of latency-1 edges.
+        chain = ScheduleProblem(
+            list(block([
+                movi(1, 1),
+                alu(AluOp.ADD, 2, Reg(1), Imm(1)),
+                alu(AluOp.ADD, 3, Reg(2), Imm(1)),
+            ]).nodes()),
+            ISSUE8, MEM_A,
+        )
+        # Chain occupies cycles 0..2; the terminator shares the last
+        # cycle through its latency-0 ordering edges.
+        assert chain.critical_path_bound() == 3
+        # Resource: 8 independent loads through 2 memory slots.
+        wide = ScheduleProblem(
+            list(block([load(i + 1, 10, 8 * i) for i in range(8)]).nodes()),
+            ISSUE5, MEM_A,
+        )
+        assert wide.resource_bound() == 4
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=5),
+                st.integers(min_value=1, max_value=5),
+                st.integers(min_value=0, max_value=2),
+            ),
+            min_size=1, max_size=14,
+        ),
+        st.sampled_from([1, 2, 5, 8]),
+    )
+    def test_random_blocks_never_beat_certificates(self, spec, issue_index):
+        """Property: solved <= list, closed => makespan == bound."""
+        ops = [AluOp.ADD, AluOp.SUB, AluOp.XOR]
+        body = [alu(ops[op], dest, Reg(src), Imm(3))
+                for dest, src, op in spec]
+        issue = ISSUE_MODELS[issue_index]
+        solution = solve_block(block(body), issue, MEM_A)
+        assert solution.makespan <= solution.list_makespan
+        assert solution.lower_bound <= solution.makespan
+        assert solution.closed
+        assert solution.makespan == solution.lower_bound
+        seen = sorted(i for word in solution.schedule.words for i in word)
+        assert seen == list(range(len(body) + 1))
+
+
+# ----------------------------------------------------------------------
+class TestModulo:
+    def loop_block(self, body):
+        return BasicBlock("L", body, branch(1, "L", "exit"))
+
+    def test_self_loop_detection(self):
+        assert is_innermost_loop(self.loop_block([movi(1, 1)]))
+        assert not is_innermost_loop(
+            BasicBlock("L", [movi(1, 1)], branch(1, "other", "exit"))
+        )
+        assert not is_innermost_loop(block([movi(1, 1)]))
+
+    def test_carried_flow_edge_found(self):
+        # r2 = r2 + 1 every iteration: last writer feeds next iteration.
+        blk = self.loop_block([alu(AluOp.ADD, 2, Reg(2), Imm(1))])
+        edges = carried_edges(blk, MEM_A)
+        assert any(source == 0 and target == 0 and lat == 1
+                   for source, target, lat in edges)
+
+    def test_recurrence_bounds_ii(self):
+        # Two-node dependent chain through r2, carried: RecMII = 2.
+        blk = self.loop_block([
+            alu(AluOp.ADD, 2, Reg(2), Imm(1)),
+            alu(AluOp.ADD, 2, Reg(2), Imm(1)),
+        ])
+        result = pipeline_loop(blk, ISSUE8, MEM_A)
+        assert result.rec_mii >= 2
+        assert result.ii >= result.mii
+
+    def test_ii_between_mii_and_serial(self):
+        body = [load(2, 10, 0), alu(AluOp.ADD, 3, Reg(2), Imm(1)),
+                store(Reg(3), 10, 0), alu(AluOp.ADD, 1, Reg(1), Imm(-1))]
+        result = pipeline_loop(self.loop_block(body), ISSUE5, MEM_C)
+        assert result.mii <= result.ii <= result.list_makespan
+        if result.closed:
+            assert result.ii == result.mii
+
+    def test_resource_limited_loop(self):
+        # Four independent loads through one memory slot: ResMII = 4.
+        body = [load(i + 2, 10 + i, 0) for i in range(4)]
+        result = pipeline_loop(self.loop_block(body), ISSUE2, MEM_A)
+        assert result.res_mii == 4
+        assert result.ii == 4
+        assert result.closed
+
+    def test_independent_iterations_pipeline_fully(self):
+        # No loop-carried data dependence except the trip counter: the
+        # kernel should reach an II well below the serial makespan.
+        body = [load(2, 10, 0), alu(AluOp.ADD, 3, Reg(2), Imm(1)),
+                alu(AluOp.ADD, 4, Reg(3), Imm(1)),
+                alu(AluOp.ADD, 5, Reg(4), Imm(1)),
+                alu(AluOp.ADD, 1, Reg(1), Imm(-1))]
+        result = pipeline_loop(self.loop_block(body), ISSUE8, MEM_C)
+        assert result.pipelined
+        assert result.ii < result.list_makespan
+
+
+# ----------------------------------------------------------------------
+class TestScheduleStore:
+    def test_round_trip(self, tmp_path):
+        store_obj = ScheduleStore(root=str(tmp_path))
+        nodes = list(block([movi(1, 1)]).nodes())
+        key = schedule_key(nodes, ISSUE5, MEM_A)
+        assert store_obj.load(key) is None
+        store_obj.save(key, [[0, 1]], 2, 1, 1, True, 7)
+        entry = store_obj.load(key)
+        assert entry == {
+            "words": [[0, 1]], "list_makespan": 2, "makespan": 1,
+            "lower_bound": 1, "closed": True, "steps": 7,
+        }
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store_obj = ScheduleStore(root=str(tmp_path))
+        nodes = list(block([movi(1, 1)]).nodes())
+        key = schedule_key(nodes, ISSUE5, MEM_A)
+        os.makedirs(store_obj.directory, exist_ok=True)
+        path = os.path.join(store_obj.directory, f"{key}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{truncated")
+        assert store_obj.load(key) is None
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"words": "nope"}, handle)
+        assert store_obj.load(key) is None
+
+    def test_key_depends_on_issue_and_memory(self):
+        nodes = list(block([load(1, 10, 0)]).nodes())
+        base = schedule_key(nodes, ISSUE5, MEM_A)
+        assert schedule_key(nodes, ISSUE2, MEM_A) != base
+        assert schedule_key(nodes, ISSUE5, MEM_C) != base
+        assert schedule_key(nodes, ISSUE5, MEM_A) == base
+
+    def test_memoized_program_matches_fresh(self, tmp_path, grep_prepared):
+        program = grep_prepared.single
+        store_obj = ScheduleStore(root=str(tmp_path))
+        first = optimal_schedule_program(program, ISSUE5, MEM_A,
+                                         store=store_obj)
+        second = optimal_schedule_program(program, ISSUE5, MEM_A,
+                                          store=store_obj)
+        assert set(first) == set(second)
+        for label in first:
+            assert first[label].words == second[label].words
+            assert first[label].mem_rank == second[label].mem_rank
+
+
+# ----------------------------------------------------------------------
+class TestWorkloadGap:
+    def test_grep_blocks_all_close(self, grep_prepared):
+        analysis = analyze_program(grep_prepared.single, ISSUE5, MEM_A)
+        assert analysis.closed_blocks == len(analysis.blocks)
+        for solution in analysis.blocks:
+            assert solution.makespan == solution.lower_bound
+            assert solution.makespan <= solution.list_makespan
+        # The greedy scheduler measurably trails the optimum.
+        assert analysis.optimal_words < analysis.list_words
+        assert analysis.gap_percent > 0.0
+
+    def test_enlarged_program_has_loops(self, grep_prepared):
+        analysis = analyze_program(grep_prepared.enlarged, ISSUE5, MEM_A)
+        assert analysis.loops
+        for loop in analysis.loops:
+            assert loop.mii <= loop.ii <= loop.list_makespan
+
+
+# ----------------------------------------------------------------------
+class TestConfigAxis:
+    def test_dynamic_machines_reject_the_axis(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                discipline=Discipline.DYNAMIC, issue_model=8, memory="A",
+                branch_mode=BranchMode.ENLARGED, window_blocks=4,
+                optimal_schedule=True,
+            )
+
+    def test_str_suffix_only_when_active(self):
+        base = MachineConfig(
+            discipline=Discipline.STATIC, issue_model=5, memory="A",
+            branch_mode=BranchMode.SINGLE,
+        )
+        assert "/opt" not in str(base)
+        opt = dataclasses.replace(base, optimal_schedule=True)
+        assert str(opt).endswith("/opt")
+
+    def test_cache_keys_stay_byte_identical_when_off(self):
+        from repro.harness.cache import result_key
+
+        base = MachineConfig(
+            discipline=Discipline.STATIC, issue_model=5, memory="A",
+            branch_mode=BranchMode.SINGLE,
+        )
+        key = result_key("grep", base, 1)
+        assert "opt" not in key
+        opt_key = result_key(
+            "grep", dataclasses.replace(base, optimal_schedule=True), 1
+        )
+        assert opt_key == key + "|opt"
+
+    def test_sched_grid_shape(self):
+        configs = list(sched_configuration_space())
+        assert len(configs) == 24
+        assert len(set(configs)) == 24
+        assert all(cfg.discipline is Discipline.STATIC for cfg in configs)
+        assert sum(1 for cfg in configs if cfg.optimal_schedule) == 12
+        # Every optimal point has its list twin at equal coordinates.
+        on = {dataclasses.replace(cfg, optimal_schedule=False)
+              for cfg in configs if cfg.optimal_schedule}
+        off = {cfg for cfg in configs if not cfg.optimal_schedule}
+        assert on == off
+
+
+# ----------------------------------------------------------------------
+class TestDominanceSched:
+    def result(self, optimal, ipc_scale=1.0, issue=5):
+        from repro.stats.results import SimResult
+
+        cfg = MachineConfig(
+            discipline=Discipline.STATIC, issue_model=issue, memory="A",
+            branch_mode=BranchMode.SINGLE, optimal_schedule=optimal,
+        )
+        retired = int(4000 * ipc_scale)
+        return SimResult(
+            benchmark="grep", config=cfg, cycles=1000,
+            retired_nodes=retired, discarded_nodes=0, dynamic_blocks=10,
+            work_nodes=retired,
+        )
+
+    def test_ordered_pair_is_clean(self):
+        from repro.validate.dominance import check_dominance
+
+        results = [self.result(False), self.result(True, ipc_scale=1.2)]
+        assert check_dominance(results) == []
+
+    def test_inversion_is_flagged(self):
+        from repro.validate.dominance import check_dominance
+
+        results = [self.result(False), self.result(True, ipc_scale=0.5)]
+        findings = check_dominance(results)
+        assert [finding.rule for finding in findings] == ["dominance.sched"]
+        assert "/opt" in findings[0].config
+
+    def test_optimal_points_join_issue_chains(self):
+        from repro.validate.dominance import check_dominance
+
+        # A wider optimal machine slower than a narrower one must be
+        # flagged by the issue rule, within the optimal slice.
+        results = [
+            self.result(True, ipc_scale=1.0, issue=2),
+            self.result(True, ipc_scale=0.5, issue=8),
+        ]
+        findings = check_dominance(results)
+        assert "dominance.issue" in [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------------
+class TestEngineIntegration:
+    def test_optimal_never_loses_end_to_end(self, grep_prepared):
+        from repro.machine.simulator import simulate
+
+        base = MachineConfig(
+            discipline=Discipline.STATIC, issue_model=5, memory="A",
+            branch_mode=BranchMode.ENLARGED,
+        )
+        listed = simulate(grep_prepared, base)
+        optimal = simulate(
+            grep_prepared, dataclasses.replace(base, optimal_schedule=True)
+        )
+        # self_check inside simulate() already verified retired-node
+        # accounting; the optimal machine must not be slower.
+        assert optimal.cycles <= listed.cycles
+
+    def test_collector_counts_blocks(self, grep_prepared):
+        from repro.telemetry import MetricsCollector
+
+        collector = MetricsCollector()
+        optimal_schedule_program(
+            grep_prepared.single, ISSUE5, MEM_A, collector=collector,
+        )
+        counters = collector.counters
+        assert counters["sched.blocks"] == len(list(grep_prepared.single))
+        assert counters["sched.closed"] == counters["sched.blocks"]
+        assert counters["sched.optimal_words"] <= counters["sched.list_words"]
+
+    def test_schedule_summary_derivation(self):
+        from repro.stats import schedule_summary
+
+        assert schedule_summary({}) == {}
+        summary = schedule_summary({
+            "sched.blocks": 4, "sched.closed": 4, "sched.list_words": 20,
+            "sched.optimal_words": 15, "sched.lower_bound_words": 15,
+        })
+        assert summary["gap_percent"] == 25.0
+        assert summary["closed_fraction"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Determinism: the solver's exploration is metered by a step counter and
+# iterates in index order only, so its output must not depend on the
+# interpreter's string-hash salt.
+_SEED_PROBE = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.isa import AluOp, Imm, Reg, alu, load, ret, store
+from repro.machine.config import ISSUE_MODELS, MEMORY_CONFIGS
+from repro.optsched import solve_block
+from repro.program import BasicBlock
+
+body = []
+for i in range(6):
+    body.append(load(i + 1, 10, 8 * i))
+for i in range(6):
+    body.append(alu(AluOp.ADD, 20 + i, Reg(i + 1), Imm(i)))
+for i in range(3):
+    body.append(store(Reg(20 + i), 11, 8 * i))
+blk = BasicBlock("blk", body, ret())
+solution = solve_block(blk, ISSUE_MODELS[5], MEMORY_CONFIGS["C"])
+print(json.dumps([solution.schedule.words, solution.makespan,
+                  solution.lower_bound, solution.closed, solution.steps]))
+"""
+
+
+class TestHashSeedDeterminism:
+    def test_identical_across_hash_seeds(self):
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        script = _SEED_PROBE.format(src=os.path.abspath(src))
+        outputs = []
+        for seed in ("1", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            proc = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True,
+            )
+            outputs.append(json.loads(proc.stdout))
+        assert outputs[0] == outputs[1]
+        assert outputs[0][3] is True  # the probe block closed

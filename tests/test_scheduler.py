@@ -167,6 +167,80 @@ class TestMemoryOrdering:
         assert sched.mem_rank == {1: 0, 2: 1, 3: 2}
 
 
+class TestAliasRelation:
+    """Direct regression tests for the shared conservative alias test.
+
+    The exact solver (repro.optsched) reuses ``may_alias`` and
+    ``build_dependences`` verbatim, so these pin the relation itself,
+    not just the placements the list scheduler derives from it.
+    """
+
+    def test_same_base_disjoint_offsets_do_not_alias(self):
+        from repro.sched import may_alias
+
+        st_node = store(Reg(1), 10, 0)
+        ld_node = load(2, 10, 8)
+        assert not may_alias(st_node, 0, ld_node, 0)
+
+    def test_same_base_overlapping_offsets_alias(self):
+        from repro.sched import may_alias
+
+        st_node = store(Reg(1), 10, 0)
+        for offset in (-3, 0, 3):  # 4-byte word accesses overlap
+            assert may_alias(st_node, 0, load(2, 10, offset), 0)
+
+    def test_sp_gp_segments_never_alias(self):
+        from repro.isa.registers import GP, SP
+        from repro.sched import may_alias
+
+        # Disjoint segments exonerate even differing base versions.
+        assert not may_alias(store(Reg(1), SP, 0), 0, load(2, GP, 0), 3)
+        assert not may_alias(store(Reg(1), GP, 4), 2, load(2, SP, 4), 0)
+
+    def test_redefined_base_is_pessimistic(self):
+        from repro.sched import may_alias
+
+        # Same base register but different versions: offsets are not
+        # comparable, so disjoint ranges must still report aliasing.
+        st_node = store(Reg(1), 10, 0)
+        ld_node = load(2, 10, 8)
+        assert may_alias(st_node, 0, ld_node, 1)
+
+    def test_different_plain_bases_are_conservative(self):
+        from repro.sched import may_alias
+
+        assert may_alias(store(Reg(1), 10, 0), 0, load(2, 11, 64), 0)
+
+    def test_build_dependences_orders_store_then_load(self):
+        from repro.sched import build_dependences
+
+        nodes = [store(Reg(1), 10, 0), load(2, 10, 0), ret()]
+        preds = build_dependences(nodes, MEM_A)
+        # Store-involved aliasing pair carries the write-buffer latency.
+        assert (0, 1) in preds[1]
+
+    def test_build_dependences_skips_load_load(self):
+        from repro.sched import build_dependences
+
+        nodes = [load(1, 10, 0), load(2, 10, 0), ret()]
+        preds = build_dependences(nodes, MEM_A)
+        assert all(pred != 0 for pred, _ in preds[1])
+
+    def test_build_dependences_edges_point_backward(self):
+        from repro.sched import build_dependences
+
+        nodes = [
+            movi(1, 1),
+            store(Reg(1), 10, 0),
+            load(2, 10, 0),
+            alu(AluOp.ADD, 1, Reg(2), Imm(1)),
+            ret(),
+        ]
+        preds = build_dependences(nodes, MEM_C)
+        for index, plist in enumerate(preds):
+            assert all(pred < index for pred, _ in plist)
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     st.lists(
